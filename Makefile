@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test vet bench experiments fast-experiments fmt loc
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One testing.B benchmark per paper table/figure (reduced scale).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Regenerate every paper table/figure at report scale (slow).
+experiments:
+	$(GO) run ./cmd/fdxbench -exp all
+
+# Quick pass over every experiment.
+fast-experiments:
+	$(GO) run ./cmd/fdxbench -exp all -fast
+
+fmt:
+	gofmt -w .
+
+loc:
+	@find . -name '*.go' | xargs wc -l | tail -1

@@ -1,0 +1,149 @@
+// Package baselines exposes the FD discovery methods the FDX paper
+// compares against (§5.1): TANE, PYRO, RFI, CORDS, and GL (naive Graphical
+// Lasso on the raw data), behind a common Discoverer interface, plus FDX
+// itself in the same shape for side-by-side benchmarking.
+package baselines
+
+import (
+	"time"
+
+	"fdx"
+
+	"fdx/internal/cords"
+	"fdx/internal/core"
+	"fdx/internal/dataset"
+	"fdx/internal/gl"
+	"fdx/internal/pyro"
+	"fdx/internal/rfi"
+	"fdx/internal/tane"
+)
+
+// FD mirrors fdx.FD (name-based dependency with a method-specific score).
+type FD = fdx.FD
+
+// Discoverer is a uniform interface over FD discovery methods.
+type Discoverer interface {
+	// Name identifies the method in experiment tables, e.g. "PYRO".
+	Name() string
+	// Discover returns the FDs found in the relation.
+	Discover(rel *dataset.Relation) ([]FD, error)
+}
+
+// DeadlineSetter is implemented by methods supporting cooperative
+// cancellation: the search stops (returning partial results) once the wall
+// clock passes the deadline. Benchmark harnesses set it slightly past
+// their own timeout so abandoned runs do not keep burning CPU.
+type DeadlineSetter interface {
+	SetDeadline(t time.Time)
+}
+
+func toNamed(fds []core.FD, names []string) []FD {
+	var out []FD
+	for _, fd := range fds {
+		nf := FD{RHS: names[fd.RHS], Score: fd.Score}
+		for _, x := range fd.LHS {
+			nf.LHS = append(nf.LHS, names[x])
+		}
+		out = append(out, nf)
+	}
+	return out
+}
+
+// FDX wraps fdx.Discover as a Discoverer.
+type FDX struct {
+	Options fdx.Options
+	// Label overrides the display name (e.g. for ablations).
+	Label string
+}
+
+// Name implements Discoverer.
+func (d *FDX) Name() string {
+	if d.Label != "" {
+		return d.Label
+	}
+	return "FDX"
+}
+
+// Discover implements Discoverer.
+func (d *FDX) Discover(rel *dataset.Relation) ([]FD, error) {
+	res, err := fdx.Discover(rel, d.Options)
+	if err != nil {
+		return nil, err
+	}
+	return res.FDs, nil
+}
+
+// TANE wraps the TANE baseline.
+type TANE struct{ Options tane.Options }
+
+// Name implements Discoverer.
+func (d *TANE) Name() string { return "TANE" }
+
+// Discover implements Discoverer.
+func (d *TANE) Discover(rel *dataset.Relation) ([]FD, error) {
+	return toNamed(tane.Discover(rel, d.Options), rel.AttrNames()), nil
+}
+
+// SetDeadline implements DeadlineSetter.
+func (d *TANE) SetDeadline(t time.Time) { d.Options.Deadline = t }
+
+// PYRO wraps the PYRO-style baseline.
+type PYRO struct{ Options pyro.Options }
+
+// Name implements Discoverer.
+func (d *PYRO) Name() string { return "PYRO" }
+
+// Discover implements Discoverer.
+func (d *PYRO) Discover(rel *dataset.Relation) ([]FD, error) {
+	return toNamed(pyro.Discover(rel, d.Options), rel.AttrNames()), nil
+}
+
+// SetDeadline implements DeadlineSetter.
+func (d *PYRO) SetDeadline(t time.Time) { d.Options.Deadline = t }
+
+// RFI wraps the Reliable Fraction of Information baseline.
+type RFI struct{ Options rfi.Options }
+
+// Name implements Discoverer.
+func (d *RFI) Name() string {
+	switch d.Options.Alpha {
+	case 0, 1:
+		return "RFI(1.0)"
+	case 0.3:
+		return "RFI(.3)"
+	case 0.5:
+		return "RFI(.5)"
+	default:
+		return "RFI"
+	}
+}
+
+// Discover implements Discoverer.
+func (d *RFI) Discover(rel *dataset.Relation) ([]FD, error) {
+	return toNamed(rfi.Discover(rel, d.Options), rel.AttrNames()), nil
+}
+
+// SetDeadline implements DeadlineSetter.
+func (d *RFI) SetDeadline(t time.Time) { d.Options.Deadline = t }
+
+// CORDS wraps the CORDS baseline.
+type CORDS struct{ Options cords.Options }
+
+// Name implements Discoverer.
+func (d *CORDS) Name() string { return "CORDS" }
+
+// Discover implements Discoverer.
+func (d *CORDS) Discover(rel *dataset.Relation) ([]FD, error) {
+	return toNamed(cords.Discover(rel, d.Options), rel.AttrNames()), nil
+}
+
+// GL wraps the naive Graphical Lasso baseline.
+type GL struct{ Options gl.Options }
+
+// Name implements Discoverer.
+func (d *GL) Name() string { return "GL" }
+
+// Discover implements Discoverer.
+func (d *GL) Discover(rel *dataset.Relation) ([]FD, error) {
+	return toNamed(gl.Discover(rel, d.Options), rel.AttrNames()), nil
+}

@@ -1,0 +1,126 @@
+package baselines
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"time"
+
+	"fdx"
+	"fdx/internal/dataset"
+	"fdx/internal/rfi"
+)
+
+func fdRelation(rng *rand.Rand, n int) *dataset.Relation {
+	tab := make([]int, 8)
+	for i := range tab {
+		tab[i] = rng.Intn(4)
+	}
+	rel := dataset.New("t", "a", "b", "c")
+	for i := 0; i < n; i++ {
+		a := rng.Intn(8)
+		rel.AppendRow([]string{
+			strconv.Itoa(a), strconv.Itoa(tab[a]), strconv.Itoa(rng.Intn(5)),
+		})
+	}
+	return rel
+}
+
+func TestAllDiscoverersRunAndFindTheFD(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rel := fdRelation(rng, 600)
+	discoverers := []Discoverer{
+		&FDX{}, &TANE{}, &PYRO{}, &RFI{}, &CORDS{}, &GL{},
+	}
+	for _, d := range discoverers {
+		fds, err := d.Discover(rel)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		found := false
+		for _, fd := range fds {
+			if fd.RHS == "b" {
+				for _, l := range fd.LHS {
+					if l == "a" {
+						found = true
+					}
+				}
+			}
+			// GL may orient the edge the other way.
+			if fd.RHS == "a" {
+				for _, l := range fd.LHS {
+					if l == "b" {
+						found = true
+					}
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s did not find the a—b dependency: %v", d.Name(), fds)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	cases := []struct {
+		d    Discoverer
+		want string
+	}{
+		{&FDX{}, "FDX"},
+		{&FDX{Label: "FDX(pooled)"}, "FDX(pooled)"},
+		{&TANE{}, "TANE"},
+		{&PYRO{}, "PYRO"},
+		{&CORDS{}, "CORDS"},
+		{&GL{}, "GL"},
+		{&RFI{}, "RFI(1.0)"},
+	}
+	for _, c := range cases {
+		if got := c.d.Name(); got != c.want {
+			t.Errorf("Name = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestRFINameVariants(t *testing.T) {
+	cases := []struct {
+		alpha float64
+		want  string
+	}{
+		{0.3, "RFI(.3)"}, {0.5, "RFI(.5)"}, {1.0, "RFI(1.0)"}, {0.7, "RFI"},
+	}
+	for _, c := range cases {
+		d := &RFI{Options: rfi.Options{Alpha: c.alpha}}
+		if got := d.Name(); got != c.want {
+			t.Errorf("alpha %v: Name = %q, want %q", c.alpha, got, c.want)
+		}
+	}
+}
+
+func TestDeadlineSettersAreImplemented(t *testing.T) {
+	past := time.Now().Add(-time.Hour)
+	for _, d := range []Discoverer{&TANE{}, &PYRO{}, &RFI{}} {
+		ds, ok := d.(DeadlineSetter)
+		if !ok {
+			t.Fatalf("%s does not implement DeadlineSetter", d.Name())
+		}
+		ds.SetDeadline(past)
+		rel := fdRelation(rand.New(rand.NewSource(2)), 300)
+		fds, err := d.Discover(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// An already-expired deadline must cut the search short (few or no
+		// results) without error.
+		if len(fds) > 3 {
+			t.Errorf("%s ignored an expired deadline: %d FDs", d.Name(), len(fds))
+		}
+	}
+}
+
+func TestFDXDiscovererPropagatesErrors(t *testing.T) {
+	d := &FDX{Options: fdx.Options{Ordering: "bogus"}}
+	rel := fdRelation(rand.New(rand.NewSource(3)), 100)
+	if _, err := d.Discover(rel); err == nil {
+		t.Error("invalid ordering accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package fdx_test
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// FDX paper's evaluation section. Each benchmark regenerates its
+// table/figure through the experiment runners (internal/experiments) at
+// reduced "fast" scale so `go test -bench=.` completes in minutes; the
+// full-scale runs are produced by cmd/fdxbench (see EXPERIMENTS.md).
+
+import (
+	"testing"
+	"time"
+
+	"fdx/internal/experiments"
+)
+
+func benchCfg() experiments.Config {
+	return experiments.Config{Seed: 1, Fast: true, Timeout: 2 * time.Second}
+}
+
+func benchExperiment(b *testing.B, name string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Run(name, benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty experiment output")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the benchmark-network inventory (Table 1).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkTable2 regenerates the synthetic settings grid (Table 2).
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable3 regenerates the real-world data set summary (Table 3).
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkTable4 regenerates the benchmark accuracy comparison (Table 4).
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+
+// BenchmarkTable5 regenerates the benchmark runtime comparison (Table 5).
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+
+// BenchmarkTable6 regenerates the real-world comparison (Table 6).
+func BenchmarkTable6(b *testing.B) { benchExperiment(b, "table6") }
+
+// BenchmarkTable7 regenerates the imputation study (Table 7).
+func BenchmarkTable7(b *testing.B) { benchExperiment(b, "table7") }
+
+// BenchmarkTable8 regenerates the sparsity sweep (Table 8).
+func BenchmarkTable8(b *testing.B) { benchExperiment(b, "table8") }
+
+// BenchmarkTable9 regenerates the column-ordering study (Table 9).
+func BenchmarkTable9(b *testing.B) { benchExperiment(b, "table9") }
+
+// BenchmarkFigure2 regenerates the synthetic-settings comparison (Fig. 2).
+func BenchmarkFigure2(b *testing.B) { benchExperiment(b, "figure2") }
+
+// BenchmarkFigure3 regenerates the Hospital heatmap case study (Fig. 3).
+func BenchmarkFigure3(b *testing.B) { benchExperiment(b, "figure3") }
+
+// BenchmarkFigure4 regenerates RFI's Hospital output (Fig. 4).
+func BenchmarkFigure4(b *testing.B) { benchExperiment(b, "figure4") }
+
+// BenchmarkFigure5 regenerates the feature-selection case study (Fig. 5).
+func BenchmarkFigure5(b *testing.B) { benchExperiment(b, "figure5") }
+
+// BenchmarkFigure6 regenerates the column scalability series (Fig. 6).
+func BenchmarkFigure6(b *testing.B) { benchExperiment(b, "figure6") }
+
+// BenchmarkFigure7 regenerates the noise sensitivity series (Fig. 7).
+func BenchmarkFigure7(b *testing.B) { benchExperiment(b, "figure7") }
+
+// BenchmarkAblation regenerates the stratified-vs-pooled covariance
+// ablation (DESIGN.md design-choice study).
+func BenchmarkAblation(b *testing.B) { benchExperiment(b, "ablation") }
+
+// BenchmarkRowScale regenerates the row-wise scalability extension series.
+func BenchmarkRowScale(b *testing.B) { benchExperiment(b, "rowscale") }
+
+// BenchmarkOrderFill regenerates the ordering fill-in extension table.
+func BenchmarkOrderFill(b *testing.B) { benchExperiment(b, "orderfill") }

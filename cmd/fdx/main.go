@@ -1,0 +1,113 @@
+// Command fdx discovers functional dependencies in a CSV file.
+//
+// Usage:
+//
+//	fdx [flags] data.csv
+//
+// CSV input needs a header row; .jsonl/.ndjson files are read as JSON
+// Lines. Empty cells and JSON nulls are treated as missing
+// values. The discovered FDs are printed one per line, optionally with the
+// autoregression-matrix heatmap the model is derived from.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fdx"
+	"fdx/internal/core"
+	"fdx/internal/profile"
+)
+
+func main() {
+	var (
+		lambda    = flag.Float64("lambda", 0, "graphical lasso sparsity penalty")
+		threshold = flag.Float64("threshold", 0, "minimum |B| coefficient for an FD edge (0 = default 0.2)")
+		ordering  = flag.String("ordering", "", "column ordering: heuristic|natural|amd|colamd|metis|nesdis|reverse|random")
+		maxRows   = flag.Int("max-rows", 0, "cap on tuples used by the pair transform (0 = all)")
+		seed      = flag.Int64("seed", 0, "random seed for the transform shuffle")
+		heatmap   = flag.Bool("heatmap", false, "print the autoregression matrix heatmap")
+		profileIt = flag.Bool("profile", false, "print a full profiling report (columns, keys, FDs, error rate)")
+		normalize = flag.Bool("normalize", false, "print candidate keys and a 3NF synthesis from the discovered FDs")
+		textSim   = flag.Bool("text-similarity", false, "use 3-gram similarity for text columns")
+		numTol    = flag.Float64("numeric-tol", 0, "relative tolerance for numeric equality")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fdx [flags] data.csv")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	var rel *fdx.Relation
+	var err error
+	if strings.HasSuffix(path, ".jsonl") || strings.HasSuffix(path, ".ndjson") {
+		rel, err = fdx.LoadJSONL(path)
+	} else {
+		rel, err = fdx.LoadCSV(path)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdx:", err)
+		os.Exit(1)
+	}
+	if *profileIt {
+		rep, err := profile.Build(rel, profile.Options{Discovery: core.Options{
+			Lambda:    *lambda,
+			Threshold: *threshold,
+			Ordering:  *ordering,
+			Seed:      *seed,
+		}})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdx:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.String())
+		return
+	}
+	res, err := fdx.Discover(rel, fdx.Options{
+		Lambda:           *lambda,
+		Threshold:        *threshold,
+		Ordering:         *ordering,
+		MaxRows:          *maxRows,
+		Seed:             *seed,
+		TextSimilarity:   *textSim,
+		NumericTolerance: *numTol,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdx:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d rows, %d attributes, %d FDs (transform %v, model %v)\n\n",
+		rel.Name, rel.NumRows(), rel.NumCols(), len(res.FDs),
+		res.TransformDuration.Round(1e6), res.ModelDuration.Round(1e6))
+	for _, fd := range res.FDs {
+		fmt.Printf("%s   (score %.3f)\n", fd, fd.Score)
+	}
+	if *heatmap {
+		fmt.Println()
+		fmt.Print(res.Heatmap())
+	}
+	if *normalize {
+		keys, err := fdx.CandidateKeys(rel, res.FDs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdx:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\ncandidate keys:")
+		for _, k := range keys {
+			fmt.Printf("  (%s)\n", strings.Join(k, ", "))
+		}
+		tables, err := fdx.Synthesize3NF(rel, res.FDs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdx:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\n3NF synthesis:")
+		for _, tb := range tables {
+			fmt.Printf("  %s(%s)  key (%s)\n",
+				tb.Name, strings.Join(tb.Attributes, ", "), strings.Join(tb.Key, ", "))
+		}
+	}
+}

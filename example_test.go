@@ -1,0 +1,80 @@
+package fdx_test
+
+import (
+	"fmt"
+	"strings"
+
+	"fdx"
+)
+
+// repeatedRows builds a deterministic relation where zip determines city.
+func exampleRelation() *fdx.Relation {
+	rel := fdx.NewRelation("addresses", "zip", "city")
+	pattern := [][2]string{
+		{"60611", "chicago"}, {"60612", "chicago"}, {"53703", "madison"},
+		{"53711", "madison"}, {"53188", "waukesha"},
+	}
+	for i := 0; i < 60; i++ {
+		p := pattern[i%len(pattern)]
+		rel.AppendRow([]string{p[0], p[1]})
+	}
+	return rel
+}
+
+func ExampleDiscover() {
+	rel := exampleRelation()
+	res, err := fdx.Discover(rel, fdx.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	for _, fd := range res.FDs {
+		fmt.Println(fd)
+	}
+	// Output:
+	// zip -> city
+}
+
+func ExampleFindViolations() {
+	rel := exampleRelation()
+	// Introduce a typo: one Chicago zip labelled "chicgo".
+	rel.AppendRow([]string{"60611", "chicgo"})
+	vs, err := fdx.FindViolations(rel, []fdx.FD{{LHS: []string{"zip"}, RHS: "city"}})
+	if err != nil {
+		panic(err)
+	}
+	for _, v := range vs {
+		fmt.Printf("row %d: %s should be %s\n", v.Row, v.Observed, v.Suggested)
+	}
+	// Output:
+	// row 60: chicgo should be chicago
+}
+
+func ExampleRepair() {
+	rel := exampleRelation()
+	rel.AppendRow([]string{"60611", "chicgo"})
+	fixed, n, err := fdx.Repair(rel, []fdx.FD{{LHS: []string{"zip"}, RHS: "city"}}, 0.8)
+	if err != nil {
+		panic(err)
+	}
+	city, _ := fixed.Columns[1].Value(60)
+	fmt.Println(n, city)
+	// Output:
+	// 1 chicago
+}
+
+func ExampleReadCSV() {
+	csv := "sku,category\n" + strings.Repeat("s1,toys\ns2,grocery\ns3,toys\n", 20)
+	rel, err := fdx.ReadCSV("orders", strings.NewReader(csv))
+	if err != nil {
+		panic(err)
+	}
+	res, err := fdx.Discover(rel, fdx.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	for _, fd := range res.FDs {
+		fmt.Println(fd)
+	}
+	// Output:
+	// sku -> category
+}

@@ -1,0 +1,63 @@
+// Feature selection: the paper's §5.5 feature-engineering case study
+// (Figure 5).
+//
+// FDX profiles the Australian Credit Approval and Mammographic data sets
+// and reads the determinants of the prediction target straight off the
+// learned autoregression matrix — without training any model. For
+// Mammographic, the mass shape and margin determine severity, and severity
+// determines the BI-RADS assessment, matching the medical literature the
+// paper cites.
+//
+// Run with:
+//
+//	go run ./examples/featureselection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fdx"
+	"fdx/internal/realdata"
+)
+
+func analyze(name, target string) {
+	rel, err := realdata.ByName(name, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Low-cardinality binary attributes dilute pair-agreement
+	// coefficients, so profiling small diagnostic tables uses a lower
+	// edge threshold than the discovery default.
+	res, err := fdx.Discover(rel, fdx.Options{Seed: 1, Threshold: 0.08, RelFraction: -1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== %s (goal attribute: %s) ===\n\n", name, target)
+	fmt.Print(res.Heatmap())
+	fmt.Println()
+
+	found := false
+	for _, fd := range res.FDs {
+		if fd.RHS == target {
+			fmt.Printf("  %v determine %s -> use them as features\n", fd.LHS, target)
+			found = true
+		}
+		for _, l := range fd.LHS {
+			if l == target {
+				fmt.Printf("  %s determines %s -> %s leaks the target, drop it\n",
+					target, fd.RHS, fd.RHS)
+				found = true
+			}
+		}
+	}
+	if !found {
+		fmt.Printf("  no dependency involves %s at the default threshold\n", target)
+	}
+	fmt.Println()
+}
+
+func main() {
+	analyze("australian", "A15")
+	analyze("mammographic", "severity")
+}

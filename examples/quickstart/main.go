@@ -1,0 +1,62 @@
+// Quickstart: discover functional dependencies in a small in-memory table.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fdx"
+)
+
+func main() {
+	// A tiny address table: zip determines city and state, but the data is
+	// noisy — one zip appears with a misspelled city.
+	rel := fdx.NewRelation("addresses", "name", "zip", "city", "state")
+	rows := [][]string{
+		{"harry caray's", "60611", "chicago", "il"},
+		{"mity nice bar", "60611", "chicago", "il"},
+		{"foodlife", "60611", "chicago", "il"},
+		{"pierrot", "60612", "chicago", "il"},
+		{"graft", "60612", "cicago", "il"}, // typo!
+		{"gene's", "53703", "madison", "wi"},
+		{"graze", "53703", "madison", "wi"},
+		{"merchant", "53703", "madison", "wi"},
+		{"brasserie v", "53711", "madison", "wi"},
+		{"greenbush", "53711", "madison", "wi"},
+	}
+	// Repeat the pattern with more zips so the statistics are meaningful.
+	for i := 0; i < 30; i++ {
+		zip := fmt.Sprintf("537%02d", i)
+		city := "madison"
+		state := "wi"
+		if i%3 == 0 {
+			zip = fmt.Sprintf("606%02d", i)
+			city = "chicago"
+			state = "il"
+		}
+		for j := 0; j < 4; j++ {
+			rows = append(rows, []string{fmt.Sprintf("venue-%d-%d", i, j), zip, city, state})
+		}
+	}
+	for _, r := range rows {
+		if err := rel.AppendRow(r); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	res, err := fdx.Discover(rel, fdx.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("discovered %d FDs in %v:\n", len(res.FDs), res.TransformDuration+res.ModelDuration)
+	for _, fd := range res.FDs {
+		fmt.Printf("  %s  (score %.2f)\n", fd, fd.Score)
+	}
+	fmt.Println("\nautoregression matrix:")
+	fmt.Print(res.Heatmap())
+}

@@ -1,0 +1,118 @@
+package fdx_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fdx"
+)
+
+// noisyAddressRelation builds a relation with zip→city and city→state
+// dependencies, a key column, and injected typos.
+func noisyAddressRelation(rng *rand.Rand, n int, noise float64) *fdx.Relation {
+	rel := fdx.NewRelation("addresses", "id", "zip", "city", "state")
+	cities := []string{"chicago", "madison", "milwaukee", "rockford", "minneapolis", "duluth"}
+	states := []string{"il", "wi", "wi", "il", "mn", "mn"}
+	for i := 0; i < n; i++ {
+		c := rng.Intn(len(cities))
+		zip := fmt.Sprintf("%d", 60000+c*37+rng.Intn(4)) // few zips per city
+		city, state := cities[c], states[c]
+		if rng.Float64() < noise {
+			city = cities[rng.Intn(len(cities))]
+		}
+		rel.AppendRow([]string{fmt.Sprintf("r%d", i), zip, city, state})
+	}
+	return rel
+}
+
+func TestDiscoverEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rel := noisyAddressRelation(rng, 1200, 0.02)
+	res, err := fdx.Discover(rel, fdx.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hasZipCity, hasCityState bool
+	for _, fd := range res.FDs {
+		s := fd.String()
+		if strings.Contains(s, "zip") && fd.RHS == "city" {
+			hasZipCity = true
+		}
+		if fd.RHS == "state" || (fd.RHS == "city" && strings.Contains(s, "state")) {
+			hasCityState = true
+		}
+	}
+	if !hasZipCity {
+		t.Errorf("zip -> city not discovered: %v", res.FDs)
+	}
+	if !hasCityState {
+		t.Errorf("city/state dependency not discovered: %v", res.FDs)
+	}
+	// The key column must not be determined by anything.
+	for _, fd := range res.FDs {
+		if fd.RHS == "id" {
+			t.Errorf("key column reported as determined: %v", fd)
+		}
+	}
+	if res.TransformDuration <= 0 || res.ModelDuration <= 0 {
+		t.Error("durations not recorded")
+	}
+	if len(res.B) != 4 || len(res.B[0]) != 4 {
+		t.Error("B matrix has wrong shape")
+	}
+	if res.Heatmap() == "" {
+		t.Error("heatmap empty")
+	}
+}
+
+func TestOptionsPropagate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rel := noisyAddressRelation(rng, 400, 0)
+	if _, err := fdx.Discover(rel, fdx.Options{Ordering: "bogus"}); err == nil {
+		t.Error("invalid ordering accepted")
+	}
+	res, err := fdx.Discover(rel, fdx.Options{MaxRows: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+}
+
+func TestHasFDWith(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rel := noisyAddressRelation(rng, 800, 0)
+	res, err := fdx.Discover(rel, fdx.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasFDWith("city") {
+		t.Error("city should participate in a dependency")
+	}
+	if res.HasFDWith("id") {
+		t.Error("key column should be independent")
+	}
+}
+
+func TestFDStringFormat(t *testing.T) {
+	fd := fdx.FD{LHS: []string{"a", "b"}, RHS: "c"}
+	if fd.String() != "a,b -> c" {
+		t.Errorf("String = %q", fd.String())
+	}
+}
+
+func TestReadCSVIntegration(t *testing.T) {
+	csv := "a,b\n1,x\n2,y\n1,x\n2,y\n1,x\n2,y\n"
+	rel, err := fdx.ReadCSV("t", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fdx.Discover(rel, fdx.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FDs) == 0 {
+		t.Error("duplicate-pattern CSV should yield an FD")
+	}
+}

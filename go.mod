@@ -1,0 +1,3 @@
+module fdx
+
+go 1.22

@@ -1,0 +1,178 @@
+// Package attrset provides compact bitsets over attribute indices, used by
+// the lattice-search FD discovery baselines (TANE, PYRO, RFI). Sets support
+// relations with any number of attributes.
+package attrset
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// Set is a bitset over attribute indices. The zero value is the empty set.
+// Sets are value types; operations return new sets and never mutate their
+// receivers unless documented.
+type Set struct {
+	words []uint64
+}
+
+// New returns the set containing the given attributes.
+func New(attrs ...int) Set {
+	var s Set
+	for _, a := range attrs {
+		s = s.With(a)
+	}
+	return s
+}
+
+// FromSlice is an alias of New for a slice argument.
+func FromSlice(attrs []int) Set { return New(attrs...) }
+
+// Full returns the set {0, …, n−1}.
+func Full(n int) Set {
+	var s Set
+	for i := 0; i < n; i++ {
+		s = s.With(i)
+	}
+	return s
+}
+
+func (s Set) clone(minWords int) Set {
+	w := len(s.words)
+	if minWords > w {
+		w = minWords
+	}
+	out := make([]uint64, w)
+	copy(out, s.words)
+	return Set{words: out}
+}
+
+// With returns s ∪ {a}.
+func (s Set) With(a int) Set {
+	out := s.clone(a/64 + 1)
+	out.words[a/64] |= 1 << (a % 64)
+	return out
+}
+
+// Without returns s \ {a}.
+func (s Set) Without(a int) Set {
+	if !s.Has(a) {
+		return s.clone(0)
+	}
+	out := s.clone(0)
+	out.words[a/64] &^= 1 << (a % 64)
+	return out
+}
+
+// Has reports whether a ∈ s.
+func (s Set) Has(a int) bool {
+	w := a / 64
+	return w < len(s.words) && s.words[w]&(1<<(a%64)) != 0
+}
+
+// Len returns |s|.
+func (s Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IsEmpty reports whether the set has no members.
+func (s Set) IsEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set {
+	out := s.clone(len(t.words))
+	for i, w := range t.words {
+		out.words[i] |= w
+	}
+	return out
+}
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.words[i] & t.words[i]
+	}
+	return Set{words: out}
+}
+
+// Minus returns s \ t.
+func (s Set) Minus(t Set) Set {
+	out := s.clone(0)
+	for i := range out.words {
+		if i < len(t.words) {
+			out.words[i] &^= t.words[i]
+		}
+	}
+	return Set{words: out.words}
+}
+
+// SubsetOf reports whether s ⊆ t.
+func (s Set) SubsetOf(t Set) bool {
+	for i, w := range s.words {
+		var tw uint64
+		if i < len(t.words) {
+			tw = t.words[i]
+		}
+		if w&^tw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports set equality.
+func (s Set) Equal(t Set) bool { return s.SubsetOf(t) && t.SubsetOf(s) }
+
+// Members returns the attribute indices in ascending order.
+func (s Set) Members() []int {
+	var out []int
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, i*64+b)
+			w &^= 1 << b
+		}
+	}
+	return out
+}
+
+// Key returns a canonical string usable as a map key.
+func (s Set) Key() string {
+	// Trim trailing zero words so logically-equal sets share keys.
+	last := len(s.words)
+	for last > 0 && s.words[last-1] == 0 {
+		last--
+	}
+	var b strings.Builder
+	for i := 0; i < last; i++ {
+		b.WriteString(strconv.FormatUint(s.words[i], 16))
+		b.WriteByte('.')
+	}
+	return b.String()
+}
+
+// String renders the members, e.g. "{0,3,5}".
+func (s Set) String() string {
+	ms := s.Members()
+	parts := make([]string, len(ms))
+	for i, m := range ms {
+		parts[i] = strconv.Itoa(m)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

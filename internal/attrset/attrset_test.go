@@ -1,0 +1,133 @@
+package attrset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(1, 65, 3)
+	if s.Len() != 3 || !s.Has(65) || s.Has(2) {
+		t.Errorf("set = %v", s)
+	}
+	s2 := s.Without(65)
+	if s2.Has(65) || s2.Len() != 2 {
+		t.Errorf("Without = %v", s2)
+	}
+	if !s.Has(65) {
+		t.Error("Without mutated its receiver")
+	}
+	if s.Without(99).Len() != 3 {
+		t.Error("Without of absent member changed size")
+	}
+}
+
+func TestEmptyAndFull(t *testing.T) {
+	var e Set
+	if !e.IsEmpty() || e.Len() != 0 {
+		t.Error("zero value should be empty")
+	}
+	f := Full(70)
+	if f.Len() != 70 || !f.Has(69) || f.Has(70) {
+		t.Errorf("Full(70) wrong: %d", f.Len())
+	}
+}
+
+func TestSetAlgebraProperties(t *testing.T) {
+	gen := func(rng *rand.Rand) Set {
+		var s Set
+		for i := 0; i < rng.Intn(10); i++ {
+			s = s.With(rng.Intn(130))
+		}
+		return s
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := gen(rng), gen(rng)
+		u := a.Union(b)
+		if !a.SubsetOf(u) || !b.SubsetOf(u) {
+			return false
+		}
+		i := a.Intersect(b)
+		if !i.SubsetOf(a) || !i.SubsetOf(b) {
+			return false
+		}
+		// |A∪B| + |A∩B| = |A| + |B|
+		if u.Len()+i.Len() != a.Len()+b.Len() {
+			return false
+		}
+		// A \ B disjoint from B, union with A∩B gives A.
+		d := a.Minus(b)
+		if !d.Intersect(b).IsEmpty() {
+			return false
+		}
+		if !d.Union(i).Equal(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMembersRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Set
+		want := map[int]bool{}
+		for i := 0; i < rng.Intn(20); i++ {
+			a := rng.Intn(200)
+			s = s.With(a)
+			want[a] = true
+		}
+		ms := s.Members()
+		if len(ms) != len(want) {
+			return false
+		}
+		for i := 1; i < len(ms); i++ {
+			if ms[i-1] >= ms[i] {
+				return false
+			}
+		}
+		return FromSlice(ms).Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	a := New(3)
+	b := New(3, 100).Without(100) // same logical set, longer word slice
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+	if New(1).Key() == New(2).Key() {
+		t.Error("distinct sets share a key")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(5, 1).String(); got != "{1,5}" {
+		t.Errorf("String = %q", got)
+	}
+	var e Set
+	if e.String() != "{}" {
+		t.Errorf("empty String = %q", e.String())
+	}
+}
+
+func TestSubsetEdgeCases(t *testing.T) {
+	var e Set
+	if !e.SubsetOf(New(1)) || !e.SubsetOf(e) {
+		t.Error("empty set subset rules")
+	}
+	if New(100).SubsetOf(New(1)) {
+		t.Error("wide set wrongly subset of narrow set")
+	}
+	if !New(1).Equal(New(1)) || New(1).Equal(New(2)) {
+		t.Error("Equal wrong")
+	}
+}

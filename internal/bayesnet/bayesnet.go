@@ -1,0 +1,198 @@
+// Package bayesnet provides discrete Bayesian networks with ancestral
+// sampling, and ships the five benchmark networks of the FDX paper's
+// Table 1 (Alarm, Asia, Cancer, Child, Earthquake) with their published
+// DAG structures.
+//
+// The paper samples these networks from the bnlearn repository, whose
+// generators "exhibit deterministic dependencies". The bnlearn CPT tables
+// are not available offline, so each child node gets a synthesized
+// near-deterministic CPT: every parent-state combination has a dominant
+// child state drawn from a seeded table, taken with probability 1−eps. The
+// ground-truth FDs are the parent sets of non-root nodes — the same
+// edge-level ground truth the paper scores against.
+package bayesnet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strconv"
+
+	"fdx/internal/core"
+	"fdx/internal/dataset"
+)
+
+// Node is one variable of a network. Nodes are stored in topological order.
+type Node struct {
+	Name    string
+	States  int   // number of discrete states (≥2)
+	Parents []int // indices of parent nodes (all smaller than this node's index)
+}
+
+// Network is a discrete Bayesian network.
+type Network struct {
+	Name  string
+	Nodes []Node
+}
+
+// NumEdges returns the number of parent→child arcs.
+func (n *Network) NumEdges() int {
+	e := 0
+	for _, nd := range n.Nodes {
+		e += len(nd.Parents)
+	}
+	return e
+}
+
+// TrueFDs returns the ground-truth dependencies: one FD per non-root node,
+// with the node's parent set as the determinant.
+func (n *Network) TrueFDs() []core.FD {
+	var fds []core.FD
+	for i, nd := range n.Nodes {
+		if len(nd.Parents) == 0 {
+			continue
+		}
+		fd := core.FD{LHS: append([]int(nil), nd.Parents...), RHS: i}
+		fd.Normalize()
+		fds = append(fds, fd)
+	}
+	core.SortFDs(fds)
+	return fds
+}
+
+// AttrNames returns the node names in order.
+func (n *Network) AttrNames() []string {
+	out := make([]string, len(n.Nodes))
+	for i, nd := range n.Nodes {
+		out[i] = nd.Name
+	}
+	return out
+}
+
+// Validate checks the topological-order invariant and state counts.
+func (n *Network) Validate() error {
+	for i, nd := range n.Nodes {
+		if nd.States < 2 {
+			return fmt.Errorf("bayesnet: node %s has %d states", nd.Name, nd.States)
+		}
+		for _, p := range nd.Parents {
+			if p >= i || p < 0 {
+				return fmt.Errorf("bayesnet: node %s has non-topological parent %d", nd.Name, p)
+			}
+		}
+	}
+	return nil
+}
+
+// Sample draws rows tuples by ancestral sampling. eps is the per-node
+// probability of deviating from the dominant (functional) child state;
+// eps=0 makes every non-root node a deterministic function of its parents.
+// The CPT dominant-state tables are derived deterministically from the
+// network and node names, so repeated calls describe the same joint
+// distribution.
+func (n *Network) Sample(rows int, eps float64, seed int64) *dataset.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	rel := dataset.New(n.Name, n.AttrNames()...)
+
+	// Dominant-state lookup per node: flat table over parent combos.
+	tables := make([][]int, len(n.Nodes))
+	priors := make([][]float64, len(n.Nodes))
+	for i, nd := range n.Nodes {
+		nodeRng := rand.New(rand.NewSource(nodeSeed(n.Name, nd.Name)))
+		if len(nd.Parents) == 0 {
+			// Non-uniform prior (Dirichlet-ish via normalized uniforms).
+			pr := make([]float64, nd.States)
+			sum := 0.0
+			for s := range pr {
+				pr[s] = 0.2 + nodeRng.Float64()
+				sum += pr[s]
+			}
+			for s := range pr {
+				pr[s] /= sum
+			}
+			priors[i] = pr
+			continue
+		}
+		combos := 1
+		for _, p := range nd.Parents {
+			combos *= n.Nodes[p].States
+		}
+		tab := make([]int, combos)
+		for c := range tab {
+			tab[c] = nodeRng.Intn(nd.States)
+		}
+		tables[i] = tab
+	}
+
+	state := make([]int, len(n.Nodes))
+	vals := make([]string, len(n.Nodes))
+	for r := 0; r < rows; r++ {
+		for i, nd := range n.Nodes {
+			if len(nd.Parents) == 0 {
+				state[i] = samplePrior(rng, priors[i])
+			} else {
+				combo := 0
+				for _, p := range nd.Parents {
+					combo = combo*n.Nodes[p].States + state[p]
+				}
+				dominant := tables[i][combo]
+				if eps > 0 && rng.Float64() < eps {
+					state[i] = rng.Intn(nd.States)
+				} else {
+					state[i] = dominant
+				}
+			}
+			vals[i] = nd.Name[:min(3, len(nd.Name))] + strconv.Itoa(state[i])
+		}
+		rel.AppendRow(vals)
+	}
+	return rel
+}
+
+func samplePrior(rng *rand.Rand, prior []float64) int {
+	u := rng.Float64()
+	acc := 0.0
+	for s, p := range prior {
+		acc += p
+		if u < acc {
+			return s
+		}
+	}
+	return len(prior) - 1
+}
+
+func nodeSeed(network, node string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(network))
+	h.Write([]byte{0})
+	h.Write([]byte(node))
+	return int64(h.Sum64())
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ByName returns the named benchmark network.
+func ByName(name string) (*Network, error) {
+	switch name {
+	case "alarm":
+		return Alarm(), nil
+	case "asia":
+		return Asia(), nil
+	case "cancer":
+		return Cancer(), nil
+	case "child":
+		return Child(), nil
+	case "earthquake":
+		return Earthquake(), nil
+	default:
+		return nil, fmt.Errorf("bayesnet: unknown network %q", name)
+	}
+}
+
+// Names lists the benchmark networks in the paper's Table 1 order.
+func Names() []string { return []string{"alarm", "asia", "cancer", "child", "earthquake"} }

@@ -1,0 +1,171 @@
+package bayesnet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fdx/internal/dataset"
+)
+
+func TestAllNetworksValid(t *testing.T) {
+	for _, name := range Names() {
+		net, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("unknown network accepted")
+	}
+}
+
+func TestTable1Inventory(t *testing.T) {
+	cases := []struct {
+		name              string
+		nodes, fds, edges int
+	}{
+		{"alarm", 37, 25, 46},
+		{"asia", 8, 6, 8},
+		{"cancer", 5, 3, 4},
+		{"child", 20, 19, 25},
+		{"earthquake", 5, 3, 4},
+	}
+	for _, c := range cases {
+		net, _ := ByName(c.name)
+		if len(net.Nodes) != c.nodes {
+			t.Errorf("%s: %d nodes, want %d", c.name, len(net.Nodes), c.nodes)
+		}
+		if got := len(net.TrueFDs()); got != c.fds {
+			t.Errorf("%s: %d FDs, want %d", c.name, got, c.fds)
+		}
+		if got := net.NumEdges(); got != c.edges {
+			t.Errorf("%s: %d edges, want %d", c.name, got, c.edges)
+		}
+	}
+}
+
+func TestSampleShapeAndDomains(t *testing.T) {
+	net := Asia()
+	rel := net.Sample(200, 0.1, 1)
+	if rel.NumRows() != 200 || rel.NumCols() != 8 {
+		t.Fatalf("sample dims %dx%d", rel.NumRows(), rel.NumCols())
+	}
+	if err := rel.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, col := range rel.Columns {
+		if col.Cardinality() > net.Nodes[i].States {
+			t.Errorf("node %s: %d observed states > %d", net.Nodes[i].Name, col.Cardinality(), net.Nodes[i].States)
+		}
+		if col.MissingCount() != 0 {
+			t.Errorf("node %s has missing values", net.Nodes[i].Name)
+		}
+	}
+}
+
+func TestZeroEpsIsDeterministic(t *testing.T) {
+	// With eps=0, every child is an exact function of its parents: check
+	// FD consistency on the sample.
+	net := Cancer()
+	rel := net.Sample(500, 0, 2)
+	for i, nd := range net.Nodes {
+		if len(nd.Parents) == 0 {
+			continue
+		}
+		seen := map[string]string{}
+		for r := 0; r < rel.NumRows(); r++ {
+			key := ""
+			for _, p := range nd.Parents {
+				v, _ := rel.Columns[p].Value(r)
+				key += v + "|"
+			}
+			y, _ := rel.Columns[i].Value(r)
+			if prev, ok := seen[key]; ok && prev != y {
+				t.Fatalf("node %s not deterministic at eps=0", nd.Name)
+			}
+			seen[key] = y
+		}
+	}
+}
+
+func TestSampleSeedDeterminism(t *testing.T) {
+	net := Earthquake()
+	a := net.Sample(50, 0.1, 7)
+	b := net.Sample(50, 0.1, 7)
+	for i := 0; i < 50; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatal("same seed produced different samples")
+			}
+		}
+	}
+	c := net.Sample(50, 0.1, 8)
+	same := true
+	for i := 0; i < 50 && same; i++ {
+		ra, rc := a.Row(i), c.Row(i)
+		for j := range ra {
+			if ra[j] != rc[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical samples")
+	}
+}
+
+func TestNoiseRateAffectsDeterminism(t *testing.T) {
+	net := Asia()
+	rel := net.Sample(2000, 0.5, 3)
+	// With eps=0.5 the child "tub" should disagree with any single-valued
+	// function of "asia" on a sizeable fraction of rows.
+	violations := 0
+	seen := map[string]string{}
+	for r := 0; r < rel.NumRows(); r++ {
+		k, _ := rel.Columns[0].Value(r)
+		v, _ := rel.Columns[2].Value(r)
+		if prev, ok := seen[k]; ok && prev != v {
+			violations++
+		} else {
+			seen[k] = v
+		}
+	}
+	if violations < 100 {
+		t.Errorf("expected many violations at eps=0.5, got %d", violations)
+	}
+}
+
+func TestTrueFDsProperties(t *testing.T) {
+	f := func(pick uint8) bool {
+		names := Names()
+		net, _ := ByName(names[int(pick)%len(names)])
+		fds := net.TrueFDs()
+		for _, fd := range fds {
+			if len(fd.LHS) == 0 {
+				return false
+			}
+			for _, x := range fd.LHS {
+				if x == fd.RHS || x < 0 || x >= len(net.Nodes) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleValuesCarryNodePrefix(t *testing.T) {
+	rel := Asia().Sample(5, 0, 4)
+	v, ok := rel.Columns[0].Value(0)
+	if !ok || len(v) < 4 || v[:3] != "asi" {
+		t.Errorf("value format unexpected: %q", v)
+	}
+	_ = dataset.Missing
+}

@@ -1,0 +1,142 @@
+// Package cords is a best-effort implementation of CORDS (Ilyas, Markl,
+// Haas, Brown, Aboulnaga, SIGMOD 2004), which detects soft functional
+// dependencies and correlations between attribute *pairs* using sampling
+// and distinct-value statistics. The FDX paper uses it as the
+// pairwise-statistics baseline (its code is not public; hyper-parameters
+// follow the paper's description, §5.1).
+package cords
+
+import (
+	"math/rand"
+	"sort"
+
+	"fdx/internal/core"
+	"fdx/internal/dataset"
+	"fdx/internal/stats"
+)
+
+// Options configures CORDS.
+type Options struct {
+	// SampleRows is the row-sample size used for the statistics
+	// (default 2000).
+	SampleRows int
+	// Strength is the minimum soft-FD strength for an FD A→B: the fraction
+	// of sampled rows consistent with the dominant A→B mapping (default
+	// 0.9; 1.0 means every sampled A-value maps to exactly one B-value).
+	Strength float64
+	// PValue is the chi-squared significance threshold below which a pair
+	// is deemed correlated (default 1e-3), required in addition to the
+	// soft-FD strength.
+	PValue float64
+	// KeyFraction excludes near-key determinants: attributes with more
+	// than KeyFraction·n distinct values in the sample are not proposed as
+	// LHS (default 0.9). Keys trivially determine everything and CORDS
+	// filters them.
+	KeyFraction float64
+	// Seed drives sampling.
+	Seed int64
+}
+
+func (o *Options) defaults() {
+	if o.SampleRows == 0 {
+		o.SampleRows = 2000
+	}
+	if o.Strength == 0 {
+		o.Strength = 0.9
+	}
+	if o.PValue == 0 {
+		o.PValue = 1e-3
+	}
+	if o.KeyFraction == 0 {
+		o.KeyFraction = 0.9
+	}
+}
+
+// Discover returns the soft FDs between attribute pairs.
+func Discover(rel *dataset.Relation, opts Options) []core.FD {
+	opts.defaults()
+	k := rel.NumCols()
+	n := rel.NumRows()
+	if k < 2 || n == 0 {
+		return nil
+	}
+
+	// Row sample.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	if n > opts.SampleRows {
+		rng := rand.New(rand.NewSource(opts.Seed))
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		idx = idx[:opts.SampleRows]
+		sort.Ints(idx)
+	}
+	m := len(idx)
+
+	labels := make([][]int, k)
+	distinct := make([]int, k)
+	for j := 0; j < k; j++ {
+		labels[j] = make([]int, m)
+		seen := map[int32]int{}
+		for i, r := range idx {
+			code := rel.Columns[j].Code(r)
+			id, ok := seen[code]
+			if !ok {
+				id = len(seen)
+				seen[code] = id
+			}
+			labels[j][i] = id
+		}
+		distinct[j] = len(seen)
+	}
+
+	var fds []core.FD
+	for a := 0; a < k; a++ {
+		if float64(distinct[a]) > opts.KeyFraction*float64(m) {
+			continue // near-key LHS: trivial, skipped
+		}
+		for b := 0; b < k; b++ {
+			if a == b {
+				continue
+			}
+			strength := softFDStrength(labels[a], labels[b])
+			if strength < opts.Strength {
+				continue
+			}
+			// Require statistical association, not just low joint count.
+			c := stats.NewContingency(labels[a], labels[b])
+			stat, dof := stats.ChiSquared(c)
+			if dof > 0 && stats.ChiSquaredPValue(stat, dof) > opts.PValue {
+				continue
+			}
+			fds = append(fds, core.FD{LHS: []int{a}, RHS: b, Score: strength})
+		}
+	}
+	core.SortFDs(fds)
+	return fds
+}
+
+// softFDStrength returns the fraction of rows consistent with the dominant
+// per-a-value mapping a→b: Σ_a max_b count(a,b) / n. 1.0 iff a→b holds
+// exactly on the sample; high values mean the soft FD holds for most rows.
+func softFDStrength(a, b []int) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	counts := map[[2]int]int{}
+	for i := range a {
+		counts[[2]int{a[i], b[i]}]++
+	}
+	best := map[int]int{}
+	for k, c := range counts {
+		if c > best[k[0]] {
+			best[k[0]] = c
+		}
+	}
+	covered := 0
+	for _, c := range best {
+		covered += c
+	}
+	return float64(covered) / float64(len(a))
+}

@@ -1,0 +1,125 @@
+package cords
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"fdx/internal/core"
+	"fdx/internal/dataset"
+)
+
+func relFromCodes(rows [][]int, names ...string) *dataset.Relation {
+	r := dataset.New("t", names...)
+	for _, row := range rows {
+		s := make([]string, len(row))
+		for j, v := range row {
+			s[j] = strconv.Itoa(v)
+		}
+		r.AppendRow(s)
+	}
+	return r
+}
+
+func hasEdge(fds []core.FD, lhs, rhs int) bool {
+	for _, fd := range fds {
+		if fd.RHS == rhs && len(fd.LHS) == 1 && fd.LHS[0] == lhs {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCordsFindsSoftFD(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]int, 500)
+	for i := range rows {
+		a := rng.Intn(10)
+		rows[i] = []int{a, a % 5, rng.Intn(6)}
+	}
+	rel := relFromCodes(rows, "a", "b", "c")
+	fds := Discover(rel, Options{Seed: 1})
+	if !hasEdge(fds, 0, 1) {
+		t.Errorf("a→b soft FD not found: %v", fds)
+	}
+	if hasEdge(fds, 2, 0) || hasEdge(fds, 0, 2) {
+		t.Errorf("independent attribute linked: %v", fds)
+	}
+}
+
+func TestCordsExcludesNearKeys(t *testing.T) {
+	rows := make([][]int, 300)
+	for i := range rows {
+		rows[i] = []int{i, i % 3} // column a is a key
+	}
+	rel := relFromCodes(rows, "id", "b")
+	fds := Discover(rel, Options{Seed: 2})
+	if hasEdge(fds, 0, 1) {
+		t.Errorf("key column proposed as determinant: %v", fds)
+	}
+}
+
+func TestCordsOnlyPairwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows := make([][]int, 300)
+	for i := range rows {
+		rows[i] = []int{rng.Intn(4), rng.Intn(4), rng.Intn(4)}
+	}
+	rel := relFromCodes(rows, "a", "b", "c")
+	for _, fd := range Discover(rel, Options{Seed: 3}) {
+		if len(fd.LHS) != 1 {
+			t.Errorf("CORDS emitted multi-attribute LHS: %v", fd)
+		}
+	}
+}
+
+func TestCordsSamplingCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rows := make([][]int, 5000)
+	for i := range rows {
+		a := rng.Intn(8)
+		rows[i] = []int{a, a % 4}
+	}
+	rel := relFromCodes(rows, "a", "b")
+	fds := Discover(rel, Options{SampleRows: 200, Seed: 4})
+	if !hasEdge(fds, 0, 1) {
+		t.Errorf("sampled run missed the FD: %v", fds)
+	}
+}
+
+func TestCordsDegenerate(t *testing.T) {
+	if fds := Discover(dataset.New("t"), Options{}); fds != nil {
+		t.Error("empty relation should yield nil")
+	}
+}
+
+func TestSoftFDStrength(t *testing.T) {
+	if got := softFDStrength([]int{0, 0, 1}, []int{5, 5, 7}); got != 1 {
+		t.Errorf("exact FD strength = %v, want 1", got)
+	}
+	// One of four rows deviates from the dominant mapping.
+	if got := softFDStrength([]int{0, 0, 0, 0}, []int{5, 5, 5, 9}); got != 0.75 {
+		t.Errorf("approximate strength = %v, want 0.75", got)
+	}
+	if softFDStrength(nil, nil) != 0 {
+		t.Error("empty strength should be 0")
+	}
+}
+
+func TestCordsTolatesNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	rows := make([][]int, 600)
+	for i := range rows {
+		a := rng.Intn(8)
+		b := a % 4
+		if rng.Float64() < 0.05 {
+			b = rng.Intn(4)
+		}
+		rows[i] = []int{a, b}
+	}
+	rel := relFromCodes(rows, "a", "b")
+	fds := Discover(rel, Options{Seed: 9})
+	if !hasEdge(fds, 0, 1) {
+		t.Errorf("5%% noise broke the soft FD: %v", fds)
+	}
+}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"fdx/internal/dataset"
+	"fdx/internal/glasso"
+	"fdx/internal/linalg"
+	"fdx/internal/ordering"
+	"fdx/internal/stats"
+)
+
+// Options configures the FDX discovery pipeline.
+type Options struct {
+	// Lambda is the Graphical Lasso sparsity penalty (paper Table 8 sweeps
+	// {0, .002, …, .01}).
+	Lambda float64
+	// Threshold is the absolute floor on |B| coefficients for an edge to
+	// enter an FD (default 0.05). It combines with RelFraction into the
+	// per-column rule: keep coefficient b_ij iff
+	//
+	//	|b_ij| ≥ max(Threshold, RelFraction·max_i |b_ij|).
+	//
+	// The relative part adapts to each data set's coefficient scale —
+	// under the soft-logic relaxation (paper Eq. 3) a determinant set of
+	// size m carries coefficients ≈ 1/m, but the overall scale shrinks
+	// with noise and with large value domains.
+	Threshold float64
+	// RelFraction is the relative per-column threshold fraction
+	// (default 0.4); set negative to disable the relative rule and use
+	// Threshold alone.
+	RelFraction float64
+	// Ordering names the column-ordering heuristic (see internal/ordering);
+	// default "heuristic" (minimum degree), the paper's default.
+	Ordering string
+	// GraphTol is the |Θ| cutoff when building the sparsity graph fed to
+	// the ordering heuristic.
+	GraphTol float64
+	// UseCorrelation normalizes the pair-sample covariance to a correlation
+	// matrix before structure learning, making Lambda and Threshold
+	// scale-free across attributes. Enabled by default.
+	UseCorrelation bool
+	// RawCovariance disables UseCorrelation when true (kept separate so the
+	// zero Options value means "paper defaults").
+	RawCovariance bool
+	// PooledCovariance disables the stratified (per-sort-block) covariance
+	// estimator and pools all pair samples into one covariance, as a naive
+	// reading of Alg. 2 would. Pooling lets the blocks' different marginal
+	// means leak into the estimate as spurious negative correlations; the
+	// flag exists for the ablation benchmark.
+	PooledCovariance bool
+	// OrderCandidates, when positive, enables sparsest-permutation order
+	// search (Raskutti & Uhler, whom the paper builds on): in addition to
+	// the configured ordering heuristic, that many random global orders
+	// are factorized and the order producing the fewest FD edges wins.
+	OrderCandidates int
+	// Seed drives the transform shuffle.
+	Seed int64
+	// Transform holds the pair-transformation options.
+	Transform TransformOptions
+}
+
+func (o *Options) defaults() {
+	if o.Threshold == 0 {
+		o.Threshold = 0.05
+	}
+	if o.RelFraction == 0 {
+		o.RelFraction = 0.4
+	}
+	// Negative RelFraction (the "disabled" sentinel) is preserved here —
+	// defaults() runs once per pipeline layer, and clamping the sentinel
+	// would let a later layer re-default it to 0.4. columnThreshold treats
+	// any non-positive fraction as disabled.
+	if o.Ordering == "" {
+		o.Ordering = ordering.Heuristic
+	}
+	if o.GraphTol == 0 {
+		o.GraphTol = 1e-4
+	}
+	o.Transform.Seed = o.Seed
+}
+
+// Model is the fitted FDX model: the estimated precision matrix, the
+// autoregression matrix in original attribute coordinates, the global
+// attribute order used, and the generated FDs.
+type Model struct {
+	AttrNames []string
+	// Theta is the sparse precision estimate of the pair model.
+	Theta *linalg.Dense
+	// B is the autoregression matrix in original coordinates: B[i][j] is
+	// the coefficient of attribute i in the linear equation of attribute j.
+	B *linalg.Dense
+	// Order is the global attribute order used by the factorization:
+	// Order[position] = attribute index.
+	Order linalg.Permutation
+	// FDs are the discovered dependencies.
+	FDs []FD
+	// TransformRows and ModelDuration-style accounting live in the caller;
+	// the model keeps only statistical state.
+}
+
+// Discover runs the full FDX pipeline on a relation (paper Alg. 1).
+func Discover(rel *dataset.Relation, opts Options) (*Model, error) {
+	opts.defaults()
+	k := rel.NumCols()
+	if k == 0 {
+		return &Model{Theta: linalg.NewDense(0, 0), B: linalg.NewDense(0, 0)}, nil
+	}
+	dt := Transform(rel, opts.Transform)
+	return DiscoverFromSamples(dt, rel.AttrNames(), opts)
+}
+
+// DiscoverFromSamples runs structure learning + FD generation on an
+// already-transformed binary sample matrix (rows = tuple-pair indicators).
+// It is exposed separately so the scalability experiments can time the
+// model phase apart from the transform (paper Fig. 6 reports both).
+func DiscoverFromSamples(dt *linalg.Dense, names []string, opts Options) (*Model, error) {
+	opts.defaults()
+	k := len(names)
+	if c := dt.Cols(); c != k {
+		return nil, fmt.Errorf("core: sample matrix has %d columns, want %d", c, k)
+	}
+
+	var s *linalg.Dense
+	if opts.PooledCovariance {
+		s = stats.Covariance(dt)
+	} else {
+		// One stratum per attribute-sorted block of the transform.
+		s = stats.StratifiedCovariance(dt, k)
+	}
+	return DiscoverFromCovariance(s, names, opts)
+}
+
+// DiscoverFromCovariance runs structure learning + FD generation on a
+// pre-computed covariance estimate of the pair model — the entry point for
+// incremental discovery, where the covariance is maintained as running
+// sufficient statistics instead of recomputed from samples.
+func DiscoverFromCovariance(s *linalg.Dense, names []string, opts Options) (*Model, error) {
+	opts.defaults()
+	k := len(names)
+	if r, c := s.Dims(); r != k || c != k {
+		return nil, fmt.Errorf("core: covariance is %dx%d, want %dx%d", r, c, k, k)
+	}
+	if !opts.RawCovariance {
+		s = stats.Correlation(s)
+	}
+	// Light shrinkage keeps the estimate well-conditioned when columns are
+	// (nearly) collinear — exact FDs make Z columns exactly dependent.
+	s = stats.Shrink(s, 0.05)
+
+	res, err := glasso.Solve(s, glasso.Options{Lambda: opts.Lambda})
+	if err != nil {
+		return nil, fmt.Errorf("core: graphical lasso: %w", err)
+	}
+	theta := res.Precision
+
+	g := ordering.FromPrecision(theta, opts.GraphTol)
+	perm, err := ordering.Order(opts.Ordering, g, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	bP, err := autoregress(theta, perm)
+	if err != nil {
+		return nil, err
+	}
+
+	// Sparsest-permutation search: try extra random global orders and keep
+	// the one whose thresholded autoregression matrix has the fewest edges.
+	if opts.OrderCandidates > 0 {
+		bestEdges := countEdges(bP, opts.Threshold, opts.RelFraction)
+		rng := rand.New(rand.NewSource(opts.Seed + 1))
+		for c := 0; c < opts.OrderCandidates; c++ {
+			cand := linalg.Permutation(rng.Perm(k))
+			cb, cerr := autoregress(theta, cand)
+			if cerr != nil {
+				continue
+			}
+			if e := countEdges(cb, opts.Threshold, opts.RelFraction); e < bestEdges {
+				bestEdges, bP, perm = e, cb, cand
+			}
+		}
+	}
+
+	// Map back to original attribute coordinates.
+	b := linalg.NewDense(k, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			b.Set(perm[i], perm[j], bP.At(i, j))
+		}
+	}
+
+	fds := GenerateFDs(bP, perm, opts.Threshold, opts.RelFraction)
+	return &Model{
+		AttrNames: names,
+		Theta:     theta,
+		B:         b,
+		Order:     perm,
+		FDs:       fds,
+	}, nil
+}
+
+// autoregress factorizes the permuted precision matrix and returns the
+// autoregression matrix B = I − U in permuted coordinates (paper Alg. 1).
+func autoregress(theta *linalg.Dense, perm linalg.Permutation) (*linalg.Dense, error) {
+	k, _ := theta.Dims()
+	thetaP := linalg.PermuteSym(theta, perm)
+	u, _, err := linalg.UDU(thetaP)
+	if errors.Is(err, linalg.ErrNotPositiveDefinite) {
+		// Numerical slack: nudge the spectrum and retry once.
+		fixed, ferr := linalg.NearestSPD(thetaP, 1e-8)
+		if ferr != nil {
+			return nil, ferr
+		}
+		u, _, err = linalg.UDU(fixed)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: UDU factorization: %w", err)
+	}
+	return linalg.Sub(linalg.Identity(k), u), nil
+}
+
+// columnThreshold computes the per-column cutoff of the adaptive rule:
+// max(floor, frac · max_i |b_ij|) for column j restricted to rows above
+// the diagonal.
+func columnThreshold(bP *linalg.Dense, j int, floor, frac float64) float64 {
+	if frac <= 0 {
+		return floor
+	}
+	max := 0.0
+	for i := 0; i < j; i++ {
+		if v := math.Abs(bP.At(i, j)); v > max {
+			max = v
+		}
+	}
+	if t := frac * max; t > floor {
+		return t
+	}
+	return floor
+}
+
+// countEdges counts super-diagonal entries of bP passing the adaptive
+// threshold rule.
+func countEdges(bP *linalg.Dense, floor, frac float64) int {
+	k, _ := bP.Dims()
+	edges := 0
+	for j := 0; j < k; j++ {
+		th := columnThreshold(bP, j, floor, frac)
+		for i := 0; i < j; i++ {
+			if math.Abs(bP.At(i, j)) >= th {
+				edges++
+			}
+		}
+	}
+	return edges
+}
+
+// GenerateFDs implements Algorithm 3 on a permuted autoregression matrix:
+// for each column j, the rows i<j whose |B[i,j]| passes the adaptive
+// threshold rule (floor and per-column relative fraction) form the
+// determinant set of an FD for attribute perm[j]. Indices in the returned
+// FDs are original attribute indices.
+func GenerateFDs(bP *linalg.Dense, perm linalg.Permutation, floor, frac float64) []FD {
+	k, _ := bP.Dims()
+	var fds []FD
+	for j := 0; j < k; j++ {
+		th := columnThreshold(bP, j, floor, frac)
+		var lhs []int
+		score := 0.0
+		for i := 0; i < j; i++ {
+			if v := math.Abs(bP.At(i, j)); v >= th {
+				lhs = append(lhs, perm[i])
+				if v > score {
+					score = v
+				}
+			}
+		}
+		if len(lhs) > 0 {
+			fd := FD{LHS: lhs, RHS: perm[j], Score: score}
+			fd.Normalize()
+			fds = append(fds, fd)
+		}
+	}
+	SortFDs(fds)
+	return fds
+}
+
+// FormatFDs renders the model's FDs one per line using attribute names.
+func (m *Model) FormatFDs() string {
+	var b strings.Builder
+	for _, fd := range m.FDs {
+		b.WriteString(fd.Format(m.AttrNames))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Heatmap renders the absolute autoregression matrix as an ASCII heatmap
+// (rows/columns in original attribute order), the textual analogue of the
+// paper's Figure 3/5 plots.
+func (m *Model) Heatmap() string {
+	k := len(m.AttrNames)
+	var sb strings.Builder
+	width := 0
+	for _, n := range m.AttrNames {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	if width > 18 {
+		width = 18
+	}
+	ramp := []byte(" .:-=+*#%@")
+	for i := 0; i < k; i++ {
+		name := m.AttrNames[i]
+		if len(name) > width {
+			name = name[:width]
+		}
+		fmt.Fprintf(&sb, "%-*s |", width, name)
+		for j := 0; j < k; j++ {
+			v := math.Abs(m.B.At(i, j))
+			if v > 1 {
+				v = 1
+			}
+			idx := int(v * float64(len(ramp)-1))
+			sb.WriteByte(ramp[idx])
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String()
+}

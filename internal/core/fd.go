@@ -1,0 +1,85 @@
+// Package core implements the FDX pipeline of the paper: the tuple-pair
+// data transformation (Alg. 2), sparse inverse-covariance structure
+// learning with the UDUᵀ factorization (Alg. 1, §4.2), and FD generation
+// from the autoregression matrix (Alg. 3).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FD is a functional dependency X → Y over attribute indices of a relation.
+type FD struct {
+	// LHS holds the determinant attribute indices, sorted ascending.
+	LHS []int
+	// RHS is the determined attribute index.
+	RHS int
+	// Score is a method-specific confidence (for FDX, the largest |B|
+	// coefficient on the LHS).
+	Score float64
+}
+
+// Edges returns the (lhs, rhs) attribute pairs the FD contributes; the
+// paper's precision/recall is computed over these edges.
+func (fd FD) Edges() [][2]int {
+	out := make([][2]int, 0, len(fd.LHS))
+	for _, x := range fd.LHS {
+		out = append(out, [2]int{x, fd.RHS})
+	}
+	return out
+}
+
+// Format renders the FD with attribute names, e.g. "City,State -> Zip".
+func (fd FD) Format(names []string) string {
+	lhs := make([]string, len(fd.LHS))
+	for i, x := range fd.LHS {
+		lhs[i] = names[x]
+	}
+	return fmt.Sprintf("%s -> %s", strings.Join(lhs, ","), names[fd.RHS])
+}
+
+// String renders the FD with positional attribute labels.
+func (fd FD) String() string {
+	lhs := make([]string, len(fd.LHS))
+	for i, x := range fd.LHS {
+		lhs[i] = fmt.Sprintf("A%d", x)
+	}
+	return fmt.Sprintf("%s -> A%d", strings.Join(lhs, ","), fd.RHS)
+}
+
+// Normalize sorts the LHS and removes duplicates and any copy of the RHS
+// (making the FD non-trivial).
+func (fd *FD) Normalize() {
+	sort.Ints(fd.LHS)
+	out := fd.LHS[:0]
+	var prev int
+	for i, x := range fd.LHS {
+		if x == fd.RHS {
+			continue
+		}
+		if i > 0 && x == prev && len(out) > 0 {
+			continue
+		}
+		out = append(out, x)
+		prev = x
+	}
+	fd.LHS = out
+}
+
+// SortFDs orders FDs by RHS then LHS for stable output.
+func SortFDs(fds []FD) {
+	sort.Slice(fds, func(i, j int) bool {
+		if fds[i].RHS != fds[j].RHS {
+			return fds[i].RHS < fds[j].RHS
+		}
+		a, b := fds[i].LHS, fds[j].LHS
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}

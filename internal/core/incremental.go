@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"fdx/internal/dataset"
+	"fdx/internal/linalg"
+)
+
+// Accumulator maintains the sufficient statistics of the FDX pair model
+// across appended batches of tuples, so dependencies can be re-derived
+// after every batch without retransforming history — the dynamic-data
+// direction the paper's related work (DynFD) motivates.
+//
+// Each batch is transformed on its own (Alg. 2 within the batch) and its
+// per-stratum first and second moments are folded into running sums; the
+// per-stratum covariances are then pooled exactly as in batch discovery.
+// Pairs never span batches, so the estimate is an approximation of the
+// full recompute that converges as batches grow; Discover on the
+// concatenation remains the reference semantics.
+type Accumulator struct {
+	names []string
+	opts  Options
+
+	// Per stratum (= per attribute): observation count, per-column sums,
+	// and the sum of outer products.
+	count []int
+	sums  [][]float64
+	outer []*linalg.Dense
+
+	rows    int
+	batches int
+}
+
+// NewAccumulator creates an accumulator for relations with the given
+// attribute names.
+func NewAccumulator(attrNames []string, opts Options) *Accumulator {
+	k := len(attrNames)
+	a := &Accumulator{
+		names: append([]string(nil), attrNames...),
+		opts:  opts,
+		count: make([]int, k),
+		sums:  make([][]float64, k),
+		outer: make([]*linalg.Dense, k),
+	}
+	for s := 0; s < k; s++ {
+		a.sums[s] = make([]float64, k)
+		a.outer[s] = linalg.NewDense(k, k)
+	}
+	return a
+}
+
+// Rows returns the total number of tuples absorbed.
+func (a *Accumulator) Rows() int { return a.rows }
+
+// Batches returns the number of Add calls absorbed.
+func (a *Accumulator) Batches() int { return a.batches }
+
+// Add transforms one batch of tuples and folds its statistics in. The
+// batch must have the accumulator's schema (same attribute names, in
+// order) and at least two rows (a single row forms no pairs).
+func (a *Accumulator) Add(rel *dataset.Relation) error {
+	k := len(a.names)
+	if rel.NumCols() != k {
+		return fmt.Errorf("core: batch has %d attributes, accumulator has %d", rel.NumCols(), k)
+	}
+	for i, n := range rel.AttrNames() {
+		if n != a.names[i] {
+			return fmt.Errorf("core: batch attribute %d is %q, want %q", i, n, a.names[i])
+		}
+	}
+	n := rel.NumRows()
+	if n < 2 {
+		return fmt.Errorf("core: batch needs at least 2 rows, got %d", n)
+	}
+	topts := a.opts.Transform
+	topts.Seed = a.opts.Seed + int64(a.batches)
+	dt := Transform(rel, topts)
+	// Fold per-stratum moments: stratum s is rows [s·n, (s+1)·n).
+	for s := 0; s < k; s++ {
+		cnt := a.count[s]
+		sums := a.sums[s]
+		out := a.outer[s]
+		for i := 0; i < n; i++ {
+			row := dt.Row(s*n + i)
+			for p := 0; p < k; p++ {
+				vp := row[p]
+				if vp == 0 {
+					continue
+				}
+				sums[p] += vp
+				orow := out.Row(p)
+				for q := 0; q < k; q++ {
+					orow[q] += vp * row[q]
+				}
+			}
+		}
+		a.count[s] = cnt + n
+	}
+	a.rows += n
+	a.batches++
+	return nil
+}
+
+// Covariance returns the pooled per-stratum covariance estimate built from
+// the absorbed batches.
+func (a *Accumulator) Covariance() (*linalg.Dense, error) {
+	k := len(a.names)
+	if a.rows == 0 {
+		return nil, fmt.Errorf("core: accumulator has no data")
+	}
+	acc := linalg.NewDense(k, k)
+	for s := 0; s < k; s++ {
+		n := float64(a.count[s])
+		if n == 0 {
+			continue
+		}
+		for p := 0; p < k; p++ {
+			mp := a.sums[s][p] / n
+			for q := 0; q < k; q++ {
+				mq := a.sums[s][q] / n
+				cov := a.outer[s].At(p, q)/n - mp*mq
+				acc.Add(p, q, cov)
+			}
+		}
+	}
+	acc.Scale(1 / float64(k))
+	acc.Symmetrize()
+	return acc, nil
+}
+
+// Discover derives the current model from the accumulated statistics.
+func (a *Accumulator) Discover() (*Model, error) {
+	s, err := a.Covariance()
+	if err != nil {
+		return nil, err
+	}
+	return DiscoverFromCovariance(s, a.names, a.opts)
+}

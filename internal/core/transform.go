@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"fdx/internal/dataset"
+	"fdx/internal/linalg"
+)
+
+// TransformOptions configures the tuple-pair transformation (paper Alg. 2).
+type TransformOptions struct {
+	// Seed drives the initial row shuffle.
+	Seed int64
+	// MaxRows caps the number of input tuples used (0 = all). When the
+	// input is larger, a uniform row sample is taken first; the paper
+	// notes sampling as the remedy for the transform's self-join cost on
+	// large instances (§5.4).
+	MaxRows int
+	// NumericTol is the relative tolerance for numeric approximate
+	// equality, as a fraction of the column's value scale (default 1e-9,
+	// i.e. effectively exact).
+	NumericTol float64
+	// TextSimilarity enables Jaccard 3-gram similarity ≥ TextThreshold as
+	// the text difference operator; otherwise text compares exactly.
+	TextSimilarity bool
+	// TextThreshold is the Jaccard similarity above which two text values
+	// are considered equal (default 0.9).
+	TextThreshold float64
+	// Workers sets the number of goroutines processing attribute blocks
+	// (0 = GOMAXPROCS, 1 = sequential). Each attribute's sorted block is
+	// independent, so the output is identical at any worker count.
+	Workers int
+}
+
+func (o *TransformOptions) defaults() {
+	if o.NumericTol == 0 {
+		o.NumericTol = 1e-9
+	}
+	if o.TextThreshold == 0 {
+		o.TextThreshold = 0.9
+	}
+}
+
+// Transform implements Algorithm 2: for every attribute, sort the (shuffled)
+// relation by that attribute, pair each tuple with its successor under a
+// circular shift, and emit one binary row per pair whose l-th entry
+// indicates equality on attribute l. The output has n·k rows and k columns.
+//
+// Missing cells never match anything (including other missing cells): an
+// unknown value gives no evidence that the pair agrees.
+func Transform(rel *dataset.Relation, opts TransformOptions) *linalg.Dense {
+	opts.defaults()
+	n := rel.NumRows()
+	k := rel.NumCols()
+	if n == 0 || k == 0 {
+		return linalg.NewDense(0, k)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	rng.Shuffle(n, func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+	if opts.MaxRows > 0 && n > opts.MaxRows {
+		rows = rows[:opts.MaxRows]
+		n = opts.MaxRows
+	}
+
+	// Pre-compute numeric scales for approximate equality.
+	scale := make([]float64, k)
+	for j, col := range rel.Columns {
+		if col.Type == dataset.Numeric {
+			scale[j] = numericScale(col, rows)
+		}
+	}
+
+	out := linalg.NewDense(n*k, k)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > k {
+		workers = k
+	}
+	var wg sync.WaitGroup
+	attrCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sorted := make([]int, n)
+			for attr := range attrCh {
+				copy(sorted, rows)
+				col := rel.Columns[attr]
+				sort.SliceStable(sorted, func(a, b int) bool {
+					return col.Code(sorted[a]) < col.Code(sorted[b])
+				})
+				base := attr * n
+				for j := 0; j < n; j++ {
+					a := sorted[j]
+					b := sorted[(j+1)%n]
+					row := out.Row(base + j)
+					for l := 0; l < k; l++ {
+						if cellsEqual(rel.Columns[l], a, b, scale[l], &opts) {
+							row[l] = 1
+						}
+					}
+				}
+			}
+		}()
+	}
+	for attr := 0; attr < k; attr++ {
+		attrCh <- attr
+	}
+	close(attrCh)
+	wg.Wait()
+	return out
+}
+
+// numericScale returns a robust per-column value scale (max−min over the
+// sampled rows) used for relative numeric tolerance.
+func numericScale(col *dataset.Column, rows []int) float64 {
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, i := range rows {
+		v := col.Float(i)
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if math.IsInf(min, 1) || max == min {
+		return 1
+	}
+	return max - min
+}
+
+// cellsEqual is the per-type difference operator of §4.1: exact code
+// equality for categorical data, tolerance-based equality for numeric data,
+// optional q-gram similarity for text.
+func cellsEqual(col *dataset.Column, a, b int, scale float64, opts *TransformOptions) bool {
+	ca, cb := col.Code(a), col.Code(b)
+	if ca == dataset.Missing || cb == dataset.Missing {
+		return false
+	}
+	if ca == cb {
+		return true
+	}
+	switch col.Type {
+	case dataset.Numeric:
+		fa, fb := col.Float(a), col.Float(b)
+		if math.IsNaN(fa) || math.IsNaN(fb) {
+			return false
+		}
+		return math.Abs(fa-fb) <= opts.NumericTol*scale
+	case dataset.Text:
+		if !opts.TextSimilarity {
+			return false
+		}
+		va, _ := col.Value(a)
+		vb, _ := col.Value(b)
+		return jaccard3gram(va, vb) >= opts.TextThreshold
+	default:
+		return false
+	}
+}
+
+// jaccard3gram returns the Jaccard similarity of the 3-gram sets of two
+// strings (case-folded). Short strings fall back to exact comparison.
+func jaccard3gram(a, b string) float64 {
+	a, b = strings.ToLower(a), strings.ToLower(b)
+	if len(a) < 3 || len(b) < 3 {
+		if a == b {
+			return 1
+		}
+		return 0
+	}
+	ga := gramSet(a)
+	gb := gramSet(b)
+	inter := 0
+	for g := range ga {
+		if gb[g] {
+			inter++
+		}
+	}
+	union := len(ga) + len(gb) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+func gramSet(s string) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for i := 0; i+3 <= len(s); i++ {
+		out[s[i:i+3]] = true
+	}
+	return out
+}

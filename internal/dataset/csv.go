@@ -1,0 +1,118 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// inferenceSample is how many rows the type inferencer inspects per column.
+const inferenceSample = 1000
+
+// ReadCSV parses a relation from CSV with a header row. Column types are
+// inferred: a column whose non-empty sampled values all parse as floats is
+// Numeric; otherwise values longer than 32 runes make it Text; otherwise it
+// is Categorical. Empty cells are NULLs.
+func ReadCSV(name string, r io.Reader) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = false
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	var rows [][]string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV row: %w", err)
+		}
+		rows = append(rows, rec)
+	}
+	rel := &Relation{Name: name}
+	for j, h := range header {
+		rel.Columns = append(rel.Columns, NewColumn(h, inferType(rows, j)))
+	}
+	for i, rec := range rows {
+		if err := rel.AppendRow(rec); err != nil {
+			return nil, fmt.Errorf("dataset: row %d: %w", i, err)
+		}
+	}
+	return rel, nil
+}
+
+// LoadCSV reads a relation from a CSV file; the relation is named after the
+// path.
+func LoadCSV(path string) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(path, f)
+}
+
+// WriteCSV serializes the relation as CSV with a header row; NULLs become
+// empty cells.
+func WriteCSV(r *Relation, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.AttrNames()); err != nil {
+		return err
+	}
+	for i := 0; i < r.NumRows(); i++ {
+		if err := cw.Write(r.Row(i)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes the relation to the given file path.
+func SaveCSV(r *Relation, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(r, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func inferType(rows [][]string, col int) Type {
+	numeric := true
+	seen := 0
+	long := false
+	for i := 0; i < len(rows) && seen < inferenceSample; i++ {
+		if col >= len(rows[i]) {
+			continue
+		}
+		v := rows[i][col]
+		if v == "" {
+			continue
+		}
+		seen++
+		if _, err := strconv.ParseFloat(v, 64); err != nil {
+			numeric = false
+		}
+		if len([]rune(v)) > 32 {
+			long = true
+		}
+	}
+	switch {
+	case seen == 0:
+		return Categorical
+	case numeric:
+		return Numeric
+	case long:
+		return Text
+	default:
+		return Categorical
+	}
+}

@@ -1,0 +1,287 @@
+// Package dataset models the relational input of FD discovery: a relation
+// with named, typed attributes, dictionary-encoded values, and explicit
+// missing values. It also provides CSV I/O with type inference.
+//
+// Values are stored column-major as int32 dictionary codes. The sentinel
+// Missing marks NULL cells. Numeric columns additionally retain their parsed
+// float64 values so difference operators can use approximate equality.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Missing is the dictionary code of a NULL cell.
+const Missing int32 = -1
+
+// Type describes the domain of an attribute.
+type Type int
+
+const (
+	// Categorical attributes compare by exact value equality.
+	Categorical Type = iota
+	// Numeric attributes carry float64 values and support approximate
+	// equality in the pair transform.
+	Numeric
+	// Text attributes are free-form strings; the pair transform may use a
+	// similarity-based difference operator.
+	Text
+)
+
+// String returns the lowercase name of the type.
+func (t Type) String() string {
+	switch t {
+	case Categorical:
+		return "categorical"
+	case Numeric:
+		return "numeric"
+	case Text:
+		return "text"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Column is one attribute of a relation.
+type Column struct {
+	Name string
+	Type Type
+
+	// codes holds one dictionary code per tuple; Missing for NULLs.
+	codes []int32
+	// dict maps a code to its string value.
+	dict []string
+	// index maps a string value to its code.
+	index map[string]int32
+	// nums holds parsed values for Numeric columns (NaN where missing),
+	// indexed by code.
+	nums []float64
+}
+
+// NewColumn returns an empty column with the given name and type.
+func NewColumn(name string, typ Type) *Column {
+	return &Column{Name: name, Type: typ, index: make(map[string]int32)}
+}
+
+// Len returns the number of tuples in the column.
+func (c *Column) Len() int { return len(c.codes) }
+
+// Cardinality returns the number of distinct non-missing values seen.
+func (c *Column) Cardinality() int { return len(c.dict) }
+
+// Code returns the dictionary code of tuple i (Missing for NULL).
+func (c *Column) Code(i int) int32 { return c.codes[i] }
+
+// Codes returns the backing code slice (shared).
+func (c *Column) Codes() []int32 { return c.codes }
+
+// Value returns the string value of tuple i and whether it is present.
+func (c *Column) Value(i int) (string, bool) {
+	code := c.codes[i]
+	if code == Missing {
+		return "", false
+	}
+	return c.dict[code], true
+}
+
+// Float returns the numeric value of tuple i; NaN if missing or the column
+// is not numeric-parsable.
+func (c *Column) Float(i int) float64 {
+	code := c.codes[i]
+	if code == Missing || int(code) >= len(c.nums) {
+		return math.NaN()
+	}
+	return c.nums[code]
+}
+
+// IsMissing reports whether tuple i is NULL.
+func (c *Column) IsMissing(i int) bool { return c.codes[i] == Missing }
+
+// MissingCount returns the number of NULL cells.
+func (c *Column) MissingCount() int {
+	n := 0
+	for _, v := range c.codes {
+		if v == Missing {
+			n++
+		}
+	}
+	return n
+}
+
+// AppendValue appends a string cell, interning it in the dictionary.
+func (c *Column) AppendValue(v string) {
+	code, ok := c.index[v]
+	if !ok {
+		code = int32(len(c.dict))
+		c.index[v] = code
+		c.dict = append(c.dict, v)
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			f = math.NaN()
+		}
+		c.nums = append(c.nums, f)
+	}
+	c.codes = append(c.codes, code)
+}
+
+// AppendMissing appends a NULL cell.
+func (c *Column) AppendMissing() { c.codes = append(c.codes, Missing) }
+
+// SetCode overwrites the code of tuple i. The code must be Missing or an
+// existing dictionary code.
+func (c *Column) SetCode(i int, code int32) {
+	if code != Missing && int(code) >= len(c.dict) {
+		panic(fmt.Sprintf("dataset: SetCode %d out of dictionary range %d", code, len(c.dict)))
+	}
+	c.codes[i] = code
+}
+
+// CodeOf returns the dictionary code for value v, interning it if new.
+func (c *Column) CodeOf(v string) int32 {
+	code, ok := c.index[v]
+	if !ok {
+		code = int32(len(c.dict))
+		c.index[v] = code
+		c.dict = append(c.dict, v)
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			f = math.NaN()
+		}
+		c.nums = append(c.nums, f)
+	}
+	return code
+}
+
+// DictValue returns the string for a dictionary code.
+func (c *Column) DictValue(code int32) string { return c.dict[code] }
+
+// Relation is a named table with typed columns of equal length.
+type Relation struct {
+	Name    string
+	Columns []*Column
+}
+
+// New returns an empty relation with the given attribute names, all
+// categorical.
+func New(name string, attrs ...string) *Relation {
+	r := &Relation{Name: name}
+	for _, a := range attrs {
+		r.Columns = append(r.Columns, NewColumn(a, Categorical))
+	}
+	return r
+}
+
+// NumRows returns the tuple count (0 for a column-less relation).
+func (r *Relation) NumRows() int {
+	if len(r.Columns) == 0 {
+		return 0
+	}
+	return r.Columns[0].Len()
+}
+
+// NumCols returns the attribute count.
+func (r *Relation) NumCols() int { return len(r.Columns) }
+
+// AttrNames returns the attribute names in order.
+func (r *Relation) AttrNames() []string {
+	names := make([]string, len(r.Columns))
+	for i, c := range r.Columns {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// ColumnIndex returns the index of the named attribute, or -1.
+func (r *Relation) ColumnIndex(name string) int {
+	for i, c := range r.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// AppendRow appends one tuple given as strings; empty strings become NULLs.
+func (r *Relation) AppendRow(values []string) error {
+	if len(values) != len(r.Columns) {
+		return fmt.Errorf("dataset: row has %d values, relation has %d columns", len(values), len(r.Columns))
+	}
+	for i, v := range values {
+		if v == "" {
+			r.Columns[i].AppendMissing()
+		} else {
+			r.Columns[i].AppendValue(v)
+		}
+	}
+	return nil
+}
+
+// Row materializes tuple i as strings (empty string for NULL).
+func (r *Relation) Row(i int) []string {
+	out := make([]string, len(r.Columns))
+	for j, c := range r.Columns {
+		if v, ok := c.Value(i); ok {
+			out[j] = v
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	out := &Relation{Name: r.Name}
+	for _, c := range r.Columns {
+		nc := NewColumn(c.Name, c.Type)
+		nc.codes = append([]int32(nil), c.codes...)
+		nc.dict = append([]string(nil), c.dict...)
+		nc.nums = append([]float64(nil), c.nums...)
+		for v, code := range c.index {
+			nc.index[v] = code
+		}
+		out.Columns = append(out.Columns, nc)
+	}
+	return out
+}
+
+// Validate checks structural invariants: equal column lengths and in-range
+// codes.
+func (r *Relation) Validate() error {
+	n := r.NumRows()
+	for _, c := range r.Columns {
+		if c.Len() != n {
+			return fmt.Errorf("dataset: column %q has %d rows, expected %d", c.Name, c.Len(), n)
+		}
+		for i, code := range c.codes {
+			if code != Missing && (code < 0 || int(code) >= len(c.dict)) {
+				return fmt.Errorf("dataset: column %q row %d has invalid code %d", c.Name, i, code)
+			}
+		}
+	}
+	return nil
+}
+
+// MissingRate returns the fraction of NULL cells over all cells.
+func (r *Relation) MissingRate() float64 {
+	total := r.NumRows() * r.NumCols()
+	if total == 0 {
+		return 0
+	}
+	miss := 0
+	for _, c := range r.Columns {
+		miss += c.MissingCount()
+	}
+	return float64(miss) / float64(total)
+}
+
+// Project returns a new relation containing only the given column indices
+// (sharing no storage with r).
+func (r *Relation) Project(cols ...int) *Relation {
+	out := &Relation{Name: r.Name}
+	clone := r.Clone()
+	for _, j := range cols {
+		out.Columns = append(out.Columns, clone.Columns[j])
+	}
+	return out
+}

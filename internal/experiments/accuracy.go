@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fdx"
+	"fdx/baselines"
+	"fdx/internal/bayesnet"
+	"fdx/internal/core"
+	"fdx/internal/dataset"
+	"fdx/internal/metrics"
+	"fdx/internal/synth"
+)
+
+// benchmarkSampleRows returns the BN sample size.
+func benchmarkSampleRows(fast bool) int {
+	if fast {
+		return 400
+	}
+	return 2000
+}
+
+// benchmarkNoise is the CPT deviation rate used when sampling the
+// benchmark networks (the paper adds no extra noise; the generators'
+// "inherent randomness" is this deviation).
+const benchmarkNoise = 0.05
+
+// namedFDsToCore converts name-based FDs back to index space for scoring.
+func namedFDsToCore(fds []baselines.FD, rel *dataset.Relation) []core.FD {
+	idx := map[string]int{}
+	for i, n := range rel.AttrNames() {
+		idx[n] = i
+	}
+	var out []core.FD
+	for _, fd := range fds {
+		cf := core.FD{RHS: idx[fd.RHS], Score: fd.Score}
+		for _, l := range fd.LHS {
+			cf.LHS = append(cf.LHS, idx[l])
+		}
+		cf.Normalize()
+		out = append(out, cf)
+	}
+	return out
+}
+
+// scoreRun evaluates a timed run against ground truth; negative values mark
+// timeouts ("-").
+func scoreRun(r runResult, truth []core.FD, rel *dataset.Relation) metrics.PRF1 {
+	if r.timedOut || r.err != nil {
+		return metrics.PRF1{Precision: -1, Recall: -1, F1: -1}
+	}
+	return metrics.Evaluate(truth, namedFDsToCore(r.fds, rel), true)
+}
+
+// Table4 reproduces the accuracy comparison on the benchmark networks
+// (paper Table 4): precision / recall / F1 per method per data set.
+func Table4(cfg Config) *Table {
+	t := &Table{
+		Title:  "Table 4: P/R/F1 on benchmark data sets with known FDs",
+		Header: append([]string{"Data set", "Metric"}, MethodNames()...),
+	}
+	rows := benchmarkSampleRows(cfg.Fast)
+	for _, name := range bayesnet.Names() {
+		net, _ := bayesnet.ByName(name)
+		rel := net.Sample(rows, benchmarkNoise, cfg.Seed)
+		truth := net.TrueFDs()
+		var prf []metrics.PRF1
+		for _, m := range methodRoster(benchmarkNoise, cfg.Seed, cfg.Fast) {
+			cfg.logf("table4: %s on %s", m.Name(), name)
+			prf = append(prf, scoreRun(runWithTimeout(m, rel, cfg.timeout()), truth, rel))
+		}
+		pRow := []string{name, "P"}
+		rRow := []string{"", "R"}
+		fRow := []string{"", "F1"}
+		for _, s := range prf {
+			pRow = append(pRow, fmt3(s.Precision))
+			rRow = append(rRow, fmt3(s.Recall))
+			fRow = append(fRow, fmt3(s.F1))
+		}
+		t.Rows = append(t.Rows, pRow, rRow, fRow)
+	}
+	return t
+}
+
+// Table5 reproduces the runtime comparison on the benchmark networks
+// (paper Table 5), in seconds; "-" marks a timeout.
+func Table5(cfg Config) *Table {
+	t := &Table{
+		Title:  "Table 5: runtime (seconds) on benchmark data sets",
+		Header: append([]string{"Data set"}, MethodNames()...),
+	}
+	rows := benchmarkSampleRows(cfg.Fast)
+	for _, name := range bayesnet.Names() {
+		net, _ := bayesnet.ByName(name)
+		rel := net.Sample(rows, benchmarkNoise, cfg.Seed)
+		row := []string{name}
+		for _, m := range methodRoster(benchmarkNoise, cfg.Seed, cfg.Fast) {
+			cfg.logf("table5: %s on %s", m.Name(), name)
+			r := runWithTimeout(m, rel, cfg.timeout())
+			if r.timedOut {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmtDur(r.duration))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Figure2 reproduces the synthetic-settings comparison (paper Figure 2):
+// median F1 per method on the eight plotted (t, r, d, n) settings.
+func Figure2(cfg Config) *Table {
+	t := &Table{
+		Title:  "Figure 2: median F1 per method across synthetic settings",
+		Header: append([]string{"Setting"}, MethodNames()...),
+	}
+	instances := 5
+	if cfg.Fast {
+		instances = 2
+	}
+	names := MethodNames()
+	for _, setting := range synth.Figure2Settings() {
+		scfg := setting.Config(cfg.Seed)
+		if cfg.Fast {
+			if scfg.Tuples > 2000 {
+				scfg.Tuples = 2000
+			}
+			if scfg.Attributes > 16 {
+				scfg.Attributes = 16
+			}
+		}
+		trials := make([][]metrics.PRF1, len(names))
+		skipped := make([]bool, len(names))
+		for inst := 0; inst < instances; inst++ {
+			scfg.Seed = cfg.Seed + int64(inst)
+			data := synth.Generate(scfg)
+			for mi, m := range methodRoster(scfg.NoiseRate, scfg.Seed, cfg.Fast) {
+				if skipped[mi] {
+					continue
+				}
+				cfg.logf("figure2: %s on %s instance %d", m.Name(), setting.Name(), inst)
+				r := runWithTimeout(m, data.Relation, cfg.timeout())
+				if r.timedOut {
+					// A method that cannot finish the first instance of a
+					// setting is skipped for the rest — the paper reports
+					// "-" for these.
+					skipped[mi] = true
+					continue
+				}
+				trials[mi] = append(trials[mi], scoreRun(r, data.TrueFDs, data.Relation))
+			}
+		}
+		row := []string{setting.Name()}
+		for mi := range names {
+			if skipped[mi] || len(trials[mi]) == 0 {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt3(metrics.MedianByF1(trials[mi]).F1))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Figure7 reproduces the noise-sensitivity study (paper Figure 7): FDX's
+// median F1 as the noise rate grows, per synthetic setting.
+func Figure7(cfg Config) *Table {
+	noiseRates := []float64{0.01, 0.05, 0.1, 0.3, 0.5}
+	t := &Table{
+		Title:  "Figure 7: FDX median F1 vs noise rate",
+		Header: []string{"Setting"},
+	}
+	for _, n := range noiseRates {
+		t.Header = append(t.Header, fmt.Sprintf("n=%.2f", n))
+	}
+	instances := 3
+	if cfg.Fast {
+		instances = 2
+	}
+	for _, setting := range synth.Figure2Settings() {
+		scfg := setting.Config(cfg.Seed)
+		if cfg.Fast {
+			if scfg.Tuples > 2000 {
+				scfg.Tuples = 2000
+			}
+			if scfg.Attributes > 16 {
+				scfg.Attributes = 16
+			}
+		}
+		row := []string{setting.Name()}
+		for _, noise := range noiseRates {
+			scfg.NoiseRate = noise
+			var trials []metrics.PRF1
+			for inst := 0; inst < instances; inst++ {
+				scfg.Seed = cfg.Seed + int64(inst)
+				data := synth.Generate(scfg)
+				res, err := fdx.Discover(data.Relation, fdx.Options{Seed: scfg.Seed})
+				if err != nil {
+					continue
+				}
+				trials = append(trials, metrics.Evaluate(data.TrueFDs,
+					namedFDsToCore(res.FDs, data.Relation), true))
+			}
+			row = append(row, fmt3(metrics.MedianByF1(trials).F1))
+		}
+		t.Rows = append(t.Rows, row)
+		cfg.logf("figure7: finished %s", setting.Name())
+	}
+	return t
+}

@@ -1,0 +1,174 @@
+// Package experiments reproduces every table and figure of the FDX paper's
+// evaluation (§5). Each runner returns a structured Table (or rendered
+// text) with the same rows/series the paper reports; cmd/fdxbench prints
+// them and bench_test.go wraps them in testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"fdx"
+	"fdx/baselines"
+	"fdx/internal/cords"
+	"fdx/internal/dataset"
+	"fdx/internal/pyro"
+	"fdx/internal/rfi"
+	"fdx/internal/tane"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Seed drives all data generation.
+	Seed int64
+	// Fast shrinks data sizes and timeouts so the full suite runs in test
+	// time; default (false) uses the report-scale settings.
+	Fast bool
+	// Timeout caps each method run; 0 uses a scale-appropriate default.
+	// Methods that exceed it are reported as "-", mirroring the paper's
+	// 8-hour limit.
+	Timeout time.Duration
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+func (c Config) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	if c.Fast {
+		return 3 * time.Second
+	}
+	return 60 * time.Second
+}
+
+func (c Config) logf(format string, args ...interface{}) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(t.Title)
+	sb.WriteByte('\n')
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// runResult is the outcome of one timed method run.
+type runResult struct {
+	fds      []baselines.FD
+	duration time.Duration
+	timedOut bool
+	err      error
+}
+
+// runWithTimeout executes the discoverer, abandoning it (the goroutine is
+// left to finish in the background) if it exceeds the budget — the
+// harness-level analogue of the paper's 8-hour cut-off.
+func runWithTimeout(d baselines.Discoverer, rel *dataset.Relation, budget time.Duration) runResult {
+	if ds, ok := d.(baselines.DeadlineSetter); ok {
+		// Cooperative cancellation: the abandoned goroutine stops shortly
+		// after the harness gives up, instead of burning CPU indefinitely.
+		ds.SetDeadline(time.Now().Add(budget + budget/4))
+	}
+	done := make(chan runResult, 1)
+	start := time.Now()
+	go func() {
+		fds, err := d.Discover(rel)
+		done <- runResult{fds: fds, duration: time.Since(start), err: err}
+	}()
+	select {
+	case r := <-done:
+		return r
+	case <-time.After(budget):
+		return runResult{timedOut: true, duration: budget}
+	}
+}
+
+// methodRoster builds the paper's method list (§5.1) with options suited to
+// the expected noise rate.
+func methodRoster(noise float64, seed int64, fast bool) []baselines.Discoverer {
+	pyroVisits := 200
+	rfiVisits := 2000
+	if fast {
+		pyroVisits = 60
+		rfiVisits = 200
+	}
+	taneErr := noise
+	if taneErr == 0 {
+		taneErr = 0.01
+	}
+	return []baselines.Discoverer{
+		&baselines.FDX{Options: fdx.Options{Seed: seed}},
+		&baselines.GL{},
+		&baselines.PYRO{Options: pyro.Options{MaxError: noise, MaxVisitsPerRHS: pyroVisits, Seed: seed}},
+		&baselines.TANE{Options: tane.Options{MaxError: taneErr, MaxLHS: 3}},
+		&baselines.CORDS{Options: cords.Options{Seed: seed}},
+		&baselines.RFI{Options: rfi.Options{Alpha: 0.3, MaxVisitsPerRHS: rfiVisits}},
+		&baselines.RFI{Options: rfi.Options{Alpha: 0.5, MaxVisitsPerRHS: rfiVisits}},
+		&baselines.RFI{Options: rfi.Options{Alpha: 1.0, MaxVisitsPerRHS: rfiVisits}},
+	}
+}
+
+// MethodNames lists the roster's display names in order.
+func MethodNames() []string {
+	names := make([]string, 0, 8)
+	for _, m := range methodRoster(0, 0, true) {
+		names = append(names, m.Name())
+	}
+	return names
+}
+
+// fmt3 renders a float with three decimals; "-" for negative sentinel.
+func fmt3(v float64) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// fmtDur renders a duration in seconds with millisecond resolution.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3f", d.Seconds())
+}

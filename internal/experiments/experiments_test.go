@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func fastCfg() Config { return Config{Seed: 1, Fast: true, Timeout: 2 * time.Second} }
+
+func TestTableString(t *testing.T) {
+	tbl := &Table{Title: "T", Header: []string{"a", "bb"}, Rows: [][]string{{"1", "2"}}}
+	out := tbl.String()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "bb") || !strings.Contains(out, "1") {
+		t.Errorf("render = %q", out)
+	}
+}
+
+func TestInventoryTables(t *testing.T) {
+	t1 := Table1()
+	if len(t1.Rows) != 5 {
+		t.Errorf("table1 rows = %d", len(t1.Rows))
+	}
+	t2 := Table2()
+	if len(t2.Rows) != 4 {
+		t.Errorf("table2 rows = %d", len(t2.Rows))
+	}
+	t3 := Table3(fastCfg())
+	if len(t3.Rows) != 6 {
+		t.Errorf("table3 rows = %d", len(t3.Rows))
+	}
+}
+
+func TestMethodNames(t *testing.T) {
+	names := MethodNames()
+	if len(names) != 8 || names[0] != "FDX" || names[7] != "RFI(1.0)" {
+		t.Errorf("MethodNames = %v", names)
+	}
+}
+
+func TestRegistryCoversAllExperiments(t *testing.T) {
+	want := []string{
+		"table1", "table2", "table3", "table4", "table5", "table6", "table7",
+		"table8", "table9", "figure2", "figure3", "figure4", "figure5",
+		"figure6", "figure7", "ablation", "rowscale", "orderfill",
+	}
+	reg := Registry()
+	for _, n := range want {
+		if _, ok := reg[n]; !ok {
+			t.Errorf("experiment %s missing from registry", n)
+		}
+	}
+	if _, err := Run("bogus", fastCfg()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	out, err := RunJSON("table1", fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"rows"`) {
+		t.Errorf("JSON table output missing rows: %s", out[:min(120, len(out))])
+	}
+	if _, err := RunJSON("bogus", fastCfg()); err == nil {
+		t.Error("unknown experiment accepted by RunJSON")
+	}
+}
+
+func TestTable4FastSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := fastCfg()
+	tbl := Table4(cfg)
+	if len(tbl.Rows) != 15 { // 5 data sets × 3 metric rows
+		t.Fatalf("table4 rows = %d", len(tbl.Rows))
+	}
+	// FDX column (index 2) must produce numeric scores on the small nets.
+	for _, row := range tbl.Rows {
+		if row[1] == "F1" && row[0] == "asia" {
+			if row[2] == "-" {
+				t.Error("FDX timed out on asia in fast mode")
+			}
+		}
+	}
+}
+
+func TestTable5FastSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl := Table5(fastCfg())
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("table5 rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestTable8And9FastSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	t8 := Table8(fastCfg())
+	if len(t8.Rows) != 20 { // 5 × 4 metric rows
+		t.Errorf("table8 rows = %d", len(t8.Rows))
+	}
+	t9 := Table9(fastCfg())
+	if len(t9.Rows) != 15 {
+		t.Errorf("table9 rows = %d", len(t9.Rows))
+	}
+}
+
+func TestFigure6FastSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl := Figure6(fastCfg())
+	if len(tbl.Rows) < 3 {
+		t.Errorf("figure6 rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestTable7FastSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl := Table7(fastCfg())
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("table7 rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != 9 {
+			t.Fatalf("table7 row width = %d: %v", len(row), row)
+		}
+	}
+}
+
+func TestFigure3And5Render(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out, err := Figure3(fastCfg())
+	if err != nil || !strings.Contains(out, "Hospital") {
+		t.Errorf("figure3: %v %q", err, out[:min(80, len(out))])
+	}
+	out5, err := Figure5(fastCfg())
+	if err != nil || !strings.Contains(out5, "goal attribute") {
+		t.Errorf("figure5: %v", err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,156 @@
+// Package gl is the "GL" baseline of the FDX paper (§5.1): Graphical Lasso
+// applied directly to the raw data (integer-encoded, standardized columns)
+// to obtain an undirected dependency structure, followed by a local search
+// that directs edges using the same score as RFI. Unlike FDX it skips the
+// tuple-pair transform, so its covariance estimate inherits the raw data's
+// mean sensitivity and per-attribute domain sizes — the source of the
+// higher sample complexity the paper discusses in §4.3.
+package gl
+
+import (
+	"sort"
+
+	"fdx/internal/core"
+	"fdx/internal/dataset"
+	"fdx/internal/glasso"
+	"fdx/internal/linalg"
+	"fdx/internal/stats"
+)
+
+// Options configures the GL baseline.
+type Options struct {
+	// Lambda is the Graphical Lasso penalty (default 0.1).
+	Lambda float64
+	// EdgeTol is the |Θ| threshold for keeping an undirected edge
+	// (default 0.01).
+	EdgeTol float64
+	// MinScore is the minimum RFI score for a directed FD (default 0.3).
+	MinScore float64
+	// MaxLHS caps determinant sets during the local search (default 3).
+	MaxLHS int
+}
+
+func (o *Options) defaults() {
+	if o.Lambda == 0 {
+		o.Lambda = 0.1
+	}
+	if o.EdgeTol == 0 {
+		o.EdgeTol = 0.01
+	}
+	if o.MinScore == 0 {
+		o.MinScore = 0.3
+	}
+	if o.MaxLHS == 0 {
+		o.MaxLHS = 3
+	}
+}
+
+// Discover runs the GL baseline.
+func Discover(rel *dataset.Relation, opts Options) []core.FD {
+	opts.defaults()
+	k := rel.NumCols()
+	n := rel.NumRows()
+	if k < 2 || n == 0 {
+		return nil
+	}
+
+	// Integer-encode and standardize the raw data.
+	data := linalg.NewDense(n, k)
+	for j := 0; j < k; j++ {
+		col := rel.Columns[j]
+		for i := 0; i < n; i++ {
+			data.Set(i, j, float64(col.Code(i))) // Missing = −1: its own level
+		}
+	}
+	stats.Standardize(data)
+	s := stats.Shrink(stats.Covariance(data), 0.05)
+
+	res, err := glasso.Solve(s, glasso.Options{Lambda: opts.Lambda})
+	if err != nil {
+		return nil
+	}
+	theta := res.Precision
+
+	// Undirected neighborhoods from the precision support.
+	neighbors := make([][]int, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if i != j && abs(theta.At(i, j)) > opts.EdgeTol {
+				neighbors[i] = append(neighbors[i], j)
+			}
+		}
+	}
+
+	// Local search: for each node, greedily grow the best-scoring
+	// determinant subset of its neighborhood using the RFI score.
+	var fds []core.FD
+	for y := 0; y < k; y++ {
+		nb := neighbors[y]
+		if len(nb) == 0 {
+			continue
+		}
+		lhs, score := greedyDetset(rel, y, nb, opts.MaxLHS)
+		if score >= opts.MinScore && len(lhs) > 0 {
+			fd := core.FD{LHS: lhs, RHS: y, Score: score}
+			fd.Normalize()
+			fds = append(fds, fd)
+		}
+	}
+	core.SortFDs(fds)
+	return fds
+}
+
+// greedyDetset grows a determinant set from the candidate neighborhood,
+// adding the attribute that most improves the RFI score until no addition
+// helps or the cap is reached.
+func greedyDetset(rel *dataset.Relation, y int, candidates []int, maxLHS int) ([]int, float64) {
+	var current []int
+	bestScore := 0.0
+	remaining := append([]int(nil), candidates...)
+	for len(current) < maxLHS && len(remaining) > 0 {
+		bestIdx := -1
+		bestNext := bestScore
+		for i, c := range remaining {
+			trial := append(append([]int(nil), current...), c)
+			score := scoreSet(rel, trial, y)
+			if score > bestNext {
+				bestNext = score
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		current = append(current, remaining[bestIdx])
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		bestScore = bestNext
+	}
+	sort.Ints(current)
+	return current, bestScore
+}
+
+// scoreSet computes the RFI score of X→Y on the relation.
+func scoreSet(rel *dataset.Relation, x []int, y int) float64 {
+	seqs := make([][]int, len(x))
+	for i, a := range x {
+		seqs[i] = codes(rel.Columns[a])
+	}
+	joint := stats.JointLabels(seqs...)
+	c := stats.NewContingency(joint, codes(rel.Columns[y]))
+	return stats.ReliableFractionOfInformation(c)
+}
+
+func codes(col *dataset.Column) []int {
+	out := make([]int, col.Len())
+	for i := range out {
+		out[i] = int(col.Code(i))
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

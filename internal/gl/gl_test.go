@@ -1,0 +1,95 @@
+package gl
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"fdx/internal/core"
+	"fdx/internal/dataset"
+)
+
+func relFromCodes(rows [][]int, names ...string) *dataset.Relation {
+	r := dataset.New("t", names...)
+	for _, row := range rows {
+		s := make([]string, len(row))
+		for j, v := range row {
+			s[j] = strconv.Itoa(v)
+		}
+		r.AppendRow(s)
+	}
+	return r
+}
+
+func edgeSet(fds []core.FD) map[[2]int]bool {
+	out := map[[2]int]bool{}
+	for _, fd := range fds {
+		for _, e := range fd.Edges() {
+			out[e] = true
+		}
+	}
+	return out
+}
+
+func TestGLRecoversMonotoneDependency(t *testing.T) {
+	// GL works on integer codes, so use a dependency that is monotone in
+	// the code space: b = a (same dictionary order), c independent.
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]int, 800)
+	for i := range rows {
+		a := rng.Intn(8)
+		rows[i] = []int{a, a, rng.Intn(5)}
+	}
+	rel := relFromCodes(rows, "a", "b", "c")
+	fds := Discover(rel, Options{})
+	edges := edgeSet(fds)
+	if !edges[[2]int{0, 1}] && !edges[[2]int{1, 0}] {
+		t.Errorf("a—b dependency not found: %v", fds)
+	}
+	if edges[[2]int{2, 0}] || edges[[2]int{0, 2}] || edges[[2]int{2, 1}] || edges[[2]int{1, 2}] {
+		t.Errorf("independent attribute linked: %v", fds)
+	}
+}
+
+func TestGLScoresGateWeakEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rows := make([][]int, 400)
+	for i := range rows {
+		rows[i] = []int{rng.Intn(5), rng.Intn(5)}
+	}
+	rel := relFromCodes(rows, "a", "b")
+	if fds := Discover(rel, Options{}); len(fds) != 0 {
+		t.Errorf("independent data produced FDs: %v", fds)
+	}
+}
+
+func TestGLDegenerate(t *testing.T) {
+	if fds := Discover(dataset.New("t"), Options{}); fds != nil {
+		t.Error("empty relation")
+	}
+	rel := relFromCodes([][]int{{0}}, "a")
+	if fds := Discover(rel, Options{}); fds != nil {
+		t.Error("single column")
+	}
+}
+
+func TestGreedyDetset(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tab := make([][]int, 4)
+	for i := range tab {
+		tab[i] = make([]int, 4)
+		for j := range tab[i] {
+			tab[i][j] = rng.Intn(16)
+		}
+	}
+	rows := make([][]int, 600)
+	for i := range rows {
+		a, b := rng.Intn(4), rng.Intn(4)
+		rows[i] = []int{a, b, tab[a][b]}
+	}
+	rel := relFromCodes(rows, "a", "b", "c")
+	lhs, score := greedyDetset(rel, 2, []int{0, 1}, 3)
+	if len(lhs) != 2 || score < 0.8 {
+		t.Errorf("greedyDetset = %v score %v, want both attributes", lhs, score)
+	}
+}

@@ -1,0 +1,72 @@
+package glasso
+
+import (
+	"sort"
+
+	"fdx/internal/linalg"
+)
+
+// PathResult is the solution at one penalty of a regularization path.
+type PathResult struct {
+	Lambda float64
+	Result *Result
+}
+
+// Path solves the Graphical Lasso for a sequence of penalties, warm-
+// starting each solve from the previous solution's covariance estimate.
+// Lambdas are solved in descending order (sparse solutions first converge
+// fastest and make good warm starts); results are returned in the caller's
+// original order. The sparsity sweep of the paper's Table 8 is a Path call.
+func Path(s *linalg.Dense, lambdas []float64, opts Options) ([]PathResult, error) {
+	type indexed struct {
+		lambda float64
+		pos    int
+	}
+	order := make([]indexed, len(lambdas))
+	for i, l := range lambdas {
+		order[i] = indexed{lambda: l, pos: i}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].lambda > order[j].lambda })
+
+	out := make([]PathResult, len(lambdas))
+	var warm *linalg.Dense
+	for _, item := range order {
+		o := opts
+		o.Lambda = item.lambda
+		var (
+			res *Result
+			err error
+		)
+		if warm != nil {
+			res, err = solveWarm(s, warm, o)
+		} else {
+			res, err = Solve(s, o)
+		}
+		if err != nil {
+			return nil, err
+		}
+		warm = res.Covariance
+		out[item.pos] = PathResult{Lambda: item.lambda, Result: res}
+	}
+	return out, nil
+}
+
+// solveWarm is Solve with an initial covariance estimate. The initial W is
+// re-centred so its diagonal matches S+λI (the glasso invariant), keeping
+// the warm start feasible.
+func solveWarm(s, w0 *linalg.Dense, opts Options) (*Result, error) {
+	opts.defaults()
+	k, _ := s.Dims()
+	if k <= 1 || w0 == nil {
+		return Solve(s, opts)
+	}
+	r0, c0 := w0.Dims()
+	if r0 != k || c0 != k {
+		return Solve(s, opts)
+	}
+	w := w0.Clone()
+	for i := 0; i < k; i++ {
+		w.Set(i, i, s.At(i, i)+opts.Lambda)
+	}
+	return solveFrom(s, w, opts)
+}

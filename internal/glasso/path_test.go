@@ -1,0 +1,75 @@
+package glasso
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdx/internal/linalg"
+)
+
+func TestPathMatchesIndividualSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	s := randomSPD(rng, 6)
+	lambdas := []float64{0, 0.05, 0.2, 0.01}
+	path, err := Path(s, lambdas, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != len(lambdas) {
+		t.Fatalf("path length %d", len(path))
+	}
+	for i, pr := range path {
+		if pr.Lambda != lambdas[i] {
+			t.Fatalf("result order scrambled: %v", pr.Lambda)
+		}
+		solo, err := Solve(s, Options{Lambda: pr.Lambda})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := linalg.MaxAbsDiff(pr.Result.Precision, solo.Precision); d > 5e-3 {
+			t.Errorf("lambda %v: warm-started precision differs by %v", pr.Lambda, d)
+		}
+	}
+}
+
+func TestPathSparsityMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	s := randomSPD(rng, 8)
+	lambdas := []float64{0.01, 0.1, 1, 10}
+	path, err := Path(s, lambdas, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nnz := func(m *linalg.Dense) int {
+		k, _ := m.Dims()
+		n := 0
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				if i != j && m.At(i, j) != 0 {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	for i := 1; i < len(path); i++ {
+		if nnz(path[i].Result.Precision) > nnz(path[i-1].Result.Precision) {
+			t.Errorf("sparsity not monotone along increasing lambda: %d then %d",
+				nnz(path[i-1].Result.Precision), nnz(path[i].Result.Precision))
+		}
+	}
+}
+
+func TestPathEmptyAndSingle(t *testing.T) {
+	s := linalg.NewDenseData(1, 1, []float64{2})
+	path, err := Path(s, []float64{0.5}, Options{})
+	if err != nil || len(path) != 1 {
+		t.Fatal(err)
+	}
+	if path[0].Result.Covariance.At(0, 0) != 2.5 {
+		t.Errorf("1x1 path wrong: %v", path[0].Result.Covariance.At(0, 0))
+	}
+	if _, err := Path(s, nil, Options{}); err != nil {
+		t.Errorf("empty lambda list: %v", err)
+	}
+}

@@ -1,0 +1,276 @@
+package impute
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"fdx/internal/dataset"
+)
+
+// Boost is a gradient-boosted decision-stump imputer: one-vs-rest logistic
+// boosting over one-hot encoded features of the non-target attributes, in
+// the spirit of the XGBoost baseline of the paper's Table 7.
+type Boost struct {
+	// Rounds is the number of boosting rounds (default 25).
+	Rounds int
+	// LearningRate shrinks each stump's contribution (default 0.4).
+	LearningRate float64
+	// MaxTrain caps training rows (default 2000).
+	MaxTrain int
+	// MaxClasses caps the number of target classes modelled; remaining
+	// classes fall back to the majority prediction (default 24).
+	MaxClasses int
+	// Seed drives subsampling.
+	Seed int64
+}
+
+// Name implements Imputer.
+func (b *Boost) Name() string { return "boost" }
+
+// stump is one boosted weak learner: a test on a single binary feature
+// with additive scores for the two outcomes.
+type stump struct {
+	feature   int
+	hit, miss float64
+}
+
+// quantileBins returns ascending bin edges covering the column's values.
+func quantileBins(col *dataset.Column, nbins int) []float64 {
+	var vals []float64
+	for i := 0; i < col.Len(); i++ {
+		if v := col.Float(i); !math.IsNaN(v) {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return nil
+	}
+	sort.Float64s(vals)
+	edges := make([]float64, 0, nbins-1)
+	for b := 1; b < nbins; b++ {
+		edges = append(edges, vals[len(vals)*b/nbins])
+	}
+	return edges
+}
+
+// binOf returns the index of the bin containing v.
+func binOf(edges []float64, v float64) int {
+	for i, e := range edges {
+		if v < e {
+			return i
+		}
+	}
+	return len(edges)
+}
+
+// Impute implements Imputer.
+func (b *Boost) Impute(m *Masked) []int32 {
+	rounds := b.Rounds
+	if rounds == 0 {
+		rounds = 25
+	}
+	lr := b.LearningRate
+	if lr == 0 {
+		lr = 0.4
+	}
+	maxTrain := b.MaxTrain
+	if maxTrain == 0 {
+		maxTrain = 2000
+	}
+	maxClasses := b.MaxClasses
+	if maxClasses == 0 {
+		maxClasses = 24
+	}
+
+	rel := m.Relation
+	target := m.Target
+	tcol := rel.Columns[target]
+	train := trainRows(m)
+	if len(train) > maxTrain {
+		rng := rand.New(rand.NewSource(b.Seed))
+		rng.Shuffle(len(train), func(i, j int) { train[i], train[j] = train[j], train[i] })
+		train = train[:maxTrain]
+	}
+	fallback := majorityCode(tcol, train)
+	out := make([]int32, len(m.Rows))
+	for i := range out {
+		out[i] = fallback
+	}
+	if len(train) == 0 {
+		return out
+	}
+
+	// Feature space: one feature per (attribute, code) pair over attributes
+	// with modest cardinality. featureOf(row) lists active feature ids.
+	type featKey struct {
+		attr int
+		code int32
+	}
+	featID := map[featKey]int{}
+	var featList []featKey
+	// Numeric columns are quantile-binned so stumps generalize across
+	// nearby values; categorical columns contribute one-hot features.
+	bins := map[int][]float64{}
+	for j, col := range rel.Columns {
+		if j != target && col.Type == dataset.Numeric {
+			bins[j] = quantileBins(col, 8)
+		}
+	}
+	activeFeatures := func(row int) []int {
+		var fs []int
+		for j, col := range rel.Columns {
+			if j == target {
+				continue
+			}
+			code := col.Code(row)
+			if code == dataset.Missing {
+				continue
+			}
+			var k featKey
+			if edges, numeric := bins[j]; numeric && !math.IsNaN(col.Float(row)) {
+				k = featKey{attr: j, code: int32(binOf(edges, col.Float(row)))}
+			} else if col.Cardinality() <= 256 {
+				k = featKey{attr: j, code: code}
+			} else {
+				continue
+			}
+			id, ok := featID[k]
+			if !ok {
+				id = len(featList)
+				featID[k] = id
+				featList = append(featList, k)
+			}
+			fs = append(fs, id)
+		}
+		return fs
+	}
+
+	// Pre-compute features per training row (also interns all feature ids).
+	trainFeats := make([][]int, len(train))
+	for i, r := range train {
+		trainFeats[i] = activeFeatures(r)
+	}
+	nf := len(featList)
+	if nf == 0 {
+		return out
+	}
+
+	// Classes: most frequent first, capped.
+	classCount := map[int32]int{}
+	for _, r := range train {
+		classCount[tcol.Code(r)]++
+	}
+	type cc struct {
+		code int32
+		n    int
+	}
+	var classes []cc
+	for code, n := range classCount {
+		classes = append(classes, cc{code, n})
+	}
+	// Sort by frequency descending (stable by code).
+	for i := 0; i < len(classes); i++ {
+		for j := i + 1; j < len(classes); j++ {
+			if classes[j].n > classes[i].n || (classes[j].n == classes[i].n && classes[j].code < classes[i].code) {
+				classes[i], classes[j] = classes[j], classes[i]
+			}
+		}
+	}
+	if len(classes) > maxClasses {
+		classes = classes[:maxClasses]
+	}
+
+	n := len(train)
+	models := make([][]stump, len(classes))
+	// Per-class one-vs-rest logistic boosting.
+	for ci, cl := range classes {
+		y := make([]float64, n) // ±1 targets as 0/1
+		for i, r := range train {
+			if tcol.Code(r) == cl.code {
+				y[i] = 1
+			}
+		}
+		score := make([]float64, n)
+		var stumps []stump
+		// Per-feature accumulators reused across rounds.
+		sumR := make([]float64, nf)
+		cnt := make([]float64, nf)
+		for round := 0; round < rounds; round++ {
+			// Pseudo-residuals of logistic loss: r_i = y_i − p_i.
+			var total float64
+			for i := range sumR {
+				sumR[i], cnt[i] = 0, 0
+			}
+			resid := make([]float64, n)
+			for i := range resid {
+				p := 1 / (1 + math.Exp(-score[i]))
+				resid[i] = y[i] - p
+				total += resid[i]
+			}
+			for i, fs := range trainFeats {
+				for _, f := range fs {
+					sumR[f] += resid[i]
+					cnt[f]++
+				}
+			}
+			// Choose the stump minimizing squared error ⇔ maximizing
+			// variance explained between hit/miss groups.
+			bestF, bestGain := -1, 0.0
+			for f := 0; f < nf; f++ {
+				if cnt[f] == 0 || cnt[f] == float64(n) {
+					continue
+				}
+				hitMean := sumR[f] / cnt[f]
+				missMean := (total - sumR[f]) / (float64(n) - cnt[f])
+				gain := cnt[f]*hitMean*hitMean + (float64(n)-cnt[f])*missMean*missMean
+				if gain > bestGain {
+					bestGain, bestF = gain, f
+				}
+			}
+			if bestF < 0 || bestGain < 1e-9 {
+				break
+			}
+			hit := lr * sumR[bestF] / cnt[bestF]
+			miss := lr * (total - sumR[bestF]) / (float64(n) - cnt[bestF])
+			stumps = append(stumps, stump{feature: bestF, hit: hit, miss: miss})
+			for i, fs := range trainFeats {
+				applied := miss
+				for _, f := range fs {
+					if f == bestF {
+						applied = hit
+						break
+					}
+				}
+				score[i] += applied
+			}
+		}
+		models[ci] = stumps
+	}
+
+	// Predict masked rows: argmax class score.
+	for qi, q := range m.Rows {
+		fs := activeFeatures(q)
+		fset := map[int]bool{}
+		for _, f := range fs {
+			fset[f] = true
+		}
+		bestScore := math.Inf(-1)
+		best := fallback
+		for ci, cl := range classes {
+			s := 0.0
+			for _, st := range models[ci] {
+				if fset[st.feature] {
+					s += st.hit
+				} else {
+					s += st.miss
+				}
+			}
+			if s > bestScore {
+				bestScore, best = s, cl.code
+			}
+		}
+		out[qi] = best
+	}
+	return out
+}

@@ -1,0 +1,267 @@
+// Package impute provides the missing-value imputation study of the FDX
+// paper's Table 7: cells of a target attribute are masked under a random
+// or a systematic missingness model, two ML imputers of different families
+// predict them back, and accuracy is compared between attributes that
+// participate in an FDX-discovered FD and attributes that do not.
+//
+// The paper uses AimNet (attention-based) and XGBoost; offline substitutes
+// here are a k-nearest-neighbour imputer and gradient-boosted decision
+// stumps — two from-scratch learners of different families, preserving the
+// two-model structure of the table (see DESIGN.md, substitution 4).
+package impute
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"fdx/internal/dataset"
+)
+
+// Masked describes a masking experiment on one target attribute.
+type Masked struct {
+	// Relation is a deep copy of the input with the masked cells set to
+	// missing.
+	Relation *dataset.Relation
+	// Target is the attribute index that was masked.
+	Target int
+	// Rows lists the masked row indices.
+	Rows []int
+	// Truth holds the original codes of the masked cells, parallel to Rows.
+	Truth []int32
+}
+
+// MaskRandom masks a uniform fraction of the target attribute's non-missing
+// cells (missing completely at random).
+func MaskRandom(rel *dataset.Relation, target int, rate float64, seed int64) *Masked {
+	rng := rand.New(rand.NewSource(seed))
+	out := &Masked{Relation: rel.Clone(), Target: target}
+	col := out.Relation.Columns[target]
+	for i := 0; i < col.Len(); i++ {
+		if col.IsMissing(i) {
+			continue
+		}
+		if rng.Float64() < rate {
+			out.Rows = append(out.Rows, i)
+			out.Truth = append(out.Truth, col.Code(i))
+			col.SetCode(i, dataset.Missing)
+		}
+	}
+	return out
+}
+
+// MaskSystematic masks cells conditioned on a co-attribute: rows whose
+// pivot attribute takes its most frequent value are masked with double
+// probability and other rows with half — missingness that correlates with
+// the data (missing not at random), the "systematic noise" column of the
+// paper's Table 7.
+func MaskSystematic(rel *dataset.Relation, target int, rate float64, seed int64) *Masked {
+	rng := rand.New(rand.NewSource(seed))
+	out := &Masked{Relation: rel.Clone(), Target: target}
+	pivot := (target + 1) % rel.NumCols()
+	if pivot == target {
+		return MaskRandom(rel, target, rate, seed)
+	}
+	pivotCol := out.Relation.Columns[pivot]
+	counts := map[int32]int{}
+	for i := 0; i < pivotCol.Len(); i++ {
+		counts[pivotCol.Code(i)]++
+	}
+	var modal int32
+	best := -1
+	for code, c := range counts {
+		if c > best {
+			best, modal = c, code
+		}
+	}
+	col := out.Relation.Columns[target]
+	for i := 0; i < col.Len(); i++ {
+		if col.IsMissing(i) {
+			continue
+		}
+		p := rate / 2
+		if pivotCol.Code(i) == modal {
+			p = rate * 2
+		}
+		if rng.Float64() < p {
+			out.Rows = append(out.Rows, i)
+			out.Truth = append(out.Truth, col.Code(i))
+			col.SetCode(i, dataset.Missing)
+		}
+	}
+	return out
+}
+
+// Imputer predicts the masked values of a target attribute.
+type Imputer interface {
+	// Name identifies the imputer in experiment tables.
+	Name() string
+	// Impute returns predicted codes for the masked rows. The relation has
+	// the masked cells set to missing; training data is every row where
+	// the target is present.
+	Impute(m *Masked) []int32
+}
+
+// Accuracy returns the fraction of exact predictions — micro-averaged F1
+// for single-label multi-class prediction.
+func Accuracy(pred, truth []int32) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	hit := 0
+	for i := range truth {
+		if pred[i] == truth[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}
+
+// trainRows returns the rows where the target attribute is present.
+func trainRows(m *Masked) []int {
+	col := m.Relation.Columns[m.Target]
+	var rows []int
+	for i := 0; i < col.Len(); i++ {
+		if !col.IsMissing(i) {
+			rows = append(rows, i)
+		}
+	}
+	return rows
+}
+
+// majorityCode returns the most frequent code among the given rows
+// (fallback prediction).
+func majorityCode(col *dataset.Column, rows []int) int32 {
+	counts := map[int32]int{}
+	for _, r := range rows {
+		if !col.IsMissing(r) {
+			counts[col.Code(r)]++
+		}
+	}
+	var best int32
+	bestC := -1
+	for code, c := range counts {
+		if c > bestC || (c == bestC && code < best) {
+			best, bestC = code, c
+		}
+	}
+	if bestC < 0 {
+		return 0
+	}
+	return best
+}
+
+// KNN is an instance-based imputer: the predicted value is the majority
+// label among the K nearest training rows under a mixed Hamming/absolute
+// distance over the non-target attributes.
+type KNN struct {
+	// K is the neighbourhood size (default 7).
+	K int
+	// MaxTrain caps the training rows scanned per query (default 2000);
+	// larger training sets are subsampled for tractability.
+	MaxTrain int
+	// Seed drives the training subsample.
+	Seed int64
+}
+
+// Name implements Imputer.
+func (k *KNN) Name() string { return "knn" }
+
+// Impute implements Imputer.
+func (k *KNN) Impute(m *Masked) []int32 {
+	kk := k.K
+	if kk == 0 {
+		kk = 7
+	}
+	maxTrain := k.MaxTrain
+	if maxTrain == 0 {
+		maxTrain = 2000
+	}
+	rel := m.Relation
+	train := trainRows(m)
+	if len(train) > maxTrain {
+		rng := rand.New(rand.NewSource(k.Seed))
+		rng.Shuffle(len(train), func(i, j int) { train[i], train[j] = train[j], train[i] })
+		train = train[:maxTrain]
+	}
+	target := m.Target
+	tcol := rel.Columns[target]
+
+	// Numeric scales for distance normalization.
+	scales := make([]float64, rel.NumCols())
+	for j, col := range rel.Columns {
+		if col.Type == dataset.Numeric {
+			min, max := math.Inf(1), math.Inf(-1)
+			for i := 0; i < col.Len(); i++ {
+				v := col.Float(i)
+				if math.IsNaN(v) {
+					continue
+				}
+				if v < min {
+					min = v
+				}
+				if v > max {
+					max = v
+				}
+			}
+			if max > min {
+				scales[j] = max - min
+			}
+		}
+	}
+
+	dist := func(a, b int) float64 {
+		d := 0.0
+		for j, col := range rel.Columns {
+			if j == target {
+				continue
+			}
+			ca, cb := col.Code(a), col.Code(b)
+			if ca == dataset.Missing || cb == dataset.Missing {
+				d += 0.5 // unknown: half penalty
+				continue
+			}
+			if ca == cb {
+				continue
+			}
+			if col.Type == dataset.Numeric && scales[j] > 0 {
+				fa, fb := col.Float(a), col.Float(b)
+				if !math.IsNaN(fa) && !math.IsNaN(fb) {
+					d += math.Min(1, math.Abs(fa-fb)/scales[j])
+					continue
+				}
+			}
+			d += 1
+		}
+		return d
+	}
+
+	type nb struct {
+		d    float64
+		code int32
+	}
+	out := make([]int32, len(m.Rows))
+	fallback := majorityCode(tcol, train)
+	for qi, q := range m.Rows {
+		nbs := make([]nb, 0, len(train))
+		for _, t := range train {
+			nbs = append(nbs, nb{d: dist(q, t), code: tcol.Code(t)})
+		}
+		sort.Slice(nbs, func(i, j int) bool { return nbs[i].d < nbs[j].d })
+		votes := map[int32]int{}
+		limit := kk
+		if limit > len(nbs) {
+			limit = len(nbs)
+		}
+		bestCode, bestVotes := fallback, 0
+		for i := 0; i < limit; i++ {
+			votes[nbs[i].code]++
+			if votes[nbs[i].code] > bestVotes {
+				bestVotes = votes[nbs[i].code]
+				bestCode = nbs[i].code
+			}
+		}
+		out[qi] = bestCode
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package impute
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"fdx/internal/dataset"
+)
+
+func relFromCodes(rows [][]int, names ...string) *dataset.Relation {
+	r := dataset.New("t", names...)
+	for _, row := range rows {
+		s := make([]string, len(row))
+		for j, v := range row {
+			if v < 0 {
+				s[j] = ""
+			} else {
+				s[j] = strconv.Itoa(v)
+			}
+		}
+		r.AppendRow(s)
+	}
+	return r
+}
+
+// fdRelation: b = f(a) with lookup table, c pure noise.
+func fdRelation(rng *rand.Rand, n int) *dataset.Relation {
+	tab := make([]int, 10)
+	for i := range tab {
+		tab[i] = rng.Intn(6)
+	}
+	rows := make([][]int, n)
+	for i := range rows {
+		a := rng.Intn(10)
+		rows[i] = []int{a, tab[a], rng.Intn(6)}
+	}
+	return relFromCodes(rows, "a", "b", "c")
+}
+
+func TestMaskRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rel := fdRelation(rng, 500)
+	m := MaskRandom(rel, 1, 0.2, 1)
+	if len(m.Rows) < 50 || len(m.Rows) > 150 {
+		t.Errorf("masked %d of 500 at rate 0.2", len(m.Rows))
+	}
+	for i, r := range m.Rows {
+		if !m.Relation.Columns[1].IsMissing(r) {
+			t.Fatal("masked cell not missing")
+		}
+		if m.Truth[i] == dataset.Missing {
+			t.Fatal("truth recorded as missing")
+		}
+	}
+	// Original untouched.
+	if rel.Columns[1].MissingCount() != 0 {
+		t.Error("masking mutated the input relation")
+	}
+}
+
+func TestMaskSystematicBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rel := fdRelation(rng, 2000)
+	m := MaskSystematic(rel, 1, 0.2, 2)
+	if len(m.Rows) == 0 {
+		t.Fatal("nothing masked")
+	}
+	// Rows with the pivot's modal value must be masked at a higher rate.
+	pivot := rel.Columns[2]
+	counts := map[int32]int{}
+	for i := 0; i < pivot.Len(); i++ {
+		counts[pivot.Code(i)]++
+	}
+	var modal int32
+	best := -1
+	for code, c := range counts {
+		if c > best {
+			best, modal = c, code
+		}
+	}
+	maskedModal, totalModal := 0, counts[modal]
+	maskedOther, totalOther := 0, rel.NumRows()-totalModal
+	inMask := map[int]bool{}
+	for _, r := range m.Rows {
+		inMask[r] = true
+	}
+	for i := 0; i < rel.NumRows(); i++ {
+		if pivot.Code(i) == modal {
+			if inMask[i] {
+				maskedModal++
+			}
+		} else if inMask[i] {
+			maskedOther++
+		}
+	}
+	rateModal := float64(maskedModal) / float64(totalModal)
+	rateOther := float64(maskedOther) / float64(totalOther)
+	if rateModal <= rateOther {
+		t.Errorf("systematic mask not biased: modal %v vs other %v", rateModal, rateOther)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy([]int32{1, 2, 3}, []int32{1, 0, 3}); got != 2.0/3 {
+		t.Errorf("Accuracy = %v", got)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+}
+
+func TestKNNImputesFDAttributeWell(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rel := fdRelation(rng, 600)
+	m := MaskRandom(rel, 1, 0.2, 3)
+	pred := (&KNN{}).Impute(m)
+	if acc := Accuracy(pred, m.Truth); acc < 0.9 {
+		t.Errorf("kNN accuracy on FD attribute = %v, want ≥0.9", acc)
+	}
+}
+
+func TestBoostImputesFDAttributeWell(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rel := fdRelation(rng, 600)
+	m := MaskRandom(rel, 1, 0.2, 4)
+	pred := (&Boost{}).Impute(m)
+	if acc := Accuracy(pred, m.Truth); acc < 0.9 {
+		t.Errorf("boost accuracy on FD attribute = %v, want ≥0.9", acc)
+	}
+}
+
+func TestImputersStruggleOnIndependentAttribute(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rel := fdRelation(rng, 600)
+	m := MaskRandom(rel, 2, 0.2, 5) // c is independent noise over 6 values
+	for _, imp := range []Imputer{&KNN{}, &Boost{}} {
+		pred := imp.Impute(m)
+		if acc := Accuracy(pred, m.Truth); acc > 0.5 {
+			t.Errorf("%s accuracy on independent attribute = %v, suspiciously high", imp.Name(), acc)
+		}
+	}
+}
+
+func TestFDvsNonFDContrast(t *testing.T) {
+	// The Table 7 signal: imputation accuracy should be clearly higher for
+	// the FD-determined attribute than for the independent one.
+	rng := rand.New(rand.NewSource(6))
+	rel := fdRelation(rng, 800)
+	for _, imp := range []Imputer{&KNN{Seed: 6}, &Boost{Seed: 6}} {
+		mFD := MaskRandom(rel, 1, 0.2, 6)
+		mNo := MaskRandom(rel, 2, 0.2, 6)
+		accFD := Accuracy(imp.Impute(mFD), mFD.Truth)
+		accNo := Accuracy(imp.Impute(mNo), mNo.Truth)
+		if accFD-accNo < 0.2 {
+			t.Errorf("%s: FD %.2f vs non-FD %.2f — contrast too weak", imp.Name(), accFD, accNo)
+		}
+	}
+}
+
+func TestImputersHandleNumericAndMissingFeatures(t *testing.T) {
+	rel := dataset.New("t", "x", "y")
+	rel.Columns[0] = dataset.NewColumn("x", dataset.Numeric)
+	rel.Columns[1] = dataset.NewColumn("y", dataset.Categorical)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		v := rng.Float64() * 10
+		label := "low"
+		if v > 5 {
+			label = "high"
+		}
+		if rng.Float64() < 0.05 {
+			rel.Columns[0].AppendMissing()
+		} else {
+			rel.Columns[0].AppendValue(strconv.FormatFloat(v, 'f', 3, 64))
+		}
+		rel.Columns[1].AppendValue(label)
+	}
+	m := MaskRandom(rel, 1, 0.2, 7)
+	for _, imp := range []Imputer{&KNN{}, &Boost{}} {
+		pred := imp.Impute(m)
+		if acc := Accuracy(pred, m.Truth); acc < 0.75 {
+			t.Errorf("%s accuracy with numeric feature = %v", imp.Name(), acc)
+		}
+	}
+}
+
+func TestImputersDegenerate(t *testing.T) {
+	rel := relFromCodes([][]int{{0, 1}, {1, 0}}, "a", "b")
+	m := MaskRandom(rel, 1, 1.0, 8) // everything masked: no training rows
+	for _, imp := range []Imputer{&KNN{}, &Boost{}} {
+		pred := imp.Impute(m)
+		if len(pred) != len(m.Rows) {
+			t.Errorf("%s: prediction length mismatch", imp.Name())
+		}
+	}
+}

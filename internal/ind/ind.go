@@ -1,0 +1,135 @@
+// Package ind discovers unary (approximate) inclusion dependencies —
+// value-containment relationships A ⊆ B between attributes, the signal
+// behind foreign-key detection in data-profiling suites. Together with FDs
+// (internal/core) and keys (internal/ucc) it completes the profiling
+// triad the FDX paper positions its system within (§1, data profiling).
+package ind
+
+import (
+	"sort"
+
+	"fdx/internal/dataset"
+)
+
+// Options configures discovery.
+type Options struct {
+	// MaxError is the tolerated fraction of the dependent attribute's
+	// distinct values missing from the referenced attribute (0 = exact
+	// inclusion).
+	MaxError float64
+	// MinDistinct skips dependent attributes with fewer distinct values
+	// (default 2): tiny domains are trivially included everywhere.
+	MinDistinct int
+	// RequireTypeMatch restricts candidates to attribute pairs of the same
+	// inferred type (default behaviour; set AllowTypeMismatch to lift).
+	AllowTypeMismatch bool
+}
+
+func (o *Options) defaults() {
+	if o.MinDistinct == 0 {
+		o.MinDistinct = 2
+	}
+}
+
+// IND is one discovered inclusion dependency: Dependent ⊆ Referenced.
+type IND struct {
+	// Dependent and Referenced are attribute indices (Dependent's values
+	// are contained in Referenced's).
+	Dependent, Referenced int
+	// Coverage is the fraction of the dependent attribute's distinct
+	// values present in the referenced attribute (1 = exact inclusion).
+	Coverage float64
+	// KeyLike reports whether the referenced attribute is (approximately)
+	// unique — the foreign-key shape.
+	KeyLike bool
+}
+
+// Discover returns the unary INDs of the relation, strongest first. Only
+// distinct non-missing values participate (NULLs are ignored, matching the
+// SQL semantics of referential integrity).
+func Discover(rel *dataset.Relation, opts Options) []IND {
+	opts.defaults()
+	k := rel.NumCols()
+	n := rel.NumRows()
+	if k < 2 || n == 0 {
+		return nil
+	}
+	// Distinct value sets per attribute.
+	values := make([]map[string]bool, k)
+	for j, col := range rel.Columns {
+		set := map[string]bool{}
+		for i := 0; i < n; i++ {
+			if v, ok := col.Value(i); ok {
+				set[v] = true
+			}
+		}
+		values[j] = set
+	}
+	keyLike := make([]bool, k)
+	for j, col := range rel.Columns {
+		nonMissing := n - col.MissingCount()
+		keyLike[j] = nonMissing > 0 && float64(len(values[j])) >= 0.99*float64(nonMissing)
+	}
+
+	var out []IND
+	for a := 0; a < k; a++ {
+		if len(values[a]) < opts.MinDistinct {
+			continue
+		}
+		for b := 0; b < k; b++ {
+			if a == b {
+				continue
+			}
+			if !opts.AllowTypeMismatch && rel.Columns[a].Type != rel.Columns[b].Type {
+				continue
+			}
+			missing := 0
+			for v := range values[a] {
+				if !values[b][v] {
+					missing++
+				}
+			}
+			err := float64(missing) / float64(len(values[a]))
+			if err > opts.MaxError {
+				continue
+			}
+			out = append(out, IND{
+				Dependent:  a,
+				Referenced: b,
+				Coverage:   1 - err,
+				KeyLike:    keyLike[b],
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Coverage != out[j].Coverage {
+			return out[i].Coverage > out[j].Coverage
+		}
+		if out[i].Dependent != out[j].Dependent {
+			return out[i].Dependent < out[j].Dependent
+		}
+		return out[i].Referenced < out[j].Referenced
+	})
+	return out
+}
+
+// ForeignKeyCandidates filters the INDs down to the foreign-key shape:
+// the referenced attribute is key-like and the pair is not a mutual
+// (same-domain) inclusion.
+func ForeignKeyCandidates(inds []IND) []IND {
+	mutual := map[[2]int]bool{}
+	for _, d := range inds {
+		mutual[[2]int{d.Dependent, d.Referenced}] = true
+	}
+	var out []IND
+	for _, d := range inds {
+		if !d.KeyLike {
+			continue
+		}
+		if mutual[[2]int{d.Referenced, d.Dependent}] {
+			continue // both directions hold: same domain, not a reference
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package ind
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"fdx/internal/dataset"
+)
+
+func relFromRows(rows [][]string, names ...string) *dataset.Relation {
+	r := dataset.New("t", names...)
+	for _, row := range rows {
+		r.AppendRow(row)
+	}
+	return r
+}
+
+func hasIND(inds []IND, dep, ref int) bool {
+	for _, d := range inds {
+		if d.Dependent == dep && d.Referenced == ref {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDiscoverExactInclusion(t *testing.T) {
+	// orders.customer ⊆ customers.id (column 1 ⊆ column 0).
+	var rows [][]string
+	for i := 0; i < 20; i++ {
+		rows = append(rows, []string{strconv.Itoa(i), strconv.Itoa(i % 7)})
+	}
+	rel := relFromRows(rows, "id", "customer")
+	inds := Discover(rel, Options{})
+	if !hasIND(inds, 1, 0) {
+		t.Fatalf("customer ⊆ id not found: %v", inds)
+	}
+	if hasIND(inds, 0, 1) {
+		t.Errorf("reverse inclusion should not hold: %v", inds)
+	}
+	for _, d := range inds {
+		if d.Dependent == 1 && d.Referenced == 0 {
+			if d.Coverage != 1 || !d.KeyLike {
+				t.Errorf("ind = %+v", d)
+			}
+		}
+	}
+}
+
+func TestDiscoverApproximateInclusion(t *testing.T) {
+	rows := [][]string{
+		{"a", "a"}, {"b", "b"}, {"c", "c"}, {"d", "zz"},
+	}
+	rel := relFromRows(rows, "ref", "dep")
+	strict := Discover(rel, Options{})
+	if hasIND(strict, 1, 0) {
+		t.Errorf("25%%-violating inclusion accepted at zero budget: %v", strict)
+	}
+	loose := Discover(rel, Options{MaxError: 0.3})
+	if !hasIND(loose, 1, 0) {
+		t.Errorf("approximate inclusion missed: %v", loose)
+	}
+}
+
+func TestNullsIgnored(t *testing.T) {
+	rows := [][]string{
+		{"a", "a"}, {"b", ""}, {"c", "c"},
+	}
+	rel := relFromRows(rows, "ref", "dep")
+	inds := Discover(rel, Options{})
+	if !hasIND(inds, 1, 0) {
+		t.Errorf("NULLs should not break inclusion: %v", inds)
+	}
+}
+
+func TestMinDistinctFilter(t *testing.T) {
+	rows := [][]string{{"x", "a"}, {"x", "b"}, {"x", "c"}}
+	rel := relFromRows(rows, "constant", "vals")
+	inds := Discover(rel, Options{})
+	if hasIND(inds, 0, 1) {
+		t.Errorf("single-valued dependent accepted: %v", inds)
+	}
+}
+
+func TestTypeMatchFilter(t *testing.T) {
+	rel := dataset.New("t", "num", "cat")
+	rel.Columns[0] = dataset.NewColumn("num", dataset.Numeric)
+	rel.Columns[1] = dataset.NewColumn("cat", dataset.Categorical)
+	for i := 0; i < 10; i++ {
+		rel.Columns[0].AppendValue(strconv.Itoa(i))
+		rel.Columns[1].AppendValue(strconv.Itoa(i))
+	}
+	if inds := Discover(rel, Options{}); len(inds) != 0 {
+		t.Errorf("cross-type inclusion accepted by default: %v", inds)
+	}
+	if inds := Discover(rel, Options{AllowTypeMismatch: true}); len(inds) == 0 {
+		t.Error("AllowTypeMismatch had no effect")
+	}
+}
+
+func TestForeignKeyCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var rows [][]string
+	for i := 0; i < 50; i++ {
+		rows = append(rows, []string{
+			strconv.Itoa(i),                 // id (key)
+			strconv.Itoa(rng.Intn(20)),      // fk ⊆ id
+			"c" + strconv.Itoa(i%3),         // low-cardinality category
+			"c" + strconv.Itoa(rng.Intn(3)), // same domain as category
+		})
+	}
+	rel := relFromRows(rows, "id", "fk", "cat1", "cat2")
+	inds := Discover(rel, Options{})
+	fks := ForeignKeyCandidates(inds)
+	foundFK := false
+	for _, d := range fks {
+		if d.Dependent == 1 && d.Referenced == 0 {
+			foundFK = true
+		}
+		// Mutual category inclusions must be filtered out.
+		if (d.Dependent == 2 && d.Referenced == 3) || (d.Dependent == 3 && d.Referenced == 2) {
+			t.Errorf("mutual inclusion kept as FK: %+v", d)
+		}
+	}
+	if !foundFK {
+		t.Errorf("fk ⊆ id not a foreign-key candidate: %v", fks)
+	}
+}
+
+func TestDiscoverDegenerate(t *testing.T) {
+	if inds := Discover(dataset.New("t"), Options{}); inds != nil {
+		t.Error("empty relation should yield nil")
+	}
+	one := relFromRows([][]string{{"a"}}, "x")
+	if inds := Discover(one, Options{}); inds != nil {
+		t.Error("single column should yield nil")
+	}
+}
+
+func TestSortingStrongestFirst(t *testing.T) {
+	rows := [][]string{
+		{"a", "a", "a"}, {"b", "b", "x"}, {"c", "c", "c"}, {"d", "d", "d"},
+	}
+	rel := relFromRows(rows, "ref", "exact", "partial")
+	inds := Discover(rel, Options{MaxError: 0.5})
+	for i := 1; i < len(inds); i++ {
+		if inds[i-1].Coverage < inds[i].Coverage {
+			t.Fatalf("not sorted by coverage: %v", inds)
+		}
+	}
+}

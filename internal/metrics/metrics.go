@@ -1,0 +1,96 @@
+// Package metrics implements the paper's evaluation measures (§5.1,
+// "Metrics"): precision, recall, and F1 over the *edges* of discovered FDs
+// — an FD X→Y contributes one edge per determinant attribute — plus the
+// median-keeping aggregation the paper uses across synthetic trials.
+package metrics
+
+import (
+	"sort"
+
+	"fdx/internal/core"
+)
+
+// PRF1 bundles precision, recall and F1.
+type PRF1 struct {
+	Precision, Recall, F1 float64
+}
+
+// EdgeSet collects the (lhs, rhs) pairs of a set of FDs.
+func EdgeSet(fds []core.FD) map[[2]int]bool {
+	out := map[[2]int]bool{}
+	for _, fd := range fds {
+		for _, e := range fd.Edges() {
+			out[e] = true
+		}
+	}
+	return out
+}
+
+// Evaluate scores discovered FDs against ground truth over directed edges.
+// With undirected=true an edge counts as correct in either orientation
+// (used when a method reports dependencies without direction).
+func Evaluate(truth, found []core.FD, undirected bool) PRF1 {
+	tset := EdgeSet(truth)
+	fset := EdgeSet(found)
+	match := func(e [2]int, set map[[2]int]bool) bool {
+		if set[e] {
+			return true
+		}
+		if undirected && set[[2]int{e[1], e[0]}] {
+			return true
+		}
+		return false
+	}
+	correct := 0
+	for e := range fset {
+		if match(e, tset) {
+			correct++
+		}
+	}
+	recallHits := 0
+	for e := range tset {
+		if match(e, fset) {
+			recallHits++
+		}
+	}
+	var p, r float64
+	if len(fset) > 0 {
+		p = float64(correct) / float64(len(fset))
+	}
+	if len(tset) > 0 {
+		r = float64(recallHits) / float64(len(tset))
+	}
+	return PRF1{Precision: p, Recall: r, F1: f1(p, r)}
+}
+
+func f1(p, r float64) float64 {
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// MedianByF1 returns the trial whose F1 is the median of the slice,
+// preserving the coupling between precision, recall and F1 that the paper
+// calls out ("to ensure that we maintain the coupling amongst Precision,
+// Recall, and F1, we report the median performance"). Ties keep the first
+// of the tied trials; an even count returns the lower-middle trial.
+func MedianByF1(trials []PRF1) PRF1 {
+	if len(trials) == 0 {
+		return PRF1{}
+	}
+	sorted := append([]PRF1(nil), trials...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].F1 < sorted[j].F1 })
+	return sorted[(len(sorted)-1)/2]
+}
+
+// MedianFloat returns the median of a float slice (lower-middle for even
+// counts), 0 for empty input.
+func MedianFloat(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[(len(s)-1)/2]
+}

@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fdx/internal/core"
+)
+
+func TestEvaluatePerfectMatch(t *testing.T) {
+	truth := []core.FD{{LHS: []int{0, 1}, RHS: 2}, {LHS: []int{3}, RHS: 4}}
+	got := Evaluate(truth, truth, false)
+	if got.Precision != 1 || got.Recall != 1 || got.F1 != 1 {
+		t.Errorf("perfect match scored %v", got)
+	}
+}
+
+func TestEvaluateEmptyFound(t *testing.T) {
+	truth := []core.FD{{LHS: []int{0}, RHS: 1}}
+	got := Evaluate(truth, nil, false)
+	if got.Precision != 0 || got.Recall != 0 || got.F1 != 0 {
+		t.Errorf("empty found scored %v", got)
+	}
+}
+
+func TestEvaluateEmptyTruth(t *testing.T) {
+	found := []core.FD{{LHS: []int{0}, RHS: 1}}
+	got := Evaluate(nil, found, false)
+	if got.Precision != 0 || got.Recall != 0 {
+		t.Errorf("empty truth scored %v", got)
+	}
+}
+
+func TestEvaluatePartial(t *testing.T) {
+	truth := []core.FD{{LHS: []int{0, 1}, RHS: 2}} // edges (0,2), (1,2)
+	found := []core.FD{{LHS: []int{0}, RHS: 2}, {LHS: []int{3}, RHS: 2}}
+	got := Evaluate(truth, found, false)
+	if got.Precision != 0.5 {
+		t.Errorf("precision = %v, want 0.5", got.Precision)
+	}
+	if got.Recall != 0.5 {
+		t.Errorf("recall = %v, want 0.5", got.Recall)
+	}
+}
+
+func TestEvaluateUndirected(t *testing.T) {
+	truth := []core.FD{{LHS: []int{0}, RHS: 1}}
+	found := []core.FD{{LHS: []int{1}, RHS: 0}} // reversed
+	if got := Evaluate(truth, found, false); got.F1 != 0 {
+		t.Errorf("directed eval accepted reversed edge: %v", got)
+	}
+	if got := Evaluate(truth, found, true); got.F1 != 1 {
+		t.Errorf("undirected eval rejected reversed edge: %v", got)
+	}
+}
+
+func TestEvaluateBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gen := func() []core.FD {
+			var fds []core.FD
+			for i := 0; i < rng.Intn(5); i++ {
+				fd := core.FD{LHS: []int{rng.Intn(6)}, RHS: rng.Intn(6)}
+				fd.Normalize()
+				if len(fd.LHS) > 0 {
+					fds = append(fds, fd)
+				}
+			}
+			return fds
+		}
+		truth, found := gen(), gen()
+		m := Evaluate(truth, found, rng.Intn(2) == 0)
+		return m.Precision >= 0 && m.Precision <= 1 &&
+			m.Recall >= 0 && m.Recall <= 1 &&
+			m.F1 >= 0 && m.F1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluateSelfMatchProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var fds []core.FD
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			fd := core.FD{LHS: []int{rng.Intn(4)}, RHS: 4 + rng.Intn(3)}
+			fd.Normalize()
+			fds = append(fds, fd)
+		}
+		m := Evaluate(fds, fds, false)
+		return m.Precision == 1 && m.Recall == 1 && m.F1 == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedianByF1(t *testing.T) {
+	trials := []PRF1{
+		{Precision: 1, Recall: 0.2, F1: 0.33},
+		{Precision: 0.5, Recall: 0.5, F1: 0.5},
+		{Precision: 0.9, Recall: 0.9, F1: 0.9},
+	}
+	m := MedianByF1(trials)
+	if m.F1 != 0.5 || m.Precision != 0.5 {
+		t.Errorf("median = %v", m)
+	}
+	if got := MedianByF1(nil); got.F1 != 0 {
+		t.Error("empty median should be zero")
+	}
+	// Even count: lower-middle.
+	even := append(trials, PRF1{F1: 0.95})
+	if MedianByF1(even).F1 != 0.5 {
+		t.Errorf("even median = %v", MedianByF1(even))
+	}
+}
+
+func TestMedianFloat(t *testing.T) {
+	if MedianFloat([]float64{3, 1, 2}) != 2 {
+		t.Error("odd median wrong")
+	}
+	if MedianFloat([]float64{4, 1, 2, 3}) != 2 {
+		t.Error("even (lower-middle) median wrong")
+	}
+	if MedianFloat(nil) != 0 {
+		t.Error("empty median wrong")
+	}
+}

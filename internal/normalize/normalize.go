@@ -1,0 +1,289 @@
+// Package normalize implements the classical dependency-theory algorithms
+// that make discovered FDs actionable for schema design — the first
+// application the FDX paper's introduction motivates ("FDs are used in
+// database normalization to reduce data redundancy and improve data
+// integrity"): attribute-set closure, implication testing, minimal covers,
+// candidate-key enumeration, BCNF checking, and 3NF synthesis.
+package normalize
+
+import (
+	"sort"
+
+	"fdx/internal/attrset"
+	"fdx/internal/core"
+)
+
+// Closure returns the closure of the attribute set under the FDs: the set
+// of attributes functionally determined by attrs.
+func Closure(attrs attrset.Set, fds []core.FD) attrset.Set {
+	out := attrs
+	changed := true
+	for changed {
+		changed = false
+		for _, fd := range fds {
+			if out.Has(fd.RHS) {
+				continue
+			}
+			if attrset.FromSlice(fd.LHS).SubsetOf(out) {
+				out = out.With(fd.RHS)
+				changed = true
+			}
+		}
+	}
+	return out
+}
+
+// Implies reports whether the FD set logically implies X→Y, via the
+// closure test Y ∈ X⁺.
+func Implies(fds []core.FD, lhs []int, rhs int) bool {
+	return Closure(attrset.FromSlice(lhs), fds).Has(rhs)
+}
+
+// MinimalCover returns a canonical cover of the FDs: every FD has a
+// minimal LHS (no redundant determinant attributes) and no FD is implied
+// by the others. The result is deterministic for a given input order.
+func MinimalCover(fds []core.FD) []core.FD {
+	// Step 1: left-reduce each FD.
+	work := make([]core.FD, 0, len(fds))
+	for _, fd := range fds {
+		cf := core.FD{LHS: append([]int(nil), fd.LHS...), RHS: fd.RHS, Score: fd.Score}
+		cf.Normalize()
+		if len(cf.LHS) == 0 {
+			continue
+		}
+		reduced := true
+		for reduced {
+			reduced = false
+			for _, a := range cf.LHS {
+				smaller := attrset.FromSlice(cf.LHS).Without(a)
+				if smaller.IsEmpty() {
+					continue
+				}
+				if Closure(smaller, fds).Has(cf.RHS) {
+					cf.LHS = smaller.Members()
+					reduced = true
+					break
+				}
+			}
+		}
+		work = append(work, cf)
+	}
+	// Step 2: drop FDs implied by the rest.
+	var out []core.FD
+	for i := range work {
+		rest := make([]core.FD, 0, len(work)-1)
+		rest = append(rest, out...)
+		rest = append(rest, work[i+1:]...)
+		if !Implies(rest, work[i].LHS, work[i].RHS) {
+			out = append(out, work[i])
+		}
+	}
+	// Dedup identical FDs.
+	seen := map[string]bool{}
+	dedup := out[:0]
+	for _, fd := range out {
+		key := attrset.FromSlice(fd.LHS).Key() + "->" + attrset.New(fd.RHS).Key()
+		if !seen[key] {
+			seen[key] = true
+			dedup = append(dedup, fd)
+		}
+	}
+	core.SortFDs(dedup)
+	return dedup
+}
+
+// CandidateKeys enumerates the minimal keys of a relation with k
+// attributes under the FDs, up to maxKeys results (0 = 32). The search
+// starts from the full attribute set minus attributes that appear only on
+// right-hand sides, then minimizes and branches (Lucchesi-Osborn style).
+func CandidateKeys(k int, fds []core.FD, maxKeys int) []attrset.Set {
+	if maxKeys == 0 {
+		maxKeys = 32
+	}
+	full := attrset.Full(k)
+	isKey := func(s attrset.Set) bool { return Closure(s, fds).Equal(full) }
+	if k == 0 {
+		return nil
+	}
+
+	// minimize shrinks a key to a minimal one (deterministically).
+	minimize := func(s attrset.Set) attrset.Set {
+		for {
+			shrunk := false
+			for _, a := range s.Members() {
+				cand := s.Without(a)
+				if isKey(cand) {
+					s = cand
+					shrunk = true
+					break
+				}
+			}
+			if !shrunk {
+				return s
+			}
+		}
+	}
+
+	var keys []attrset.Set
+	seen := map[string]bool{}
+	queue := []attrset.Set{minimize(full)}
+	seen[queue[0].Key()] = true
+	for len(queue) > 0 && len(keys) < maxKeys {
+		key := queue[0]
+		queue = queue[1:]
+		keys = append(keys, key)
+		// Branch: for each FD X→A with A ∈ key, (key \ A) ∪ X is a
+		// superkey that may minimize to a new candidate key.
+		for _, fd := range fds {
+			if !key.Has(fd.RHS) {
+				continue
+			}
+			cand := key.Without(fd.RHS).Union(attrset.FromSlice(fd.LHS))
+			if !isKey(cand) {
+				continue
+			}
+			m := minimize(cand)
+			if !seen[m.Key()] {
+				seen[m.Key()] = true
+				queue = append(queue, m)
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i].Members(), keys[j].Members()
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for x := range a {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return false
+	})
+	return keys
+}
+
+// IsBCNF reports whether the relation (attribute count k) is in
+// Boyce-Codd normal form under the FDs: every non-trivial FD's LHS is a
+// superkey. It returns the first violating FD otherwise.
+func IsBCNF(k int, fds []core.FD) (bool, *core.FD) {
+	full := attrset.Full(k)
+	for i, fd := range fds {
+		lhs := attrset.FromSlice(fd.LHS)
+		if lhs.Has(fd.RHS) {
+			continue // trivial
+		}
+		if !Closure(lhs, fds).Equal(full) {
+			return false, &fds[i]
+		}
+	}
+	return true, nil
+}
+
+// Decomposition is one table of a synthesized schema.
+type Decomposition struct {
+	// Attrs lists the attribute indices of the table.
+	Attrs []int
+	// Key is a key of the table within itself.
+	Key []int
+	// FDs are the dependencies local to the table.
+	FDs []core.FD
+}
+
+// Synthesize3NF produces a lossless, dependency-preserving third-normal-
+// form decomposition of a k-attribute relation via the classical synthesis
+// algorithm: one table per minimal-cover FD group (grouped by LHS), plus a
+// table holding a candidate key if no table contains one, plus standalone
+// attributes not mentioned by any FD.
+func Synthesize3NF(k int, fds []core.FD) []Decomposition {
+	cover := MinimalCover(fds)
+
+	// Group cover FDs by LHS.
+	groups := map[string]*Decomposition{}
+	var order []string
+	for _, fd := range cover {
+		lhs := attrset.FromSlice(fd.LHS)
+		key := lhs.Key()
+		g, ok := groups[key]
+		if !ok {
+			g = &Decomposition{Key: lhs.Members()}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.FDs = append(g.FDs, fd)
+	}
+	var out []Decomposition
+	covered := attrset.Set{}
+	for _, key := range order {
+		g := groups[key]
+		attrs := attrset.FromSlice(g.Key)
+		for _, fd := range g.FDs {
+			attrs = attrs.With(fd.RHS)
+		}
+		g.Attrs = attrs.Members()
+		covered = covered.Union(attrs)
+		out = append(out, *g)
+	}
+
+	// Ensure some table contains a candidate key of the whole schema.
+	keys := CandidateKeys(k, cover, 8)
+	if len(keys) > 0 {
+		hasKey := false
+		for _, d := range out {
+			da := attrset.FromSlice(d.Attrs)
+			for _, ck := range keys {
+				if ck.SubsetOf(da) {
+					hasKey = true
+					break
+				}
+			}
+			if hasKey {
+				break
+			}
+		}
+		if !hasKey {
+			ck := keys[0]
+			out = append(out, Decomposition{Attrs: ck.Members(), Key: ck.Members()})
+			covered = covered.Union(ck)
+		}
+	}
+
+	// Standalone attributes not touched by any FD go into the key table
+	// (they are part of every key).
+	missing := attrset.Full(k).Minus(covered)
+	if !missing.IsEmpty() {
+		out = append(out, Decomposition{Attrs: missing.Members(), Key: missing.Members()})
+	}
+
+	// Merge tables subsumed by others, moving their FDs into the subsuming
+	// table (classical synthesis folds R_i ⊆ R_j into R_j).
+	var final []Decomposition
+	dropped := make([]bool, len(out))
+	for i := range out {
+		if dropped[i] {
+			continue
+		}
+		di := attrset.FromSlice(out[i].Attrs)
+		for j := range out {
+			if i == j || dropped[j] {
+				continue
+			}
+			oj := attrset.FromSlice(out[j].Attrs)
+			if oj.SubsetOf(di) {
+				// Fold j into i; identical sets fold the later into the
+				// earlier.
+				if !di.SubsetOf(oj) || i < j {
+					out[i].FDs = append(out[i].FDs, out[j].FDs...)
+					dropped[j] = true
+				}
+			}
+		}
+	}
+	for i := range out {
+		if !dropped[i] {
+			final = append(final, out[i])
+		}
+	}
+	return final
+}

@@ -1,0 +1,228 @@
+package normalize
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fdx/internal/attrset"
+	"fdx/internal/core"
+)
+
+// Schema: 0=zip, 1=city, 2=state, 3=street, 4=name.
+// FDs: zip→city, zip→state, city→state.
+func addressFDs() []core.FD {
+	return []core.FD{
+		{LHS: []int{0}, RHS: 1},
+		{LHS: []int{0}, RHS: 2},
+		{LHS: []int{1}, RHS: 2},
+	}
+}
+
+func TestClosure(t *testing.T) {
+	fds := addressFDs()
+	c := Closure(attrset.New(0), fds)
+	if !c.Equal(attrset.New(0, 1, 2)) {
+		t.Errorf("zip closure = %v", c)
+	}
+	c = Closure(attrset.New(1), fds)
+	if !c.Equal(attrset.New(1, 2)) {
+		t.Errorf("city closure = %v", c)
+	}
+	if !Closure(attrset.New(3), fds).Equal(attrset.New(3)) {
+		t.Error("street closure should be itself")
+	}
+}
+
+func TestImplies(t *testing.T) {
+	fds := addressFDs()
+	if !Implies(fds, []int{0}, 2) {
+		t.Error("zip→state should be implied (transitivity)")
+	}
+	if Implies(fds, []int{1}, 0) {
+		t.Error("city→zip should not be implied")
+	}
+}
+
+func TestMinimalCoverRemovesTransitiveRedundancy(t *testing.T) {
+	// zip→state is implied by zip→city, city→state.
+	cover := MinimalCover(addressFDs())
+	for _, fd := range cover {
+		if len(fd.LHS) == 1 && fd.LHS[0] == 0 && fd.RHS == 2 {
+			t.Errorf("redundant zip→state kept: %v", cover)
+		}
+	}
+	if len(cover) != 2 {
+		t.Errorf("cover = %v, want 2 FDs", cover)
+	}
+}
+
+func TestMinimalCoverLeftReduction(t *testing.T) {
+	// {zip, name}→city has a redundant determinant (name).
+	fds := []core.FD{
+		{LHS: []int{0, 4}, RHS: 1},
+		{LHS: []int{0}, RHS: 1},
+	}
+	cover := MinimalCover(fds)
+	if len(cover) != 1 || len(cover[0].LHS) != 1 || cover[0].LHS[0] != 0 {
+		t.Errorf("cover = %v", cover)
+	}
+}
+
+func TestMinimalCoverEquivalence(t *testing.T) {
+	// The cover must imply every original FD and vice versa (random FDs).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 3 + rng.Intn(4)
+		var fds []core.FD
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			fd := core.FD{RHS: rng.Intn(k)}
+			for j := 0; j < 1+rng.Intn(2); j++ {
+				fd.LHS = append(fd.LHS, rng.Intn(k))
+			}
+			fd.Normalize()
+			if len(fd.LHS) > 0 {
+				fds = append(fds, fd)
+			}
+		}
+		cover := MinimalCover(fds)
+		for _, fd := range fds {
+			if !Implies(cover, fd.LHS, fd.RHS) {
+				return false
+			}
+		}
+		for _, fd := range cover {
+			if !Implies(fds, fd.LHS, fd.RHS) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCandidateKeys(t *testing.T) {
+	// With FDs zip→city→state, keys must include {zip, street, name}.
+	keys := CandidateKeys(5, addressFDs(), 0)
+	if len(keys) != 1 {
+		t.Fatalf("keys = %v", keys)
+	}
+	if !keys[0].Equal(attrset.New(0, 3, 4)) {
+		t.Errorf("key = %v, want {0,3,4}", keys[0])
+	}
+}
+
+func TestCandidateKeysMultiple(t *testing.T) {
+	// a→b and b→a: both {a,c} and {b,c} are keys of {a,b,c}.
+	fds := []core.FD{
+		{LHS: []int{0}, RHS: 1},
+		{LHS: []int{1}, RHS: 0},
+	}
+	keys := CandidateKeys(3, fds, 0)
+	if len(keys) != 2 {
+		t.Fatalf("keys = %v, want 2", keys)
+	}
+}
+
+func TestCandidateKeysAreMinimalAndValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 3 + rng.Intn(4)
+		var fds []core.FD
+		for i := 0; i < rng.Intn(6); i++ {
+			fd := core.FD{RHS: rng.Intn(k), LHS: []int{rng.Intn(k)}}
+			fd.Normalize()
+			if len(fd.LHS) > 0 {
+				fds = append(fds, fd)
+			}
+		}
+		full := attrset.Full(k)
+		for _, key := range CandidateKeys(k, fds, 0) {
+			if !Closure(key, fds).Equal(full) {
+				return false // not a key
+			}
+			for _, a := range key.Members() {
+				if Closure(key.Without(a), fds).Equal(full) {
+					return false // not minimal
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsBCNF(t *testing.T) {
+	// zip→city with schema {zip, city, street}: zip is not a superkey.
+	fds := []core.FD{{LHS: []int{0}, RHS: 1}}
+	ok, viol := IsBCNF(3, fds)
+	if ok || viol == nil {
+		t.Fatal("BCNF violation missed")
+	}
+	// Schema {zip, city}: zip IS a key → BCNF.
+	if ok, _ := IsBCNF(2, fds); !ok {
+		t.Error("2-attribute schema should be BCNF")
+	}
+}
+
+func TestSynthesize3NFAddress(t *testing.T) {
+	// Expect: (zip, city), (city, state), (zip, street, name).
+	decomp := Synthesize3NF(5, addressFDs())
+	if len(decomp) != 3 {
+		t.Fatalf("decomposition = %v", decomp)
+	}
+	union := attrset.Set{}
+	for _, d := range decomp {
+		union = union.Union(attrset.FromSlice(d.Attrs))
+	}
+	if !union.Equal(attrset.Full(5)) {
+		t.Errorf("decomposition loses attributes: %v", decomp)
+	}
+}
+
+func TestSynthesize3NFPreservesDependencies(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 3 + rng.Intn(4)
+		var fds []core.FD
+		for i := 0; i < rng.Intn(5); i++ {
+			fd := core.FD{RHS: rng.Intn(k), LHS: []int{rng.Intn(k)}}
+			fd.Normalize()
+			if len(fd.LHS) > 0 {
+				fds = append(fds, fd)
+			}
+		}
+		decomp := Synthesize3NF(k, fds)
+		// Attributes preserved.
+		union := attrset.Set{}
+		var localFDs []core.FD
+		for _, d := range decomp {
+			union = union.Union(attrset.FromSlice(d.Attrs))
+			localFDs = append(localFDs, d.FDs...)
+		}
+		if !union.Equal(attrset.Full(k)) {
+			return false
+		}
+		// Dependency preservation: local FDs imply every original FD.
+		for _, fd := range fds {
+			if !Implies(localFDs, fd.LHS, fd.RHS) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSynthesize3NFNoFDs(t *testing.T) {
+	decomp := Synthesize3NF(3, nil)
+	if len(decomp) != 1 || len(decomp[0].Attrs) != 3 {
+		t.Errorf("no-FD decomposition = %v", decomp)
+	}
+}

@@ -1,0 +1,451 @@
+// Package ordering provides the fill-reducing column orderings FDX applies
+// before the UDUᵀ factorization of the estimated precision matrix
+// (paper §5.6.2, Table 9). Orderings operate on the sparsity graph of Θ
+// (nodes = attributes, edges = non-zero off-diagonal entries).
+//
+// The paper uses CHOLMOD's heuristics; here each is implemented from
+// scratch: exact minimum degree ("heuristic", the paper's default), an
+// approximate minimum degree variant ("amd"), a column-count flavored
+// variant ("colamd"), and two nested-dissection variants standing in for
+// METIS ("metis") and CHOLMOD's nesdis ("nesdis"). "natural", "reverse"
+// and "random" complete the set.
+package ordering
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"fdx/internal/linalg"
+)
+
+// Method names accepted by ByName.
+const (
+	Natural   = "natural"
+	Heuristic = "heuristic" // exact minimum degree (paper default)
+	AMD       = "amd"
+	COLAMD    = "colamd"
+	METIS     = "metis"
+	NESDIS    = "nesdis"
+	Reverse   = "reverse"
+	Random    = "random"
+)
+
+// Methods lists all ordering method names (the Table 9 sweep).
+var Methods = []string{Heuristic, Natural, AMD, COLAMD, METIS, NESDIS}
+
+// Graph is an undirected graph in adjacency-set form.
+type Graph struct {
+	n   int
+	adj []map[int]bool
+}
+
+// NewGraph returns an empty graph on n nodes.
+func NewGraph(n int) *Graph {
+	g := &Graph{n: n, adj: make([]map[int]bool, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]bool)
+	}
+	return g
+}
+
+// AddEdge inserts the undirected edge (a, b); self-loops are ignored.
+func (g *Graph) AddEdge(a, b int) {
+	if a == b {
+		return
+	}
+	g.adj[a][b] = true
+	g.adj[b][a] = true
+}
+
+// N returns the node count.
+func (g *Graph) N() int { return g.n }
+
+// Degree returns the degree of node v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns the sorted neighbor list of node v.
+func (g *Graph) Neighbors(v int) []int {
+	out := make([]int, 0, len(g.adj[v]))
+	for u := range g.adj[v] {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// clone returns a deep copy of g.
+func (g *Graph) clone() *Graph {
+	c := NewGraph(g.n)
+	for v, nb := range g.adj {
+		for u := range nb {
+			c.adj[v][u] = true
+		}
+	}
+	return c
+}
+
+// FromPrecision builds the sparsity graph of a symmetric matrix: an edge
+// for every off-diagonal entry with |θ_ij| > tol.
+func FromPrecision(theta *linalg.Dense, tol float64) *Graph {
+	n, _ := theta.Dims()
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(theta.At(i, j)) > tol {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// Order computes the permutation for the named method. The seed is used
+// only by "random". The returned permutation lists original indices in
+// elimination order: perm[position] = original column.
+func Order(method string, g *Graph, seed int64) (linalg.Permutation, error) {
+	switch method {
+	case Natural:
+		return linalg.IdentityPerm(g.n), nil
+	case Reverse:
+		p := make(linalg.Permutation, g.n)
+		for i := range p {
+			p[i] = g.n - 1 - i
+		}
+		return p, nil
+	case Random:
+		p := linalg.IdentityPerm(g.n)
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(g.n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+		return p, nil
+	case Heuristic:
+		return minDegree(g, exactDegree), nil
+	case AMD:
+		return minDegree(g, approximateDegree), nil
+	case COLAMD:
+		return minDegree(g, staticDegree), nil
+	case METIS:
+		return nestedDissection(g, true), nil
+	case NESDIS:
+		return nestedDissection(g, false), nil
+	default:
+		return nil, fmt.Errorf("ordering: unknown method %q", method)
+	}
+}
+
+// ByName is like Order but panics on unknown method names; convenient for
+// the experiment tables where the method list is static.
+func ByName(method string, g *Graph, seed int64) linalg.Permutation {
+	p, err := Order(method, g, seed)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Fill returns the number of fill-in edges created when eliminating the
+// graph's nodes in the given order: eliminating a node connects all its
+// not-yet-eliminated neighbors into a clique, and every edge added that
+// way is fill. Fill is what the fill-reducing orderings minimize — for the
+// UDUᵀ factorization, fill edges are structurally non-zero entries of U
+// that a better order would have kept zero.
+func Fill(g0 *Graph, perm linalg.Permutation) int {
+	g := g0.clone()
+	fill := 0
+	for _, v := range perm {
+		nbs := g.Neighbors(v)
+		for i := 0; i < len(nbs); i++ {
+			for j := i + 1; j < len(nbs); j++ {
+				if !g.adj[nbs[i]][nbs[j]] {
+					fill++
+					g.AddEdge(nbs[i], nbs[j])
+				}
+			}
+		}
+		for _, u := range nbs {
+			delete(g.adj[u], v)
+		}
+		g.adj[v] = map[int]bool{}
+	}
+	return fill
+}
+
+// degreeFn scores a candidate node in the current elimination graph; lower
+// is eliminated earlier.
+type degreeFn func(g *Graph, original *Graph, v int) int
+
+// exactDegree is the true degree in the elimination graph.
+func exactDegree(g *Graph, _ *Graph, v int) int { return len(g.adj[v]) }
+
+// approximateDegree upper-bounds the post-elimination degree by the sum of
+// neighbor degrees (Amestoy-style bound, without quotient-graph bookkeeping).
+func approximateDegree(g *Graph, _ *Graph, v int) int {
+	d := 0
+	for u := range g.adj[v] {
+		d += len(g.adj[u])
+	}
+	return d
+}
+
+// staticDegree ignores fill and uses the original column counts (a
+// colamd-flavored heuristic: cheap, column-driven).
+func staticDegree(_ *Graph, original *Graph, v int) int { return len(original.adj[v]) }
+
+// minDegree runs the elimination-graph minimum degree algorithm with the
+// supplied scoring function. Ties break on the lower original index, making
+// the ordering deterministic.
+func minDegree(g0 *Graph, score degreeFn) linalg.Permutation {
+	g := g0.clone()
+	n := g.n
+	eliminated := make([]bool, n)
+	perm := make(linalg.Permutation, 0, n)
+	for len(perm) < n {
+		best, bestScore := -1, math.MaxInt
+		for v := 0; v < n; v++ {
+			if eliminated[v] {
+				continue
+			}
+			s := score(g, g0, v)
+			if s < bestScore {
+				best, bestScore = v, s
+			}
+		}
+		// Eliminate: connect neighbors into a clique, then remove the node.
+		nbs := g.Neighbors(best)
+		for i := 0; i < len(nbs); i++ {
+			for j := i + 1; j < len(nbs); j++ {
+				g.AddEdge(nbs[i], nbs[j])
+			}
+		}
+		for _, u := range nbs {
+			delete(g.adj[u], best)
+		}
+		g.adj[best] = map[int]bool{}
+		eliminated[best] = true
+		perm = append(perm, best)
+	}
+	return perm
+}
+
+// nestedDissection recursively splits the graph with a BFS level-set
+// separator; parts are ordered first, the separator last (so separator
+// columns are eliminated late, confining fill). When refine is true a
+// greedy boundary-shrinking pass imitates METIS-style refinement.
+func nestedDissection(g *Graph, refine bool) linalg.Permutation {
+	nodes := make([]int, g.n)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	var out linalg.Permutation
+	var recurse func(sub []int)
+	recurse = func(sub []int) {
+		if len(sub) <= 3 {
+			// Base case: order the fragment by minimum degree.
+			sg, back := inducedSubgraph(g, sub)
+			p := minDegree(sg, exactDegree)
+			for _, v := range p {
+				out = append(out, back[v])
+			}
+			return
+		}
+		sg, back := inducedSubgraph(g, sub)
+		left, right, sep := bisect(sg, refine)
+		// Guard against non-progressing splits (one side swallowing the
+		// whole fragment): fall back to minimum degree for the fragment.
+		if len(left) == len(sub) || len(right) == len(sub) {
+			p := minDegree(sg, exactDegree)
+			for _, v := range p {
+				out = append(out, back[v])
+			}
+			return
+		}
+		mapBack := func(vs []int) []int {
+			o := make([]int, len(vs))
+			for i, v := range vs {
+				o[i] = back[v]
+			}
+			return o
+		}
+		recurse(mapBack(left))
+		recurse(mapBack(right))
+		for _, v := range mapBack(sep) {
+			out = append(out, v)
+		}
+	}
+	recurse(nodes)
+	return out
+}
+
+// inducedSubgraph returns the subgraph on the given original nodes plus the
+// local→original index map.
+func inducedSubgraph(g *Graph, nodes []int) (*Graph, []int) {
+	local := make(map[int]int, len(nodes))
+	for i, v := range nodes {
+		local[v] = i
+	}
+	sg := NewGraph(len(nodes))
+	for i, v := range nodes {
+		for u := range g.adj[v] {
+			if j, ok := local[u]; ok {
+				sg.AddEdge(i, j)
+			}
+		}
+	}
+	back := append([]int(nil), nodes...)
+	return sg, back
+}
+
+// bisect splits g into (left, right, separator) via a BFS level structure
+// from a pseudo-peripheral vertex. Disconnected remainders go to the
+// smaller side. With refine, separator nodes that touch only one side are
+// greedily pushed into that side.
+func bisect(g *Graph, refine bool) (left, right, sep []int) {
+	n := g.n
+	start := pseudoPeripheral(g)
+	level := bfsLevels(g, start)
+	// Unreached nodes (other components) get the max level + 1.
+	maxLevel := 0
+	for _, l := range level {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	for v := range level {
+		if level[v] < 0 {
+			level[v] = maxLevel + 1
+		}
+	}
+	// Pick the cut level so roughly half the nodes fall below it.
+	counts := make([]int, maxLevel+2)
+	for _, l := range level {
+		counts[l]++
+	}
+	cut, acc := 0, 0
+	for l, c := range counts {
+		acc += c
+		cut = l
+		if acc >= n/2 {
+			break
+		}
+	}
+	for v := 0; v < n; v++ {
+		switch {
+		case level[v] < cut:
+			left = append(left, v)
+		case level[v] == cut:
+			sep = append(sep, v)
+		default:
+			right = append(right, v)
+		}
+	}
+	// Degenerate splits: fall back to an even index split.
+	if len(left) == 0 && len(right) == 0 {
+		mid := n / 2
+		for v := 0; v < n; v++ {
+			if v < mid {
+				left = append(left, v)
+			} else {
+				right = append(right, v)
+			}
+		}
+		return left, right, nil
+	}
+	if refine {
+		left, right, sep = shrinkSeparator(g, left, right, sep)
+	}
+	return left, right, sep
+}
+
+// shrinkSeparator moves separator nodes adjacent to only one side into that
+// side, shrinking the separator (a light imitation of KL/FM refinement).
+func shrinkSeparator(g *Graph, left, right, sep []int) (l, r, s []int) {
+	side := make(map[int]int) // 0 left, 1 right, 2 sep
+	for _, v := range left {
+		side[v] = 0
+	}
+	for _, v := range right {
+		side[v] = 1
+	}
+	for _, v := range sep {
+		side[v] = 2
+	}
+	for _, v := range sep {
+		touchLeft, touchRight := false, false
+		for u := range g.adj[v] {
+			switch side[u] {
+			case 0:
+				touchLeft = true
+			case 1:
+				touchRight = true
+			}
+		}
+		switch {
+		case touchLeft && !touchRight:
+			side[v] = 0
+		case touchRight && !touchLeft:
+			side[v] = 1
+		}
+	}
+	for v, sd := range side {
+		switch sd {
+		case 0:
+			l = append(l, v)
+		case 1:
+			r = append(r, v)
+		default:
+			s = append(s, v)
+		}
+	}
+	sort.Ints(l)
+	sort.Ints(r)
+	sort.Ints(s)
+	return l, r, s
+}
+
+// pseudoPeripheral finds an approximate graph-diameter endpoint by repeated
+// BFS (the standard Gibbs-Poole-Stockmeyer style sweep).
+func pseudoPeripheral(g *Graph) int {
+	if g.n == 0 {
+		return 0
+	}
+	v := 0
+	for iter := 0; iter < 4; iter++ {
+		level := bfsLevels(g, v)
+		far, farLevel := v, -1
+		for u, l := range level {
+			if l > farLevel {
+				far, farLevel = u, l
+			}
+		}
+		if far == v {
+			break
+		}
+		v = far
+	}
+	return v
+}
+
+// bfsLevels returns per-node BFS depth from start (−1 for unreachable).
+func bfsLevels(g *Graph, start int) []int {
+	level := make([]int, g.n)
+	for i := range level {
+		level[i] = -1
+	}
+	if g.n == 0 {
+		return level
+	}
+	level[start] = 0
+	queue := []int{start}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if level[u] < 0 {
+				level[u] = level[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return level
+}

@@ -1,0 +1,238 @@
+package ordering
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fdx/internal/linalg"
+)
+
+func randomGraph(rng *rand.Rand, n int, p float64) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+func TestAllMethodsProducePermutations(t *testing.T) {
+	methods := append([]string{Reverse, Random}, Methods...)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(25)
+		g := randomGraph(rng, n, 0.3)
+		for _, m := range methods {
+			p, err := Order(m, g, seed)
+			if err != nil || len(p) != n || !p.IsValid() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderUnknownMethod(t *testing.T) {
+	if _, err := Order("bogus", NewGraph(3), 0); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestByNamePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ByName("bogus", NewGraph(1), 0)
+}
+
+func TestNaturalAndReverse(t *testing.T) {
+	g := NewGraph(4)
+	p, _ := Order(Natural, g, 0)
+	for i, v := range p {
+		if v != i {
+			t.Fatalf("natural perm = %v", p)
+		}
+	}
+	r, _ := Order(Reverse, g, 0)
+	for i, v := range r {
+		if v != 3-i {
+			t.Fatalf("reverse perm = %v", r)
+		}
+	}
+}
+
+func TestMinDegreeEliminatesLeavesFirst(t *testing.T) {
+	// Star graph: center 0 with leaves 1..4. Min degree must order all
+	// leaves before the center.
+	g := NewGraph(5)
+	for i := 1; i < 5; i++ {
+		g.AddEdge(0, i)
+	}
+	p, _ := Order(Heuristic, g, 0)
+	// The first eliminations must be leaves; once only one leaf is left the
+	// center's degree drops to 1, so the center lands in the last two slots.
+	if p[0] == 0 || p[1] == 0 || p[2] == 0 {
+		t.Errorf("center of star eliminated too early: %v", p)
+	}
+}
+
+func TestMinDegreeReducesFillOnChain(t *testing.T) {
+	// For a path graph the min-degree ordering produces no fill; natural
+	// ordering also works here, so check fill directly via factorization
+	// on an arrow matrix: arrowhead at position 0 is worst-case for the
+	// natural order, and min degree should move it last.
+	n := 6
+	g := NewGraph(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+	}
+	p, _ := Order(Heuristic, g, 0)
+	if p[n-1] != 0 && p[n-2] != 0 {
+		t.Errorf("arrow hub should be among the last eliminations, got %v", p)
+	}
+}
+
+func TestFromPrecision(t *testing.T) {
+	theta := linalg.NewDenseData(3, 3, []float64{
+		1, 0.5, 0,
+		0.5, 1, 1e-9,
+		0, 1e-9, 1,
+	})
+	g := FromPrecision(theta, 1e-6)
+	if !g.adj[0][1] || g.adj[1][2] || g.adj[0][2] {
+		t.Errorf("graph edges wrong: %v", g.adj)
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 0 {
+		t.Error("degrees wrong")
+	}
+}
+
+func TestNestedDissectionCoversDisconnected(t *testing.T) {
+	g := NewGraph(10) // fully disconnected
+	for _, m := range []string{METIS, NESDIS} {
+		p, err := Order(m, g, 0)
+		if err != nil || !p.IsValid() {
+			t.Errorf("%s on disconnected graph: %v %v", m, p, err)
+		}
+	}
+}
+
+func TestNestedDissectionGrid(t *testing.T) {
+	// 4x4 grid graph.
+	n := 16
+	g := NewGraph(n)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			v := r*4 + c
+			if c+1 < 4 {
+				g.AddEdge(v, v+1)
+			}
+			if r+1 < 4 {
+				g.AddEdge(v, v+4)
+			}
+		}
+	}
+	for _, m := range []string{METIS, NESDIS} {
+		p, err := Order(m, g, 0)
+		if err != nil || len(p) != n || !p.IsValid() {
+			t.Fatalf("%s on grid invalid: %v %v", m, p, err)
+		}
+	}
+}
+
+func TestBFSLevels(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	lv := bfsLevels(g, 0)
+	if lv[0] != 0 || lv[1] != 1 || lv[2] != 2 || lv[3] != -1 {
+		t.Errorf("levels = %v", lv)
+	}
+}
+
+func TestPseudoPeripheralOnPath(t *testing.T) {
+	g := NewGraph(5)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, i+1)
+	}
+	v := pseudoPeripheral(g)
+	if v != 0 && v != 4 {
+		t.Errorf("pseudo-peripheral of a path = %d, want an endpoint", v)
+	}
+}
+
+func TestRandomOrderIsSeedDeterministic(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(1)), 12, 0.3)
+	p1, _ := Order(Random, g, 99)
+	p2, _ := Order(Random, g, 99)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("random ordering not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestFillCounts(t *testing.T) {
+	// Path graph a-b-c-d: natural order has zero fill; eliminating the two
+	// middle nodes first creates fill.
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	if f := Fill(g, linalg.Permutation{0, 1, 2, 3}); f != 0 {
+		t.Errorf("path natural fill = %d, want 0", f)
+	}
+	if f := Fill(g, linalg.Permutation{1, 2, 0, 3}); f == 0 {
+		t.Error("middle-first elimination should create fill")
+	}
+	// Star graph: eliminating the hub first fills the leaf clique.
+	star := NewGraph(5)
+	for i := 1; i < 5; i++ {
+		star.AddEdge(0, i)
+	}
+	if f := Fill(star, linalg.Permutation{0, 1, 2, 3, 4}); f != 6 {
+		t.Errorf("star hub-first fill = %d, want C(4,2)=6", f)
+	}
+	if f := Fill(star, linalg.Permutation{1, 2, 3, 4, 0}); f != 0 {
+		t.Errorf("star leaves-first fill = %d, want 0", f)
+	}
+}
+
+func TestMinDegreeNeverWorseThanReverseOnStars(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 3+rng.Intn(15), 0.3)
+		md := ByName(Heuristic, g, 0)
+		nat := ByName(Natural, g, 0)
+		if Fill(g, md) > Fill(g, nat)+2 {
+			// Min degree is a heuristic; allow tiny slack but it should
+			// essentially never lose badly to the natural order.
+			t.Errorf("min degree fill %d vs natural %d", Fill(g, md), Fill(g, nat))
+		}
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(3, 1)
+	g.AddEdge(3, 0)
+	g.AddEdge(3, 2)
+	nb := g.Neighbors(3)
+	for i := 1; i < len(nb); i++ {
+		if nb[i-1] > nb[i] {
+			t.Fatalf("neighbors unsorted: %v", nb)
+		}
+	}
+	if g.N() != 4 {
+		t.Error("N wrong")
+	}
+}

@@ -1,0 +1,198 @@
+// Package partition implements stripped partitions (position list indices)
+// — the workhorse data structure of lattice-based FD discovery (TANE,
+// PYRO). A stripped partition of the tuples under an attribute set X keeps
+// only the equivalence classes of size ≥ 2; singleton classes carry no FD
+// violations and are dropped.
+package partition
+
+import (
+	"fdx/internal/dataset"
+)
+
+// Partition is a stripped partition over N tuples.
+type Partition struct {
+	// N is the total number of tuples in the relation.
+	N int
+	// Classes holds the equivalence classes with ≥2 members; row indices
+	// within a class are in ascending order of first appearance.
+	Classes [][]int
+}
+
+// FromColumn builds the stripped partition of a single attribute. NULLs are
+// pairwise distinct (a NULL equals nothing), matching the constraint-based
+// reading of FDs over incomplete data.
+func FromColumn(col *dataset.Column) *Partition {
+	n := col.Len()
+	groups := make(map[int32][]int)
+	order := make([]int32, 0)
+	for i := 0; i < n; i++ {
+		code := col.Code(i)
+		if code == dataset.Missing {
+			continue // NULL: singleton by definition
+		}
+		if _, seen := groups[code]; !seen {
+			order = append(order, code)
+		}
+		groups[code] = append(groups[code], i)
+	}
+	p := &Partition{N: n}
+	for _, code := range order {
+		if g := groups[code]; len(g) >= 2 {
+			p.Classes = append(p.Classes, g)
+		}
+	}
+	return p
+}
+
+// Single returns the partition with one class containing every tuple — the
+// partition of the empty attribute set.
+func Single(n int) *Partition {
+	if n < 2 {
+		return &Partition{N: n}
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	return &Partition{N: n, Classes: [][]int{all}}
+}
+
+// NumClasses returns the number of (stripped) classes.
+func (p *Partition) NumClasses() int { return len(p.Classes) }
+
+// Size returns ‖π‖ = Σ|c| over stripped classes, the number of tuples that
+// participate in some class of size ≥ 2.
+func (p *Partition) Size() int {
+	s := 0
+	for _, c := range p.Classes {
+		s += len(c)
+	}
+	return s
+}
+
+// Error returns e(π) = (‖π‖ − |π|) / N: the minimum fraction of tuples to
+// remove so that the partition's attribute set becomes a key (TANE's key
+// error measure). 0 for n < 1.
+func (p *Partition) Error() float64 {
+	if p.N == 0 {
+		return 0
+	}
+	return float64(p.Size()-len(p.Classes)) / float64(p.N)
+}
+
+// Product computes the stripped partition of X ∪ Y from the partitions of X
+// and Y using the standard linear-time probe-table algorithm.
+func Product(a, b *Partition) *Partition {
+	// probe[t] = index of t's class in a, or -1.
+	probe := make([]int, a.N)
+	for i := range probe {
+		probe[i] = -1
+	}
+	for ci, class := range a.Classes {
+		for _, t := range class {
+			probe[t] = ci
+		}
+	}
+	out := &Partition{N: a.N}
+	// For each class of b, bucket members by their class in a.
+	buckets := make(map[int][]int)
+	for _, class := range b.Classes {
+		for _, t := range class {
+			if ca := probe[t]; ca >= 0 {
+				buckets[ca] = append(buckets[ca], t)
+			}
+		}
+		for ca, members := range buckets {
+			if len(members) >= 2 {
+				cp := make([]int, len(members))
+				copy(cp, members)
+				out.Classes = append(out.Classes, cp)
+			}
+			delete(buckets, ca)
+		}
+	}
+	return out
+}
+
+// FromColumns builds the stripped partition of an attribute set by
+// iterated products.
+func FromColumns(rel *dataset.Relation, attrs []int) *Partition {
+	if len(attrs) == 0 {
+		return Single(rel.NumRows())
+	}
+	p := FromColumn(rel.Columns[attrs[0]])
+	for _, a := range attrs[1:] {
+		p = Product(p, FromColumn(rel.Columns[a]))
+	}
+	return p
+}
+
+// Refines reports whether p refines q: every class of p is contained in a
+// single class of q (treating stripped singletons as their own classes).
+func (p *Partition) Refines(q *Partition) bool {
+	cls := make([]int, q.N)
+	for i := range cls {
+		cls[i] = -(i + 1) // unique negative id per singleton
+	}
+	for ci, class := range q.Classes {
+		for _, t := range class {
+			cls[t] = ci
+		}
+	}
+	for _, class := range p.Classes {
+		first := cls[class[0]]
+		for _, t := range class[1:] {
+			if cls[t] != first {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// G3Error returns the g3 error of the FD X→Y given Π_X and Π_{X∪Y}: the
+// minimum fraction of tuples whose removal makes the FD exact. For each
+// class c of Π_X it costs |c| − (size of the largest sub-class of c in
+// Π_{X∪Y}).
+func G3Error(px, pxy *Partition) float64 {
+	if px.N == 0 {
+		return 0
+	}
+	// Map tuple → class id in Π_{XY}; singletons get -1.
+	cls := make([]int, px.N)
+	for i := range cls {
+		cls[i] = -1
+	}
+	for ci, class := range pxy.Classes {
+		for _, t := range class {
+			cls[t] = ci
+		}
+	}
+	removed := 0
+	counts := make(map[int]int)
+	for _, class := range px.Classes {
+		max := 1 // a singleton sub-class can always be kept
+		for _, t := range class {
+			if id := cls[t]; id >= 0 {
+				counts[id]++
+				if counts[id] > max {
+					max = counts[id]
+				}
+			}
+		}
+		for id := range counts {
+			delete(counts, id)
+		}
+		removed += len(class) - max
+	}
+	return float64(removed) / float64(px.N)
+}
+
+// Violates reports whether the FD with LHS partition px and combined
+// partition pxy has any violating tuple pair (exact check: g3 > 0 iff the
+// FD does not hold exactly).
+func Violates(px, pxy *Partition) bool {
+	// The FD holds exactly iff Π_X refines Π_{X∪Y}^-1... equivalently iff
+	// ‖·‖−|·| match: e(X) == e(XY) in TANE terms. Cheaper: compare sizes.
+	return px.Size()-px.NumClasses() != pxy.Size()-pxy.NumClasses()
+}

@@ -1,0 +1,237 @@
+package partition
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"fdx/internal/dataset"
+)
+
+func colFromInts(vals []int) *dataset.Column {
+	c := dataset.NewColumn("x", dataset.Categorical)
+	for _, v := range vals {
+		if v < 0 {
+			c.AppendMissing()
+		} else {
+			c.AppendValue(strconv.Itoa(v))
+		}
+	}
+	return c
+}
+
+func relFromCodes(rows [][]int, names ...string) *dataset.Relation {
+	r := dataset.New("t", names...)
+	for _, row := range rows {
+		s := make([]string, len(row))
+		for j, v := range row {
+			s[j] = strconv.Itoa(v)
+		}
+		r.AppendRow(s)
+	}
+	return r
+}
+
+func TestFromColumnStripsSingletons(t *testing.T) {
+	p := FromColumn(colFromInts([]int{1, 2, 1, 3, 2, 4}))
+	if p.NumClasses() != 2 {
+		t.Fatalf("classes = %v", p.Classes)
+	}
+	if p.Size() != 4 {
+		t.Errorf("Size = %d, want 4", p.Size())
+	}
+	if p.N != 6 {
+		t.Errorf("N = %d", p.N)
+	}
+}
+
+func TestFromColumnNullsAreDistinct(t *testing.T) {
+	p := FromColumn(colFromInts([]int{-1, -1, -1}))
+	if p.NumClasses() != 0 {
+		t.Errorf("NULLs must not group: %v", p.Classes)
+	}
+}
+
+func TestSingle(t *testing.T) {
+	p := Single(4)
+	if p.NumClasses() != 1 || len(p.Classes[0]) != 4 {
+		t.Errorf("Single(4) = %v", p.Classes)
+	}
+	if Single(1).NumClasses() != 0 {
+		t.Error("Single(1) should be empty")
+	}
+}
+
+func TestErrorMeasure(t *testing.T) {
+	// {1,1,1,2}: one class of 3 → e = (3-1)/4 = 0.5.
+	p := FromColumn(colFromInts([]int{1, 1, 1, 2}))
+	if got := p.Error(); got != 0.5 {
+		t.Errorf("Error = %v, want 0.5", got)
+	}
+	// All distinct → key → 0.
+	if got := FromColumn(colFromInts([]int{1, 2, 3})).Error(); got != 0 {
+		t.Errorf("key Error = %v", got)
+	}
+	if (&Partition{}).Error() != 0 {
+		t.Error("empty partition error should be 0")
+	}
+}
+
+func TestProductMatchesDirectConstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(4)
+			b[i] = rng.Intn(4)
+		}
+		pa, pb := FromColumn(colFromInts(a)), FromColumn(colFromInts(b))
+		prod := Product(pa, pb)
+		// Direct: group by the (a,b) value pair.
+		groups := map[[2]int][]int{}
+		for i := range a {
+			k := [2]int{a[i], b[i]}
+			groups[k] = append(groups[k], i)
+		}
+		var want [][]int
+		for _, g := range groups {
+			if len(g) >= 2 {
+				want = append(want, g)
+			}
+		}
+		return samePartition(prod.Classes, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func samePartition(a, b [][]int) bool {
+	norm := func(cs [][]int) []string {
+		out := make([]string, 0, len(cs))
+		for _, c := range cs {
+			cc := append([]int(nil), c...)
+			sort.Ints(cc)
+			s := ""
+			for _, v := range cc {
+				s += strconv.Itoa(v) + ","
+			}
+			out = append(out, s)
+		}
+		sort.Strings(out)
+		return out
+	}
+	na, nb := norm(a), norm(b)
+	if len(na) != len(nb) {
+		return false
+	}
+	for i := range na {
+		if na[i] != nb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestProductIsMeet(t *testing.T) {
+	// Product refines both inputs; product with Single is identity.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(3)
+			b[i] = rng.Intn(3)
+		}
+		pa, pb := FromColumn(colFromInts(a)), FromColumn(colFromInts(b))
+		prod := Product(pa, pb)
+		if !prod.Refines(pa) || !prod.Refines(pb) {
+			return false
+		}
+		idp := Product(pa, Single(n))
+		return samePartition(idp.Classes, pa.Classes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefinesPartialOrder(t *testing.T) {
+	a := FromColumn(colFromInts([]int{0, 0, 1, 1}))
+	fine := FromColumn(colFromInts([]int{0, 0, 1, 2}))
+	if !fine.Refines(a) {
+		t.Error("finer partition should refine coarser")
+	}
+	if a.Refines(fine) {
+		t.Error("coarser must not refine finer")
+	}
+	if !a.Refines(a) {
+		t.Error("Refines must be reflexive")
+	}
+}
+
+func TestG3ErrorExactFD(t *testing.T) {
+	// X = {0,0,1,1}, Y = {5,5,7,7}: X→Y exact.
+	rel := relFromCodes([][]int{{0, 5}, {0, 5}, {1, 7}, {1, 7}}, "x", "y")
+	px := FromColumns(rel, []int{0})
+	pxy := FromColumns(rel, []int{0, 1})
+	if g := G3Error(px, pxy); g != 0 {
+		t.Errorf("g3 = %v, want 0", g)
+	}
+	if Violates(px, pxy) {
+		t.Error("exact FD flagged as violated")
+	}
+}
+
+func TestG3ErrorApproximateFD(t *testing.T) {
+	// X class {0,1,2} maps to Y values {5,5,9} → 1 removal; N=4 → 0.25.
+	rel := relFromCodes([][]int{{0, 5}, {0, 5}, {0, 9}, {1, 7}}, "x", "y")
+	px := FromColumns(rel, []int{0})
+	pxy := FromColumns(rel, []int{0, 1})
+	if g := G3Error(px, pxy); g != 0.25 {
+		t.Errorf("g3 = %v, want 0.25", g)
+	}
+	if !Violates(px, pxy) {
+		t.Error("violated FD not flagged")
+	}
+}
+
+func TestG3ErrorBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		rows := make([][]int, n)
+		for i := range rows {
+			rows[i] = []int{rng.Intn(3), rng.Intn(3)}
+		}
+		rel := relFromCodes(rows, "x", "y")
+		px := FromColumns(rel, []int{0})
+		pxy := FromColumns(rel, []int{0, 1})
+		g := G3Error(px, pxy)
+		return g >= 0 && g <= 1 && (g == 0) == !Violates(px, pxy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromColumnsEmptySet(t *testing.T) {
+	rel := relFromCodes([][]int{{0}, {1}, {0}}, "x")
+	p := FromColumns(rel, nil)
+	if p.NumClasses() != 1 || len(p.Classes[0]) != 3 {
+		t.Errorf("empty set partition = %v", p.Classes)
+	}
+}
+
+func TestFromColumnsMultiAttribute(t *testing.T) {
+	rel := relFromCodes([][]int{{0, 0, 1}, {0, 0, 1}, {0, 1, 2}, {1, 0, 3}}, "a", "b", "c")
+	p := FromColumns(rel, []int{0, 1})
+	if p.NumClasses() != 1 || len(p.Classes[0]) != 2 {
+		t.Errorf("partition over {a,b} = %v", p.Classes)
+	}
+}

@@ -1,0 +1,109 @@
+package pyro
+
+import (
+	"math/rand"
+	"sort"
+
+	"fdx/internal/attrset"
+	"fdx/internal/dataset"
+)
+
+// agreeSetSampler estimates FD errors from a sample of tuple pairs, the
+// way the original PYRO seeds its search: each sampled pair contributes an
+// "agree set" (the attributes on which the two tuples agree), and the
+// error of X→A is estimated as
+//
+//	ê(X→A) = #{pairs agreeing on X but not on A} / #{pairs agreeing on X}
+//
+// — the pair-violation rate among X-agreeing pairs. Pairs are drawn with a
+// focused scheme: half uniformly, half between tuples adjacent under a
+// random attribute's sort order (uniform pairs almost never agree on
+// anything in high-cardinality data, so focused pairs keep the numerator
+// populated).
+type agreeSetSampler struct {
+	sets   []attrset.Set
+	counts []int // multiplicity per distinct agree set
+}
+
+// newAgreeSetSampler draws `pairs` tuple pairs from the relation.
+func newAgreeSetSampler(rel *dataset.Relation, pairs int, seed int64) *agreeSetSampler {
+	n := rel.NumRows()
+	k := rel.NumCols()
+	s := &agreeSetSampler{}
+	if n < 2 || k == 0 || pairs <= 0 {
+		return s
+	}
+	rng := rand.New(rand.NewSource(seed))
+	index := map[string]int{}
+	addPair := func(a, b int) {
+		if a == b {
+			return
+		}
+		var set attrset.Set
+		for j := 0; j < k; j++ {
+			col := rel.Columns[j]
+			ca, cb := col.Code(a), col.Code(b)
+			if ca != dataset.Missing && ca == cb {
+				set = set.With(j)
+			}
+		}
+		key := set.Key()
+		if i, ok := index[key]; ok {
+			s.counts[i]++
+			return
+		}
+		index[key] = len(s.sets)
+		s.sets = append(s.sets, set)
+		s.counts = append(s.counts, 1)
+	}
+
+	// Uniform pairs.
+	for i := 0; i < pairs/2; i++ {
+		addPair(rng.Intn(n), rng.Intn(n))
+	}
+	// Focused pairs: adjacent under a random attribute's sort order.
+	perAttr := (pairs - pairs/2) / k
+	if perAttr < 1 {
+		perAttr = 1
+	}
+	order := make([]int, n)
+	for j := 0; j < k; j++ {
+		col := rel.Columns[j]
+		for i := range order {
+			order[i] = i
+		}
+		// Partial shuffle + sort by code keeps this O(n log n) per attr.
+		rng.Shuffle(n, func(a, b int) { order[a], order[b] = order[b], order[a] })
+		sortByCode(order, col)
+		for i := 0; i < perAttr; i++ {
+			p := rng.Intn(n - 1)
+			addPair(order[p], order[p+1])
+		}
+	}
+	return s
+}
+
+func sortByCode(order []int, col *dataset.Column) {
+	sort.SliceStable(order, func(a, b int) bool {
+		return col.Code(order[a]) < col.Code(order[b])
+	})
+}
+
+// Estimate returns ê(X→A) and the number of sampled pairs agreeing on X.
+// With no X-agreeing pairs in the sample the estimate is 0 (optimistic, as
+// in PYRO — validation catches false positives).
+func (s *agreeSetSampler) Estimate(x attrset.Set, rhs int) (float64, int) {
+	agree, violate := 0, 0
+	for i, set := range s.sets {
+		if x.SubsetOf(set) {
+			agree += s.counts[i]
+			if !set.Has(rhs) {
+				violate += s.counts[i]
+			}
+		}
+	}
+	if agree == 0 {
+		return 0, 0
+	}
+	return float64(violate) / float64(agree), agree
+}

@@ -1,0 +1,84 @@
+package pyro
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fdx/internal/attrset"
+	"fdx/internal/partition"
+)
+
+func TestAgreeSetEstimateExactFD(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]int, 500)
+	for i := range rows {
+		a := rng.Intn(6)
+		rows[i] = []int{a, a % 3, rng.Intn(4)}
+	}
+	rel := relFromCodes(rows, "a", "b", "c")
+	s := newAgreeSetSampler(rel, 2000, 1)
+	e, support := s.Estimate(attrset.New(0), 1)
+	if support == 0 {
+		t.Fatal("no pairs agreed on a frequent attribute")
+	}
+	if e != 0 {
+		t.Errorf("exact FD estimated error = %v", e)
+	}
+	// c is independent of a: error should be clearly positive.
+	e, _ = s.Estimate(attrset.New(0), 2)
+	if e < 0.3 {
+		t.Errorf("independent attribute estimated error = %v, want large", e)
+	}
+}
+
+func TestAgreeSetEstimateTracksG3(t *testing.T) {
+	// On noisy data the agree-set estimate should approximate the exact
+	// pairwise behaviour: compare ordering rather than value against g3.
+	rng := rand.New(rand.NewSource(2))
+	rows := make([][]int, 800)
+	for i := range rows {
+		a := rng.Intn(5)
+		b := a
+		if rng.Float64() < 0.1 {
+			b = rng.Intn(5)
+		}
+		rows[i] = []int{a, b, rng.Intn(5)}
+	}
+	rel := relFromCodes(rows, "a", "b", "c")
+	s := newAgreeSetSampler(rel, 4000, 2)
+	eFD, _ := s.Estimate(attrset.New(0), 1)
+	eInd, _ := s.Estimate(attrset.New(0), 2)
+	if eFD >= eInd {
+		t.Errorf("noisy FD (%v) should estimate below independent (%v)", eFD, eInd)
+	}
+	// Sanity vs g3.
+	px := partition.FromColumns(rel, []int{0})
+	pxy := partition.Product(px, partition.FromColumn(rel.Columns[1]))
+	g3 := partition.G3Error(px, pxy)
+	if math.Abs(eFD-g3) > 0.25 {
+		t.Errorf("agree-set estimate %v too far from g3 %v", eFD, g3)
+	}
+}
+
+func TestAgreeSetDegenerate(t *testing.T) {
+	rel := relFromCodes([][]int{{0}}, "a")
+	s := newAgreeSetSampler(rel, 100, 1)
+	if e, support := s.Estimate(attrset.New(0), 0); e != 0 || support != 0 {
+		t.Errorf("single-row sampler should be empty: %v %v", e, support)
+	}
+}
+
+func TestPyroWithAgreeSetEstimator(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows := make([][]int, 500)
+	for i := range rows {
+		a := rng.Intn(8)
+		rows[i] = []int{a, a % 4, rng.Intn(5)}
+	}
+	rel := relFromCodes(rows, "a", "b", "c")
+	fds := Discover(rel, Options{Seed: 3, AgreeSetPairs: 3000})
+	if !hasFD(fds, []int{0}, 1) {
+		t.Errorf("agree-set mode missed a→b: %v", fds)
+	}
+}

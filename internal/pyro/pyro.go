@@ -1,0 +1,335 @@
+// Package pyro implements a PYRO-style approximate FD discovery algorithm
+// (Kruse & Naumann, "Efficient Discovery of Approximate Dependencies",
+// VLDB 2018). Like the original, it runs one search space per RHS
+// attribute, uses error estimates computed on a row sample to steer the
+// search ("ascend"), validates candidates exactly with stripped partitions,
+// and peels validated candidates back to minimal determinant sets
+// ("trickle down").
+//
+// This is a best-effort reimplementation at reduced engineering scale (the
+// original is a large Java system); it preserves the qualitative behaviour
+// the FDX paper relies on: syntactic discovery with an error budget — high
+// recall, a tendency to emit many FDs on noisy data, and speed from
+// sampling.
+package pyro
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+	"time"
+
+	"fdx/internal/attrset"
+	"fdx/internal/core"
+	"fdx/internal/dataset"
+	"fdx/internal/partition"
+)
+
+// Options configures the search.
+type Options struct {
+	// MaxError is the g3 error budget for an approximate FD.
+	MaxError float64
+	// SampleRows is the number of rows in the estimation sample
+	// (default 1000).
+	SampleRows int
+	// MaxLHS caps determinant size (default 5).
+	MaxLHS int
+	// MaxVisitsPerRHS bounds the number of exact validations per search
+	// space (default 200).
+	MaxVisitsPerRHS int
+	// Seed drives sampling.
+	Seed int64
+	// Deadline, when non-zero, stops the search with partial results once
+	// the wall clock passes it.
+	Deadline time.Time
+	// AgreeSetPairs, when positive, switches the error estimator from
+	// sampled-relation partitions to agree-set pair sampling with that
+	// many pairs — the estimator of the original PYRO. Exact validation is
+	// unaffected.
+	AgreeSetPairs int
+}
+
+func (o *Options) defaults() {
+	if o.SampleRows == 0 {
+		o.SampleRows = 1000
+	}
+	if o.MaxLHS == 0 {
+		o.MaxLHS = 5
+	}
+	if o.MaxVisitsPerRHS == 0 {
+		o.MaxVisitsPerRHS = 200
+	}
+}
+
+// Discover returns the minimal approximate FDs found by the search.
+func Discover(rel *dataset.Relation, opts Options) []core.FD {
+	opts.defaults()
+	k := rel.NumCols()
+	n := rel.NumRows()
+	if k < 2 || n == 0 {
+		return nil
+	}
+
+	sample := sampleRelation(rel, opts.SampleRows, opts.Seed)
+	var agreeSets *agreeSetSampler
+	if opts.AgreeSetPairs > 0 {
+		agreeSets = newAgreeSetSampler(rel, opts.AgreeSetPairs, opts.Seed)
+	}
+
+	var fds []core.FD
+	for rhs := 0; rhs < k; rhs++ {
+		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+			break
+		}
+		space := &searchSpace{
+			rel:       rel,
+			sample:    sample,
+			agreeSets: agreeSets,
+			rhs:       rhs,
+			opts:      &opts,
+			parts:     map[string]*partition.Partition{},
+			sparts:    map[string]*partition.Partition{},
+			visited:   map[string]bool{},
+		}
+		fds = append(fds, space.run()...)
+	}
+	fds = dedupMinimal(fds)
+	core.SortFDs(fds)
+	return fds
+}
+
+// searchSpace is the per-RHS search state.
+type searchSpace struct {
+	rel       *dataset.Relation
+	sample    *dataset.Relation
+	agreeSets *agreeSetSampler
+	rhs       int
+	opts      *Options
+
+	parts   map[string]*partition.Partition // full-data partition cache
+	sparts  map[string]*partition.Partition // sample partition cache
+	visited map[string]bool
+}
+
+type candidate struct {
+	set attrset.Set
+	est float64
+}
+
+type candHeap []candidate
+
+func (h candHeap) Len() int            { return len(h) }
+func (h candHeap) Less(i, j int) bool  { return h[i].est < h[j].est }
+func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(candidate)) }
+func (h *candHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func (s *searchSpace) run() []core.FD {
+	k := s.rel.NumCols()
+	agenda := &candHeap{}
+	for a := 0; a < k; a++ {
+		if a == s.rhs {
+			continue
+		}
+		set := attrset.New(a)
+		heap.Push(agenda, candidate{set: set, est: s.estimate(set)})
+	}
+
+	var found []attrset.Set
+	visits := 0
+	for agenda.Len() > 0 && visits < s.opts.MaxVisitsPerRHS {
+		if visits%16 == 0 && !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline) {
+			break
+		}
+		cand := heap.Pop(agenda).(candidate)
+		key := cand.set.Key()
+		if s.visited[key] {
+			continue
+		}
+		s.visited[key] = true
+		// Skip supersets of already-found minimal FDs.
+		covered := false
+		for _, f := range found {
+			if f.SubsetOf(cand.set) {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			continue
+		}
+		visits++
+		err := s.exactError(cand.set)
+		if err <= s.opts.MaxError {
+			min := s.trickleDown(cand.set)
+			found = append(found, min)
+			continue
+		}
+		// Ascend: push extensions ordered by estimated error.
+		if cand.set.Len() >= s.opts.MaxLHS {
+			continue
+		}
+		type ext struct {
+			set attrset.Set
+			est float64
+		}
+		var exts []ext
+		for a := 0; a < k; a++ {
+			if a == s.rhs || cand.set.Has(a) {
+				continue
+			}
+			e := cand.set.With(a)
+			if s.visited[e.Key()] {
+				continue
+			}
+			exts = append(exts, ext{set: e, est: s.estimate(e)})
+		}
+		sort.Slice(exts, func(i, j int) bool { return exts[i].est < exts[j].est })
+		// Launchpads: keep the three most promising extensions.
+		for i := 0; i < len(exts) && i < 3; i++ {
+			heap.Push(agenda, candidate{set: exts[i].set, est: exts[i].est})
+		}
+	}
+
+	var fds []core.FD
+	for _, f := range found {
+		fd := core.FD{LHS: f.Members(), RHS: s.rhs, Score: 1 - s.exactError(f)}
+		fd.Normalize()
+		if len(fd.LHS) > 0 {
+			fds = append(fds, fd)
+		}
+	}
+	return fds
+}
+
+// trickleDown peels attributes off a validated set while the FD still holds
+// within budget, yielding a minimal determinant set.
+func (s *searchSpace) trickleDown(set attrset.Set) attrset.Set {
+	improved := true
+	for improved && set.Len() > 1 {
+		improved = false
+		// Try removals in ascending estimated-error order for stability.
+		members := set.Members()
+		type rem struct {
+			set attrset.Set
+			est float64
+		}
+		var rems []rem
+		for _, a := range members {
+			r := set.Without(a)
+			rems = append(rems, rem{set: r, est: s.estimate(r)})
+		}
+		sort.Slice(rems, func(i, j int) bool { return rems[i].est < rems[j].est })
+		for _, r := range rems {
+			if s.exactError(r.set) <= s.opts.MaxError {
+				set = r.set
+				improved = true
+				break
+			}
+		}
+	}
+	return set
+}
+
+// estimate computes the candidate's error estimate: the agree-set pair
+// estimator when configured, otherwise the g3 error on the row sample.
+func (s *searchSpace) estimate(set attrset.Set) float64 {
+	if s.agreeSets != nil {
+		e, _ := s.agreeSets.Estimate(set, s.rhs)
+		return e
+	}
+	return g3On(s.sample, s.sparts, set, s.rhs)
+}
+
+// exactError computes the g3 error on the full relation.
+func (s *searchSpace) exactError(set attrset.Set) float64 {
+	return g3On(s.rel, s.parts, set, s.rhs)
+}
+
+func g3On(rel *dataset.Relation, cache map[string]*partition.Partition, set attrset.Set, rhs int) float64 {
+	px := partitionOf(rel, cache, set)
+	pxy := partitionOf(rel, cache, set.With(rhs))
+	return partition.G3Error(px, pxy)
+}
+
+func partitionOf(rel *dataset.Relation, cache map[string]*partition.Partition, set attrset.Set) *partition.Partition {
+	key := set.Key()
+	if p, ok := cache[key]; ok {
+		return p
+	}
+	members := set.Members()
+	var p *partition.Partition
+	if len(members) == 0 {
+		p = partition.Single(rel.NumRows())
+	} else if len(members) == 1 {
+		p = partition.FromColumn(rel.Columns[members[0]])
+	} else {
+		// Build from a cached subset when possible.
+		sub := set.Without(members[len(members)-1])
+		p = partition.Product(
+			partitionOf(rel, cache, sub),
+			partitionOf(rel, cache, attrset.New(members[len(members)-1])),
+		)
+	}
+	cache[key] = p
+	return p
+}
+
+// sampleRelation takes a uniform row sample of the relation.
+func sampleRelation(rel *dataset.Relation, rows int, seed int64) *dataset.Relation {
+	n := rel.NumRows()
+	if n <= rows {
+		return rel
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(n)[:rows]
+	sort.Ints(idx)
+	out := dataset.New(rel.Name+"-sample", rel.AttrNames()...)
+	for j, c := range out.Columns {
+		c.Type = rel.Columns[j].Type
+	}
+	for _, i := range idx {
+		out.AppendRow(rel.Row(i))
+	}
+	return out
+}
+
+// dedupMinimal removes duplicate FDs and FDs whose LHS is a superset of
+// another found FD with the same RHS.
+func dedupMinimal(fds []core.FD) []core.FD {
+	byRHS := map[int][]core.FD{}
+	for _, fd := range fds {
+		byRHS[fd.RHS] = append(byRHS[fd.RHS], fd)
+	}
+	var out []core.FD
+	for _, group := range byRHS {
+		sort.Slice(group, func(i, j int) bool { return len(group[i].LHS) < len(group[j].LHS) })
+		var kept []core.FD
+		seen := map[string]bool{}
+		for _, fd := range group {
+			set := attrset.FromSlice(fd.LHS)
+			if seen[set.Key()] {
+				continue
+			}
+			redundant := false
+			for _, k := range kept {
+				if attrset.FromSlice(k.LHS).SubsetOf(set) {
+					redundant = true
+					break
+				}
+			}
+			if !redundant {
+				kept = append(kept, fd)
+				seen[set.Key()] = true
+			}
+		}
+		out = append(out, kept...)
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package pyro
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"fdx/internal/core"
+	"fdx/internal/dataset"
+	"fdx/internal/tane"
+)
+
+func relFromCodes(rows [][]int, names ...string) *dataset.Relation {
+	r := dataset.New("t", names...)
+	for _, row := range rows {
+		s := make([]string, len(row))
+		for j, v := range row {
+			s[j] = strconv.Itoa(v)
+		}
+		r.AppendRow(s)
+	}
+	return r
+}
+
+func hasFD(fds []core.FD, lhs []int, rhs int) bool {
+	for _, fd := range fds {
+		if fd.RHS != rhs || len(fd.LHS) != len(lhs) {
+			continue
+		}
+		match := true
+		for i := range lhs {
+			if fd.LHS[i] != lhs[i] {
+				match = false
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPyroFindsSimpleFDs(t *testing.T) {
+	// a → b (8→4 table), c independent.
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]int, 400)
+	for i := range rows {
+		a := rng.Intn(8)
+		rows[i] = []int{a, a % 4, rng.Intn(5)}
+	}
+	rel := relFromCodes(rows, "a", "b", "c")
+	fds := Discover(rel, Options{Seed: 1})
+	if !hasFD(fds, []int{0}, 1) {
+		t.Errorf("a→b not found: %v", fds)
+	}
+}
+
+func TestPyroFindsCompositeFD(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tab := make([][]int, 6)
+	for i := range tab {
+		tab[i] = make([]int, 6)
+		for j := range tab[i] {
+			tab[i][j] = rng.Intn(30)
+		}
+	}
+	rows := make([][]int, 600)
+	for i := range rows {
+		a, b := rng.Intn(6), rng.Intn(6)
+		rows[i] = []int{a, b, tab[a][b]}
+	}
+	rel := relFromCodes(rows, "a", "b", "c")
+	fds := Discover(rel, Options{Seed: 2})
+	if !hasFD(fds, []int{0, 1}, 2) {
+		t.Errorf("{a,b}→c not found: %v", fds)
+	}
+}
+
+func TestPyroMinimality(t *testing.T) {
+	// a→b exactly; {a,c}→b must not be reported.
+	rng := rand.New(rand.NewSource(3))
+	rows := make([][]int, 300)
+	for i := range rows {
+		a := rng.Intn(10)
+		rows[i] = []int{a, a % 5, rng.Intn(4)}
+	}
+	rel := relFromCodes(rows, "a", "b", "c")
+	fds := Discover(rel, Options{Seed: 3})
+	for _, fd := range fds {
+		if fd.RHS == 1 && len(fd.LHS) > 1 {
+			t.Errorf("non-minimal FD reported: %v", fd)
+		}
+	}
+}
+
+func TestPyroApproximateBudget(t *testing.T) {
+	// a→b with 5% violations: found at ε=0.1, absent at ε=0.
+	rng := rand.New(rand.NewSource(4))
+	rows := make([][]int, 500)
+	for i := range rows {
+		a := rng.Intn(6)
+		b := a
+		if rng.Float64() < 0.05 {
+			b = rng.Intn(6)
+		}
+		rows[i] = []int{a, b}
+	}
+	rel := relFromCodes(rows, "a", "b")
+	strict := Discover(rel, Options{Seed: 4})
+	if hasFD(strict, []int{0}, 1) {
+		t.Errorf("noisy FD reported at zero budget: %v", strict)
+	}
+	loose := Discover(rel, Options{MaxError: 0.1, Seed: 4})
+	if !hasFD(loose, []int{0}, 1) {
+		t.Errorf("approximate FD missed at 10%% budget: %v", loose)
+	}
+}
+
+func TestPyroAgreesWithTaneOnCleanData(t *testing.T) {
+	// On small clean data, Pyro's found set should be a subset of TANE's
+	// exact minimal FDs (sound) and should recover most of them.
+	rng := rand.New(rand.NewSource(5))
+	rows := make([][]int, 200)
+	for i := range rows {
+		a := rng.Intn(5)
+		rows[i] = []int{a, (a * 2) % 5, rng.Intn(3)}
+	}
+	rel := relFromCodes(rows, "a", "b", "c")
+	pyroFDs := Discover(rel, Options{Seed: 5})
+	taneFDs := tane.Discover(rel, tane.Options{})
+	taneSet := map[string]bool{}
+	for _, fd := range taneFDs {
+		taneSet[fd.String()] = true
+	}
+	for _, fd := range pyroFDs {
+		if !taneSet[fd.String()] {
+			t.Errorf("pyro found FD not in TANE's exact set: %v (tane: %v)", fd, taneFDs)
+		}
+	}
+	if len(pyroFDs) == 0 {
+		t.Error("pyro found nothing on clean data with FDs")
+	}
+}
+
+func TestPyroDegenerateInputs(t *testing.T) {
+	if fds := Discover(dataset.New("t"), Options{}); fds != nil {
+		t.Error("empty relation should yield nil")
+	}
+	rel := relFromCodes([][]int{{1}}, "a")
+	if fds := Discover(rel, Options{}); fds != nil {
+		t.Error("single column should yield nil")
+	}
+}
+
+func TestSampleRelation(t *testing.T) {
+	rows := make([][]int, 100)
+	for i := range rows {
+		rows[i] = []int{i}
+	}
+	rel := relFromCodes(rows, "a")
+	s := sampleRelation(rel, 10, 1)
+	if s.NumRows() != 10 {
+		t.Errorf("sample rows = %d", s.NumRows())
+	}
+	if s2 := sampleRelation(rel, 1000, 1); s2 != rel {
+		t.Error("oversized sample should return the original relation")
+	}
+}
+
+func TestDedupMinimal(t *testing.T) {
+	fds := []core.FD{
+		{LHS: []int{0}, RHS: 2},
+		{LHS: []int{0, 1}, RHS: 2}, // superset: drop
+		{LHS: []int{0}, RHS: 2},    // duplicate: drop
+		{LHS: []int{1}, RHS: 3},
+	}
+	out := dedupMinimal(fds)
+	if len(out) != 2 {
+		t.Errorf("dedup = %v", out)
+	}
+}

@@ -1,0 +1,211 @@
+package realdata
+
+import (
+	"testing"
+
+	"fdx/internal/dataset"
+	"fdx/internal/partition"
+)
+
+func TestTable3Shapes(t *testing.T) {
+	cases := []struct {
+		name       string
+		rows, cols int
+	}{
+		{"australian", 690, 15},
+		{"hospital", 1000, 17},
+		{"mammographic", 830, 6},
+		{"nypd", 34382, 17},
+		{"thoracic", 470, 17},
+		{"tictactoe", 958, 10},
+	}
+	for _, c := range cases {
+		rel, err := ByName(c.name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel.NumRows() != c.rows || rel.NumCols() != c.cols {
+			t.Errorf("%s: %dx%d, want %dx%d", c.name, rel.NumRows(), rel.NumCols(), c.rows, c.cols)
+		}
+		if err := rel.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+	if _, err := ByName("bogus", 1); err == nil {
+		t.Error("unknown data set accepted")
+	}
+	if len(Names()) != 6 {
+		t.Error("Names should list six data sets")
+	}
+}
+
+func TestMostHaveMissingValues(t *testing.T) {
+	for _, name := range Names() {
+		if name == "tictactoe" {
+			continue // complete by construction, like the original
+		}
+		rel, _ := ByName(name, 1)
+		if rel.MissingRate() == 0 {
+			t.Errorf("%s: no missing values", name)
+		}
+		if rel.MissingRate() > 0.2 {
+			t.Errorf("%s: unrealistically high missing rate %v", name, rel.MissingRate())
+		}
+	}
+}
+
+// fdHolds checks X→Y exactly via partitions.
+func fdHolds(rel *dataset.Relation, lhs []int, rhs int) bool {
+	px := partition.FromColumns(rel, lhs)
+	pxy := partition.Product(px, partition.FromColumn(rel.Columns[rhs]))
+	return !partition.Violates(px, pxy)
+}
+
+func TestHospitalEmbeddedFDs(t *testing.T) {
+	rel, _ := ByName("hospital", 2)
+	idx := rel.ColumnIndex
+	cases := []struct {
+		lhs []string
+		rhs string
+	}{
+		{[]string{"ProviderNumber"}, "HospitalName"},
+		{[]string{"ProviderNumber"}, "ZipCode"},
+		{[]string{"ZipCode"}, "City"},
+		{[]string{"MeasureCode"}, "MeasureName"},
+		{[]string{"MeasureCode"}, "Condition"},
+		{[]string{"State", "MeasureCode"}, "Stateavg"},
+	}
+	for _, c := range cases {
+		lhs := make([]int, len(c.lhs))
+		for i, n := range c.lhs {
+			lhs[i] = idx(n)
+		}
+		if !fdHolds(rel, lhs, idx(c.rhs)) {
+			t.Errorf("hospital: %v -> %s does not hold", c.lhs, c.rhs)
+		}
+	}
+	// City → CountyName holds approximately: CountyName carries naturally
+	// missing values, which break the exact FD (NULLs equal nothing).
+	px := partition.FromColumns(rel, []int{idx("City")})
+	pxy := partition.Product(px, partition.FromColumn(rel.Columns[idx("CountyName")]))
+	if g3 := partition.G3Error(px, pxy); g3 > 0.05 {
+		t.Errorf("City -> CountyName g3 = %v, want ≤ 0.05", g3)
+	}
+}
+
+func TestHospitalStateSkew(t *testing.T) {
+	// The paper notes one state covers ≈89% of Hospital rows.
+	rel, _ := ByName("hospital", 3)
+	col := rel.Columns[rel.ColumnIndex("State")]
+	counts := map[string]int{}
+	for i := 0; i < col.Len(); i++ {
+		if v, ok := col.Value(i); ok {
+			counts[v]++
+		}
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if frac := float64(max) / float64(col.Len()); frac < 0.8 {
+		t.Errorf("state skew %v, want ≥0.8", frac)
+	}
+}
+
+func TestNYPDEmbeddedFDs(t *testing.T) {
+	rel, _ := ByName("nypd", 4)
+	idx := rel.ColumnIndex
+	if !fdHolds(rel, []int{idx("KY_CD")}, idx("OFNS_DESC")) {
+		t.Error("KY_CD -> OFNS_DESC does not hold")
+	}
+	if !fdHolds(rel, []int{idx("KY_CD")}, idx("LAW_CAT_CD")) {
+		t.Error("KY_CD -> LAW_CAT_CD does not hold")
+	}
+	if !fdHolds(rel, []int{idx("ADDR_PCT_CD")}, idx("BORO_NM")) {
+		t.Error("ADDR_PCT_CD -> BORO_NM does not hold")
+	}
+}
+
+func TestTicTacToeBoardsAreTerminalAndDistinct(t *testing.T) {
+	rel, _ := ByName("tictactoe", 5)
+	seen := map[string]bool{}
+	for i := 0; i < rel.NumRows(); i++ {
+		row := rel.Row(i)
+		key := ""
+		for _, v := range row[:9] {
+			key += v
+		}
+		if seen[key] {
+			t.Fatal("duplicate board")
+		}
+		seen[key] = true
+		var b [9]byte
+		for j := 0; j < 9; j++ {
+			b[j] = row[j][0]
+		}
+		w := winner(b)
+		if (w == 'x') != (row[9] == "positive") {
+			t.Fatalf("class label inconsistent with board %v %s", row[:9], row[9])
+		}
+	}
+}
+
+func TestMammographicStructure(t *testing.T) {
+	// severity should be strongly associated with shape+margin (not exact
+	// due to the 5% flip), and rads with severity.
+	rel, _ := ByName("mammographic", 6)
+	idx := rel.ColumnIndex
+	sev := idx("severity")
+	agree := 0
+	n := rel.NumRows()
+	for i := 0; i < n; i++ {
+		shape := rel.Columns[idx("shape")]
+		margin := rel.Columns[idx("margin")]
+		s, _ := shape.Value(i)
+		m, _ := margin.Value(i)
+		v, _ := rel.Columns[sev].Value(i)
+		si, _ := atoiSafe(s)
+		mi, _ := atoiSafe(m)
+		want := "0"
+		if si+mi >= 7 {
+			want = "1"
+		}
+		if v == want {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(n); frac < 0.9 {
+		t.Errorf("severity agreement with {shape,margin} rule = %v", frac)
+	}
+}
+
+func atoiSafe(s string) (int, bool) {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+func TestSeedsVaryData(t *testing.T) {
+	a, _ := ByName("australian", 1)
+	b, _ := ByName("australian", 2)
+	same := true
+	for i := 0; i < a.NumRows() && same; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			if ra[j] != rb[j] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}

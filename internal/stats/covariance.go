@@ -1,0 +1,233 @@
+// Package stats provides the statistical primitives shared across FDX and
+// the baselines: empirical covariance/correlation, discrete entropies and
+// mutual information, the expected mutual information under the permutation
+// model (the bias correction used by the RFI baseline), and a chi-squared
+// independence test (used by the CORDS baseline).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"fdx/internal/linalg"
+)
+
+// Mean returns the column means of data (rows are observations).
+func Mean(data *linalg.Dense) []float64 {
+	n, k := data.Dims()
+	mu := make([]float64, k)
+	if n == 0 {
+		return mu
+	}
+	for i := 0; i < n; i++ {
+		row := data.Row(i)
+		for j, v := range row {
+			mu[j] += v
+		}
+	}
+	for j := range mu {
+		mu[j] /= float64(n)
+	}
+	return mu
+}
+
+// Covariance returns the empirical covariance matrix of data (rows are
+// observations, columns variables), normalizing by n.
+func Covariance(data *linalg.Dense) *linalg.Dense {
+	n, k := data.Dims()
+	mu := Mean(data)
+	s := linalg.NewDense(k, k)
+	if n == 0 {
+		return s
+	}
+	for i := 0; i < n; i++ {
+		row := data.Row(i)
+		for a := 0; a < k; a++ {
+			da := row[a] - mu[a]
+			if da == 0 {
+				continue
+			}
+			srow := s.Row(a)
+			for b := a; b < k; b++ {
+				srow[b] += da * (row[b] - mu[b])
+			}
+		}
+	}
+	inv := 1 / float64(n)
+	for a := 0; a < k; a++ {
+		for b := a; b < k; b++ {
+			v := s.At(a, b) * inv
+			s.Set(a, b, v)
+			s.Set(b, a, v)
+		}
+	}
+	return s
+}
+
+// SecondMoment returns (1/n)·XᵀX without mean-centering. This is the
+// covariance estimator FDX applies to the tuple-pair difference samples:
+// the pair transform already yields a distribution whose relevant structure
+// is around a fixed (not estimated) center, which is what makes the
+// estimate robust to corrupted cells (paper §4.3).
+func SecondMoment(data *linalg.Dense) *linalg.Dense {
+	n, k := data.Dims()
+	s := linalg.NewDense(k, k)
+	if n == 0 {
+		return s
+	}
+	for i := 0; i < n; i++ {
+		row := data.Row(i)
+		for a := 0; a < k; a++ {
+			va := row[a]
+			if va == 0 {
+				continue
+			}
+			srow := s.Row(a)
+			for b := a; b < k; b++ {
+				srow[b] += va * row[b]
+			}
+		}
+	}
+	inv := 1 / float64(n)
+	for a := 0; a < k; a++ {
+		for b := a; b < k; b++ {
+			v := s.At(a, b) * inv
+			s.Set(a, b, v)
+			s.Set(b, a, v)
+		}
+	}
+	return s
+}
+
+// StratifiedCovariance splits the rows of data into `strata` contiguous
+// equal-size blocks, computes the covariance within each block, and returns
+// the average. FDX's pair transform (Alg. 2) emits one block per attribute
+// (pairs adjacent under that attribute's sort order); the blocks have very
+// different marginal means, and pooling them into a single covariance
+// manufactures spurious negative cross-correlations between unrelated
+// attributes. Per-stratum centering removes that sampling artifact while
+// keeping every block's dependence signal.
+func StratifiedCovariance(data *linalg.Dense, strata int) *linalg.Dense {
+	n, k := data.Dims()
+	if strata <= 1 || n == 0 || n%strata != 0 {
+		return Covariance(data)
+	}
+	block := n / strata
+	acc := linalg.NewDense(k, k)
+	// Strata are independent; compute their covariances concurrently.
+	covs := make([]*linalg.Dense, strata)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > strata {
+		workers = strata
+	}
+	strataCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range strataCh {
+				sub := linalg.NewDenseData(block, k, data.Data()[s*block*k:(s+1)*block*k])
+				covs[s] = Covariance(sub)
+			}
+		}()
+	}
+	for s := 0; s < strata; s++ {
+		strataCh <- s
+	}
+	close(strataCh)
+	wg.Wait()
+	for _, cov := range covs {
+		for i, v := range cov.Data() {
+			acc.Data()[i] += v
+		}
+	}
+	acc.Scale(1 / float64(strata))
+	return acc
+}
+
+// Correlation converts a covariance matrix to a correlation matrix.
+// Zero-variance variables get unit diagonal and zero off-diagonals.
+func Correlation(cov *linalg.Dense) *linalg.Dense {
+	k, _ := cov.Dims()
+	out := linalg.NewDense(k, k)
+	sd := make([]float64, k)
+	for i := 0; i < k; i++ {
+		sd[i] = math.Sqrt(cov.At(i, i))
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if i == j {
+				out.Set(i, j, 1)
+				continue
+			}
+			if sd[i] == 0 || sd[j] == 0 {
+				continue
+			}
+			out.Set(i, j, cov.At(i, j)/(sd[i]*sd[j]))
+		}
+	}
+	return out
+}
+
+// Shrink returns (1−γ)·S + γ·trace(S)/k·I, a Ledoit-Wolf-style ridge
+// shrinkage that guarantees positive definiteness for γ>0 when S is PSD.
+func Shrink(s *linalg.Dense, gamma float64) *linalg.Dense {
+	k, _ := s.Dims()
+	tr := 0.0
+	for i := 0; i < k; i++ {
+		tr += s.At(i, i)
+	}
+	target := tr / float64(k)
+	if target == 0 {
+		target = 1
+	}
+	out := s.Clone()
+	out.Scale(1 - gamma)
+	for i := 0; i < k; i++ {
+		out.Add(i, i, gamma*target)
+	}
+	return out
+}
+
+// Standardize mean-centers and unit-scales each column of data in place.
+// Zero-variance columns are centered only. It returns the per-column means
+// and standard deviations used.
+func Standardize(data *linalg.Dense) (mu, sd []float64) {
+	n, k := data.Dims()
+	mu = Mean(data)
+	sd = make([]float64, k)
+	for i := 0; i < n; i++ {
+		row := data.Row(i)
+		for j := range row {
+			d := row[j] - mu[j]
+			sd[j] += d * d
+		}
+	}
+	for j := range sd {
+		if n > 0 {
+			sd[j] = math.Sqrt(sd[j] / float64(n))
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := data.Row(i)
+		for j := range row {
+			row[j] -= mu[j]
+			if sd[j] > 0 {
+				row[j] /= sd[j]
+			}
+		}
+	}
+	return mu, sd
+}
+
+// CheckDims panics unless m has the wanted shape; a development aid for the
+// experiment code.
+func CheckDims(m *linalg.Dense, rows, cols int) {
+	r, c := m.Dims()
+	if r != rows || c != cols {
+		panic(fmt.Sprintf("stats: got %dx%d matrix, want %dx%d", r, c, rows, cols))
+	}
+}

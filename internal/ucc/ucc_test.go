@@ -1,0 +1,175 @@
+package ucc
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"fdx/internal/attrset"
+	"fdx/internal/dataset"
+)
+
+func relFromCodes(rows [][]int, names ...string) *dataset.Relation {
+	r := dataset.New("t", names...)
+	for _, row := range rows {
+		s := make([]string, len(row))
+		for j, v := range row {
+			s[j] = strconv.Itoa(v)
+		}
+		r.AppendRow(s)
+	}
+	return r
+}
+
+func hasUCC(uccs []UCC, attrs ...int) bool {
+	want := attrset.FromSlice(attrs)
+	for _, u := range uccs {
+		if attrset.FromSlice(u.Attrs).Equal(want) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSingleColumnKey(t *testing.T) {
+	rows := [][]int{{0, 5}, {1, 5}, {2, 5}}
+	uccs := Discover(relFromCodes(rows, "id", "c"), Options{})
+	if !hasUCC(uccs, 0) {
+		t.Errorf("id not found as key: %v", uccs)
+	}
+	if hasUCC(uccs, 1) {
+		t.Errorf("constant column reported unique: %v", uccs)
+	}
+}
+
+func TestCompositeKeyMinimality(t *testing.T) {
+	// (a,b) unique, neither alone; also (a,b,c) must not be reported.
+	rows := [][]int{{0, 0, 1}, {0, 1, 1}, {1, 0, 1}, {1, 1, 1}}
+	uccs := Discover(relFromCodes(rows, "a", "b", "c"), Options{})
+	if !hasUCC(uccs, 0, 1) {
+		t.Errorf("composite key {a,b} missing: %v", uccs)
+	}
+	for _, u := range uccs {
+		if len(u.Attrs) > 2 {
+			t.Errorf("non-minimal UCC: %v", u)
+		}
+	}
+}
+
+func TestBruteForceParity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, k := 2+rng.Intn(14), 2+rng.Intn(3)
+		rows := make([][]int, n)
+		for i := range rows {
+			rows[i] = make([]int, k)
+			for j := range rows[i] {
+				rows[i][j] = rng.Intn(3)
+			}
+		}
+		names := make([]string, k)
+		for j := range names {
+			names[j] = "a" + strconv.Itoa(j)
+		}
+		rel := relFromCodes(rows, names...)
+		got := Discover(rel, Options{})
+
+		// Brute force: all minimal unique subsets.
+		unique := func(mask int) bool {
+			seen := map[string]bool{}
+			for i := range rows {
+				key := ""
+				for a := 0; a < k; a++ {
+					if mask&(1<<a) != 0 {
+						key += strconv.Itoa(rows[i][a]) + "|"
+					}
+				}
+				if seen[key] {
+					return false
+				}
+				seen[key] = true
+			}
+			return true
+		}
+		var want [][]int
+		for mask := 1; mask < 1<<k; mask++ {
+			if !unique(mask) {
+				continue
+			}
+			minimal := true
+			for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+				if unique(sub) {
+					minimal = false
+					break
+				}
+			}
+			if minimal {
+				var attrs []int
+				for a := 0; a < k; a++ {
+					if mask&(1<<a) != 0 {
+						attrs = append(attrs, a)
+					}
+				}
+				want = append(want, attrs)
+			}
+		}
+		if len(got) != len(want) {
+			t.Logf("seed %d: got %v want %v rows %v", seed, got, want, rows)
+			return false
+		}
+		for _, w := range want {
+			if !hasUCC(got, w...) {
+				t.Logf("seed %d: missing %v (got %v)", seed, w, got)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApproximateKey(t *testing.T) {
+	// id column with one duplicate: error = 1/n.
+	rows := [][]int{{0}, {1}, {2}, {2}}
+	strict := Discover(relFromCodes(rows, "id"), Options{})
+	if hasUCC(strict, 0) {
+		t.Errorf("duplicate id accepted as exact key: %v", strict)
+	}
+	loose := Discover(relFromCodes(rows, "id"), Options{MaxError: 0.3})
+	if !hasUCC(loose, 0) {
+		t.Errorf("approximate key missed: %v", loose)
+	}
+}
+
+func TestMaxSizeAndMaxUCCs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows := make([][]int, 50)
+	for i := range rows {
+		rows[i] = []int{rng.Intn(2), rng.Intn(2), rng.Intn(2), i}
+	}
+	rel := relFromCodes(rows, "a", "b", "c", "id")
+	uccs := Discover(rel, Options{MaxSize: 1})
+	for _, u := range uccs {
+		if len(u.Attrs) > 1 {
+			t.Errorf("MaxSize violated: %v", u)
+		}
+	}
+	capped := Discover(rel, Options{MaxUCCs: 1})
+	if len(capped) != 1 {
+		t.Errorf("MaxUCCs violated: %v", capped)
+	}
+}
+
+func TestNullsNeverMatch(t *testing.T) {
+	// A column of NULLs is trivially unique under null≠null semantics.
+	rel := dataset.New("t", "a")
+	rel.AppendRow([]string{""})
+	rel.AppendRow([]string{""})
+	uccs := Discover(rel, Options{})
+	if !hasUCC(uccs, 0) {
+		t.Errorf("all-NULL column should be a (vacuous) key: %v", uccs)
+	}
+}

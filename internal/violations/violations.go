@@ -1,0 +1,158 @@
+// Package violations turns discovered FDs into actionable data-cleaning
+// signals: it locates the cells that violate an FD and proposes repairs by
+// majority vote within each determinant group. This is the downstream use
+// the FDX paper motivates in §5.5 (FD-driven profiling for cleaning
+// systems in the HoloClean family).
+package violations
+
+import (
+	"sort"
+
+	"fdx/internal/core"
+	"fdx/internal/dataset"
+)
+
+// Violation is one cell that disagrees with the dominant RHS value of its
+// determinant group.
+type Violation struct {
+	// FD is the violated dependency.
+	FD core.FD
+	// Row is the violating tuple index.
+	Row int
+	// Observed is the cell's current value ("" when missing).
+	Observed string
+	// Suggested is the majority value of the tuple's determinant group.
+	Suggested string
+	// Support is the fraction of the group agreeing with Suggested.
+	Support float64
+}
+
+// group keys rows by their LHS value combination.
+func groupKey(rel *dataset.Relation, lhs []int, row int) (string, bool) {
+	key := make([]byte, 0, 16)
+	for _, a := range lhs {
+		code := rel.Columns[a].Code(row)
+		if code == dataset.Missing {
+			return "", false
+		}
+		key = append(key, byte(code), byte(code>>8), byte(code>>16), byte(code>>24), '|')
+	}
+	return string(key), true
+}
+
+// Find locates all violations of the FD in the relation. Rows with missing
+// LHS cells are skipped (they belong to no group); missing RHS cells in a
+// group with a clear majority are reported as violations with an imputation
+// suggestion.
+func Find(rel *dataset.Relation, fd core.FD) []Violation {
+	n := rel.NumRows()
+	rhsCol := rel.Columns[fd.RHS]
+
+	type groupStat struct {
+		rows   []int
+		counts map[int32]int
+	}
+	groups := map[string]*groupStat{}
+	for i := 0; i < n; i++ {
+		key, ok := groupKey(rel, fd.LHS, i)
+		if !ok {
+			continue
+		}
+		g := groups[key]
+		if g == nil {
+			g = &groupStat{counts: map[int32]int{}}
+			groups[key] = g
+		}
+		g.rows = append(g.rows, i)
+		if code := rhsCol.Code(i); code != dataset.Missing {
+			g.counts[code]++
+		}
+	}
+
+	var out []Violation
+	for _, g := range groups {
+		if len(g.rows) < 2 {
+			continue
+		}
+		// Majority RHS value of the group.
+		var majority int32 = dataset.Missing
+		best, total := 0, 0
+		for code, c := range g.counts {
+			total += c
+			if c > best || (c == best && (majority == dataset.Missing || code < majority)) {
+				best, majority = c, code
+			}
+		}
+		if majority == dataset.Missing || best == 0 {
+			continue
+		}
+		support := float64(best) / float64(len(g.rows))
+		suggested := rhsCol.DictValue(majority)
+		for _, r := range g.rows {
+			code := rhsCol.Code(r)
+			if code == majority {
+				continue
+			}
+			observed := ""
+			if code != dataset.Missing {
+				observed, _ = rhsCol.Value(r)
+			}
+			out = append(out, Violation{
+				FD:        fd,
+				Row:       r,
+				Observed:  observed,
+				Suggested: suggested,
+				Support:   support,
+			})
+		}
+		_ = total
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Row < out[j].Row })
+	return out
+}
+
+// FindAll locates violations of every FD, sorted by row.
+func FindAll(rel *dataset.Relation, fds []core.FD) []Violation {
+	var out []Violation
+	for _, fd := range fds {
+		out = append(out, Find(rel, fd)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Row != out[j].Row {
+			return out[i].Row < out[j].Row
+		}
+		return out[i].FD.RHS < out[j].FD.RHS
+	})
+	return out
+}
+
+// Repair applies every suggestion with support at least minSupport to a
+// copy of the relation and returns it along with the number of repaired
+// cells. Violations of several FDs on the same cell apply in FindAll order
+// (last writer wins), which is deterministic.
+func Repair(rel *dataset.Relation, vs []Violation, minSupport float64) (*dataset.Relation, int) {
+	out := rel.Clone()
+	repaired := 0
+	for _, v := range vs {
+		if v.Support < minSupport {
+			continue
+		}
+		col := out.Columns[v.FD.RHS]
+		col.SetCode(v.Row, col.CodeOf(v.Suggested))
+		repaired++
+	}
+	return out, repaired
+}
+
+// ErrorRate returns the fraction of rows that violate at least one FD — a
+// data-quality profile number for the relation.
+func ErrorRate(rel *dataset.Relation, fds []core.FD) float64 {
+	if rel.NumRows() == 0 {
+		return 0
+	}
+	bad := map[int]bool{}
+	for _, v := range FindAll(rel, fds) {
+		bad[v.Row] = true
+	}
+	return float64(len(bad)) / float64(rel.NumRows())
+}

@@ -1,0 +1,167 @@
+package violations
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"fdx/internal/core"
+	"fdx/internal/dataset"
+)
+
+func relFromRows(rows [][]string, names ...string) *dataset.Relation {
+	r := dataset.New("t", names...)
+	for _, row := range rows {
+		r.AppendRow(row)
+	}
+	return r
+}
+
+func TestFindSimpleViolation(t *testing.T) {
+	rel := relFromRows([][]string{
+		{"60611", "chicago"},
+		{"60611", "chicago"},
+		{"60611", "cicago"}, // typo
+		{"53703", "madison"},
+		{"53703", "madison"},
+	}, "zip", "city")
+	fd := core.FD{LHS: []int{0}, RHS: 1}
+	vs := Find(rel, fd)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v", vs)
+	}
+	v := vs[0]
+	if v.Row != 2 || v.Observed != "cicago" || v.Suggested != "chicago" {
+		t.Errorf("violation = %+v", v)
+	}
+	if v.Support != 2.0/3 {
+		t.Errorf("support = %v", v.Support)
+	}
+}
+
+func TestFindImputesMissingRHS(t *testing.T) {
+	rel := relFromRows([][]string{
+		{"a", "x"},
+		{"a", "x"},
+		{"a", ""},
+	}, "k", "v")
+	vs := Find(rel, core.FD{LHS: []int{0}, RHS: 1})
+	if len(vs) != 1 || vs[0].Observed != "" || vs[0].Suggested != "x" {
+		t.Fatalf("missing-RHS violation = %v", vs)
+	}
+}
+
+func TestFindSkipsMissingLHS(t *testing.T) {
+	rel := relFromRows([][]string{
+		{"", "x"},
+		{"", "y"},
+	}, "k", "v")
+	if vs := Find(rel, core.FD{LHS: []int{0}, RHS: 1}); len(vs) != 0 {
+		t.Errorf("missing-LHS rows grouped: %v", vs)
+	}
+}
+
+func TestFindCompositeLHS(t *testing.T) {
+	rel := relFromRows([][]string{
+		{"a", "1", "p"},
+		{"a", "1", "p"},
+		{"a", "2", "q"},
+		{"a", "1", "r"}, // violates {0,1} -> 2
+	}, "x", "y", "z")
+	vs := Find(rel, core.FD{LHS: []int{0, 1}, RHS: 2})
+	if len(vs) != 1 || vs[0].Row != 3 {
+		t.Fatalf("composite violations = %v", vs)
+	}
+}
+
+func TestCleanDataHasNoViolations(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var rows [][]string
+	for i := 0; i < 200; i++ {
+		a := rng.Intn(10)
+		rows = append(rows, []string{strconv.Itoa(a), strconv.Itoa(a % 5)})
+	}
+	rel := relFromRows(rows, "a", "b")
+	if vs := Find(rel, core.FD{LHS: []int{0}, RHS: 1}); len(vs) != 0 {
+		t.Errorf("clean FD reported violations: %v", vs)
+	}
+	if rate := ErrorRate(rel, []core.FD{{LHS: []int{0}, RHS: 1}}); rate != 0 {
+		t.Errorf("error rate = %v", rate)
+	}
+}
+
+func TestRepairFixesInjectedNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var rows [][]string
+	for i := 0; i < 500; i++ {
+		a := rng.Intn(8)
+		b := strconv.Itoa(a * 3)
+		rows = append(rows, []string{strconv.Itoa(a), b})
+	}
+	rel := relFromRows(rows, "a", "b")
+	// Corrupt 5% of b.
+	noisy := rel.Clone()
+	corrupted := 0
+	for i := 0; i < noisy.NumRows(); i++ {
+		if rng.Float64() < 0.05 {
+			noisy.Columns[1].SetCode(i, noisy.Columns[1].CodeOf("junk"))
+			corrupted++
+		}
+	}
+	fd := core.FD{LHS: []int{0}, RHS: 1}
+	vs := Find(noisy, fd)
+	if len(vs) < corrupted {
+		t.Fatalf("found %d violations, corrupted %d", len(vs), corrupted)
+	}
+	fixed, repaired := Repair(noisy, vs, 0.6)
+	if repaired < corrupted {
+		t.Errorf("repaired %d < corrupted %d", repaired, corrupted)
+	}
+	// After repair the FD must hold exactly again.
+	if after := Find(fixed, fd); len(after) != 0 {
+		t.Errorf("violations remain after repair: %v", after)
+	}
+	// The original noisy relation is untouched.
+	if len(Find(noisy, fd)) == 0 {
+		t.Error("Repair mutated its input")
+	}
+}
+
+func TestRepairRespectsMinSupport(t *testing.T) {
+	rel := relFromRows([][]string{
+		{"a", "x"}, {"a", "y"}, // 50/50 split: support 0.5
+	}, "k", "v")
+	vs := Find(rel, core.FD{LHS: []int{0}, RHS: 1})
+	_, repaired := Repair(rel, vs, 0.9)
+	if repaired != 0 {
+		t.Errorf("low-support repair applied: %d", repaired)
+	}
+}
+
+func TestErrorRate(t *testing.T) {
+	rel := relFromRows([][]string{
+		{"a", "x"}, {"a", "x"}, {"a", "y"}, {"b", "z"},
+	}, "k", "v")
+	rate := ErrorRate(rel, []core.FD{{LHS: []int{0}, RHS: 1}})
+	if rate != 0.25 {
+		t.Errorf("error rate = %v, want 0.25", rate)
+	}
+	if ErrorRate(dataset.New("t", "a"), nil) != 0 {
+		t.Error("empty relation error rate should be 0")
+	}
+}
+
+func TestFindAllSortsByRow(t *testing.T) {
+	rel := relFromRows([][]string{
+		{"a", "x", "1"},
+		{"a", "y", "1"},
+		{"a", "x", "2"},
+	}, "k", "v", "w")
+	fds := []core.FD{{LHS: []int{0}, RHS: 1}, {LHS: []int{0}, RHS: 2}}
+	vs := FindAll(rel, fds)
+	for i := 1; i < len(vs); i++ {
+		if vs[i-1].Row > vs[i].Row {
+			t.Fatalf("violations unsorted: %v", vs)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package fdx
+
+import (
+	"fmt"
+
+	"fdx/internal/core"
+	"fdx/internal/normalize"
+)
+
+// Table is one relation of a synthesized schema decomposition.
+type Table struct {
+	// Name is a generated label, e.g. "t1".
+	Name string
+	// Attributes lists the table's attribute names.
+	Attributes []string
+	// Key is a key of the table.
+	Key []string
+	// FDs are the dependencies local to the table.
+	FDs []FD
+}
+
+func fdsToCore(fds []FD, rel *Relation) ([]core.FD, error) {
+	var out []core.FD
+	for _, fd := range fds {
+		cf, err := fdToCore(fd, rel)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cf)
+	}
+	return out, nil
+}
+
+// CandidateKeys enumerates the minimal candidate keys of the relation's
+// schema under the given FDs (at most 32), as attribute-name sets.
+func CandidateKeys(rel *Relation, fds []FD) ([][]string, error) {
+	cfds, err := fdsToCore(fds, rel)
+	if err != nil {
+		return nil, err
+	}
+	names := rel.AttrNames()
+	var out [][]string
+	for _, key := range normalize.CandidateKeys(rel.NumCols(), cfds, 0) {
+		var k []string
+		for _, a := range key.Members() {
+			k = append(k, names[a])
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// IsBCNF reports whether the schema is in Boyce-Codd normal form under the
+// FDs, returning the first violating FD otherwise.
+func IsBCNF(rel *Relation, fds []FD) (bool, *FD, error) {
+	cfds, err := fdsToCore(fds, rel)
+	if err != nil {
+		return false, nil, err
+	}
+	ok, viol := normalize.IsBCNF(rel.NumCols(), cfds)
+	if ok || viol == nil {
+		return ok, nil, nil
+	}
+	named := fdFromCore(*viol, rel.AttrNames())
+	return false, &named, nil
+}
+
+// Synthesize3NF decomposes the relation's schema into third normal form
+// using the classical synthesis algorithm over a minimal cover of the FDs.
+// The decomposition is lossless and dependency-preserving.
+func Synthesize3NF(rel *Relation, fds []FD) ([]Table, error) {
+	cfds, err := fdsToCore(fds, rel)
+	if err != nil {
+		return nil, err
+	}
+	names := rel.AttrNames()
+	var out []Table
+	for i, d := range normalize.Synthesize3NF(rel.NumCols(), cfds) {
+		t := Table{Name: fmt.Sprintf("t%d", i+1)}
+		for _, a := range d.Attrs {
+			t.Attributes = append(t.Attributes, names[a])
+		}
+		for _, a := range d.Key {
+			t.Key = append(t.Key, names[a])
+		}
+		for _, fd := range d.FDs {
+			t.FDs = append(t.FDs, fdFromCore(fd, names))
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

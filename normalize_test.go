@@ -1,0 +1,100 @@
+package fdx_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fdx"
+)
+
+func TestDiscoverThenNormalize(t *testing.T) {
+	// Denormalized order table: zip determines city which determines
+	// state; order id is the key.
+	rng := rand.New(rand.NewSource(15))
+	rel := fdx.NewRelation("orders", "order", "zip", "city", "state")
+	cities := []string{"chicago", "madison", "milwaukee", "duluth", "rockford", "peoria"}
+	states := []string{"il", "wi", "wi", "mn", "il", "il"}
+	for i := 0; i < 1000; i++ {
+		c := rng.Intn(len(cities))
+		rel.AppendRow([]string{
+			fmt.Sprintf("o%d", i),
+			fmt.Sprintf("%d", 60000+c*11+rng.Intn(2)),
+			cities[c], states[c],
+		})
+	}
+	res, err := fdx.Discover(rel, fdx.Options{Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FDs) == 0 {
+		t.Fatal("nothing discovered")
+	}
+
+	keys, err := fdx.CandidateKeys(rel, res.FDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) == 0 {
+		t.Fatal("no candidate keys")
+	}
+	// Every candidate key must include the order id (nothing determines it).
+	for _, k := range keys {
+		hasOrder := false
+		for _, a := range k {
+			if a == "order" {
+				hasOrder = true
+			}
+		}
+		if !hasOrder {
+			t.Errorf("candidate key %v misses the order id", k)
+		}
+	}
+
+	ok, viol, err := fdx.IsBCNF(rel, res.FDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("denormalized schema should violate BCNF")
+	}
+	if viol == nil {
+		t.Error("violating FD not reported")
+	}
+
+	tables, err := fdx.Synthesize3NF(rel, res.FDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) < 2 {
+		t.Errorf("3NF synthesis produced %d tables; want a real decomposition", len(tables))
+	}
+	covered := map[string]bool{}
+	for _, tb := range tables {
+		if len(tb.Key) == 0 || len(tb.Attributes) == 0 || tb.Name == "" {
+			t.Errorf("malformed table %+v", tb)
+		}
+		for _, a := range tb.Attributes {
+			covered[a] = true
+		}
+	}
+	for _, a := range rel.AttrNames() {
+		if !covered[a] {
+			t.Errorf("attribute %s lost in decomposition", a)
+		}
+	}
+}
+
+func TestNormalizeUnknownAttr(t *testing.T) {
+	rel := fdx.NewRelation("t", "a")
+	bad := []fdx.FD{{LHS: []string{"zz"}, RHS: "a"}}
+	if _, err := fdx.CandidateKeys(rel, bad); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, _, err := fdx.IsBCNF(rel, bad); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := fdx.Synthesize3NF(rel, bad); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}

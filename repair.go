@@ -1,0 +1,98 @@
+package fdx
+
+import (
+	"fmt"
+
+	"fdx/internal/core"
+	"fdx/internal/violations"
+)
+
+// Violation is a cell that disagrees with the dominant right-hand-side
+// value of its determinant group under a discovered FD.
+type Violation struct {
+	// FD is the violated dependency.
+	FD FD
+	// Row is the violating tuple index.
+	Row int
+	// Observed is the cell's current value ("" when missing).
+	Observed string
+	// Suggested is the majority value of the tuple's determinant group.
+	Suggested string
+	// Support is the fraction of the group agreeing with Suggested.
+	Support float64
+}
+
+// fdToCore resolves a name-based FD against the relation's schema.
+func fdToCore(fd FD, rel *Relation) (core.FD, error) {
+	out := core.FD{Score: fd.Score}
+	rhs := rel.ColumnIndex(fd.RHS)
+	if rhs < 0 {
+		return out, fmt.Errorf("fdx: unknown attribute %q", fd.RHS)
+	}
+	out.RHS = rhs
+	for _, l := range fd.LHS {
+		i := rel.ColumnIndex(l)
+		if i < 0 {
+			return out, fmt.Errorf("fdx: unknown attribute %q", l)
+		}
+		out.LHS = append(out.LHS, i)
+	}
+	out.Normalize()
+	return out, nil
+}
+
+// FindViolations locates every cell violating one of the FDs in the
+// relation, with a majority-vote repair suggestion per cell. Rows whose
+// determinant cells are missing belong to no group and are skipped.
+func FindViolations(rel *Relation, fds []FD) ([]Violation, error) {
+	var out []Violation
+	names := rel.AttrNames()
+	for _, fd := range fds {
+		cf, err := fdToCore(fd, rel)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range violations.Find(rel, cf) {
+			out = append(out, Violation{
+				FD:        fdFromCore(v.FD, names),
+				Row:       v.Row,
+				Observed:  v.Observed,
+				Suggested: v.Suggested,
+				Support:   v.Support,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Repair applies every suggestion with support at least minSupport to a
+// copy of the relation, returning the repaired copy and the number of
+// changed cells. The input relation is not modified.
+func Repair(rel *Relation, fds []FD, minSupport float64) (*Relation, int, error) {
+	var cfds []core.FD
+	for _, fd := range fds {
+		cf, err := fdToCore(fd, rel)
+		if err != nil {
+			return nil, 0, err
+		}
+		cfds = append(cfds, cf)
+	}
+	vs := violations.FindAll(rel, cfds)
+	fixed, n := violations.Repair(rel, vs, minSupport)
+	return fixed, n, nil
+}
+
+// ErrorRate returns the fraction of rows violating at least one FD — a
+// one-number data-quality profile of the relation under the discovered
+// dependencies.
+func ErrorRate(rel *Relation, fds []FD) (float64, error) {
+	var cfds []core.FD
+	for _, fd := range fds {
+		cf, err := fdToCore(fd, rel)
+		if err != nil {
+			return 0, err
+		}
+		cfds = append(cfds, cf)
+	}
+	return violations.ErrorRate(rel, cfds), nil
+}

@@ -1,0 +1,78 @@
+package fdx_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fdx"
+)
+
+func TestDiscoverThenRepairRoundTrip(t *testing.T) {
+	// Build clean data with zip -> city, corrupt it, rediscover + repair.
+	rng := rand.New(rand.NewSource(4))
+	rel := fdx.NewRelation("t", "zip", "city")
+	cities := []string{"chicago", "madison", "milwaukee", "rockford"}
+	for i := 0; i < 800; i++ {
+		c := rng.Intn(len(cities))
+		rel.AppendRow([]string{fmt.Sprintf("%d", 60000+c), cities[c]})
+	}
+	noisy := rel.Clone()
+	corrupted := 0
+	for i := 0; i < noisy.NumRows(); i++ {
+		if rng.Float64() < 0.03 {
+			noisy.Columns[1].SetCode(i, noisy.Columns[1].CodeOf("xxtypo"))
+			corrupted++
+		}
+	}
+
+	res, err := fdx.Discover(noisy, fdx.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zipCity *fdx.FD
+	for i := range res.FDs {
+		if res.FDs[i].RHS == "city" {
+			zipCity = &res.FDs[i]
+		}
+	}
+	if zipCity == nil {
+		t.Fatalf("zip -> city not rediscovered on noisy data: %v", res.FDs)
+	}
+
+	vs, err := fdx.FindViolations(noisy, []fdx.FD{*zipCity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) < corrupted {
+		t.Errorf("found %d violations, corrupted %d cells", len(vs), corrupted)
+	}
+	fixed, n, err := fdx.Repair(noisy, []fdx.FD{*zipCity}, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < corrupted {
+		t.Errorf("repaired %d < %d", n, corrupted)
+	}
+	rate, err := fdx.ErrorRate(fixed, []fdx.FD{*zipCity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 0 {
+		t.Errorf("error rate after repair = %v", rate)
+	}
+}
+
+func TestFindViolationsUnknownAttribute(t *testing.T) {
+	rel := fdx.NewRelation("t", "a")
+	rel.AppendRow([]string{"x"})
+	if _, err := fdx.FindViolations(rel, []fdx.FD{{LHS: []string{"zz"}, RHS: "a"}}); err == nil {
+		t.Error("unknown LHS attribute accepted")
+	}
+	if _, _, err := fdx.Repair(rel, []fdx.FD{{LHS: []string{"a"}, RHS: "zz"}}, 0.5); err == nil {
+		t.Error("unknown RHS attribute accepted")
+	}
+	if _, err := fdx.ErrorRate(rel, []fdx.FD{{LHS: []string{"q"}, RHS: "a"}}); err == nil {
+		t.Error("unknown attribute accepted in ErrorRate")
+	}
+}

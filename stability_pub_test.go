@@ -1,0 +1,46 @@
+package fdx_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fdx"
+)
+
+func TestDiscoverStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	rel := fdx.NewRelation("t", "sku", "cat", "noise")
+	for i := 0; i < 900; i++ {
+		sku := rng.Intn(20)
+		rel.AppendRow([]string{
+			fmt.Sprintf("s%d", sku),
+			fmt.Sprintf("c%d", sku%4),
+			fmt.Sprintf("n%d", rng.Intn(10)),
+		})
+	}
+	fds, freqs, err := fdx.DiscoverStable(rel, fdx.Options{Seed: 13}, fdx.StabilityOptions{Runs: 6, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, fd := range fds {
+		if fd.RHS == "cat" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("stable sku->cat lost: %v", fds)
+	}
+	if len(freqs) == 0 {
+		t.Fatal("no frequency table")
+	}
+	if freqs[0].Frequency < 0.9 {
+		t.Errorf("top edge frequency %v, want near 1", freqs[0].Frequency)
+	}
+	for _, fd := range fds {
+		if fd.RHS == "noise" {
+			t.Errorf("noise attribute in stable FDs: %v", fd)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package fdx
+
+import (
+	"time"
+
+	"fdx/internal/core"
+)
+
+// Accumulator supports incremental FD discovery over a stream of tuple
+// batches: each Add folds a batch's pair statistics into running sums, and
+// Discover derives the current dependencies without retransforming
+// history. Batches must share the accumulator's schema. Pairs never span
+// batches, so the estimate approximates (and with growing data converges
+// to) the batch Discover on the concatenation.
+type Accumulator struct {
+	inner *core.Accumulator
+	names []string
+}
+
+// NewAccumulator creates an incremental discovery session over relations
+// with the given attribute names.
+func NewAccumulator(attrNames []string, opts Options) *Accumulator {
+	copts := core.Options{
+		Lambda:      opts.Lambda,
+		Threshold:   opts.Threshold,
+		RelFraction: opts.RelFraction,
+		Ordering:    opts.Ordering,
+		Seed:        opts.Seed,
+		Transform: core.TransformOptions{
+			Seed:           opts.Seed,
+			MaxRows:        opts.MaxRows,
+			NumericTol:     opts.NumericTolerance,
+			TextSimilarity: opts.TextSimilarity,
+		},
+	}
+	return &Accumulator{
+		inner: core.NewAccumulator(attrNames, copts),
+		names: append([]string(nil), attrNames...),
+	}
+}
+
+// Add absorbs one batch (at least two rows, matching schema).
+func (a *Accumulator) Add(rel *Relation) error { return a.inner.Add(rel) }
+
+// Rows returns the total number of tuples absorbed.
+func (a *Accumulator) Rows() int { return a.inner.Rows() }
+
+// Batches returns the number of batches absorbed.
+func (a *Accumulator) Batches() int { return a.inner.Batches() }
+
+// Discover derives the dependencies currently supported by the stream.
+func (a *Accumulator) Discover() (*Result, error) {
+	t0 := time.Now()
+	model, err := a.inner.Discover()
+	if err != nil {
+		return nil, err
+	}
+	res := resultFromModel(model, a.names)
+	res.ModelDuration = time.Since(t0)
+	return res, nil
+}

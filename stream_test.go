@@ -1,0 +1,58 @@
+package fdx_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fdx"
+)
+
+func TestAccumulatorStreamedDiscovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	acc := fdx.NewAccumulator([]string{"zip", "city", "state"}, fdx.Options{Seed: 9})
+	cities := []string{"chicago", "madison", "milwaukee", "duluth"}
+	states := []string{"il", "wi", "wi", "mn"}
+	for batch := 0; batch < 4; batch++ {
+		rel := fdx.NewRelation("batch", "zip", "city", "state")
+		for i := 0; i < 300; i++ {
+			c := rng.Intn(len(cities))
+			rel.AppendRow([]string{fmt.Sprintf("%d", 60000+c*7+rng.Intn(3)), cities[c], states[c]})
+		}
+		if err := acc.Add(rel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if acc.Rows() != 1200 || acc.Batches() != 4 {
+		t.Errorf("rows=%d batches=%d", acc.Rows(), acc.Batches())
+	}
+	res, err := acc.Discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundCity := false
+	for _, fd := range res.FDs {
+		if fd.RHS == "city" || fd.RHS == "state" {
+			foundCity = true
+		}
+	}
+	if !foundCity {
+		t.Errorf("streamed FDs missing: %v", res.FDs)
+	}
+	if res.ModelDuration <= 0 {
+		t.Error("model duration not recorded")
+	}
+}
+
+func TestAccumulatorRejectsBadBatch(t *testing.T) {
+	acc := fdx.NewAccumulator([]string{"a", "b"}, fdx.Options{})
+	bad := fdx.NewRelation("t", "x", "y")
+	bad.AppendRow([]string{"1", "2"})
+	bad.AppendRow([]string{"1", "2"})
+	if err := acc.Add(bad); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+	if _, err := acc.Discover(); err == nil {
+		t.Error("empty accumulator discover should error")
+	}
+}

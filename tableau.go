@@ -1,0 +1,86 @@
+package fdx
+
+import (
+	"fdx/internal/cfd"
+)
+
+// TableauPattern is one row of a conditional-FD tableau: a constant LHS
+// assignment, its dominant RHS value, and how well the FD holds there.
+type TableauPattern struct {
+	LHSValues  []string
+	RHSValue   string
+	Support    int
+	Confidence float64
+}
+
+// Tableau refines an approximate FD into its conditional form: per
+// LHS-pattern support and confidence, separating the subdomains where the
+// dependency holds exactly from those carrying violations.
+type Tableau struct {
+	FD       FD
+	Patterns []TableauPattern
+	// GlobalConfidence is the support-weighted mean confidence; 1 iff the
+	// FD holds exactly wherever its determinant is fully present.
+	GlobalConfidence float64
+}
+
+// TableauOptions configures BuildTableau.
+type TableauOptions struct {
+	// MinSupport drops patterns with fewer matching tuples (default 2).
+	MinSupport int
+	// MinConfidence drops patterns below this confidence (default 0).
+	MinConfidence float64
+	// MaxPatterns caps the tableau size (default 64).
+	MaxPatterns int
+}
+
+// BuildTableau computes the conditional refinement of a discovered FD —
+// the pattern-tableau reading of conditional functional dependencies.
+func BuildTableau(rel *Relation, fd FD, opts TableauOptions) (*Tableau, error) {
+	cf, err := fdToCore(fd, rel)
+	if err != nil {
+		return nil, err
+	}
+	t := cfd.Build(rel, cf, cfd.Options{
+		MinSupport:    opts.MinSupport,
+		MinConfidence: opts.MinConfidence,
+		MaxPatterns:   opts.MaxPatterns,
+	})
+	out := &Tableau{FD: fd, GlobalConfidence: t.GlobalConfidence}
+	for _, p := range t.Patterns {
+		out.Patterns = append(out.Patterns, TableauPattern{
+			LHSValues:  p.LHSValues,
+			RHSValue:   p.RHSValue,
+			Support:    p.Support,
+			Confidence: p.Confidence,
+		})
+	}
+	return out, nil
+}
+
+// CleanPatterns returns the patterns holding exactly (confidence 1).
+func (t *Tableau) CleanPatterns() []TableauPattern {
+	var out []TableauPattern
+	for _, p := range t.Patterns {
+		if p.Confidence == 1 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// DirtyPatterns returns patterns carrying violations, most-violated first.
+func (t *Tableau) DirtyPatterns() []TableauPattern {
+	var out []TableauPattern
+	for _, p := range t.Patterns {
+		if p.Confidence < 1 {
+			out = append(out, p)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].Confidence > out[j].Confidence; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

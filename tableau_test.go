@@ -1,0 +1,38 @@
+package fdx_test
+
+import (
+	"testing"
+
+	"fdx"
+)
+
+func TestBuildTableau(t *testing.T) {
+	rel := fdx.NewRelation("t", "zip", "city")
+	for i := 0; i < 5; i++ {
+		rel.AppendRow([]string{"60611", "chicago"})
+		rel.AppendRow([]string{"53703", "madison"})
+	}
+	rel.AppendRow([]string{"53703", "madson"}) // typo subdomain
+
+	tab, err := fdx.BuildTableau(rel, fdx.FD{LHS: []string{"zip"}, RHS: "city"}, fdx.TableauOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Patterns) != 2 {
+		t.Fatalf("patterns = %v", tab.Patterns)
+	}
+	clean := tab.CleanPatterns()
+	if len(clean) != 1 || clean[0].LHSValues[0] != "60611" {
+		t.Errorf("clean = %v", clean)
+	}
+	dirty := tab.DirtyPatterns()
+	if len(dirty) != 1 || dirty[0].RHSValue != "madison" {
+		t.Errorf("dirty = %v", dirty)
+	}
+	if tab.GlobalConfidence >= 1 || tab.GlobalConfidence < 0.8 {
+		t.Errorf("global confidence = %v", tab.GlobalConfidence)
+	}
+	if _, err := fdx.BuildTableau(rel, fdx.FD{LHS: []string{"zz"}, RHS: "city"}, fdx.TableauOptions{}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
