@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test vet bench experiments fast-experiments fmt loc
+.PHONY: all build test vet lint test-race bench experiments fast-experiments fmt loc
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,16 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Project analyzers (internal/analysis): determinism and numeric-safety lints.
+lint:
+	$(GO) run ./cmd/fdxlint ./...
+
+# Race-detect the concurrent packages: the parallel transform and stratified
+# covariance (internal/core, internal/stats), the experiment harness's timed
+# goroutines, and the root streaming API.
+test-race:
+	$(GO) test -race ./internal/core ./internal/stats ./internal/experiments .
 
 # One testing.B benchmark per paper table/figure (reduced scale).
 bench:

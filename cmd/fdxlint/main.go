@@ -1,0 +1,155 @@
+// Command fdxlint runs the fdx static-analysis suite (internal/analysis)
+// over the module: it loads, parses, and type-checks every package with the
+// standard library toolchain only, applies the project analyzers, honors
+// //fdx:lint-ignore suppressions, and prints file:line:col diagnostics.
+// It exits non-zero when any finding (or type error) survives.
+//
+// Usage:
+//
+//	fdxlint [-list] [-analyzers a,b,c] [-dir path] [packages]
+//
+// The package pattern is accepted for familiarity (`fdxlint ./...`), but
+// the tool always lints from the module root: partial lints hide exactly
+// the cross-package drift (an unvalidated kernel, a nondeterministic map
+// walk) the suite exists to catch. Naming a sub-tree restricts *reporting*
+// to packages under it.
+//
+// -dir lints one directory as a standalone package, bypassing the module
+// walk. That is how the analyzer fixtures under testdata (which the walk
+// deliberately skips) are linted: fdxlint -dir internal/analysis/testdata/src/floatcmp.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"fdx/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	only := flag.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
+	dir := flag.String("dir", "", "lint a single directory as a standalone package instead of the module")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: fdxlint [-list] [-analyzers a,b,c] [-dir path] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		analyzers = selectAnalyzers(analyzers, *only)
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	var pkgs []*analysis.Package
+	if *dir != "" {
+		pkg, err := analysis.LoadDir(*dir, filepath.Base(*dir))
+		if err != nil {
+			fatal(err)
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	} else {
+		pkgs, err = analysis.LoadModule(cwd)
+		if err != nil {
+			fatal(err)
+		}
+		pkgs = filterPackages(pkgs, cwd, flag.Args())
+	}
+
+	failed := false
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			failed = true
+			fmt.Printf("%v [typecheck]\n", terr)
+		}
+	}
+	diags := analysis.Run(pkgs, analyzers)
+	for _, d := range diags {
+		failed = true
+		fmt.Println(rel(cwd, d))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(all []*analysis.Analyzer, names string) []*analysis.Analyzer {
+	want := map[string]bool{}
+	for _, n := range strings.Split(names, ",") {
+		want[strings.TrimSpace(n)] = true
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		if want[a.Name] {
+			out = append(out, a)
+			delete(want, a.Name)
+		}
+	}
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for n := range want {
+			unknown = append(unknown, n)
+		}
+		sort.Strings(unknown)
+		fatal(fmt.Errorf("unknown analyzers %s (see fdxlint -list)", strings.Join(unknown, ", ")))
+	}
+	return out
+}
+
+// filterPackages narrows reporting to packages under the directories named
+// by the patterns. "./..." (and no patterns at all) keeps everything.
+func filterPackages(pkgs []*analysis.Package, cwd string, patterns []string) []*analysis.Package {
+	var roots []string
+	for _, p := range patterns {
+		if p == "./..." || p == "..." || p == "all" {
+			return pkgs
+		}
+		p = strings.TrimSuffix(p, "/...")
+		if !filepath.IsAbs(p) {
+			p = filepath.Join(cwd, p)
+		}
+		roots = append(roots, filepath.Clean(p))
+	}
+	if len(roots) == 0 {
+		return pkgs
+	}
+	var out []*analysis.Package
+	for _, pkg := range pkgs {
+		for _, root := range roots {
+			if pkg.Dir == root || strings.HasPrefix(pkg.Dir, root+string(filepath.Separator)) {
+				out = append(out, pkg)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// rel shortens the diagnostic's file name to be cwd-relative for readability.
+func rel(cwd string, d analysis.Diagnostic) string {
+	if r, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+		d.Pos.Filename = r
+	}
+	return d.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fdxlint:", err)
+	os.Exit(2)
+}

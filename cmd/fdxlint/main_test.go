@@ -1,0 +1,87 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binPath string
+
+// TestMain builds the fdxlint binary once so the tests can observe real
+// exit codes (a `go run` wrapper reports its own status, not the child's).
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "fdxlint")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	binPath = filepath.Join(dir, "fdxlint")
+	if out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building fdxlint: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// run executes fdxlint and returns its combined output and exit code.
+func run(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(binPath, args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("fdxlint failed to start: %v\n%s", err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+func TestFixtureDirExitsNonZero(t *testing.T) {
+	for _, fixture := range []string{"floatcmp", "maporder", "goroutinecapture", "nakedpanic", "dimcheck"} {
+		out, code := run(t, "-dir", "../../internal/analysis/testdata/src/"+fixture)
+		if code != 1 {
+			t.Errorf("fdxlint -dir %s: exit %d, want 1\n%s", fixture, code, out)
+		}
+		if !strings.Contains(out, "["+fixture+"]") {
+			t.Errorf("fdxlint -dir %s: output has no [%s] finding\n%s", fixture, fixture, out)
+		}
+	}
+}
+
+func TestUnknownAnalyzerExitsTwo(t *testing.T) {
+	out, code := run(t, "-analyzers", "nope")
+	if code != 2 {
+		t.Errorf("exit %d, want 2\n%s", code, out)
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	out, code := run(t, "-list")
+	if code != 0 {
+		t.Fatalf("fdxlint -list: exit %d\n%s", code, out)
+	}
+	for _, name := range []string{"floatcmp", "maporder", "goroutinecapture", "nakedpanic", "dimcheck"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("fdxlint -list output is missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module lint takes several seconds")
+	}
+	out, code := run(t, "./...")
+	if code != 0 {
+		t.Errorf("fdxlint ./... on the repo: exit %d, want 0\n%s", code, out)
+	}
+}

@@ -1,0 +1,68 @@
+package fdx_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdx"
+)
+
+// discoverTwice runs Discover twice with identical options and returns both
+// results.
+func discoverTwice(t *testing.T, opts fdx.Options) (*fdx.Result, *fdx.Result) {
+	t.Helper()
+	rel := noisyAddressRelation(rand.New(rand.NewSource(11)), 400, 0.03)
+	a, err := fdx.Discover(rel, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fdx.Discover(rel, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+// assertIdentical compares two results element-wise: same FD list (order,
+// attributes, scores) and bit-identical autoregression matrices.
+func assertIdentical(t *testing.T, a, b *fdx.Result) {
+	t.Helper()
+	if len(a.FDs) != len(b.FDs) {
+		t.Fatalf("FD counts differ: %d vs %d\n%v\n%v", len(a.FDs), len(b.FDs), a.FDs, b.FDs)
+	}
+	for i := range a.FDs {
+		x, y := a.FDs[i], b.FDs[i]
+		if x.String() != y.String() || x.Score != y.Score {
+			t.Errorf("FD %d differs: %v (score %v) vs %v (score %v)", i, x, x.Score, y, y.Score)
+		}
+	}
+	for i := range a.B {
+		for j := range a.B[i] {
+			if a.B[i][j] != b.B[i][j] {
+				t.Errorf("B[%d][%d] differs: %v vs %v", i, j, a.B[i][j], b.B[i][j])
+			}
+		}
+	}
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] {
+			t.Errorf("Order[%d] differs: %d vs %d", i, a.Order[i], b.Order[i])
+		}
+	}
+}
+
+// TestDiscoverDeterministic checks that two runs with the same options and
+// data agree exactly — the property the maporder/floatcmp analyzers guard.
+func TestDiscoverDeterministic(t *testing.T) {
+	a, b := discoverTwice(t, fdx.Options{Seed: 7})
+	assertIdentical(t, a, b)
+}
+
+// TestDiscoverDeterministicParallel checks that the parallel transform does
+// not perturb results: Workers > 1 must match both itself and a sequential
+// run exactly.
+func TestDiscoverDeterministicParallel(t *testing.T) {
+	p1, p2 := discoverTwice(t, fdx.Options{Seed: 7, Workers: 4})
+	assertIdentical(t, p1, p2)
+	s1, _ := discoverTwice(t, fdx.Options{Seed: 7, Workers: 1})
+	assertIdentical(t, s1, p1)
+}

@@ -93,6 +93,10 @@ type Options struct {
 	NumericTolerance float64
 	// TextSimilarity enables 3-gram Jaccard similarity for text columns.
 	TextSimilarity bool
+	// Workers sets the number of goroutines in the pair transform
+	// (0 = GOMAXPROCS, 1 = sequential). Every setting produces identical
+	// results; see determinism_test.go.
+	Workers int
 	// Seed drives the transform's shuffling (0 is a valid fixed seed).
 	Seed int64
 }
@@ -128,6 +132,7 @@ func Discover(rel *Relation, opts Options) (*Result, error) {
 			MaxRows:        opts.MaxRows,
 			NumericTol:     opts.NumericTolerance,
 			TextSimilarity: opts.TextSimilarity,
+			Workers:        opts.Workers,
 		},
 	}
 	t0 := time.Now()

@@ -1,0 +1,157 @@
+// Package analysis is a small static-analysis framework for the fdx module,
+// built entirely on the Go standard library (go/parser, go/ast, go/types,
+// go/importer) so the repo keeps its zero-dependency invariant.
+//
+// The FDX pipeline (transform → Graphical Lasso → UDUᵀ → FD generation) is
+// only trustworthy if it is deterministic and numerically safe, and the
+// classic ways Go code silently loses both properties are statically
+// detectable: float64 ==, map iteration feeding ordered output, goroutine
+// capture bugs, undocumented panics, and unvalidated matrix dimensions.
+// Each Analyzer in this package targets one of those failure modes.
+//
+// Diagnostics can be suppressed with a justification comment:
+//
+//	//fdx:lint-ignore <analyzer> <reason>
+//
+// placed on the flagged line or the line directly above it. A suppression
+// without a reason is itself reported. Functions whose doc comment contains
+// the marker "fdx:numeric-kernel" are exempt from floatcmp: they are
+// numerical kernels whose exact float comparisons (sparsity skips, sentinel
+// checks) are deliberate.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is a single finding at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is a single named check run over one package at a time.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppressions.
+	Name string
+	// Doc is a one-line description shown by `fdxlint -list`.
+	Doc string
+	// Run inspects the package in pass and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's non-test source files.
+	Files []*ast.File
+	// Pkg is the type-checked package (may be partially filled if the
+	// package had type errors).
+	Pkg *types.Package
+	// Info holds the type information for Files.
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in deterministic order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		FloatCmp,
+		MapOrder,
+		GoroutineCapture,
+		NakedPanic,
+		DimCheck,
+	}
+}
+
+// Run applies every analyzer to every package, filters suppressed findings,
+// and returns the surviving diagnostics sorted by position. Suppressions
+// lacking a reason are reported under the pseudo-analyzer "lint-ignore".
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg.Fset, pkg.Files)
+		for _, d := range sup.malformed {
+			diags = append(diags, d)
+		}
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &raw,
+			}
+			a.Run(pass)
+		}
+		for _, d := range raw {
+			if !sup.suppresses(d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// enclosingFuncDoc returns the doc comment text of the innermost function
+// declaration containing pos, or "" when pos is not inside a declared
+// function or the function has no doc comment.
+func enclosingFuncDoc(files []*ast.File, pos token.Pos) string {
+	if fd := enclosingFuncDecl(files, pos); fd != nil && fd.Doc != nil {
+		return fd.Doc.Text()
+	}
+	return ""
+}
+
+// enclosingFuncDecl returns the function declaration containing pos, if any.
+func enclosingFuncDecl(files []*ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, f := range files {
+		if pos < f.Pos() || pos > f.End() {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || pos < fd.Pos() || pos > fd.End() {
+				continue
+			}
+			return fd
+		}
+	}
+	return nil
+}

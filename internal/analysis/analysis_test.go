@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "pkg/file.go", Line: 12, Column: 3},
+		Analyzer: "floatcmp",
+		Message:  "floating-point == comparison",
+	}
+	want := "pkg/file.go:12:3: [floatcmp] floating-point == comparison"
+	if got := d.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestAllAnalyzersRegistered(t *testing.T) {
+	want := []string{"floatcmp", "maporder", "goroutinecapture", "nakedpanic", "dimcheck"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d].Name = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+	}
+}
+
+// fixtureLine returns the 1-based line whose trimmed content equals needle,
+// so the suppression tests track edits to the fixture.
+func fixtureLine(t *testing.T, path, needle string) int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == needle {
+			return i + 1
+		}
+	}
+	t.Fatalf("%s: line %q not found", path, needle)
+	return 0
+}
+
+func TestSuppressions(t *testing.T) {
+	pkg := loadFixture(t, "suppress")
+	diags := Run([]*Package{pkg}, []*Analyzer{FloatCmp})
+
+	path := filepath.Join("testdata", "src", "suppress", "fixture.go")
+	missing := fixtureLine(t, path, "//fdx:lint-ignore floatcmp")
+	wrong := fixtureLine(t, path, "//fdx:lint-ignore maporder fixture: names the wrong analyzer")
+	want := map[string][]string{
+		key(path, missing):   {"lint-ignore"},
+		key(path, missing+1): {"floatcmp"},
+		key(path, wrong+1):   {"floatcmp"},
+	}
+	got := byLine(diags)
+	for k, names := range want {
+		if len(got[k]) != len(names) || got[k][0] != names[0] {
+			t.Errorf("%s: want %v, got %v", k, names, got[k])
+		}
+	}
+	if len(diags) != 3 {
+		t.Errorf("got %d diagnostics, want 3 (justified suppressions must filter their findings): %v", len(diags), diags)
+	}
+}
+
+func key(path string, line int) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(path), line)
+}
+
+func TestLoadModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module load shells out to the source importer")
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, pkg := range pkgs {
+		if pkg.ImportPath == "fdx/internal/analysis" {
+			found = true
+		}
+		if strings.Contains(pkg.Dir, "testdata") {
+			t.Errorf("LoadModule descended into testdata: %s", pkg.Dir)
+		}
+	}
+	if !found {
+		t.Error("LoadModule did not load fdx/internal/analysis")
+	}
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads one fixture package from testdata/src.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", "src", name), name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	if pkg == nil {
+		t.Fatalf("fixture %s has no Go files", name)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s: type error: %v", name, terr)
+	}
+	return pkg
+}
+
+// expectations parses "// want:<analyzer>[,<analyzer>...]" comments out of
+// the fixture and returns the expected diagnostics keyed by
+// "<base-file>:<line>".
+func expectations(t *testing.T, pkg *Package) map[string][]string {
+	t.Helper()
+	want := map[string][]string{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want:") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				for _, name := range strings.Split(strings.TrimPrefix(text, "want:"), ",") {
+					want[key] = append(want[key], strings.TrimSpace(name))
+				}
+			}
+		}
+	}
+	if len(want) == 0 {
+		t.Fatalf("fixture %s has no want: annotations", pkg.ImportPath)
+	}
+	return want
+}
+
+// byLine groups diagnostics by "<base-file>:<line>" → analyzer names.
+func byLine(diags []Diagnostic) map[string][]string {
+	got := map[string][]string{}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)
+		got[key] = append(got[key], d.Analyzer)
+	}
+	return got
+}
+
+// testAnalyzerFixture runs a single analyzer over its fixture package and
+// compares the findings against the fixture's want: annotations. The
+// unannotated functions double as the clean-pass cases: a diagnostic on any
+// of them fails the comparison.
+func testAnalyzerFixture(t *testing.T, name string, a *Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, name)
+	diags := Run([]*Package{pkg}, []*Analyzer{a})
+	want := expectations(t, pkg)
+	got := byLine(diags)
+	for key, names := range want {
+		if fmt.Sprint(got[key]) != fmt.Sprint(names) {
+			t.Errorf("%s: want %v, got %v", key, names, got[key])
+		}
+	}
+	for key, names := range got {
+		if len(want[key]) == 0 {
+			t.Errorf("%s: unexpected diagnostics %v", key, names)
+		}
+	}
+}
+
+func TestFloatCmp(t *testing.T)         { testAnalyzerFixture(t, "floatcmp", FloatCmp) }
+func TestMapOrder(t *testing.T)         { testAnalyzerFixture(t, "maporder", MapOrder) }
+func TestGoroutineCapture(t *testing.T) { testAnalyzerFixture(t, "goroutinecapture", GoroutineCapture) }
+func TestNakedPanic(t *testing.T)       { testAnalyzerFixture(t, "nakedpanic", NakedPanic) }
+func TestDimCheck(t *testing.T)         { testAnalyzerFixture(t, "dimcheck", DimCheck) }

@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// DimCheck flags linalg-style kernels — functions that element-access two
+// or more dimensioned operands (matrices with rows/cols fields, numeric
+// slices) — when nothing on the path validates that those dimensions agree.
+// An out-of-shape multiply or triangular solve does not always crash: with
+// row-major storage it can silently read the wrong stride and hand the
+// Graphical Lasso a plausible-looking but corrupt matrix. A kernel is
+// considered guarded when it compares operand dimensions (rows/cols/Dims/
+// len) in a condition, directly or through locals derived from them, or
+// calls a CheckDims-style validator.
+var DimCheck = &Analyzer{
+	Name: "dimcheck",
+	Doc:  "flags multi-operand matrix/vector kernels that never validate operand dimensions",
+	Run:  runDimCheck,
+}
+
+func runDimCheck(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkKernelDims(pass, fd)
+		}
+	}
+}
+
+func checkKernelDims(pass *Pass, fd *ast.FuncDecl) {
+	params := dimensionedParams(pass.Info, fd)
+	if len(params) < 2 {
+		return
+	}
+	accessed := map[types.Object]string{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			// m.At(i,j), m.Set(...), m.Row(i), m.Add(...) on a matrix param.
+			if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+				if obj := paramObject(pass.Info, sel.X, params); obj != nil && isElementMethod(sel.Sel.Name) {
+					accessed[obj] = params[obj]
+				}
+			}
+		case *ast.IndexExpr:
+			// v[i] on a slice param, or m.data[i] on a matrix param.
+			if obj := paramObject(pass.Info, e.X, params); obj != nil {
+				accessed[obj] = params[obj]
+			}
+			if sel, ok := e.X.(*ast.SelectorExpr); ok && sel.Sel.Name == "data" {
+				if obj := paramObject(pass.Info, sel.X, params); obj != nil {
+					accessed[obj] = params[obj]
+				}
+			}
+		case *ast.RangeStmt:
+			// for i, v := range m.data
+			if sel, ok := e.X.(*ast.SelectorExpr); ok && sel.Sel.Name == "data" {
+				if obj := paramObject(pass.Info, sel.X, params); obj != nil {
+					accessed[obj] = params[obj]
+				}
+			}
+		}
+		return true
+	})
+	if len(accessed) < 2 {
+		return
+	}
+	if hasDimGuard(pass, fd, params) {
+		return
+	}
+	names := make([]string, 0, len(accessed))
+	for _, name := range accessed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	pass.Reportf(fd.Name.Pos(), "kernel %s element-accesses %s without validating their dimensions; compare rows/cols/len (or call a CheckDims helper) before touching elements", fd.Name.Name, strings.Join(names, ", "))
+}
+
+// dimensionedParams returns the objects of the function's matrix and
+// numeric-slice parameters (receiver included), keyed to their names.
+func dimensionedParams(info *types.Info, fd *ast.FuncDecl) map[types.Object]string {
+	params := map[types.Object]string{}
+	add := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, field := range fields.List {
+			for _, name := range field.Names {
+				obj := info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if isMatrixType(obj.Type()) || isNumericSlice(obj.Type()) {
+					params[obj] = name.Name
+				}
+			}
+		}
+	}
+	add(fd.Recv)
+	add(fd.Type.Params)
+	return params
+}
+
+// isMatrixType reports whether t is a pointer to a struct carrying integer
+// rows and cols fields — the shape of linalg.Dense and equivalents.
+func isMatrixType(t types.Type) bool {
+	p, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	st, ok := p.Elem().Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	var rows, cols bool
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		b, ok := f.Type().Underlying().(*types.Basic)
+		if !ok || b.Info()&types.IsInteger == 0 {
+			continue
+		}
+		switch f.Name() {
+		case "rows":
+			rows = true
+		case "cols":
+			cols = true
+		}
+	}
+	return rows && cols
+}
+
+func isNumericSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+func isElementMethod(name string) bool {
+	switch name {
+	case "At", "Set", "Add", "Row":
+		return true
+	}
+	return false
+}
+
+// paramObject resolves e to one of the dimensioned parameter objects, or nil.
+func paramObject(info *types.Info, e ast.Expr, params map[types.Object]string) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := objectOf(info, id)
+	if obj == nil {
+		return nil
+	}
+	if _, ok := params[obj]; !ok {
+		return nil
+	}
+	return obj
+}
+
+// hasDimGuard reports whether the function compares operand dimensions in
+// any condition. Dimension information flows from selectors rows/cols/
+// Rows()/Cols()/Dims() and len() on a dimensioned param into locals; a
+// condition referencing either the source expressions or a tainted local
+// counts, as does a call to a *CheckDims* helper.
+func hasDimGuard(pass *Pass, fd *ast.FuncDecl, params map[types.Object]string) bool {
+	dimVars := map[types.Object]bool{}
+	// First sweep: taint locals assigned from dimension expressions.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		tainted := false
+		for _, rhs := range as.Rhs {
+			if mentionsDimExpr(pass, rhs, params, dimVars) {
+				tainted = true
+			}
+		}
+		if !tainted {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := pass.Info.Defs[id]; obj != nil {
+					dimVars[obj] = true
+				} else if obj := pass.Info.Uses[id]; obj != nil {
+					dimVars[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	guarded := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if guarded {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.IfStmt:
+			if mentionsDimExpr(pass, e.Cond, params, dimVars) {
+				guarded = true
+				return false
+			}
+		case *ast.CallExpr:
+			if calleeName(e).Contains("CheckDims") {
+				for _, arg := range e.Args {
+					if paramObject(pass.Info, arg, params) != nil {
+						guarded = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return guarded
+}
+
+type nameMatcher string
+
+func (n nameMatcher) Contains(sub string) bool { return strings.Contains(string(n), sub) }
+
+func calleeName(call *ast.CallExpr) nameMatcher {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return nameMatcher(f.Name)
+	case *ast.SelectorExpr:
+		return nameMatcher(f.Sel.Name)
+	}
+	return ""
+}
+
+// mentionsDimExpr reports whether e contains a dimension expression over one
+// of the params (m.rows, m.Cols(), m.Dims(), len(v)) or a tainted local.
+func mentionsDimExpr(pass *Pass, e ast.Expr, params map[types.Object]string, dimVars map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			switch x.Sel.Name {
+			case "rows", "cols", "Rows", "Cols", "Dims":
+				if paramObject(pass.Info, x.X, params) != nil {
+					found = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "len" {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && len(x.Args) == 1 {
+					if paramObject(pass.Info, x.Args[0], params) != nil {
+						found = true
+						return false
+					}
+				}
+			}
+		case *ast.Ident:
+			if obj := objectOf(pass.Info, x); obj != nil && dimVars[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

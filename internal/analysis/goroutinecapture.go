@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineCapture flags two concurrency patterns that corrupt parallel
+// kernels like the attribute-block transform and the stratified covariance:
+//
+//   - a `go func` literal that captures an enclosing loop variable. Go 1.22
+//     made loop variables per-iteration, but the capture still hides the
+//     goroutine's true inputs; pass the value as a parameter so the
+//     semantics never depend on the language version.
+//   - WaitGroup.Add called inside the spawned goroutine, which races with
+//     the corresponding Wait: Wait can return before the goroutine has run
+//     Add, dropping work silently.
+var GoroutineCapture = &Analyzer{
+	Name: "goroutinecapture",
+	Doc:  "flags loop-variable capture and WaitGroup.Add placement errors in go statements",
+	Run:  runGoroutineCapture,
+}
+
+func runGoroutineCapture(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Walk(gcVisitor{pass: pass, loopVars: map[types.Object]string{}}, f)
+	}
+}
+
+type gcVisitor struct {
+	pass     *Pass
+	loopVars map[types.Object]string
+}
+
+func (v gcVisitor) Visit(n ast.Node) ast.Visitor {
+	switch st := n.(type) {
+	case *ast.ForStmt:
+		if init, ok := st.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+			vars := v.extend()
+			for _, lhs := range init.Lhs {
+				vars.addLoopVar(lhs)
+			}
+			return vars
+		}
+	case *ast.RangeStmt:
+		if st.Tok == token.DEFINE {
+			vars := v.extend()
+			vars.addLoopVar(st.Key)
+			vars.addLoopVar(st.Value)
+			return vars
+		}
+	case *ast.GoStmt:
+		if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			v.checkGoFunc(fl)
+		}
+	}
+	return v
+}
+
+func (v gcVisitor) extend() gcVisitor {
+	vars := make(map[types.Object]string, len(v.loopVars)+2)
+	for o, name := range v.loopVars {
+		vars[o] = name
+	}
+	return gcVisitor{pass: v.pass, loopVars: vars}
+}
+
+func (v gcVisitor) addLoopVar(e ast.Expr) {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	if obj := v.pass.Info.Defs[id]; obj != nil {
+		v.loopVars[obj] = id.Name
+	}
+}
+
+func (v gcVisitor) checkGoFunc(fl *ast.FuncLit) {
+	reported := map[types.Object]bool{}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.Ident:
+			obj := v.pass.Info.Uses[e]
+			if obj == nil || reported[obj] {
+				return true
+			}
+			if name, ok := v.loopVars[obj]; ok {
+				reported[obj] = true
+				v.pass.Reportf(e.Pos(), "goroutine captures loop variable %s; pass it as a parameter (go func(%s ...) { ... }(%s))", name, name, name)
+			}
+		case *ast.CallExpr:
+			if sel, ok := e.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Add" && isWaitGroup(v.pass.Info, sel.X) {
+				v.pass.Reportf(e.Pos(), "WaitGroup.Add inside the goroutine races with Wait; call Add before the go statement")
+			}
+		}
+		return true
+	})
+}
+
+func isWaitGroup(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	s := tv.Type.String()
+	return s == "sync.WaitGroup" || s == "*sync.WaitGroup"
+}

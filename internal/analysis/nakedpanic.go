@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NakedPanic flags panic calls in library (non-main) packages whose
+// enclosing function does not document the panic. A panic that guards an
+// invariant — negative matrix dimensions, mismatched operand shapes — is
+// legitimate, but only as a documented contract: the function's doc comment
+// must say "Panics if ...", turning the crash into an API guarantee rather
+// than a surprise that takes down a whole discovery run.
+var NakedPanic = &Analyzer{
+	Name: "nakedpanic",
+	Doc:  "flags panic in library code not wrapped in a documented invariant helper",
+	Run:  runNakedPanic,
+}
+
+func runNakedPanic(pass *Pass) {
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			doc := enclosingFuncDoc(pass.Files, call.Pos())
+			if strings.Contains(strings.ToLower(doc), "panic") {
+				return true
+			}
+			pass.Reportf(call.Pos(), "undocumented panic in library code; return an error, or document the invariant (\"Panics if ...\") in the function's doc comment")
+			return true
+		})
+	}
+}

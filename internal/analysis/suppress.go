@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreMarker introduces a suppression comment:
+//
+//	//fdx:lint-ignore <analyzer|all> <reason>
+//
+// The suppression applies to diagnostics on the comment's own line (trailing
+// comment) or on the line immediately below it (leading comment).
+const ignoreMarker = "fdx:lint-ignore"
+
+type suppression struct {
+	analyzer string // analyzer name or "all"
+	file     string
+	line     int // line the suppression comment sits on
+}
+
+type suppressionSet struct {
+	items     []suppression
+	malformed []Diagnostic
+}
+
+// collectSuppressions gathers every fdx:lint-ignore comment in the files.
+// Markers with no analyzer name or no reason are reported as malformed
+// under the "lint-ignore" pseudo-analyzer: an unexplained suppression is
+// exactly the kind of silent exception this toolchain exists to prevent.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressionSet {
+	set := &suppressionSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignoreMarker) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignoreMarker))
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				if len(fields) == 0 {
+					set.malformed = append(set.malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lint-ignore",
+						Message:  "suppression is missing an analyzer name and a reason (//fdx:lint-ignore <analyzer> <reason>)",
+					})
+					continue
+				}
+				if len(fields) == 1 {
+					set.malformed = append(set.malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lint-ignore",
+						Message:  "suppression of " + fields[0] + " is missing a reason (//fdx:lint-ignore <analyzer> <reason>)",
+					})
+					continue
+				}
+				set.items = append(set.items, suppression{
+					analyzer: fields[0],
+					file:     pos.Filename,
+					line:     pos.Line,
+				})
+			}
+		}
+	}
+	return set
+}
+
+// suppresses reports whether d is covered by a suppression comment on its
+// line or the line directly above.
+func (s *suppressionSet) suppresses(d Diagnostic) bool {
+	for _, it := range s.items {
+		if it.file != d.Pos.Filename {
+			continue
+		}
+		if it.analyzer != "all" && it.analyzer != d.Analyzer {
+			continue
+		}
+		if it.line == d.Pos.Line || it.line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}

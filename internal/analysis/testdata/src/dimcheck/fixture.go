@@ -1,0 +1,55 @@
+// Package dimcheck is a fixture for the dimcheck analyzer.
+package dimcheck
+
+type matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+func (m *matrix) At(i, j int) float64     { return m.data[i*m.cols+j] }
+func (m *matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// MulVec multiplies without ever validating operand shapes.
+func MulVec(m *matrix, x []float64) []float64 { // want:dimcheck
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		s := 0.0
+		for j := 0; j < m.cols; j++ {
+			s += m.At(i, j) * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// MulVecChecked validates shapes before touching elements: not a finding.
+func MulVecChecked(m *matrix, x []float64) []float64 {
+	if m.cols != len(x) {
+		return nil
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		s := 0.0
+		for j := 0; j < m.cols; j++ {
+			s += m.At(i, j) * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// AddTo validates through a CheckDims helper: not a finding.
+func AddTo(dst, src []float64) {
+	CheckDims(dst, src)
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// CheckDims verifies the operands have equal length.
+// Panics if they differ.
+func CheckDims(a, b []float64) {
+	if len(a) != len(b) {
+		panic("dimension mismatch")
+	}
+}

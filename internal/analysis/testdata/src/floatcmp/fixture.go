@@ -1,0 +1,32 @@
+// Package floatcmp is a fixture for the floatcmp analyzer.
+package floatcmp
+
+// EqualWeights compares computed floats directly.
+func EqualWeights(a, b float64) bool {
+	return a == b // want:floatcmp
+}
+
+// Converged compares float32 operands for inequality.
+func Converged(prev, cur float32) bool {
+	return prev != cur // want:floatcmp
+}
+
+// CountMatches compares integers: not a finding.
+func CountMatches(a, b int) bool {
+	return a == b
+}
+
+// WithinTolerance compares floats through a tolerance: not a finding.
+func WithinTolerance(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+// SparsitySkip is exempt. (fdx:numeric-kernel: the exact zero is a
+// sparsity sentinel, never a computed float.)
+func SparsitySkip(v float64) bool {
+	return v == 0
+}

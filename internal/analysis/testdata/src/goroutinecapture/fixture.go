@@ -1,0 +1,33 @@
+// Package goroutinecapture is a fixture for the goroutinecapture analyzer.
+package goroutinecapture
+
+import "sync"
+
+// Spawn launches one goroutine per item with both classic mistakes.
+func Spawn(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		go func() {
+			wg.Add(1) // want:goroutinecapture
+			defer wg.Done()
+			use(it) // want:goroutinecapture
+		}()
+	}
+	wg.Wait()
+}
+
+// SpawnFixed passes the loop variable as a parameter and calls Add before
+// the go statement: not a finding.
+func SpawnFixed(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it int) {
+			defer wg.Done()
+			use(it)
+		}(it)
+	}
+	wg.Wait()
+}
+
+func use(int) {}

@@ -1,0 +1,42 @@
+// Package maporder is a fixture for the maporder analyzer.
+package maporder
+
+import "sort"
+
+// Keys appends map keys in iteration order and never sorts them.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want:maporder
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys appends map keys but sorts them afterwards: not a finding.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Total accumulates a float over the map; the iteration order changes the
+// low bits of the sum.
+func Total(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want:maporder
+		sum += v
+	}
+	return sum
+}
+
+// Count is commutative aggregation: not a finding.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

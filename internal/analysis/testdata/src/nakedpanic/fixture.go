@@ -1,0 +1,18 @@
+// Package nakedpanic is a fixture for the nakedpanic analyzer.
+package nakedpanic
+
+// Checked rejects negative input without documenting how.
+func Checked(n int) int {
+	if n < 0 {
+		panic("negative input") // want:nakedpanic
+	}
+	return n
+}
+
+// MustChecked is the documented variant. Panics if n is negative.
+func MustChecked(n int) int {
+	if n < 0 {
+		panic("negative input")
+	}
+	return n
+}

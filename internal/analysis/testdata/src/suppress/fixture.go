@@ -1,0 +1,32 @@
+// Package suppress is a fixture for the suppression machinery.
+package suppress
+
+// InlineSuppressed carries a justified trailing suppression.
+func InlineSuppressed(a, b float64) bool {
+	return a == b //fdx:lint-ignore floatcmp fixture: equality is the point here
+}
+
+// LeadingSuppressed carries a justified suppression on the line above.
+func LeadingSuppressed(a, b float64) bool {
+	//fdx:lint-ignore floatcmp fixture: equality is the point here
+	return a == b
+}
+
+// Wildcard suppresses every analyzer on the next line.
+func Wildcard(a, b float64) bool {
+	//fdx:lint-ignore all fixture: everything on the next line is intentional
+	return a != b
+}
+
+// MissingReason has a suppression with no justification: the marker itself
+// is reported and the finding it meant to cover survives.
+func MissingReason(a, b float64) bool {
+	//fdx:lint-ignore floatcmp
+	return a == b
+}
+
+// WrongAnalyzer names a different analyzer, so the finding survives.
+func WrongAnalyzer(a, b float64) bool {
+	//fdx:lint-ignore maporder fixture: names the wrong analyzer
+	return a == b
+}

@@ -101,7 +101,15 @@ func Build(rel *dataset.Relation, fd core.FD, opts Options) *Tableau {
 	t := &Tableau{FD: fd}
 	weighted := 0.0
 	totalSupport := 0
-	for _, g := range groups {
+	// Visit groups in sorted key order: the tableau's pattern order (and
+	// the float accumulation below) must not depend on map iteration.
+	keys := make([]string, 0, len(groups))
+	for key := range groups {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		g := groups[key]
 		if g.total < opts.MinSupport {
 			continue
 		}
@@ -146,6 +154,7 @@ func Build(rel *dataset.Relation, fd core.FD, opts Options) *Tableau {
 func (t *Tableau) CleanPatterns() []Pattern {
 	var out []Pattern
 	for _, p := range t.Patterns {
+		//fdx:lint-ignore floatcmp confidence is a count ratio; it is exactly 1 iff the pattern holds on every supporting tuple
 		if p.Confidence == 1 {
 			out = append(out, p)
 		}

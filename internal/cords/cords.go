@@ -37,6 +37,8 @@ type Options struct {
 	Seed int64
 }
 
+// defaults fills unset fields. (fdx:numeric-kernel: the exact zero value is
+// the "unset" sentinel on option fields, never a computed float.)
 func (o *Options) defaults() {
 	if o.SampleRows == 0 {
 		o.SampleRows = 2000

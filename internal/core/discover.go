@@ -64,6 +64,8 @@ type Options struct {
 	Transform TransformOptions
 }
 
+// defaults fills unset fields. (fdx:numeric-kernel: the exact zero value is
+// the "unset" sentinel on option fields, never a computed float.)
 func (o *Options) defaults() {
 	if o.Threshold == 0 {
 		o.Threshold = 0.05
@@ -264,8 +266,12 @@ func countEdges(bP *linalg.Dense, floor, frac float64) int {
 // threshold rule (floor and per-column relative fraction) form the
 // determinant set of an FD for attribute perm[j]. Indices in the returned
 // FDs are original attribute indices.
+// Panics if perm's length differs from bP's dimension.
 func GenerateFDs(bP *linalg.Dense, perm linalg.Permutation, floor, frac float64) []FD {
 	k, _ := bP.Dims()
+	if len(perm) != k {
+		panic(fmt.Sprintf("core: GenerateFDs permutation length %d != matrix dimension %d", len(perm), k))
+	}
 	var fds []FD
 	for j := 0; j < k; j++ {
 		th := columnThreshold(bP, j, floor, frac)

@@ -59,6 +59,8 @@ func (a *Accumulator) Batches() int { return a.batches }
 // Add transforms one batch of tuples and folds its statistics in. The
 // batch must have the accumulator's schema (same attribute names, in
 // order) and at least two rows (a single row forms no pairs).
+// (fdx:numeric-kernel: the exact-zero test is a sparsity fast path over the
+// mostly-zero pair-transform samples.)
 func (a *Accumulator) Add(rel *dataset.Relation) error {
 	k := len(a.names)
 	if rel.NumCols() != k {
@@ -104,6 +106,8 @@ func (a *Accumulator) Add(rel *dataset.Relation) error {
 
 // Covariance returns the pooled per-stratum covariance estimate built from
 // the absorbed batches.
+// (fdx:numeric-kernel: a stratum's count is an integer held in float64;
+// exactly zero means the stratum absorbed no rows and is skipped.)
 func (a *Accumulator) Covariance() (*linalg.Dense, error) {
 	k := len(a.names)
 	if a.rows == 0 {

@@ -21,6 +21,8 @@ type StabilityOptions struct {
 	Seed int64
 }
 
+// defaults fills unset fields. (fdx:numeric-kernel: the exact zero value is
+// the "unset" sentinel on option fields, never a computed float.)
 func (o *StabilityOptions) defaults() {
 	if o.Runs == 0 {
 		o.Runs = 20
@@ -74,6 +76,7 @@ func StabilitySelection(rel *dataset.Relation, opts Options, sopts StabilityOpti
 		})
 	}
 	sort.Slice(freqs, func(i, j int) bool {
+		//fdx:lint-ignore floatcmp frequencies are count ratios c/Runs; the exact compare keeps the comparator transitive, which a tolerance would break
 		if freqs[i].Frequency != freqs[j].Frequency {
 			return freqs[i].Frequency > freqs[j].Frequency
 		}

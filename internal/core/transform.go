@@ -37,6 +37,8 @@ type TransformOptions struct {
 	Workers int
 }
 
+// defaults fills unset fields. (fdx:numeric-kernel: the exact zero value is
+// the "unset" sentinel on option fields, never a computed float.)
 func (o *TransformOptions) defaults() {
 	if o.NumericTol == 0 {
 		o.NumericTol = 1e-9
@@ -125,6 +127,8 @@ func Transform(rel *dataset.Relation, opts TransformOptions) *linalg.Dense {
 
 // numericScale returns a robust per-column value scale (max−min over the
 // sampled rows) used for relative numeric tolerance.
+// (fdx:numeric-kernel: max == min is the degenerate constant-column
+// sentinel; any genuinely tiny range is still a valid scale.)
 func numericScale(col *dataset.Column, rows []int) float64 {
 	min, max := math.Inf(1), math.Inf(-1)
 	for _, i := range rows {

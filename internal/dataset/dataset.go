@@ -130,7 +130,7 @@ func (c *Column) AppendValue(v string) {
 func (c *Column) AppendMissing() { c.codes = append(c.codes, Missing) }
 
 // SetCode overwrites the code of tuple i. The code must be Missing or an
-// existing dictionary code.
+// existing dictionary code; panics otherwise.
 func (c *Column) SetCode(i int, code int32) {
 	if code != Missing && int(code) >= len(c.dict) {
 		panic(fmt.Sprintf("dataset: SetCode %d out of dictionary range %d", code, len(c.dict)))

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 )
@@ -122,7 +123,7 @@ func WriteJSONL(r *Relation, w io.Writer) error {
 				continue
 			}
 			if col.Type == Numeric {
-				if f := col.Float(i); f == f { // not NaN
+				if f := col.Float(i); !math.IsNaN(f) {
 					rec[names[j]] = f
 					continue
 				}
@@ -137,6 +138,8 @@ func WriteJSONL(r *Relation, w io.Writer) error {
 }
 
 // trimFloat renders a float64 without a trailing ".0" for integral values.
+// (fdx:numeric-kernel: the integral-value test must be exact — rounding a
+// nearly-integral float would change the rendered value.)
 func trimFloat(f float64) string {
 	if f == float64(int64(f)) {
 		return fmt.Sprintf("%d", int64(f))

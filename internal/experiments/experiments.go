@@ -136,6 +136,7 @@ func methodRoster(noise float64, seed int64, fast bool) []baselines.Discoverer {
 		rfiVisits = 200
 	}
 	taneErr := noise
+	//fdx:lint-ignore floatcmp zero noise is the experiment grid's "clean data" sentinel, not a computed float
 	if taneErr == 0 {
 		taneErr = 0.01
 	}

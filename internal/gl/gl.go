@@ -30,6 +30,8 @@ type Options struct {
 	MaxLHS int
 }
 
+// defaults fills unset fields. (fdx:numeric-kernel: the exact zero value is
+// the "unset" sentinel on option fields, never a computed float.)
 func (o *Options) defaults() {
 	if o.Lambda == 0 {
 		o.Lambda = 0.1

@@ -32,6 +32,8 @@ type Options struct {
 	InnerTol float64
 }
 
+// defaults fills unset fields. (fdx:numeric-kernel: the exact zero value is
+// the "unset" sentinel on option fields, never a computed float.)
 func (o *Options) defaults() {
 	if o.MaxIter == 0 {
 		o.MaxIter = 100
@@ -205,6 +207,8 @@ func precisionFrom(w *linalg.Dense, betas [][]float64) (*linalg.Dense, error) {
 
 // lassoCD solves min_β ½βᵀQβ − bᵀβ + λ‖β‖₁ by cyclic coordinate descent,
 // updating beta in place. Q must be symmetric with positive diagonal.
+// (fdx:numeric-kernel: the exactly-unchanged-coordinate test only skips a
+// no-op gradient update; the soft threshold emits exact zeros by design.)
 func lassoCD(q *linalg.Dense, b []float64, lambda float64, beta []float64, maxIter int, tol float64) {
 	p := len(b)
 	// grad[i] = (Qβ)_i maintained incrementally.

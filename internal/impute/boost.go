@@ -71,6 +71,7 @@ func (b *Boost) Impute(m *Masked) []int32 {
 		rounds = 25
 	}
 	lr := b.LearningRate
+	//fdx:lint-ignore floatcmp zero LearningRate is the unset sentinel, never a computed float
 	if lr == 0 {
 		lr = 0.4
 	}
@@ -170,13 +171,12 @@ func (b *Boost) Impute(m *Masked) []int32 {
 		classes = append(classes, cc{code, n})
 	}
 	// Sort by frequency descending (stable by code).
-	for i := 0; i < len(classes); i++ {
-		for j := i + 1; j < len(classes); j++ {
-			if classes[j].n > classes[i].n || (classes[j].n == classes[i].n && classes[j].code < classes[i].code) {
-				classes[i], classes[j] = classes[j], classes[i]
-			}
+	sort.Slice(classes, func(i, j int) bool {
+		if classes[i].n != classes[j].n {
+			return classes[i].n > classes[j].n
 		}
-	}
+		return classes[i].code < classes[j].code
+	})
 	if len(classes) > maxClasses {
 		classes = classes[:maxClasses]
 	}
@@ -218,6 +218,7 @@ func (b *Boost) Impute(m *Masked) []int32 {
 			// variance explained between hit/miss groups.
 			bestF, bestGain := -1, 0.0
 			for f := 0; f < nf; f++ {
+				//fdx:lint-ignore floatcmp cnt holds integer counts in float64; the degenerate-split boundary test is exact
 				if cnt[f] == 0 || cnt[f] == float64(n) {
 					continue
 				}

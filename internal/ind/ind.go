@@ -102,6 +102,7 @@ func Discover(rel *dataset.Relation, opts Options) []IND {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
+		//fdx:lint-ignore floatcmp exact compare keeps the comparator transitive; equal coverages fall through to index tie-breaks
 		if out[i].Coverage != out[j].Coverage {
 			return out[i].Coverage > out[j].Coverage
 		}

@@ -105,8 +105,12 @@ func UDU(a *Dense) (u *Dense, d []float64, err error) {
 }
 
 // ReconstructUDU returns U·diag(d)·Uᵀ, the inverse operation of UDU.
+// Panics if u is not square or len(d) differs from its dimension.
 func ReconstructUDU(u *Dense, d []float64) *Dense {
 	n := u.rows
+	if u.cols != n || len(d) != n {
+		panic(fmt.Sprintf("linalg: ReconstructUDU dimension mismatch %dx%d with %d-vector", u.rows, u.cols, len(d)))
+	}
 	ud := NewDense(n, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
@@ -117,8 +121,12 @@ func ReconstructUDU(u *Dense, d []float64) *Dense {
 }
 
 // SolveLower solves L·x = b for x, with L lower triangular (non-unit diagonal).
+// Panics if l is not square or len(b) differs from its dimension.
 func SolveLower(l *Dense, b []float64) []float64 {
 	n := l.rows
+	if l.cols != n || len(b) != n {
+		panic(fmt.Sprintf("linalg: SolveLower dimension mismatch %dx%d with %d-vector", l.rows, l.cols, len(b)))
+	}
 	x := make([]float64, n)
 	for i := 0; i < n; i++ {
 		s := b[i]
@@ -132,8 +140,12 @@ func SolveLower(l *Dense, b []float64) []float64 {
 }
 
 // SolveUpper solves U·x = b for x, with U upper triangular (non-unit diagonal).
+// Panics if u is not square or len(b) differs from its dimension.
 func SolveUpper(u *Dense, b []float64) []float64 {
 	n := u.rows
+	if u.cols != n || len(b) != n {
+		panic(fmt.Sprintf("linalg: SolveUpper dimension mismatch %dx%d with %d-vector", u.rows, u.cols, len(b)))
+	}
 	x := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
 		s := b[i]
@@ -198,6 +210,7 @@ func Inverse(a *Dense) (*Dense, error) {
 				pivot, pmax = r, v
 			}
 		}
+		//fdx:lint-ignore floatcmp exact-zero pivot is the singularity sentinel; any nonzero magnitude, however small, is a usable pivot
 		if pmax == 0 {
 			return nil, errors.New("linalg: singular matrix")
 		}
@@ -215,6 +228,7 @@ func Inverse(a *Dense) (*Dense, error) {
 				continue
 			}
 			f := work.At(r, col)
+			//fdx:lint-ignore floatcmp skipping an exactly-zero factor elides a no-op elimination step; near-zero factors must still be applied
 			if f == 0 {
 				continue
 			}

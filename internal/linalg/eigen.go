@@ -52,6 +52,8 @@ func SymEigen(a *Dense) (vals []float64, vecs *Dense, err error) {
 
 // rotate applies the Jacobi rotation J(p,q,θ) to m (two-sided) and
 // accumulates it into v (one-sided).
+//
+//fdx:lint-ignore dimcheck private hot-loop helper; the Jacobi driver allocates m and v as n-by-n before the sweep, and a per-rotation guard would dominate the O(n) body
 func rotate(m, v *Dense, p, q int, c, s float64) {
 	n := m.rows
 	for k := 0; k < n; k++ {

@@ -18,6 +18,7 @@ type Dense struct {
 }
 
 // NewDense returns a zeroed rows×cols matrix.
+// Panics if either dimension is negative.
 func NewDense(rows, cols int) *Dense {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("linalg: negative dimension %dx%d", rows, cols))
@@ -26,6 +27,7 @@ func NewDense(rows, cols int) *Dense {
 }
 
 // NewDenseData wraps data (length rows*cols, row-major) without copying.
+// Panics if len(data) is not rows*cols.
 func NewDenseData(rows, cols int, data []float64) *Dense {
 	if len(data) != rows*cols {
 		panic(fmt.Sprintf("linalg: data length %d != %d*%d", len(data), rows, cols))
@@ -86,6 +88,7 @@ func (m *Dense) Transpose() *Dense {
 }
 
 // Mul returns a*b as a new matrix.
+// Panics if the inner dimensions disagree.
 func Mul(a, b *Dense) *Dense {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("linalg: Mul dimension mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
@@ -95,6 +98,7 @@ func Mul(a, b *Dense) *Dense {
 		arow := a.Row(i)
 		crow := c.Row(i)
 		for k, av := range arow {
+			//fdx:lint-ignore floatcmp sparsity fast path: an exactly-zero multiplier contributes nothing to the accumulation
 			if av == 0 {
 				continue
 			}
@@ -108,6 +112,7 @@ func Mul(a, b *Dense) *Dense {
 }
 
 // MulVec returns a·x as a new vector.
+// Panics if a.Cols() differs from len(x).
 func MulVec(a *Dense, x []float64) []float64 {
 	if a.cols != len(x) {
 		panic(fmt.Sprintf("linalg: MulVec dimension mismatch %dx%d * %d", a.rows, a.cols, len(x)))
@@ -125,6 +130,7 @@ func MulVec(a *Dense, x []float64) []float64 {
 }
 
 // AddScaled returns a + s*b as a new matrix.
+// Panics if a and b have different shapes.
 func AddScaled(a *Dense, s float64, b *Dense) *Dense {
 	if a.rows != b.rows || a.cols != b.cols {
 		panic("linalg: AddScaled dimension mismatch")
@@ -147,6 +153,7 @@ func (m *Dense) Scale(s float64) {
 }
 
 // MaxAbsDiff returns max_ij |a_ij - b_ij|.
+// Panics if a and b have different shapes.
 func MaxAbsDiff(a, b *Dense) float64 {
 	if a.rows != b.rows || a.cols != b.cols {
 		panic("linalg: MaxAbsDiff dimension mismatch")
@@ -177,6 +184,7 @@ func (m *Dense) IsSymmetric(tol float64) bool {
 }
 
 // Symmetrize replaces m with (m+mᵀ)/2 in place. m must be square.
+// Panics otherwise.
 func (m *Dense) Symmetrize() {
 	if m.rows != m.cols {
 		panic("linalg: Symmetrize on non-square matrix")

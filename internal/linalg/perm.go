@@ -37,7 +37,8 @@ func (p Permutation) Inverse() Permutation {
 }
 
 // PermuteSym returns P·a·Pᵀ: element (i, j) of the result is
-// a[p[i], p[j]]. a must be square with the same dimension as p.
+// a[p[i], p[j]]. a must be square with the same dimension as p; panics
+// otherwise.
 func PermuteSym(a *Dense, p Permutation) *Dense {
 	n := a.rows
 	if a.cols != n || len(p) != n {

@@ -63,6 +63,9 @@ func Evaluate(truth, found []core.FD, undirected bool) PRF1 {
 	return PRF1{Precision: p, Recall: r, F1: f1(p, r)}
 }
 
+// f1 is the harmonic mean of precision and recall.
+// (fdx:numeric-kernel: p and r are count ratios; p+r is exactly zero only
+// when both are, which is the division-by-zero guard.)
 func f1(p, r float64) float64 {
 	if p+r == 0 {
 		return 0

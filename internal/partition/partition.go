@@ -6,6 +6,8 @@
 package partition
 
 import (
+	"sort"
+
 	"fdx/internal/dataset"
 )
 
@@ -94,15 +96,23 @@ func Product(a, b *Partition) *Partition {
 		}
 	}
 	out := &Partition{N: a.N}
-	// For each class of b, bucket members by their class in a.
+	// For each class of b, bucket members by their class in a. Classes are
+	// emitted in sorted a-class order so the product is deterministic.
 	buckets := make(map[int][]int)
+	var cas []int
 	for _, class := range b.Classes {
+		cas = cas[:0]
 		for _, t := range class {
 			if ca := probe[t]; ca >= 0 {
+				if len(buckets[ca]) == 0 {
+					cas = append(cas, ca)
+				}
 				buckets[ca] = append(buckets[ca], t)
 			}
 		}
-		for ca, members := range buckets {
+		sort.Ints(cas)
+		for _, ca := range cas {
+			members := buckets[ca]
 			if len(members) >= 2 {
 				cp := make([]int, len(members))
 				copy(cp, members)

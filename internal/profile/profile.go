@@ -28,6 +28,8 @@ type Options struct {
 	KeyBudget time.Duration
 }
 
+// defaults fills unset fields. (fdx:numeric-kernel: the exact zero value is
+// the "unset" sentinel on option fields, never a computed float.)
 func (o *Options) defaults() {
 	if o.KeyError == 0 {
 		o.KeyError = 0.01

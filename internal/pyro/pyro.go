@@ -304,11 +304,17 @@ func sampleRelation(rel *dataset.Relation, rows int, seed int64) *dataset.Relati
 // another found FD with the same RHS.
 func dedupMinimal(fds []core.FD) []core.FD {
 	byRHS := map[int][]core.FD{}
+	var rhss []int
 	for _, fd := range fds {
+		if _, ok := byRHS[fd.RHS]; !ok {
+			rhss = append(rhss, fd.RHS)
+		}
 		byRHS[fd.RHS] = append(byRHS[fd.RHS], fd)
 	}
+	sort.Ints(rhss)
 	var out []core.FD
-	for _, group := range byRHS {
+	for _, rhs := range rhss {
+		group := byRHS[rhs]
 		sort.Slice(group, func(i, j int) bool { return len(group[i].LHS) < len(group[j].LHS) })
 		var kept []core.FD
 		seen := map[string]bool{}

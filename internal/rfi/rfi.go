@@ -42,6 +42,8 @@ type Options struct {
 	Deadline time.Time
 }
 
+// defaults fills unset fields. (fdx:numeric-kernel: the exact zero value is
+// the "unset" sentinel on option fields, never a computed float.)
 func (o *Options) defaults() {
 	if o.Alpha == 0 {
 		o.Alpha = 1
@@ -145,6 +147,7 @@ func searchTarget(labels [][]int, rhs int, opts *Options) (attrset.Set, float64)
 		visits++
 		c := stats.NewContingency(fr.joint, y)
 		score := stats.ReliableFractionOfInformation(c)
+		//fdx:lint-ignore floatcmp exact-tie check prefers the smaller determinant set; a tolerance would make the preference order-dependent
 		if score > bestScore || (score == bestScore && fr.set.Len() < best.Len()) {
 			bestScore = score
 			best = fr.set

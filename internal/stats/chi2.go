@@ -4,15 +4,21 @@ import "math"
 
 // ChiSquared returns the chi-squared independence statistic and its degrees
 // of freedom for the contingency table. Cells with zero expected count are
-// skipped.
+// skipped. Marginals are visited in sorted key order so the statistic is
+// bit-for-bit reproducible across runs.
 func ChiSquared(c *Contingency) (stat float64, dof int) {
 	if c.N == 0 {
 		return 0, 0
 	}
 	n := float64(c.N)
-	for rx, a := range c.RowSum {
-		for cy, b := range c.ColSum {
+	rows := sortedKeys(c.RowSum)
+	cols := sortedKeys(c.ColSum)
+	for _, rx := range rows {
+		a := c.RowSum[rx]
+		for _, cy := range cols {
+			b := c.ColSum[cy]
 			expected := float64(a) * float64(b) / n
+			//fdx:lint-ignore floatcmp marginal counts are >=1 so expected>0; defensive exact-zero guard against division by zero
 			if expected == 0 {
 				continue
 			}
@@ -41,6 +47,7 @@ func ChiSquaredPValue(stat float64, dof int) float64 {
 // gammaQ computes the upper regularized incomplete gamma function Q(a, x)
 // using the series expansion for x < a+1 and the continued fraction
 // otherwise (Numerical Recipes style).
+// (fdx:numeric-kernel: x == 0 is the exact boundary value Q(a,0)=1.)
 func gammaQ(a, x float64) float64 {
 	if x < 0 || a <= 0 {
 		return math.NaN()

@@ -35,6 +35,8 @@ func Mean(data *linalg.Dense) []float64 {
 
 // Covariance returns the empirical covariance matrix of data (rows are
 // observations, columns variables), normalizing by n.
+// (fdx:numeric-kernel: the exact-zero test is a sparsity fast path — a zero
+// deviation contributes nothing to any product.)
 func Covariance(data *linalg.Dense) *linalg.Dense {
 	n, k := data.Dims()
 	mu := Mean(data)
@@ -71,6 +73,8 @@ func Covariance(data *linalg.Dense) *linalg.Dense {
 // the pair transform already yields a distribution whose relevant structure
 // is around a fixed (not estimated) center, which is what makes the
 // estimate robust to corrupted cells (paper §4.3).
+// (fdx:numeric-kernel: the exact-zero test is a sparsity fast path over the
+// mostly-zero pair-transform samples.)
 func SecondMoment(data *linalg.Dense) *linalg.Dense {
 	n, k := data.Dims()
 	s := linalg.NewDense(k, k)
@@ -150,6 +154,8 @@ func StratifiedCovariance(data *linalg.Dense, strata int) *linalg.Dense {
 
 // Correlation converts a covariance matrix to a correlation matrix.
 // Zero-variance variables get unit diagonal and zero off-diagonals.
+// (fdx:numeric-kernel: exact-zero standard deviation is the constant-column
+// sentinel; dividing by anything smaller-but-nonzero is still well defined.)
 func Correlation(cov *linalg.Dense) *linalg.Dense {
 	k, _ := cov.Dims()
 	out := linalg.NewDense(k, k)
@@ -174,6 +180,8 @@ func Correlation(cov *linalg.Dense) *linalg.Dense {
 
 // Shrink returns (1−γ)·S + γ·trace(S)/k·I, a Ledoit-Wolf-style ridge
 // shrinkage that guarantees positive definiteness for γ>0 when S is PSD.
+// (fdx:numeric-kernel: an exactly-zero trace means S is the zero matrix and
+// the identity target is substituted.)
 func Shrink(s *linalg.Dense, gamma float64) *linalg.Dense {
 	k, _ := s.Dims()
 	tr := 0.0

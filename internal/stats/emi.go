@@ -35,8 +35,10 @@ func ExpectedMutualInformation(c *Contingency) float64 {
 	lf := newLogFactCache(n)
 	logN := math.Log(float64(n))
 	emi := 0.0
-	for _, a := range c.RowSum {
-		for _, b := range c.ColSum {
+	// The expectation depends only on the marginal count multisets; visit
+	// them in sorted order so the float summation is reproducible.
+	for _, a := range sortedCounts(c.RowSum) {
+		for _, b := range sortedCounts(c.ColSum) {
 			lo := a + b - n
 			if lo < 1 {
 				lo = 1
@@ -64,6 +66,7 @@ func ExpectedMutualInformation(c *Contingency) float64 {
 
 // ReliableFractionOfInformation returns the RFI score of Mandros et al.:
 // (I(X;Y) − E[I(X;Y)]) / H(Y), clamped to [0,1]; 0 when H(Y)=0.
+// (fdx:numeric-kernel: a single-label Y has entropy exactly 0.)
 func ReliableFractionOfInformation(c *Contingency) float64 {
 	hy := c.EntropyY()
 	if hy == 0 {
@@ -88,6 +91,7 @@ func ReliableFractionOfInformation(c *Contingency) float64 {
 // The RFI search uses this bound for branch-and-bound pruning (the same
 // bound family as Mandros et al.'s SFI bound, in its simplest admissible
 // form).
+// (fdx:numeric-kernel: a single-label Y has entropy exactly 0.)
 func RFIUpperBound(c *Contingency) float64 {
 	hy := c.EntropyY()
 	if hy == 0 {

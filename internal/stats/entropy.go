@@ -1,6 +1,9 @@
 package stats
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Entropy returns the Shannon entropy (in nats) of the empirical
 // distribution given by counts. Zero counts contribute nothing.
@@ -29,11 +32,30 @@ func EntropyOfLabels(labels []int) float64 {
 	for _, l := range labels {
 		counts[l]++
 	}
+	return Entropy(sortedCounts(counts))
+}
+
+// sortedCounts extracts a map's count values in sorted order so that the
+// float summations downstream are bit-for-bit reproducible: float addition
+// is not associative, and Go randomizes map iteration order per run.
+func sortedCounts(counts map[int]int) []int {
 	cs := make([]int, 0, len(counts))
 	for _, c := range counts {
 		cs = append(cs, c)
 	}
-	return Entropy(cs)
+	sort.Ints(cs)
+	return cs
+}
+
+// sortedKeys returns a count map's keys ascending, for deterministic
+// iteration wherever the visit order reaches a float accumulation.
+func sortedKeys(counts map[int]int) []int {
+	ks := make([]int, 0, len(counts))
+	for k := range counts {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
 }
 
 // Contingency is a sparse joint count table over two discrete variables.
@@ -45,7 +67,11 @@ type Contingency struct {
 }
 
 // NewContingency tabulates paired label sequences x and y.
+// Panics if the sequences have different lengths.
 func NewContingency(x, y []int) *Contingency {
+	if len(x) != len(y) {
+		panic("stats: NewContingency label sequences have different lengths")
+	}
 	c := &Contingency{
 		Joint:  map[[2]int]int{},
 		RowSum: map[int]int{},
@@ -71,9 +97,14 @@ func (c *Contingency) JointEntropy() float64 {
 	if c.N == 0 {
 		return 0
 	}
+	cs := make([]int, 0, len(c.Joint))
+	for _, cnt := range c.Joint {
+		cs = append(cs, cnt)
+	}
+	sort.Ints(cs)
 	h := 0.0
 	n := float64(c.N)
-	for _, cnt := range c.Joint {
+	for _, cnt := range cs {
 		p := float64(cnt) / n
 		h -= p * math.Log(p)
 	}
@@ -100,6 +131,8 @@ func (c *Contingency) ConditionalEntropy() float64 {
 
 // FractionOfInformation returns F(X,Y) = I(X;Y)/H(Y) ∈ [0,1], the
 // information-theoretic FD score of paper §2.1; 1 when Y has zero entropy.
+// (fdx:numeric-kernel: entropy of a single label is exactly 0, so the
+// degenerate case is an exact-zero sentinel, not a tolerance question.)
 func (c *Contingency) FractionOfInformation() float64 {
 	hy := c.EntropyY()
 	if hy == 0 {
@@ -113,22 +146,7 @@ func (c *Contingency) FractionOfInformation() float64 {
 }
 
 func entropyOfMap(counts map[int]int) float64 {
-	total := 0
-	for _, c := range counts {
-		total += c
-	}
-	if total == 0 {
-		return 0
-	}
-	h := 0.0
-	n := float64(total)
-	for _, c := range counts {
-		if c > 0 {
-			p := float64(c) / n
-			h -= p * math.Log(p)
-		}
-	}
-	return h
+	return Entropy(sortedCounts(counts))
 }
 
 // JointLabels composes multiple label sequences into a single label

@@ -62,6 +62,7 @@ func BuildTableau(rel *Relation, fd FD, opts TableauOptions) (*Tableau, error) {
 func (t *Tableau) CleanPatterns() []TableauPattern {
 	var out []TableauPattern
 	for _, p := range t.Patterns {
+		//fdx:lint-ignore floatcmp confidence is a count ratio; it is exactly 1 iff the pattern holds on every supporting tuple
 		if p.Confidence == 1 {
 			out = append(out, p)
 		}
