@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint test-race bench experiments fast-experiments fmt loc
+.PHONY: all build test vet lint test-race test-faults fuzz bench experiments fast-experiments fmt loc
 
 all: build vet lint test
 
@@ -22,6 +22,17 @@ lint:
 # goroutines, and the root streaming API.
 test-race:
 	$(GO) test -race ./internal/core ./internal/stats ./internal/experiments .
+
+# Fault-injection suite: every TestFault* test arms internal/faults points
+# (poisoned covariance, forced non-convergence, bad pivots, slow stages,
+# injected panics) and asserts typed errors or degraded-but-valid results.
+# Run under the race detector since injections exercise cancellation paths.
+test-faults:
+	$(GO) test -race -run 'Fault' ./internal/faults ./internal/core ./internal/glasso .
+
+# Short local fuzz campaign over the public Discover entry point.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDiscover -fuzztime 30s .
 
 # One testing.B benchmark per paper table/figure (reduced scale).
 bench:

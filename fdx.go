@@ -22,6 +22,7 @@
 package fdx
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -99,6 +100,11 @@ type Options struct {
 	Workers int
 	// Seed drives the transform's shuffling (0 is a valid fixed seed).
 	Seed int64
+	// RequireConvergence makes a Graphical Lasso estimate that still has
+	// not converged after the full regularization fallback ladder a hard
+	// ErrNotConverged failure. By default such an estimate is accepted as
+	// a degraded result with Diagnostics.GlassoConverged == false.
+	RequireConvergence bool
 }
 
 // Result is the outcome of discovery.
@@ -117,16 +123,22 @@ type Result struct {
 	// transformation and the structure-learning phases (paper Figure 6).
 	TransformDuration time.Duration
 	ModelDuration     time.Duration
+	// Diagnostics records how the run degraded, if it did: fallbacks
+	// taken by the regularization ladder, Graphical Lasso convergence,
+	// and attributes whose statistics were sanitized. Check Degraded()
+	// before trusting a result obtained from pathological data.
+	Diagnostics Diagnostics
 }
 
-// Discover runs FDX on the relation.
-func Discover(rel *Relation, opts Options) (*Result, error) {
-	copts := core.Options{
-		Lambda:      opts.Lambda,
-		Threshold:   opts.Threshold,
-		RelFraction: opts.RelFraction,
-		Ordering:    opts.Ordering,
-		Seed:        opts.Seed,
+// coreOptions maps the public options onto the pipeline configuration.
+func coreOptions(opts Options) core.Options {
+	return core.Options{
+		Lambda:             opts.Lambda,
+		Threshold:          opts.Threshold,
+		RelFraction:        opts.RelFraction,
+		Ordering:           opts.Ordering,
+		Seed:               opts.Seed,
+		RequireConvergence: opts.RequireConvergence,
 		Transform: core.TransformOptions{
 			Seed:           opts.Seed,
 			MaxRows:        opts.MaxRows,
@@ -135,15 +147,40 @@ func Discover(rel *Relation, opts Options) (*Result, error) {
 			Workers:        opts.Workers,
 		},
 	}
+}
+
+// Discover runs FDX on the relation.
+//
+// It never panics: malformed input returns an ErrBadInput-wrapped error,
+// numerically degenerate input degrades through the regularization
+// fallback ladder (recorded in Result.Diagnostics), and internal invariant
+// panics are recovered and returned as ErrInternal-wrapped errors.
+func Discover(rel *Relation, opts Options) (*Result, error) {
+	return DiscoverContext(context.Background(), rel, opts)
+}
+
+// DiscoverContext is Discover with cancellation: the context is checked in
+// the transform worker loop, each Graphical Lasso sweep, every rung of the
+// fallback ladder, and the ordering search. On expiry the returned error
+// wraps both ctx.Err() and ErrCancelled.
+func DiscoverContext(ctx context.Context, rel *Relation, opts Options) (res *Result, err error) {
+	defer guard("fdx: Discover", &err)
+	if verr := core.ValidateRelation(rel); verr != nil {
+		return nil, fmt.Errorf("fdx: %w", verr)
+	}
+	copts := coreOptions(opts)
 	t0 := time.Now()
-	samples := core.Transform(rel, copts.Transform)
+	samples, err := core.TransformContext(ctx, rel, copts.Transform)
+	if err != nil {
+		return nil, fmt.Errorf("fdx: %w", err)
+	}
 	t1 := time.Now()
-	model, err := core.DiscoverFromSamples(samples, rel.AttrNames(), copts)
+	model, err := core.DiscoverFromSamplesContext(ctx, samples, rel.AttrNames(), copts)
 	if err != nil {
 		return nil, fmt.Errorf("fdx: %w", err)
 	}
 	t2 := time.Now()
-	res := resultFromModel(model, rel.AttrNames())
+	res = resultFromModel(model, rel.AttrNames())
 	res.TransformDuration = t1.Sub(t0)
 	res.ModelDuration = t2.Sub(t1)
 	return res, nil
@@ -151,8 +188,9 @@ func Discover(rel *Relation, opts Options) (*Result, error) {
 
 func resultFromModel(model *core.Model, names []string) *Result {
 	res := &Result{
-		Attributes: names,
-		Order:      append([]int(nil), model.Order...),
+		Attributes:  names,
+		Order:       append([]int(nil), model.Order...),
+		Diagnostics: diagnosticsFromCore(model.Diagnostics, names),
 	}
 	k := len(names)
 	res.B = make([][]float64, k)
@@ -166,6 +204,20 @@ func resultFromModel(model *core.Model, names []string) *Result {
 		res.FDs = append(res.FDs, fdFromCore(fd, names))
 	}
 	return res
+}
+
+func diagnosticsFromCore(d core.Diagnostics, names []string) Diagnostics {
+	out := Diagnostics{
+		GlassoSweeps:    d.GlassoSweeps,
+		GlassoConverged: d.GlassoConverged,
+	}
+	for _, f := range d.Fallbacks {
+		out.Fallbacks = append(out.Fallbacks, Fallback{Stage: f.Stage, Epsilon: f.Epsilon, Reason: f.Reason})
+	}
+	for _, c := range d.SanitizedColumns {
+		out.SanitizedColumns = append(out.SanitizedColumns, names[c])
+	}
+	return out
 }
 
 func fdFromCore(fd core.FD, names []string) FD {

@@ -1,0 +1,76 @@
+package fdx_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fdx"
+)
+
+// FuzzDiscover feeds arbitrary CSV text through the full pipeline. The
+// invariant under test is the package contract: Discover never panics — it
+// either returns a valid Result or an error matching the taxonomy in
+// errors.go. Run longer campaigns with:
+//
+//	go test -fuzz FuzzDiscover -fuzztime 30s .
+func FuzzDiscover(f *testing.F) {
+	f.Add("a,b\n1,2\n3,4\n")
+	f.Add("a,b,c\n1,2,3\n1,2,4\n1,2,5\n2,9,3\n")
+	f.Add("x\nv\nv\nv\n")
+	f.Add("a,a\n1,2\n3,4\n")                // duplicate header
+	f.Add("a,b\n,\n,\n,\n")                 // all NULLs
+	f.Add("a,b\n1\n1,2,3\n")                // ragged rows
+	f.Add("n,m\n1.5,2e3\nNaN,Inf\n-0,+0\n") // numeric parsing edge cases
+	f.Add("a,b\n\"x,y\",z\n\"q\"\"q\",w\n") // quoting
+	f.Add("")
+	f.Add("\xff\xfe,b\n1,2\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		// Cap the work per input so the campaign explores inputs rather than
+		// grinding large pipelines: the pipeline itself is O(k²·n) and is
+		// size-tested elsewhere.
+		if len(data) > 4096 {
+			t.Skip("oversized input")
+		}
+		rel, err := fdx.ReadCSV("fuzz", strings.NewReader(data))
+		if err != nil {
+			return // malformed CSV is the reader's concern, not Discover's
+		}
+		if rel.NumCols() > 8 || rel.NumRows() > 64 {
+			t.Skip("oversized relation")
+		}
+		res, err := fdx.Discover(rel, fdx.Options{})
+		if err != nil {
+			if !errors.Is(err, fdx.ErrBadInput) &&
+				!errors.Is(err, fdx.ErrSingularCovariance) &&
+				!errors.Is(err, fdx.ErrNonPositivePivot) &&
+				!errors.Is(err, fdx.ErrNotConverged) &&
+				!errors.Is(err, fdx.ErrInternal) {
+				t.Fatalf("error outside the taxonomy: %v", err)
+			}
+			return
+		}
+		if res == nil {
+			t.Fatal("nil result with nil error")
+		}
+		k := rel.NumCols()
+		if len(res.B) != k {
+			t.Fatalf("B has %d rows, want %d", len(res.B), k)
+		}
+		attrs := make(map[string]bool, k)
+		for _, n := range rel.AttrNames() {
+			attrs[n] = true
+		}
+		for _, fd := range res.FDs {
+			if len(fd.LHS) == 0 || !attrs[fd.RHS] {
+				t.Fatalf("malformed FD %+v", fd)
+			}
+			for _, l := range fd.LHS {
+				if !attrs[l] {
+					t.Fatalf("FD %v references unknown attribute %q", fd, l)
+				}
+			}
+		}
+	})
+}

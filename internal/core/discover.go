@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -8,6 +9,8 @@ import (
 	"strings"
 
 	"fdx/internal/dataset"
+	"fdx/internal/faults"
+	"fdx/internal/fdxerr"
 	"fdx/internal/glasso"
 	"fdx/internal/linalg"
 	"fdx/internal/ordering"
@@ -58,6 +61,11 @@ type Options struct {
 	// the configured ordering heuristic, that many random global orders
 	// are factorized and the order producing the fewest FD edges wins.
 	OrderCandidates int
+	// RequireConvergence makes a Graphical Lasso estimate that still has
+	// not converged after the full regularization fallback ladder a hard
+	// ErrNotConverged failure. By default such an estimate is accepted as
+	// a degraded result with Diagnostics.GlassoConverged == false.
+	RequireConvergence bool
 	// Seed drives the transform shuffle.
 	Seed int64
 	// Transform holds the pair-transformation options.
@@ -101,19 +109,56 @@ type Model struct {
 	Order linalg.Permutation
 	// FDs are the discovered dependencies.
 	FDs []FD
+	// Diagnostics records how the run degraded (fallbacks taken, solver
+	// convergence, sanitized columns); see the Diagnostics type.
+	Diagnostics Diagnostics
 	// TransformRows and ModelDuration-style accounting live in the caller;
 	// the model keeps only statistical state.
 }
 
+// ValidateRelation checks that a relation is structurally sound for
+// discovery: non-nil, unique attribute names, equal column lengths, and
+// in-range dictionary codes. Violations return ErrBadInput-wrapped errors.
+func ValidateRelation(rel *dataset.Relation) error {
+	if rel == nil {
+		return fdxerr.BadInput("core: nil relation")
+	}
+	seen := make(map[string]bool, rel.NumCols())
+	for _, name := range rel.AttrNames() {
+		if seen[name] {
+			return fdxerr.BadInput("core: duplicate attribute name %q", name)
+		}
+		seen[name] = true
+	}
+	if err := rel.Validate(); err != nil {
+		return fmt.Errorf("%w: %w", err, fdxerr.ErrBadInput)
+	}
+	return nil
+}
+
 // Discover runs the full FDX pipeline on a relation (paper Alg. 1).
 func Discover(rel *dataset.Relation, opts Options) (*Model, error) {
+	return DiscoverContext(context.Background(), rel, opts)
+}
+
+// DiscoverContext is Discover with cancellation: the context is checked in
+// the transform worker loop, each Graphical Lasso outer sweep, every rung
+// of the fallback ladder, and the ordering search, and a wrapped ctx.Err()
+// is returned promptly on expiry.
+func DiscoverContext(ctx context.Context, rel *dataset.Relation, opts Options) (*Model, error) {
 	opts.defaults()
+	if err := ValidateRelation(rel); err != nil {
+		return nil, err
+	}
 	k := rel.NumCols()
 	if k == 0 {
-		return &Model{Theta: linalg.NewDense(0, 0), B: linalg.NewDense(0, 0)}, nil
+		return &Model{Theta: linalg.NewDense(0, 0), B: linalg.NewDense(0, 0), Diagnostics: Diagnostics{GlassoConverged: true}}, nil
 	}
-	dt := Transform(rel, opts.Transform)
-	return DiscoverFromSamples(dt, rel.AttrNames(), opts)
+	dt, err := TransformContext(ctx, rel, opts.Transform)
+	if err != nil {
+		return nil, err
+	}
+	return DiscoverFromSamplesContext(ctx, dt, rel.AttrNames(), opts)
 }
 
 // DiscoverFromSamples runs structure learning + FD generation on an
@@ -121,10 +166,15 @@ func Discover(rel *dataset.Relation, opts Options) (*Model, error) {
 // It is exposed separately so the scalability experiments can time the
 // model phase apart from the transform (paper Fig. 6 reports both).
 func DiscoverFromSamples(dt *linalg.Dense, names []string, opts Options) (*Model, error) {
+	return DiscoverFromSamplesContext(context.Background(), dt, names, opts)
+}
+
+// DiscoverFromSamplesContext is DiscoverFromSamples with cancellation.
+func DiscoverFromSamplesContext(ctx context.Context, dt *linalg.Dense, names []string, opts Options) (*Model, error) {
 	opts.defaults()
 	k := len(names)
 	if c := dt.Cols(); c != k {
-		return nil, fmt.Errorf("core: sample matrix has %d columns, want %d", c, k)
+		return nil, fdxerr.BadInput("core: sample matrix has %d columns, want %d", c, k)
 	}
 
 	var s *linalg.Dense
@@ -134,7 +184,7 @@ func DiscoverFromSamples(dt *linalg.Dense, names []string, opts Options) (*Model
 		// One stratum per attribute-sorted block of the transform.
 		s = stats.StratifiedCovariance(dt, k)
 	}
-	return DiscoverFromCovariance(s, names, opts)
+	return DiscoverFromCovarianceContext(ctx, s, names, opts)
 }
 
 // DiscoverFromCovariance runs structure learning + FD generation on a
@@ -142,11 +192,39 @@ func DiscoverFromSamples(dt *linalg.Dense, names []string, opts Options) (*Model
 // incremental discovery, where the covariance is maintained as running
 // sufficient statistics instead of recomputed from samples.
 func DiscoverFromCovariance(s *linalg.Dense, names []string, opts Options) (*Model, error) {
+	return DiscoverFromCovarianceContext(context.Background(), s, names, opts)
+}
+
+// DiscoverFromCovarianceContext is DiscoverFromCovariance with
+// cancellation. Non-finite covariance entries are sanitized (recorded in
+// Diagnostics) rather than propagated, and failures of the Graphical Lasso
+// or the UDUᵀ factorization walk a deterministic regularization fallback
+// ladder before being reported.
+func DiscoverFromCovarianceContext(ctx context.Context, s *linalg.Dense, names []string, opts Options) (*Model, error) {
 	opts.defaults()
 	k := len(names)
 	if r, c := s.Dims(); r != k || c != k {
-		return nil, fmt.Errorf("core: covariance is %dx%d, want %dx%d", r, c, k, k)
+		return nil, fdxerr.BadInput("core: covariance is %dx%d, want %dx%d", r, c, k, k)
 	}
+
+	// Fault injection: poison one covariance entry (sanitization test) or
+	// blow up inside the core (public panic-guard test).
+	if k > 0 && faults.Fire(faults.CovarianceNaN) {
+		s = s.Clone()
+		s.Set(0, k-1, math.NaN())
+		s.Set(k-1, 0, math.NaN())
+	}
+	if faults.Fire(faults.InternalPanic) {
+		//fdx:lint-ignore nakedpanic armed-fault injection exercising the public panic guards
+		panic("faults: injected panic (internal-panic)")
+	}
+
+	diag := Diagnostics{}
+
+	// Quarantine non-finite statistics instead of letting NaN/Inf propagate
+	// through the solvers as opaque failures.
+	s, diag.SanitizedColumns = sanitizeCovariance(s)
+
 	if !opts.RawCovariance {
 		s = stats.Correlation(s)
 	}
@@ -154,19 +232,7 @@ func DiscoverFromCovariance(s *linalg.Dense, names []string, opts Options) (*Mod
 	// (nearly) collinear — exact FDs make Z columns exactly dependent.
 	s = stats.Shrink(s, 0.05)
 
-	res, err := glasso.Solve(s, glasso.Options{Lambda: opts.Lambda})
-	if err != nil {
-		return nil, fmt.Errorf("core: graphical lasso: %w", err)
-	}
-	theta := res.Precision
-
-	g := ordering.FromPrecision(theta, opts.GraphTol)
-	perm, err := ordering.Order(opts.Ordering, g, opts.Seed)
-	if err != nil {
-		return nil, err
-	}
-
-	bP, err := autoregress(theta, perm)
+	theta, perm, bP, err := fitLadder(ctx, s, &diag, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -177,8 +243,11 @@ func DiscoverFromCovariance(s *linalg.Dense, names []string, opts Options) (*Mod
 		bestEdges := countEdges(bP, opts.Threshold, opts.RelFraction)
 		rng := rand.New(rand.NewSource(opts.Seed + 1))
 		for c := 0; c < opts.OrderCandidates; c++ {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, fdxerr.Cancelled(cerr)
+			}
 			cand := linalg.Permutation(rng.Perm(k))
-			cb, cerr := autoregress(theta, cand)
+			cb, _, cerr := autoregress(theta, cand)
 			if cerr != nil {
 				continue
 			}
@@ -198,32 +267,138 @@ func DiscoverFromCovariance(s *linalg.Dense, names []string, opts Options) (*Mod
 
 	fds := GenerateFDs(bP, perm, opts.Threshold, opts.RelFraction)
 	return &Model{
-		AttrNames: names,
-		Theta:     theta,
-		B:         b,
-		Order:     perm,
-		FDs:       fds,
+		AttrNames:   names,
+		Theta:       theta,
+		B:           b,
+		Order:       perm,
+		FDs:         fds,
+		Diagnostics: diag,
 	}, nil
 }
 
+// fallbackEpsilons is the deterministic regularization ladder: when the
+// Graphical Lasso fails (or does not converge) or the UDUᵀ factorization
+// hits a non-positive pivot, the solve is retried on S + εI with these
+// escalating diagonal shrinkages. Ridge shrinkage is the principled
+// degradation of the same estimator (cf. Guo & Rekatsinas, "Learning
+// Functional Dependencies with Sparse Regression"): it trades a little bias
+// for conditioning without changing the sparsity structure sought.
+var fallbackEpsilons = []float64{1e-8, 1e-6, 1e-4, 1e-2}
+
+// fitLadder estimates the precision matrix and factorizes it, walking the
+// regularization fallback ladder on failure. It returns the accepted
+// precision estimate, the global order used, and the autoregression matrix
+// in permuted coordinates, recording every fallback in diag.
+func fitLadder(ctx context.Context, s *linalg.Dense, diag *Diagnostics, opts Options) (*linalg.Dense, linalg.Permutation, *linalg.Dense, error) {
+	var (
+		lastErr error
+		best    *glasso.Result // best-effort non-converged estimate, most regularized
+	)
+	// escalate records the fallback about to be taken after a failure at
+	// rung i (a no-op on the final rung, where there is nothing to escalate
+	// to).
+	escalate := func(i int, stage, reason string) {
+		if i < len(fallbackEpsilons) {
+			diag.Fallbacks = append(diag.Fallbacks, Fallback{Stage: stage, Epsilon: fallbackEpsilons[i], Reason: reason})
+		}
+	}
+	for rung := 0; rung <= len(fallbackEpsilons); rung++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, nil, nil, fdxerr.Cancelled(cerr)
+		}
+		trial := s
+		if rung > 0 {
+			trial = addDiag(s, fallbackEpsilons[rung-1])
+		}
+		res, err := glasso.SolveContext(ctx, trial, glasso.Options{Lambda: opts.Lambda})
+		if err != nil {
+			if errors.Is(err, fdxerr.ErrCancelled) {
+				return nil, nil, nil, err
+			}
+			lastErr = fmt.Errorf("core: graphical lasso: %w", err)
+			escalate(rung, "glasso", err.Error())
+			continue
+		}
+		if !res.Converged {
+			best = res
+			lastErr = fmt.Errorf("core: graphical lasso exhausted %d sweeps: %w", res.Iterations, fdxerr.ErrNotConverged)
+			escalate(rung, "glasso", fmt.Sprintf("not converged after %d sweeps", res.Iterations))
+			continue
+		}
+		perm, bP, err := orderAndFactorize(ctx, res.Precision, diag, opts)
+		if err != nil {
+			if !errors.Is(err, fdxerr.ErrNonPositivePivot) {
+				return nil, nil, nil, err
+			}
+			lastErr = err
+			escalate(rung, "factorize", err.Error())
+			continue
+		}
+		diag.GlassoConverged = true
+		diag.GlassoSweeps = res.Iterations
+		return res.Precision, perm, bP, nil
+	}
+	// Ladder exhausted. A non-converged estimate is still a usable (if
+	// degraded) structure estimate unless the caller demanded strictness.
+	if best != nil && !opts.RequireConvergence {
+		perm, bP, err := orderAndFactorize(ctx, best.Precision, diag, opts)
+		if err == nil {
+			diag.GlassoConverged = false
+			diag.GlassoSweeps = best.Iterations
+			return best.Precision, perm, bP, nil
+		}
+		if !errors.Is(err, fdxerr.ErrNonPositivePivot) {
+			return nil, nil, nil, err
+		}
+		lastErr = err
+	}
+	return nil, nil, nil, lastErr
+}
+
+// orderAndFactorize computes the fill-reducing order for theta and
+// factorizes it into the autoregression matrix, recording a nearest-SPD
+// repair in diag when one was needed.
+func orderAndFactorize(ctx context.Context, theta *linalg.Dense, diag *Diagnostics, opts Options) (linalg.Permutation, *linalg.Dense, error) {
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, nil, fdxerr.Cancelled(cerr)
+	}
+	g := ordering.FromPrecision(theta, opts.GraphTol)
+	perm, err := ordering.Order(opts.Ordering, g, opts.Seed)
+	if err != nil {
+		// Already ErrBadInput-wrapped by the ordering package.
+		return nil, nil, fmt.Errorf("core: %w", err)
+	}
+	bP, repaired, err := autoregress(theta, perm)
+	if err != nil {
+		return nil, nil, err
+	}
+	if repaired {
+		diag.Fallbacks = append(diag.Fallbacks, Fallback{Stage: "spd-repair", Reason: "nearest-SPD diagonal shift before UDU"})
+	}
+	return perm, bP, nil
+}
+
 // autoregress factorizes the permuted precision matrix and returns the
-// autoregression matrix B = I − U in permuted coordinates (paper Alg. 1).
-func autoregress(theta *linalg.Dense, perm linalg.Permutation) (*linalg.Dense, error) {
+// autoregression matrix B = I − U in permuted coordinates (paper Alg. 1),
+// plus whether a nearest-SPD repair was needed to factorize.
+func autoregress(theta *linalg.Dense, perm linalg.Permutation) (*linalg.Dense, bool, error) {
 	k, _ := theta.Dims()
 	thetaP := linalg.PermuteSym(theta, perm)
 	u, _, err := linalg.UDU(thetaP)
+	repaired := false
 	if errors.Is(err, linalg.ErrNotPositiveDefinite) {
 		// Numerical slack: nudge the spectrum and retry once.
 		fixed, ferr := linalg.NearestSPD(thetaP, 1e-8)
 		if ferr != nil {
-			return nil, ferr
+			return nil, false, ferr
 		}
 		u, _, err = linalg.UDU(fixed)
+		repaired = err == nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("core: UDU factorization: %w", err)
+		return nil, false, fmt.Errorf("core: UDU factorization: %w", err)
 	}
-	return linalg.Sub(linalg.Identity(k), u), nil
+	return linalg.Sub(linalg.Identity(k), u), repaired, nil
 }
 
 // columnThreshold computes the per-column cutoff of the adaptive rule:

@@ -1,9 +1,10 @@
 package core
 
 import (
-	"fmt"
+	"context"
 
 	"fdx/internal/dataset"
+	"fdx/internal/fdxerr"
 	"fdx/internal/linalg"
 )
 
@@ -62,18 +63,21 @@ func (a *Accumulator) Batches() int { return a.batches }
 // (fdx:numeric-kernel: the exact-zero test is a sparsity fast path over the
 // mostly-zero pair-transform samples.)
 func (a *Accumulator) Add(rel *dataset.Relation) error {
+	if rel == nil {
+		return fdxerr.BadInput("core: nil batch")
+	}
 	k := len(a.names)
 	if rel.NumCols() != k {
-		return fmt.Errorf("core: batch has %d attributes, accumulator has %d", rel.NumCols(), k)
+		return fdxerr.BadInput("core: batch has %d attributes, accumulator has %d", rel.NumCols(), k)
 	}
 	for i, n := range rel.AttrNames() {
 		if n != a.names[i] {
-			return fmt.Errorf("core: batch attribute %d is %q, want %q", i, n, a.names[i])
+			return fdxerr.BadInput("core: batch attribute %d is %q, want %q", i, n, a.names[i])
 		}
 	}
 	n := rel.NumRows()
 	if n < 2 {
-		return fmt.Errorf("core: batch needs at least 2 rows, got %d", n)
+		return fdxerr.BadInput("core: batch needs at least 2 rows, got %d", n)
 	}
 	topts := a.opts.Transform
 	topts.Seed = a.opts.Seed + int64(a.batches)
@@ -111,7 +115,7 @@ func (a *Accumulator) Add(rel *dataset.Relation) error {
 func (a *Accumulator) Covariance() (*linalg.Dense, error) {
 	k := len(a.names)
 	if a.rows == 0 {
-		return nil, fmt.Errorf("core: accumulator has no data")
+		return nil, fdxerr.BadInput("core: accumulator has no data")
 	}
 	acc := linalg.NewDense(k, k)
 	for s := 0; s < k; s++ {
@@ -135,9 +139,15 @@ func (a *Accumulator) Covariance() (*linalg.Dense, error) {
 
 // Discover derives the current model from the accumulated statistics.
 func (a *Accumulator) Discover() (*Model, error) {
+	return a.DiscoverContext(context.Background())
+}
+
+// DiscoverContext is Discover with cancellation (see DiscoverContext at the
+// package level for where the context is checked).
+func (a *Accumulator) DiscoverContext(ctx context.Context) (*Model, error) {
 	s, err := a.Covariance()
 	if err != nil {
 		return nil, err
 	}
-	return DiscoverFromCovariance(s, a.names, a.opts)
+	return DiscoverFromCovarianceContext(ctx, s, a.names, a.opts)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"runtime"
@@ -9,6 +10,8 @@ import (
 	"sync"
 
 	"fdx/internal/dataset"
+	"fdx/internal/faults"
+	"fdx/internal/fdxerr"
 	"fdx/internal/linalg"
 )
 
@@ -56,11 +59,20 @@ func (o *TransformOptions) defaults() {
 // Missing cells never match anything (including other missing cells): an
 // unknown value gives no evidence that the pair agrees.
 func Transform(rel *dataset.Relation, opts TransformOptions) *linalg.Dense {
+	// A background context never expires, so the error return is dead here.
+	dt, _ := TransformContext(context.Background(), rel, opts)
+	return dt
+}
+
+// TransformContext is Transform with cancellation: workers poll the context
+// between attribute blocks and every few thousand pair rows, and a wrapped
+// ctx.Err() is returned promptly on expiry.
+func TransformContext(ctx context.Context, rel *dataset.Relation, opts TransformOptions) (*linalg.Dense, error) {
 	opts.defaults()
 	n := rel.NumRows()
 	k := rel.NumCols()
 	if n == 0 || k == 0 {
-		return linalg.NewDense(0, k)
+		return linalg.NewDense(0, k), nil
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 
@@ -98,6 +110,12 @@ func Transform(rel *dataset.Relation, opts TransformOptions) *linalg.Dense {
 			defer wg.Done()
 			sorted := make([]int, n)
 			for attr := range attrCh {
+				// Cancelled: keep draining the channel so the feeder never
+				// blocks, but stop doing work.
+				if ctx.Err() != nil {
+					continue
+				}
+				faults.Sleep(faults.SlowStage)
 				copy(sorted, rows)
 				col := rel.Columns[attr]
 				sort.SliceStable(sorted, func(a, b int) bool {
@@ -105,6 +123,9 @@ func Transform(rel *dataset.Relation, opts TransformOptions) *linalg.Dense {
 				})
 				base := attr * n
 				for j := 0; j < n; j++ {
+					if j&0xfff == 0 && ctx.Err() != nil {
+						break
+					}
 					a := sorted[j]
 					b := sorted[(j+1)%n]
 					row := out.Row(base + j)
@@ -122,7 +143,10 @@ func Transform(rel *dataset.Relation, opts TransformOptions) *linalg.Dense {
 	}
 	close(attrCh)
 	wg.Wait()
-	return out
+	if err := ctx.Err(); err != nil {
+		return nil, fdxerr.Cancelled(err)
+	}
+	return out, nil
 }
 
 // numericScale returns a robust per-column value scale (max−min over the

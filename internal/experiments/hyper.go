@@ -157,7 +157,11 @@ func OrderFill(cfg Config) *Table {
 		}
 		row := []string{name, strconv.Itoa(edges / 2)}
 		for _, method := range ordering.Methods {
-			perm := ordering.ByName(method, g, cfg.Seed)
+			perm, err := ordering.Order(method, g, cfg.Seed)
+			if err != nil {
+				row = append(row, "error")
+				continue
+			}
 			row = append(row, strconv.Itoa(ordering.Fill(g, perm)))
 		}
 		t.Rows = append(t.Rows, row)

@@ -1,0 +1,189 @@
+// Package faults is a seeded fault-injection harness for hardening tests.
+//
+// The pipeline's numerically fragile stages carry *named injection points*:
+// fixed places where a test can force the failure that stage guards against
+// (a NaN in the covariance, a non-positive pivot, an exhausted iteration
+// budget, a slow stage for deadline tests). Production code calls Fire or
+// Sleep at the point; tests Arm the point with a Config and assert that the
+// pipeline degrades the way the robustness contract promises.
+//
+// Disarmed points cost one atomic load and a predictable branch — the
+// armed-point counter is zero in any process that never calls Arm, so the
+// instrumented hot paths run at full speed outside the fault suite. Firing
+// is deterministic: a probabilistic point draws from its own rand.Rand
+// seeded by Config.Seed, so an armed test replays the same fire sequence on
+// every run.
+//
+// The registry is process-global (the instrumented code cannot thread a
+// handle through every layer), so tests that arm points must not run in
+// parallel with each other; each should `defer faults.Reset()`.
+package faults
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Point names an injection site in the pipeline.
+type Point uint8
+
+// The named injection points.
+const (
+	// CovarianceNaN poisons one covariance entry with NaN before structure
+	// learning, exercising the sanitization path.
+	CovarianceNaN Point = iota
+	// GlassoNoConverge suppresses the Graphical Lasso convergence test so
+	// the solver exhausts MaxIter.
+	GlassoNoConverge
+	// NonPositivePivot forces the UDUᵀ factorization to report a
+	// non-positive pivot, exercising the SPD repair and fallback ladder.
+	NonPositivePivot
+	// SlowStage makes instrumented stage loops sleep Config.Delay per
+	// visit, for context-deadline tests.
+	SlowStage
+	// InternalPanic raises a panic inside the discovery core, exercising
+	// the panic-recovery guard at the public API boundary.
+	InternalPanic
+
+	numPoints
+)
+
+// String returns the point's stable name (used in test output).
+func (p Point) String() string {
+	switch p {
+	case CovarianceNaN:
+		return "covariance-nan"
+	case GlassoNoConverge:
+		return "glasso-no-converge"
+	case NonPositivePivot:
+		return "non-positive-pivot"
+	case SlowStage:
+		return "slow-stage"
+	case InternalPanic:
+		return "internal-panic"
+	default:
+		return "unknown"
+	}
+}
+
+// Config controls how an armed point fires.
+type Config struct {
+	// Times caps how often the point fires before auto-disarming;
+	// 0 means unlimited.
+	Times int
+	// Prob fires the point with this probability per visit; 0 means fire
+	// on every visit. Draws come from a rand.Rand seeded with Seed, so the
+	// sequence is reproducible.
+	Prob float64
+	// Seed seeds the probabilistic draw sequence.
+	Seed int64
+	// Delay is how long Sleep blocks per fire (SlowStage).
+	Delay time.Duration
+}
+
+type pointState struct {
+	cfg   Config
+	rng   *rand.Rand
+	fired int
+}
+
+var (
+	// armedCount is the fast-path gate: zero means no point is armed and
+	// every Fire/Sleep call is a single atomic load.
+	armedCount atomic.Int32
+
+	mu     sync.Mutex
+	points [numPoints]*pointState
+)
+
+// Arm activates a point with the given config, replacing any previous
+// arming of the same point.
+func Arm(p Point, cfg Config) {
+	mu.Lock()
+	defer mu.Unlock()
+	if points[p] == nil {
+		armedCount.Add(1)
+	}
+	points[p] = &pointState{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Disarm deactivates a point; disarming an inactive point is a no-op.
+func Disarm(p Point) {
+	mu.Lock()
+	defer mu.Unlock()
+	if points[p] != nil {
+		points[p] = nil
+		armedCount.Add(-1)
+	}
+}
+
+// Reset disarms every point. Fault tests defer this.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	for i := range points {
+		if points[i] != nil {
+			points[i] = nil
+			armedCount.Add(-1)
+		}
+	}
+}
+
+// Armed reports whether the point is currently armed (it may still decline
+// to fire on a given visit under Prob/Times).
+func Armed(p Point) bool {
+	if armedCount.Load() == 0 {
+		return false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return points[p] != nil
+}
+
+// Fire reports whether the point should inject its fault on this visit,
+// consuming one of its Times shots when it does. Disarmed points (the
+// production case) return false after a single atomic load.
+func Fire(p Point) bool {
+	if armedCount.Load() == 0 {
+		return false
+	}
+	return fireSlow(p)
+}
+
+func fireSlow(p Point) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	st := points[p]
+	if st == nil {
+		return false
+	}
+	if st.cfg.Prob > 0 && st.rng.Float64() >= st.cfg.Prob {
+		return false
+	}
+	st.fired++
+	if st.cfg.Times > 0 && st.fired >= st.cfg.Times {
+		points[p] = nil
+		armedCount.Add(-1)
+	}
+	return true
+}
+
+// Sleep blocks for the point's configured Delay if the point fires on this
+// visit; the production case is the same single atomic load as Fire.
+func Sleep(p Point) {
+	if armedCount.Load() == 0 {
+		return
+	}
+	mu.Lock()
+	st := points[p]
+	var d time.Duration
+	if st != nil {
+		d = st.cfg.Delay
+	}
+	mu.Unlock()
+	if st != nil && d > 0 && Fire(p) {
+		time.Sleep(d)
+	}
+}

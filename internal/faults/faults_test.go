@@ -1,0 +1,129 @@
+package faults
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFaultDisarmedNeverFires(t *testing.T) {
+	defer Reset()
+	for p := Point(0); p < numPoints; p++ {
+		if Fire(p) {
+			t.Errorf("disarmed point %v fired", p)
+		}
+		if Armed(p) {
+			t.Errorf("point %v reports armed", p)
+		}
+	}
+}
+
+func TestFaultTimesBudget(t *testing.T) {
+	defer Reset()
+	Arm(NonPositivePivot, Config{Times: 3})
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if Fire(NonPositivePivot) {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Errorf("fired %d times, want 3", fired)
+	}
+	if Armed(NonPositivePivot) {
+		t.Error("point still armed after exhausting Times")
+	}
+}
+
+func TestFaultUnlimited(t *testing.T) {
+	defer Reset()
+	Arm(GlassoNoConverge, Config{})
+	for i := 0; i < 100; i++ {
+		if !Fire(GlassoNoConverge) {
+			t.Fatalf("unlimited point declined to fire on visit %d", i)
+		}
+	}
+	Disarm(GlassoNoConverge)
+	if Fire(GlassoNoConverge) {
+		t.Error("fired after Disarm")
+	}
+}
+
+func TestFaultSeededProbIsDeterministic(t *testing.T) {
+	defer Reset()
+	run := func() []bool {
+		Arm(CovarianceNaN, Config{Prob: 0.5, Seed: 42})
+		defer Disarm(CovarianceNaN)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Fire(CovarianceNaN)
+		}
+		return out
+	}
+	a, b := run(), run()
+	some, all := false, true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fire sequences diverge at visit %d", i)
+		}
+		some = some || a[i]
+		all = all && a[i]
+	}
+	if !some || all {
+		t.Errorf("prob 0.5 should fire sometimes but not always (some=%v all=%v)", some, all)
+	}
+}
+
+func TestFaultSleepDelays(t *testing.T) {
+	defer Reset()
+	Arm(SlowStage, Config{Times: 1, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	Sleep(SlowStage)
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("armed Sleep returned after %v, want ≥ 30ms", d)
+	}
+	start = time.Now()
+	Sleep(SlowStage) // Times exhausted: must be a no-op.
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Errorf("exhausted Sleep blocked for %v", d)
+	}
+}
+
+func TestFaultConcurrentFireIsRaceFree(t *testing.T) {
+	defer Reset()
+	Arm(SlowStage, Config{Times: 500})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < 100; i++ {
+				if Fire(SlowStage) {
+					n++
+				}
+			}
+			mu.Lock()
+			total += n
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if total != 500 {
+		t.Errorf("concurrent fires = %d, want exactly 500", total)
+	}
+}
+
+func TestFaultResetClearsEverything(t *testing.T) {
+	Arm(CovarianceNaN, Config{})
+	Arm(InternalPanic, Config{})
+	Reset()
+	if Armed(CovarianceNaN) || Armed(InternalPanic) {
+		t.Error("points armed after Reset")
+	}
+	if armedCount.Load() != 0 {
+		t.Errorf("armedCount = %d after Reset", armedCount.Load())
+	}
+}

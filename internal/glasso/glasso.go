@@ -9,10 +9,12 @@
 package glasso
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
 
+	"fdx/internal/faults"
+	"fdx/internal/fdxerr"
 	"fdx/internal/linalg"
 )
 
@@ -57,30 +59,43 @@ type Result struct {
 	Precision *linalg.Dense
 	// Iterations is the number of outer sweeps performed.
 	Iterations int
+	// Converged reports whether the solver met its tolerance within
+	// MaxIter sweeps. A false value is not an error: the estimates are the
+	// best available iterate, but callers that need a trustworthy Θ should
+	// check (FDX surfaces it in Result.Diagnostics and lets its fallback
+	// ladder retry with more shrinkage).
+	Converged bool
 }
 
 // Solve runs the Graphical Lasso on the symmetric covariance estimate s.
 func Solve(s *linalg.Dense, opts Options) (*Result, error) {
+	return SolveContext(context.Background(), s, opts)
+}
+
+// SolveContext is Solve with cancellation: the context is checked once per
+// outer sweep and a wrapped ctx.Err() is returned promptly on expiry.
+func SolveContext(ctx context.Context, s *linalg.Dense, opts Options) (*Result, error) {
 	opts.defaults()
 	k, cols := s.Dims()
 	if k != cols {
-		return nil, fmt.Errorf("glasso: covariance must be square, got %dx%d", k, cols)
+		return nil, fdxerr.BadInput("glasso: covariance must be square, got %dx%d", k, cols)
 	}
 	if !s.IsSymmetric(1e-8) {
-		return nil, errors.New("glasso: covariance must be symmetric")
+		return nil, fdxerr.BadInput("glasso: covariance must be symmetric")
 	}
 	if k == 0 {
-		return &Result{Covariance: linalg.NewDense(0, 0), Precision: linalg.NewDense(0, 0)}, nil
+		return &Result{Covariance: linalg.NewDense(0, 0), Precision: linalg.NewDense(0, 0), Converged: true}, nil
 	}
 	if k == 1 {
 		w := s.At(0, 0) + opts.Lambda
 		if w <= 0 {
-			return nil, errors.New("glasso: non-positive variance")
+			return nil, fdxerr.BadInput("glasso: non-positive variance %g", w)
 		}
 		return &Result{
 			Covariance: linalg.NewDenseData(1, 1, []float64{w}),
 			Precision:  linalg.NewDenseData(1, 1, []float64{1 / w}),
 			Iterations: 0,
+			Converged:  true,
 		}, nil
 	}
 
@@ -90,12 +105,12 @@ func Solve(s *linalg.Dense, opts Options) (*Result, error) {
 	for i := 0; i < k; i++ {
 		w.Add(i, i, opts.Lambda)
 	}
-	return solveFrom(s, w, opts)
+	return solveFrom(ctx, s, w, opts)
 }
 
 // solveFrom runs the block coordinate descent starting from the covariance
 // estimate w (consumed and returned inside the Result).
-func solveFrom(s, w *linalg.Dense, opts Options) (*Result, error) {
+func solveFrom(ctx context.Context, s, w *linalg.Dense, opts Options) (*Result, error) {
 	opts.defaults()
 	k, _ := s.Dims()
 
@@ -111,7 +126,12 @@ func solveFrom(s, w *linalg.Dense, opts Options) (*Result, error) {
 	beta := make([]float64, k-1)
 
 	iters := 0
+	converged := false
 	for sweep := 0; sweep < opts.MaxIter; sweep++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fdxerr.Cancelled(err)
+		}
+		faults.Sleep(faults.SlowStage)
 		iters = sweep + 1
 		delta := 0.0
 		for j := 0; j < k; j++ {
@@ -162,7 +182,10 @@ func solveFrom(s, w *linalg.Dense, opts Options) (*Result, error) {
 				ai++
 			}
 		}
-		if delta/float64(k*k) < opts.Tol {
+		// Fault injection: pretend the tolerance was never met, exhausting
+		// MaxIter (silent-non-convergence regression test).
+		if delta/float64(k*k) < opts.Tol && !faults.Fire(faults.GlassoNoConverge) {
+			converged = true
 			break
 		}
 	}
@@ -171,7 +194,7 @@ func solveFrom(s, w *linalg.Dense, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Covariance: w, Precision: theta, Iterations: iters}, nil
+	return &Result{Covariance: w, Precision: theta, Iterations: iters, Converged: converged}, nil
 }
 
 // precisionFrom recovers Θ from the final W and per-column lasso
@@ -190,7 +213,7 @@ func precisionFrom(w *linalg.Dense, betas [][]float64) (*linalg.Dense, error) {
 		}
 		den := w.At(j, j) - dot
 		if den <= 0 {
-			return nil, errors.New("glasso: numerical failure recovering precision (non-positive partial variance)")
+			return nil, fmt.Errorf("glasso: recovering precision: non-positive partial variance for column %d: %w", j, fdxerr.ErrSingularCovariance)
 		}
 		tjj := 1 / den
 		theta.Set(j, j, tjj)

@@ -1,6 +1,7 @@
 package glasso
 
 import (
+	"context"
 	"sort"
 
 	"fdx/internal/linalg"
@@ -68,5 +69,5 @@ func solveWarm(s, w0 *linalg.Dense, opts Options) (*Result, error) {
 	for i := 0; i < k; i++ {
 		w.Set(i, i, s.At(i, i)+opts.Lambda)
 	}
-	return solveFrom(s, w, opts)
+	return solveFrom(context.Background(), s, w, opts)
 }

@@ -1,0 +1,83 @@
+package glasso
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"fdx/internal/faults"
+	"fdx/internal/fdxerr"
+	"fdx/internal/linalg"
+)
+
+func testCov() *linalg.Dense {
+	return linalg.NewDenseData(3, 3, []float64{
+		1, 0.8, 0.3,
+		0.8, 1, 0.5,
+		0.3, 0.5, 1,
+	})
+}
+
+func TestSolveReportsConverged(t *testing.T) {
+	res, err := Solve(testCov(), Options{Lambda: 0.01})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !res.Converged {
+		t.Errorf("healthy solve not converged after %d sweeps", res.Iterations)
+	}
+}
+
+func TestSolveReportsNonConvergenceOnTinyBudget(t *testing.T) {
+	res, err := Solve(testCov(), Options{MaxIter: 1, Tol: 1e-12})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Converged {
+		t.Error("one sweep at tol 1e-12 reported converged")
+	}
+	if res.Iterations != 1 {
+		t.Errorf("Iterations = %d, want 1", res.Iterations)
+	}
+}
+
+func TestFaultSolveForcedNonConvergence(t *testing.T) {
+	defer faults.Reset()
+	faults.Arm(faults.GlassoNoConverge, faults.Config{})
+	res, err := Solve(testCov(), Options{Lambda: 0.01})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Converged {
+		t.Error("forced non-convergence reported converged")
+	}
+	opts := Options{}
+	opts.defaults()
+	if res.Iterations != opts.MaxIter {
+		t.Errorf("Iterations = %d, want full budget %d", res.Iterations, opts.MaxIter)
+	}
+}
+
+func TestFaultSolveContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SolveContext(ctx, testCov(), Options{})
+	if !errors.Is(err, fdxerr.ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCancelled and context.Canceled", err)
+	}
+}
+
+func TestSolveBadInputTyped(t *testing.T) {
+	rect := linalg.NewDense(2, 3)
+	if _, err := Solve(rect, Options{}); !errors.Is(err, fdxerr.ErrBadInput) {
+		t.Errorf("non-square: err = %v, want ErrBadInput", err)
+	}
+	asym := linalg.NewDenseData(2, 2, []float64{1, 0.5, -0.5, 1})
+	if _, err := Solve(asym, Options{}); !errors.Is(err, fdxerr.ErrBadInput) {
+		t.Errorf("asymmetric: err = %v, want ErrBadInput", err)
+	}
+	neg := linalg.NewDenseData(1, 1, []float64{-1})
+	if _, err := Solve(neg, Options{}); !errors.Is(err, fdxerr.ErrBadInput) {
+		t.Errorf("negative variance: err = %v, want ErrBadInput", err)
+	}
+}

@@ -4,11 +4,15 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"fdx/internal/faults"
+	"fdx/internal/fdxerr"
 )
 
 // ErrNotPositiveDefinite is returned when a factorization encounters a
-// non-positive pivot.
-var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+// non-positive pivot. It wraps fdxerr.ErrNonPositivePivot, so callers can
+// match either name with errors.Is.
+var ErrNotPositiveDefinite = fmt.Errorf("linalg: matrix is not positive definite: %w", fdxerr.ErrNonPositivePivot)
 
 // Cholesky computes the lower-triangular L with a = L·Lᵀ.
 // a must be symmetric positive definite.
@@ -84,6 +88,11 @@ func UDU(a *Dense) (u *Dense, d []float64, err error) {
 	}
 	u = Identity(n)
 	d = make([]float64, n)
+	// Fault injection: report a non-positive pivot for this factorization
+	// (one Fire per UDU call, at the first pivot processed).
+	if n > 0 && faults.Fire(faults.NonPositivePivot) {
+		return nil, nil, ErrNotPositiveDefinite
+	}
 	for j := n - 1; j >= 0; j-- {
 		dj := a.At(j, j)
 		for k := j + 1; k < n; k++ {

@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"fdx/internal/fdxerr"
 	"fdx/internal/linalg"
 )
 
@@ -103,7 +104,10 @@ func FromPrecision(theta *linalg.Dense, tol float64) *Graph {
 
 // Order computes the permutation for the named method. The seed is used
 // only by "random". The returned permutation lists original indices in
-// elimination order: perm[position] = original column.
+// elimination order: perm[position] = original column. Unknown method names
+// return an ErrBadInput-wrapped error; there is deliberately no panicking
+// variant — an ordering typo must surface as a matchable error from
+// Discover, not kill the process.
 func Order(method string, g *Graph, seed int64) (linalg.Permutation, error) {
 	switch method {
 	case Natural:
@@ -130,18 +134,8 @@ func Order(method string, g *Graph, seed int64) (linalg.Permutation, error) {
 	case NESDIS:
 		return nestedDissection(g, false), nil
 	default:
-		return nil, fmt.Errorf("ordering: unknown method %q", method)
+		return nil, fmt.Errorf("ordering: unknown method %q: %w", method, fdxerr.ErrBadInput)
 	}
-}
-
-// ByName is like Order but panics on unknown method names; convenient for
-// the experiment tables where the method list is static.
-func ByName(method string, g *Graph, seed int64) linalg.Permutation {
-	p, err := Order(method, g, seed)
-	if err != nil {
-		panic(err)
-	}
-	return p
 }
 
 // Fill returns the number of fill-in edges created when eliminating the

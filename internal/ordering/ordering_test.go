@@ -1,10 +1,12 @@
 package ordering
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"fdx/internal/fdxerr"
 	"fdx/internal/linalg"
 )
 
@@ -40,18 +42,13 @@ func TestAllMethodsProducePermutations(t *testing.T) {
 }
 
 func TestOrderUnknownMethod(t *testing.T) {
-	if _, err := Order("bogus", NewGraph(3), 0); err == nil {
-		t.Error("unknown method accepted")
+	_, err := Order("bogus", NewGraph(3), 0)
+	if err == nil {
+		t.Fatal("unknown method accepted")
 	}
-}
-
-func TestByNamePanicsOnUnknown(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	ByName("bogus", NewGraph(1), 0)
+	if !errors.Is(err, fdxerr.ErrBadInput) {
+		t.Errorf("unknown method error %v does not match ErrBadInput", err)
+	}
 }
 
 func TestNaturalAndReverse(t *testing.T) {
@@ -211,8 +208,8 @@ func TestMinDegreeNeverWorseThanReverseOnStars(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	for trial := 0; trial < 20; trial++ {
 		g := randomGraph(rng, 3+rng.Intn(15), 0.3)
-		md := ByName(Heuristic, g, 0)
-		nat := ByName(Natural, g, 0)
+		md, _ := Order(Heuristic, g, 0)
+		nat, _ := Order(Natural, g, 0)
 		if Fill(g, md) > Fill(g, nat)+2 {
 			// Min degree is a heuristic; allow tiny slack but it should
 			// essentially never lose badly to the natural order.

@@ -1,0 +1,198 @@
+package fdx_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"fdx"
+	"fdx/internal/faults"
+)
+
+// keyedRelation builds a relation with an a→b dependency.
+func keyedRelation(n int) *fdx.Relation {
+	rel := fdx.NewRelation("t", "a", "b", "c")
+	for i := 0; i < n; i++ {
+		rel.AppendRow([]string{
+			fmt.Sprintf("a%d", i%5),
+			fmt.Sprintf("b%d", (i%5)*3),
+			fmt.Sprintf("c%d", i%4),
+		})
+	}
+	return rel
+}
+
+func TestDiscoverPathologicalRelations(t *testing.T) {
+	t.Run("all-null column", func(t *testing.T) {
+		rel := fdx.NewRelation("t", "a", "nulls", "b")
+		for i := 0; i < 30; i++ {
+			rel.AppendRow([]string{fmt.Sprintf("a%d", i%4), "", fmt.Sprintf("b%d", i%4)})
+		}
+		res, err := fdx.Discover(rel, fdx.Options{})
+		if err != nil {
+			t.Fatalf("Discover: %v", err)
+		}
+		if len(res.Attributes) != 3 {
+			t.Errorf("Attributes = %v", res.Attributes)
+		}
+		// An all-NULL column matches nothing, so it can determine nothing.
+		for _, f := range res.FDs {
+			for _, l := range f.LHS {
+				if l == "nulls" {
+					t.Errorf("all-NULL column appears as determinant in %v", f)
+				}
+			}
+		}
+	})
+	t.Run("single row", func(t *testing.T) {
+		rel := fdx.NewRelation("t", "a", "b")
+		rel.AppendRow([]string{"x", "y"})
+		res, err := fdx.Discover(rel, fdx.Options{})
+		if err != nil {
+			t.Fatalf("Discover: %v", err)
+		}
+		if res == nil {
+			t.Fatal("nil result")
+		}
+	})
+	t.Run("single constant column", func(t *testing.T) {
+		rel := fdx.NewRelation("t", "a")
+		for i := 0; i < 10; i++ {
+			rel.AppendRow([]string{"same"})
+		}
+		if _, err := fdx.Discover(rel, fdx.Options{}); err != nil {
+			t.Fatalf("Discover: %v", err)
+		}
+	})
+	t.Run("duplicate attribute names", func(t *testing.T) {
+		rel := fdx.NewRelation("t", "a", "a")
+		rel.AppendRow([]string{"1", "2"})
+		rel.AppendRow([]string{"3", "4"})
+		_, err := fdx.Discover(rel, fdx.Options{})
+		if !errors.Is(err, fdx.ErrBadInput) {
+			t.Fatalf("err = %v, want ErrBadInput", err)
+		}
+	})
+	t.Run("nil relation", func(t *testing.T) {
+		_, err := fdx.Discover(nil, fdx.Options{})
+		if !errors.Is(err, fdx.ErrBadInput) {
+			t.Fatalf("err = %v, want ErrBadInput", err)
+		}
+	})
+	t.Run("empty relation", func(t *testing.T) {
+		res, err := fdx.Discover(fdx.NewRelation("t"), fdx.Options{})
+		if err != nil || len(res.FDs) != 0 {
+			t.Fatalf("res = %v err = %v", res, err)
+		}
+	})
+	t.Run("unknown ordering", func(t *testing.T) {
+		_, err := fdx.Discover(keyedRelation(20), fdx.Options{Ordering: "bogus"})
+		if !errors.Is(err, fdx.ErrBadInput) {
+			t.Fatalf("err = %v, want ErrBadInput", err)
+		}
+	})
+}
+
+func TestAccumulatorMismatchedSchema(t *testing.T) {
+	acc := fdx.NewAccumulator([]string{"a", "b"}, fdx.Options{})
+	wrongName := fdx.NewRelation("t", "a", "x")
+	wrongName.AppendRow([]string{"1", "2"})
+	wrongName.AppendRow([]string{"3", "4"})
+	if err := acc.Add(wrongName); !errors.Is(err, fdx.ErrBadInput) {
+		t.Errorf("wrong name: err = %v, want ErrBadInput", err)
+	}
+	wrongArity := fdx.NewRelation("t", "a", "b", "c")
+	wrongArity.AppendRow([]string{"1", "2", "3"})
+	wrongArity.AppendRow([]string{"4", "5", "6"})
+	if err := acc.Add(wrongArity); !errors.Is(err, fdx.ErrBadInput) {
+		t.Errorf("wrong arity: err = %v, want ErrBadInput", err)
+	}
+	if err := acc.Add(nil); !errors.Is(err, fdx.ErrBadInput) {
+		t.Errorf("nil batch: err = %v, want ErrBadInput", err)
+	}
+	if _, err := acc.Discover(); !errors.Is(err, fdx.ErrBadInput) {
+		t.Errorf("empty accumulator Discover: err = %v, want ErrBadInput", err)
+	}
+	good := fdx.NewRelation("t", "a", "b")
+	for i := 0; i < 20; i++ {
+		good.AppendRow([]string{fmt.Sprintf("a%d", i%3), fmt.Sprintf("b%d", i%3)})
+	}
+	if err := acc.Add(good); err != nil {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+	if _, err := acc.Discover(); err != nil {
+		t.Fatalf("Discover after valid batch: %v", err)
+	}
+}
+
+func TestFaultPublicPanicGuard(t *testing.T) {
+	defer faults.Reset()
+	faults.Arm(faults.InternalPanic, faults.Config{Times: 1})
+	_, err := fdx.Discover(keyedRelation(30), fdx.Options{})
+	if !errors.Is(err, fdx.ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal", err)
+	}
+	if !strings.Contains(err.Error(), "injected panic") {
+		t.Errorf("err %q does not carry the panic value", err)
+	}
+	// The guard must not leave the process poisoned: the next call works.
+	if _, err := fdx.Discover(keyedRelation(30), fdx.Options{}); err != nil {
+		t.Fatalf("Discover after recovered panic: %v", err)
+	}
+}
+
+func TestFaultAccumulatorPanicGuard(t *testing.T) {
+	defer faults.Reset()
+	acc := fdx.NewAccumulator([]string{"a", "b", "c"}, fdx.Options{})
+	if err := acc.Add(keyedRelation(30)); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	faults.Arm(faults.InternalPanic, faults.Config{Times: 1})
+	if _, err := acc.Discover(); !errors.Is(err, fdx.ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal", err)
+	}
+	if _, err := acc.Discover(); err != nil {
+		t.Fatalf("Discover after recovered panic: %v", err)
+	}
+}
+
+func TestFaultPublicDeadline(t *testing.T) {
+	defer faults.Reset()
+	faults.Arm(faults.SlowStage, faults.Config{Delay: 30 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := fdx.DiscoverContext(ctx, keyedRelation(60), fdx.Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if !errors.Is(err, fdx.ErrCancelled) {
+		t.Errorf("err = %v should also match ErrCancelled", err)
+	}
+}
+
+func TestPublicDiagnosticsSurface(t *testing.T) {
+	defer faults.Reset()
+	faults.Arm(faults.CovarianceNaN, faults.Config{Times: 1})
+	res, err := fdx.Discover(keyedRelation(60), fdx.Options{})
+	if err != nil {
+		t.Fatalf("Discover: %v", err)
+	}
+	if !res.Diagnostics.Degraded() {
+		t.Fatal("degraded run not reported")
+	}
+	// Sanitized columns surface as attribute names at the public boundary.
+	if got := res.Diagnostics.SanitizedColumns; len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Errorf("SanitizedColumns = %v, want [a c]", got)
+	}
+
+	healthy, err := fdx.Discover(keyedRelation(60), fdx.Options{})
+	if err != nil {
+		t.Fatalf("Discover: %v", err)
+	}
+	if healthy.Diagnostics.Degraded() || !healthy.Diagnostics.GlassoConverged {
+		t.Errorf("healthy diagnostics = %+v", healthy.Diagnostics)
+	}
+}

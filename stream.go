@@ -1,6 +1,7 @@
 package fdx
 
 import (
+	"context"
 	"time"
 
 	"fdx/internal/core"
@@ -12,6 +13,10 @@ import (
 // history. Batches must share the accumulator's schema. Pairs never span
 // batches, so the estimate approximates (and with growing data converges
 // to) the batch Discover on the concatenation.
+//
+// Like Discover, the Accumulator never panics: schema mismatches return
+// ErrBadInput-wrapped errors and internal invariant panics are recovered
+// into ErrInternal-wrapped errors.
 type Accumulator struct {
 	inner *core.Accumulator
 	names []string
@@ -20,27 +25,17 @@ type Accumulator struct {
 // NewAccumulator creates an incremental discovery session over relations
 // with the given attribute names.
 func NewAccumulator(attrNames []string, opts Options) *Accumulator {
-	copts := core.Options{
-		Lambda:      opts.Lambda,
-		Threshold:   opts.Threshold,
-		RelFraction: opts.RelFraction,
-		Ordering:    opts.Ordering,
-		Seed:        opts.Seed,
-		Transform: core.TransformOptions{
-			Seed:           opts.Seed,
-			MaxRows:        opts.MaxRows,
-			NumericTol:     opts.NumericTolerance,
-			TextSimilarity: opts.TextSimilarity,
-		},
-	}
 	return &Accumulator{
-		inner: core.NewAccumulator(attrNames, copts),
+		inner: core.NewAccumulator(attrNames, coreOptions(opts)),
 		names: append([]string(nil), attrNames...),
 	}
 }
 
 // Add absorbs one batch (at least two rows, matching schema).
-func (a *Accumulator) Add(rel *Relation) error { return a.inner.Add(rel) }
+func (a *Accumulator) Add(rel *Relation) (err error) {
+	defer guard("fdx: Accumulator.Add", &err)
+	return a.inner.Add(rel)
+}
 
 // Rows returns the total number of tuples absorbed.
 func (a *Accumulator) Rows() int { return a.inner.Rows() }
@@ -50,12 +45,19 @@ func (a *Accumulator) Batches() int { return a.inner.Batches() }
 
 // Discover derives the dependencies currently supported by the stream.
 func (a *Accumulator) Discover() (*Result, error) {
+	return a.DiscoverContext(context.Background())
+}
+
+// DiscoverContext is Discover with cancellation; see fdx.DiscoverContext
+// for where the context is checked.
+func (a *Accumulator) DiscoverContext(ctx context.Context) (res *Result, err error) {
+	defer guard("fdx: Accumulator.Discover", &err)
 	t0 := time.Now()
-	model, err := a.inner.Discover()
+	model, err := a.inner.DiscoverContext(ctx)
 	if err != nil {
 		return nil, err
 	}
-	res := resultFromModel(model, a.names)
+	res = resultFromModel(model, a.names)
 	res.ModelDuration = time.Since(t0)
 	return res, nil
 }
