@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint test-race test-faults fuzz bench experiments fast-experiments fmt loc
+.PHONY: all build test vet lint test-race test-faults test-crash fuzz bench experiments fast-experiments fmt loc
 
 all: build vet lint test
 
@@ -25,18 +25,28 @@ test-race:
 
 # Fault-injection suite: every TestFault* test arms internal/faults points
 # (poisoned covariance, forced non-convergence, bad pivots, slow stages,
-# injected panics) and asserts typed errors or degraded-but-valid results.
-# Run under the race detector since injections exercise cancellation paths.
+# injected panics, torn checkpoint I/O) and asserts typed errors or
+# degraded-but-valid results. Run under the race detector since injections
+# exercise cancellation paths.
 test-faults:
-	$(GO) test -race -run 'Fault' ./internal/faults ./internal/core ./internal/glasso .
+	$(GO) test -race -run 'Fault' ./internal/faults ./internal/core ./internal/glasso ./internal/checkpoint .
 
-# Short local fuzz campaign over the public Discover entry point.
+# Crash-equivalence suite: kill the durable stream at every byte of its
+# snapshot and WAL, restore, and require results identical to an
+# uninterrupted run (or a typed corruption error) — never a panic.
+test-crash:
+	$(GO) test -race -run 'Crash' ./internal/checkpoint .
+
+# Short local fuzz campaigns over the public entry points.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDiscover -fuzztime 30s .
+	$(GO) test -run '^$$' -fuzz FuzzLoadCheckpoint -fuzztime 30s .
 
-# One testing.B benchmark per paper table/figure (reduced scale).
+# One testing.B benchmark per paper table/figure (reduced scale), plus the
+# checkpoint streaming benchmark (BENCH_stream.json).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+	$(GO) run ./cmd/fdxbench -stream BENCH_stream.json
 
 # Regenerate every paper table/figure at report scale (slow).
 experiments:

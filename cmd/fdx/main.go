@@ -3,18 +3,34 @@
 // Usage:
 //
 //	fdx [flags] data.csv
+//	fdx stream -checkpoint state.fdx [flags] data.csv
 //
 // CSV input needs a header row; .jsonl/.ndjson files are read as JSON
 // Lines. Empty cells and JSON nulls are treated as missing
 // values. The discovered FDs are printed one per line, optionally with the
 // autoregression-matrix heatmap the model is derived from.
+//
+// The stream subcommand feeds the relation through the incremental
+// Accumulator in fixed-size batches, write-ahead-logging every batch and
+// durably checkpointing every -every batches. Killed at any point — even
+// mid-write — a rerun with the same flags resumes from the checkpoint,
+// re-absorbs only the unsaved batches, and produces the same dependencies
+// as an uninterrupted run.
+//
+// Exit codes map the error taxonomy: 0 success, 1 internal error, 2 bad
+// input (malformed data, flags, or mismatched resume options), 3 corrupt
+// or version-incompatible checkpoint, 130 interrupted.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"fdx"
 	"fdx/internal/core"
@@ -22,35 +38,78 @@ import (
 )
 
 func main() {
-	var (
-		lambda    = flag.Float64("lambda", 0, "graphical lasso sparsity penalty")
-		threshold = flag.Float64("threshold", 0, "minimum |B| coefficient for an FD edge (0 = default 0.2)")
-		ordering  = flag.String("ordering", "", "column ordering: heuristic|natural|amd|colamd|metis|nesdis|reverse|random")
-		maxRows   = flag.Int("max-rows", 0, "cap on tuples used by the pair transform (0 = all)")
-		seed      = flag.Int64("seed", 0, "random seed for the transform shuffle")
-		heatmap   = flag.Bool("heatmap", false, "print the autoregression matrix heatmap")
-		profileIt = flag.Bool("profile", false, "print a full profiling report (columns, keys, FDs, error rate)")
-		normalize = flag.Bool("normalize", false, "print candidate keys and a 3NF synthesis from the discovered FDs")
-		textSim   = flag.Bool("text-similarity", false, "use 3-gram similarity for text columns")
-		numTol    = flag.Float64("numeric-tol", 0, "relative tolerance for numeric equality")
-	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: fdx [flags] data.csv")
-		flag.PrintDefaults()
-		os.Exit(2)
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "stream" {
+		os.Exit(runStream(args[1:]))
 	}
-	path := flag.Arg(0)
-	var rel *fdx.Relation
-	var err error
+	os.Exit(runDiscover(args))
+}
+
+// exitCode maps an error onto the command's documented exit codes.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, fdx.ErrCancelled):
+		return 130
+	case errors.Is(err, fdx.ErrCorruptCheckpoint), errors.Is(err, fdx.ErrCheckpointVersion):
+		return 3
+	case errors.Is(err, fdx.ErrBadInput):
+		return 2
+	default:
+		// ErrInternal and anything unclassified.
+		return 1
+	}
+}
+
+// fail prints the error and returns its exit code.
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "fdx:", err)
+	return exitCode(err)
+}
+
+// loadRelation reads the input file, classifying I/O and parse failures as
+// bad input.
+func loadRelation(path string) (*fdx.Relation, error) {
+	var (
+		rel *fdx.Relation
+		err error
+	)
 	if strings.HasSuffix(path, ".jsonl") || strings.HasSuffix(path, ".ndjson") {
 		rel, err = fdx.LoadJSONL(path)
 	} else {
 		rel, err = fdx.LoadCSV(path)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fdx:", err)
-		os.Exit(1)
+		return nil, fmt.Errorf("%w: %w", err, fdx.ErrBadInput)
+	}
+	return rel, nil
+}
+
+func runDiscover(args []string) int {
+	fs := flag.NewFlagSet("fdx", flag.ExitOnError)
+	var (
+		lambda    = fs.Float64("lambda", 0, "graphical lasso sparsity penalty")
+		threshold = fs.Float64("threshold", 0, "minimum |B| coefficient for an FD edge (0 = default 0.2)")
+		ordering  = fs.String("ordering", "", "column ordering: heuristic|natural|amd|colamd|metis|nesdis|reverse|random")
+		maxRows   = fs.Int("max-rows", 0, "cap on tuples used by the pair transform (0 = all)")
+		seed      = fs.Int64("seed", 0, "random seed for the transform shuffle")
+		heatmap   = fs.Bool("heatmap", false, "print the autoregression matrix heatmap")
+		profileIt = fs.Bool("profile", false, "print a full profiling report (columns, keys, FDs, error rate)")
+		normalize = fs.Bool("normalize", false, "print candidate keys and a 3NF synthesis from the discovered FDs")
+		textSim   = fs.Bool("text-similarity", false, "use 3-gram similarity for text columns")
+		numTol    = fs.Float64("numeric-tol", 0, "relative tolerance for numeric equality")
+	)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fdx [flags] data.csv")
+		fmt.Fprintln(os.Stderr, "       fdx stream -checkpoint state.fdx [flags] data.csv")
+		fs.PrintDefaults()
+		return 2
+	}
+	rel, err := loadRelation(fs.Arg(0))
+	if err != nil {
+		return fail(err)
 	}
 	if *profileIt {
 		rep, err := profile.Build(rel, profile.Options{Discovery: core.Options{
@@ -60,11 +119,10 @@ func main() {
 			Seed:      *seed,
 		}})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "fdx:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		fmt.Print(rep.String())
-		return
+		return 0
 	}
 	res, err := fdx.Discover(rel, fdx.Options{
 		Lambda:           *lambda,
@@ -76,8 +134,7 @@ func main() {
 		NumericTolerance: *numTol,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fdx:", err)
-		os.Exit(1)
+		return fail(err)
 	}
 	fmt.Printf("%s: %d rows, %d attributes, %d FDs (transform %v, model %v)\n\n",
 		rel.Name, rel.NumRows(), rel.NumCols(), len(res.FDs),
@@ -92,8 +149,7 @@ func main() {
 	if *normalize {
 		keys, err := fdx.CandidateKeys(rel, res.FDs)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "fdx:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		fmt.Println("\ncandidate keys:")
 		for _, k := range keys {
@@ -101,8 +157,7 @@ func main() {
 		}
 		tables, err := fdx.Synthesize3NF(rel, res.FDs)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "fdx:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		fmt.Println("\n3NF synthesis:")
 		for _, tb := range tables {
@@ -110,4 +165,141 @@ func main() {
 				tb.Name, strings.Join(tb.Attributes, ", "), strings.Join(tb.Key, ", "))
 		}
 	}
+	return 0
+}
+
+func runStream(args []string) int {
+	fs := flag.NewFlagSet("fdx stream", flag.ExitOnError)
+	var (
+		ckpt      = fs.String("checkpoint", "", "checkpoint file path (required); the WAL lives at this path + \".wal\"")
+		every     = fs.Int("every", 16, "durably snapshot every N batches")
+		batchRows = fs.Int("batch", 512, "rows per accumulator batch")
+		lambda    = fs.Float64("lambda", 0, "graphical lasso sparsity penalty")
+		threshold = fs.Float64("threshold", 0, "minimum |B| coefficient for an FD edge (0 = default 0.2)")
+		ordering  = fs.String("ordering", "", "column ordering: heuristic|natural|amd|colamd|metis|nesdis|reverse|random")
+		seed      = fs.Int64("seed", 0, "random seed for the transform shuffle (must match across resumes)")
+		heatmap   = fs.Bool("heatmap", false, "print the autoregression matrix heatmap")
+		textSim   = fs.Bool("text-similarity", false, "use 3-gram similarity for text columns (must match across resumes)")
+		numTol    = fs.Float64("numeric-tol", 0, "relative tolerance for numeric equality (must match across resumes)")
+	)
+	fs.Parse(args)
+	if fs.NArg() != 1 || *ckpt == "" || *every < 1 || *batchRows < 2 {
+		fmt.Fprintln(os.Stderr, "usage: fdx stream -checkpoint state.fdx [-every N] [-batch B] [flags] data.csv")
+		fs.PrintDefaults()
+		return 2
+	}
+	opts := fdx.Options{
+		Lambda:           *lambda,
+		Threshold:        *threshold,
+		Ordering:         *ordering,
+		Seed:             *seed,
+		TextSimilarity:   *textSim,
+		NumericTolerance: *numTol,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rel, err := loadRelation(fs.Arg(0))
+	if err != nil {
+		return fail(err)
+	}
+
+	// Resume from the checkpoint when one exists; otherwise start fresh.
+	acc, err := fdx.LoadCheckpoint(*ckpt, opts)
+	switch {
+	case err == nil:
+		if got, want := acc.Attributes(), rel.AttrNames(); !equalStrings(got, want) {
+			return fail(fmt.Errorf("checkpoint schema %v does not match %s schema %v: %w",
+				got, fs.Arg(0), want, fdx.ErrBadInput))
+		}
+		fmt.Fprintf(os.Stderr, "fdx: resuming from %s: %d batches, %d rows already absorbed\n",
+			*ckpt, acc.Batches(), acc.Rows())
+	case errors.Is(err, os.ErrNotExist):
+		acc = fdx.NewAccumulator(rel.AttrNames(), opts)
+		// Write the empty-state snapshot up front so batches logged before
+		// the first periodic save are replayable rather than orphaned.
+		if err := acc.SaveCheckpoint(*ckpt); err != nil {
+			return fail(err)
+		}
+	default:
+		return fail(err)
+	}
+
+	wal, err := fdx.OpenWAL(*ckpt + fdx.WALSuffix)
+	if err != nil {
+		return fail(err)
+	}
+	defer wal.Close()
+
+	// The batch grid is a pure function of the input and -batch, so a
+	// resumed run rebuilds the same batches and skips the absorbed prefix.
+	total := rel.NumRows() / *batchRows
+	if tail := rel.NumRows() % *batchRows; tail >= 2 {
+		total++
+	}
+	if acc.Batches() > total {
+		return fail(fmt.Errorf("checkpoint has %d batches but %s yields only %d with -batch %d: %w",
+			acc.Batches(), fs.Arg(0), total, *batchRows, fdx.ErrBadInput))
+	}
+	sinceSave := 0
+	for i := acc.Batches(); i < total; i++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return fail(fmt.Errorf("stream interrupted after %d/%d batches: %w: %w", i, total, fdx.ErrCancelled, cerr))
+		}
+		lo := i * *batchRows
+		hi := lo + *batchRows
+		if hi > rel.NumRows() {
+			hi = rel.NumRows()
+		}
+		if err := acc.AddLogged(rel.Slice(lo, hi), wal); err != nil {
+			return fail(err)
+		}
+		if sinceSave++; sinceSave == *every {
+			if err := saveAndReset(acc, *ckpt, wal); err != nil {
+				return fail(err)
+			}
+			sinceSave = 0
+		}
+	}
+	if err := saveAndReset(acc, *ckpt, wal); err != nil {
+		return fail(err)
+	}
+
+	res, err := acc.DiscoverContext(ctx)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Printf("%s: %d rows in %d batches, %d attributes, %d FDs (model %v)\n\n",
+		rel.Name, acc.Rows(), acc.Batches(), rel.NumCols(), len(res.FDs),
+		res.ModelDuration.Round(1e6))
+	for _, fd := range res.FDs {
+		fmt.Printf("%s   (score %.3f)\n", fd, fd.Score)
+	}
+	if *heatmap {
+		fmt.Println()
+		fmt.Print(res.Heatmap())
+	}
+	return 0
+}
+
+// saveAndReset durably snapshots the accumulator and truncates the WAL the
+// snapshot now covers.
+func saveAndReset(acc *fdx.Accumulator, path string, wal *fdx.WAL) error {
+	if err := acc.SaveCheckpoint(path); err != nil {
+		return err
+	}
+	return wal.Reset()
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

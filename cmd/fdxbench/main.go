@@ -28,8 +28,12 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "per-method timeout (0 = scale default)")
 		verbose = flag.Bool("v", false, "log per-method progress to stderr")
 		format  = flag.String("format", "text", "output format: text | json")
+		stream  = flag.String("stream", "", "run the checkpoint streaming benchmark and write its JSON report to this path")
 	)
 	flag.Parse()
+	if *stream != "" {
+		os.Exit(runStreamBench(*stream, *seed, *fast))
+	}
 	cfg := experiments.Config{Seed: *seed, Fast: *fast, Timeout: *timeout}
 	if *verbose {
 		cfg.Log = os.Stderr

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"fdx"
+	"fdx/internal/synth"
+)
+
+// streamReport is the JSON schema of BENCH_stream.json: throughput of the
+// durable streaming path (WAL-logged absorption, snapshot save, restore).
+type streamReport struct {
+	Rows             int     `json:"rows"`
+	Attributes       int     `json:"attributes"`
+	BatchRows        int     `json:"batch_rows"`
+	SaveEvery        int     `json:"save_every_batches"`
+	AbsorbRowsPerSec float64 `json:"absorb_rows_per_sec"`
+	LoggedRowsPerSec float64 `json:"logged_rows_per_sec"`
+	SnapshotBytes    int64   `json:"snapshot_bytes"`
+	SnapshotMillis   float64 `json:"snapshot_ms"`
+	RestoreMillis    float64 `json:"restore_ms"`
+}
+
+// runStreamBench measures the checkpoint subsystem end to end — in-memory
+// absorption, WAL-logged absorption (one fsync per batch), durable
+// snapshot saves, and restore — and writes the report to outPath.
+func runStreamBench(outPath string, seed int64, fast bool) int {
+	rows, batchRows, saveEvery := 200_000, 1024, 16
+	if fast {
+		rows = 20_000
+	}
+	inst := synth.Generate(synth.Config{
+		Seed:              seed,
+		Tuples:            rows,
+		Attributes:        12,
+		DomainCardinality: 144,
+		NoiseRate:         0.01,
+	})
+	rel := inst.Relation
+	opts := fdx.Options{Seed: seed}
+	total := rel.NumRows() / batchRows
+
+	// Baseline: in-memory absorption without durability.
+	plain := fdx.NewAccumulator(rel.AttrNames(), opts)
+	t0 := time.Now()
+	for b := 0; b < total; b++ {
+		if err := plain.Add(rel.Slice(b*batchRows, (b+1)*batchRows)); err != nil {
+			fmt.Fprintln(os.Stderr, "fdxbench:", err)
+			return 1
+		}
+	}
+	absorbSec := time.Since(t0).Seconds()
+
+	// Durable streaming: WAL append per batch, snapshot every saveEvery.
+	dir, err := os.MkdirTemp("", "fdxbench-stream")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdxbench:", err)
+		return 1
+	}
+	defer os.RemoveAll(dir)
+	ckpt := filepath.Join(dir, "state.fdx")
+	acc := fdx.NewAccumulator(rel.AttrNames(), opts)
+	wal, err := fdx.OpenWAL(ckpt + fdx.WALSuffix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdxbench:", err)
+		return 1
+	}
+	defer wal.Close()
+	var snapTotal time.Duration
+	saves := 0
+	t0 = time.Now()
+	for b := 0; b < total; b++ {
+		if err := acc.AddLogged(rel.Slice(b*batchRows, (b+1)*batchRows), wal); err != nil {
+			fmt.Fprintln(os.Stderr, "fdxbench:", err)
+			return 1
+		}
+		if (b+1)%saveEvery == 0 {
+			ts := time.Now()
+			if err := acc.SaveCheckpoint(ckpt); err != nil {
+				fmt.Fprintln(os.Stderr, "fdxbench:", err)
+				return 1
+			}
+			if err := wal.Reset(); err != nil {
+				fmt.Fprintln(os.Stderr, "fdxbench:", err)
+				return 1
+			}
+			snapTotal += time.Since(ts)
+			saves++
+		}
+	}
+	loggedSec := time.Since(t0).Seconds()
+	ts := time.Now()
+	if err := acc.SaveCheckpoint(ckpt); err != nil {
+		fmt.Fprintln(os.Stderr, "fdxbench:", err)
+		return 1
+	}
+	snapTotal += time.Since(ts)
+	saves++
+	info, err := os.Stat(ckpt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdxbench:", err)
+		return 1
+	}
+
+	t0 = time.Now()
+	restored, err := fdx.LoadCheckpoint(ckpt, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdxbench:", err)
+		return 1
+	}
+	restoreMs := float64(time.Since(t0).Microseconds()) / 1e3
+	if restored.Rows() != total*batchRows {
+		fmt.Fprintf(os.Stderr, "fdxbench: restore lost rows: %d != %d\n", restored.Rows(), total*batchRows)
+		return 1
+	}
+
+	rep := streamReport{
+		Rows:             total * batchRows,
+		Attributes:       rel.NumCols(),
+		BatchRows:        batchRows,
+		SaveEvery:        saveEvery,
+		AbsorbRowsPerSec: float64(total*batchRows) / absorbSec,
+		LoggedRowsPerSec: float64(total*batchRows) / loggedSec,
+		SnapshotBytes:    info.Size(),
+		SnapshotMillis:   float64(snapTotal.Microseconds()) / 1e3 / float64(saves),
+		RestoreMillis:    restoreMs,
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdxbench:", err)
+		return 1
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "fdxbench:", err)
+		return 1
+	}
+	fmt.Printf("stream benchmark: %s\n%s", outPath, out)
+	return 0
+}

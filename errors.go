@@ -42,6 +42,16 @@ var (
 	// ErrInternal marks an internal invariant panic recovered at the
 	// public API boundary.
 	ErrInternal = fdxerr.ErrInternal
+	// ErrCorruptCheckpoint marks a checkpoint snapshot or WAL that failed
+	// validation on restore (bad magic, CRC mismatch, impossible
+	// dimensions, mid-log torn record) or could not be durably written
+	// (short write, failed fsync or rename). The in-memory accumulator is
+	// still good; the on-disk checkpoint must not be trusted.
+	ErrCorruptCheckpoint = fdxerr.ErrCorruptCheckpoint
+	// ErrCheckpointVersion marks a checkpoint written by an incompatible
+	// format version: the bytes are intact but this build cannot interpret
+	// them.
+	ErrCheckpointVersion = fdxerr.ErrCheckpointVersion
 )
 
 // Fallback records one degradation step the pipeline took instead of

@@ -1,0 +1,235 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"io"
+
+	"fdx/internal/core"
+	"fdx/internal/fdxerr"
+	"fdx/internal/linalg"
+)
+
+// WriteSnapshot encodes the accumulator state to w in the version-1
+// snapshot format. fingerprint identifies the options the state was
+// accumulated under; restore refuses a snapshot whose fingerprint differs
+// from the caller's options.
+func WriteSnapshot(w io.Writer, st *core.AccumulatorState, fingerprint uint64) error {
+	if st == nil {
+		return fdxerr.BadInput("checkpoint: nil accumulator state")
+	}
+	k := len(st.Names)
+	if k > maxAttrs {
+		return fdxerr.BadInput("checkpoint: %d attributes exceed the format limit %d", k, maxAttrs)
+	}
+	var prologue enc
+	prologue.buf = append(prologue.buf, magic...)
+	prologue.u32(version)
+	prologue.u32(0) // reserved flags
+	if err := writeFull(w, prologue.buf); err != nil {
+		return err
+	}
+
+	var meta enc
+	meta.u64(fingerprint)
+	meta.u64(uint64(st.Rows))
+	meta.u64(uint64(st.Batches))
+	meta.u32(uint32(k))
+	for _, n := range st.Names {
+		meta.str(n)
+	}
+	if err := writeSection(w, secMeta, meta.buf); err != nil {
+		return err
+	}
+
+	var counts enc
+	for _, c := range st.Count {
+		counts.u64(uint64(c))
+	}
+	if err := writeSection(w, secCounts, counts.buf); err != nil {
+		return err
+	}
+
+	var sums enc
+	for _, stratum := range st.Sums {
+		for _, v := range stratum {
+			sums.f64(v)
+		}
+	}
+	if err := writeSection(w, secSums, sums.buf); err != nil {
+		return err
+	}
+
+	var outer enc
+	for _, m := range st.Outer {
+		for _, v := range m.Data() {
+			outer.f64(v)
+		}
+	}
+	if err := writeSection(w, secOuter, outer.buf); err != nil {
+		return err
+	}
+
+	return writeSection(w, secEnd, nil)
+}
+
+// ReadSnapshot decodes a snapshot from r, returning the accumulator state
+// and the options fingerprint it was written under. Failures wrap
+// ErrCorruptCheckpoint (bad magic, CRC mismatch, inconsistent dimensions)
+// or ErrCheckpointVersion (intact bytes from an incompatible version).
+func ReadSnapshot(r io.Reader) (*core.AccumulatorState, uint64, error) {
+	fr := flipReader{r}
+	prologue := make([]byte, 16)
+	if _, err := io.ReadFull(fr, prologue); err != nil {
+		return nil, 0, fdxerr.Corrupt("checkpoint: truncated prologue (%v)", err)
+	}
+	if string(prologue[:8]) != magic {
+		return nil, 0, fdxerr.Corrupt("checkpoint: bad magic %q", prologue[:8])
+	}
+	if v := binary.LittleEndian.Uint32(prologue[8:]); v != version {
+		return nil, 0, fdxerr.Version("checkpoint: format version %d, this build reads %d", v, version)
+	}
+	if flags := binary.LittleEndian.Uint32(prologue[12:]); flags != 0 {
+		// Reserved for future revisions; a flag this build does not know
+		// could change the meaning of everything that follows.
+		return nil, 0, fdxerr.Version("checkpoint: unknown format flags %#x", flags)
+	}
+
+	var (
+		st          *core.AccumulatorState
+		fingerprint uint64
+		seen        = map[uint32]bool{}
+	)
+	for {
+		id, payload, err := readSection(fr)
+		if err != nil {
+			return nil, 0, err
+		}
+		if id == secEnd {
+			if len(payload) != 0 {
+				return nil, 0, fdxerr.Corrupt("checkpoint: end section carries %d bytes", len(payload))
+			}
+			break
+		}
+		if seen[id] {
+			return nil, 0, fdxerr.Corrupt("checkpoint: duplicate section %d", id)
+		}
+		seen[id] = true
+		switch id {
+		case secMeta:
+			st, fingerprint, err = decodeMeta(payload)
+		case secCounts:
+			err = decodeCounts(st, payload)
+		case secSums:
+			err = decodeSums(st, payload)
+		case secOuter:
+			err = decodeOuter(st, payload)
+		default:
+			// Unknown section from a newer minor revision: checksummed
+			// above, skipped here.
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	if st == nil {
+		return nil, 0, fdxerr.Corrupt("checkpoint: missing meta section")
+	}
+	if !seen[secCounts] || !seen[secSums] || !seen[secOuter] {
+		return nil, 0, fdxerr.Corrupt("checkpoint: missing state sections")
+	}
+	return st, fingerprint, nil
+}
+
+// decodeMeta parses the meta section and allocates the state skeleton the
+// remaining sections fill in.
+func decodeMeta(payload []byte) (*core.AccumulatorState, uint64, error) {
+	d := dec{payload}
+	fingerprint, ok1 := d.u64()
+	rows, ok2 := d.u64()
+	batches, ok3 := d.u64()
+	k, ok4 := d.u32()
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return nil, 0, fdxerr.Corrupt("checkpoint: meta section too short")
+	}
+	if k > maxAttrs {
+		return nil, 0, fdxerr.Corrupt("checkpoint: meta claims %d attributes (max %d)", k, maxAttrs)
+	}
+	if rows > 1<<62 || batches > 1<<62 {
+		return nil, 0, fdxerr.Corrupt("checkpoint: meta counters out of range")
+	}
+	st := &core.AccumulatorState{
+		Names:   make([]string, k),
+		Rows:    int(rows),
+		Batches: int(batches),
+	}
+	for i := range st.Names {
+		name, ok := d.str()
+		if !ok {
+			return nil, 0, fdxerr.Corrupt("checkpoint: meta section truncated at attribute %d", i)
+		}
+		st.Names[i] = name
+	}
+	if len(d.buf) != 0 {
+		return nil, 0, fdxerr.Corrupt("checkpoint: meta section has %d trailing bytes", len(d.buf))
+	}
+	return st, fingerprint, nil
+}
+
+func decodeCounts(st *core.AccumulatorState, payload []byte) error {
+	if st == nil {
+		return fdxerr.Corrupt("checkpoint: counts section before meta")
+	}
+	k := len(st.Names)
+	if len(payload) != 8*k {
+		return fdxerr.Corrupt("checkpoint: counts section is %d bytes, want %d", len(payload), 8*k)
+	}
+	d := dec{payload}
+	st.Count = make([]int, k)
+	for s := 0; s < k; s++ {
+		c, _ := d.u64()
+		if c > 1<<62 {
+			return fdxerr.Corrupt("checkpoint: stratum %d count out of range", s)
+		}
+		st.Count[s] = int(c)
+	}
+	return nil
+}
+
+func decodeSums(st *core.AccumulatorState, payload []byte) error {
+	if st == nil {
+		return fdxerr.Corrupt("checkpoint: sums section before meta")
+	}
+	k := len(st.Names)
+	if len(payload) != 8*k*k {
+		return fdxerr.Corrupt("checkpoint: sums section is %d bytes, want %d", len(payload), 8*k*k)
+	}
+	d := dec{payload}
+	st.Sums = make([][]float64, k)
+	for s := 0; s < k; s++ {
+		st.Sums[s] = make([]float64, k)
+		for p := 0; p < k; p++ {
+			st.Sums[s][p], _ = d.f64()
+		}
+	}
+	return nil
+}
+
+func decodeOuter(st *core.AccumulatorState, payload []byte) error {
+	if st == nil {
+		return fdxerr.Corrupt("checkpoint: outer section before meta")
+	}
+	k := len(st.Names)
+	if len(payload) != 8*k*k*k {
+		return fdxerr.Corrupt("checkpoint: outer section is %d bytes, want %d", len(payload), 8*k*k*k)
+	}
+	d := dec{payload}
+	st.Outer = make([]*linalg.Dense, k)
+	for s := 0; s < k; s++ {
+		data := make([]float64, k*k)
+		for i := range data {
+			data[i], _ = d.f64()
+		}
+		st.Outer[s] = linalg.NewDenseData(k, k, data)
+	}
+	return nil
+}

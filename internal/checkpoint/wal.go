@@ -1,0 +1,223 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"fdx/internal/core"
+	"fdx/internal/fdxerr"
+	"fdx/internal/linalg"
+)
+
+// WAL is an append-only log of batch deltas complementing the snapshot: a
+// snapshot captures state up to batch m, the WAL holds every batch after
+// m, and each append is fsynced, so a crash loses at most the one record
+// torn mid-write. A WAL is single-writer; it is not safe for concurrent
+// use.
+type WAL struct {
+	f    *os.File
+	path string
+}
+
+// OpenWAL opens (creating if absent) the WAL at path for appending.
+func OpenWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fdxerr.Corrupt("checkpoint: open wal: %v", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fdxerr.Corrupt("checkpoint: seek wal: %v", err)
+	}
+	return &WAL{f: f, path: path}, nil
+}
+
+// Path returns the WAL's file path.
+func (w *WAL) Path() string { return w.path }
+
+// Append logs one batch delta and fsyncs. On error the record may be torn
+// on disk; a later replay truncates it, so the failed batch is the one at
+// risk, never earlier ones.
+func (w *WAL) Append(d *core.BatchDelta) error {
+	payload, err := encodeDelta(d)
+	if err != nil {
+		return err
+	}
+	var header enc
+	header.u32(uint32(len(payload)))
+	crc := frameCRC(header.buf, payload)
+	frame := make([]byte, 0, len(header.buf)+len(payload)+4)
+	frame = append(frame, header.buf...)
+	frame = append(frame, payload...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc)
+	if err := writeFull(w.f, frame); err != nil {
+		return err
+	}
+	return syncFile(w.f)
+}
+
+// Reset truncates the WAL after a successful snapshot. Skipping a Reset is
+// safe — replay ignores records already covered by the snapshot — it only
+// lets the file grow.
+func (w *WAL) Reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fdxerr.Corrupt("checkpoint: truncate wal: %v", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fdxerr.Corrupt("checkpoint: seek wal: %v", err)
+	}
+	return syncFile(w.f)
+}
+
+// Close closes the WAL file.
+func (w *WAL) Close() error {
+	if err := w.f.Close(); err != nil {
+		return fdxerr.Corrupt("checkpoint: close wal: %v", err)
+	}
+	return nil
+}
+
+// ReplayWAL reads the WAL at path, calling apply for each complete record
+// in order, and truncates a torn tail record in place so later appends
+// continue after the last good one. A missing file replays zero records.
+// Mid-log corruption (a bad record with valid data after it) wraps
+// ErrCorruptCheckpoint; an apply error is returned as-is.
+func ReplayWAL(path string, apply func(*core.BatchDelta) error) (applied int, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fdxerr.Corrupt("checkpoint: open wal: %v", err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(flipReader{f})
+	if err != nil {
+		return 0, fdxerr.Corrupt("checkpoint: read wal: %v", err)
+	}
+
+	off := 0
+	torn := false
+	for off < len(data) {
+		rem := data[off:]
+		if len(rem) < 8 {
+			torn = true
+			break
+		}
+		n := binary.LittleEndian.Uint32(rem)
+		total := 4 + int64(n) + 4
+		if int64(n) > maxSectionLen || total > int64(len(rem)) {
+			// The record claims more bytes than exist: a tail torn while
+			// (or before) its payload was being written.
+			torn = true
+			break
+		}
+		frame := rem[:4+n]
+		want := binary.LittleEndian.Uint32(rem[4+n:])
+		if frameCRC(frame[:4], frame[4:]) != want {
+			if int(total) == len(rem) {
+				// Full-length final record with a bad sum: torn mid-write
+				// with stale bytes beyond the tear.
+				torn = true
+				break
+			}
+			return applied, fdxerr.Corrupt("checkpoint: wal record at offset %d fails its checksum with %d live bytes after it", off, len(rem)-int(total))
+		}
+		d, derr := decodeDelta(frame[4:])
+		if derr != nil {
+			return applied, fmt.Errorf("checkpoint: wal record at offset %d: %w", off, derr)
+		}
+		if aerr := apply(d); aerr != nil {
+			return applied, aerr
+		}
+		applied++
+		off += int(total)
+	}
+	if torn {
+		if err := f.Truncate(int64(off)); err != nil {
+			return applied, fdxerr.Corrupt("checkpoint: truncate torn wal tail: %v", err)
+		}
+		if err := syncFile(f); err != nil {
+			return applied, err
+		}
+	}
+	return applied, nil
+}
+
+// encodeDelta serializes a batch delta as a WAL record payload: seq, rows,
+// k, then the per-stratum sums and outer-product sums.
+func encodeDelta(d *core.BatchDelta) ([]byte, error) {
+	if d == nil {
+		return nil, fdxerr.BadInput("checkpoint: nil batch delta")
+	}
+	k := len(d.Sums)
+	if k > maxAttrs {
+		return nil, fdxerr.BadInput("checkpoint: delta has %d strata, format limit %d", k, maxAttrs)
+	}
+	var e enc
+	e.u64(uint64(d.Seq))
+	e.u64(uint64(d.Rows))
+	e.u32(uint32(k))
+	for _, stratum := range d.Sums {
+		if len(stratum) != k {
+			return nil, fdxerr.BadInput("checkpoint: delta stratum has %d sums, want %d", len(stratum), k)
+		}
+		for _, v := range stratum {
+			e.f64(v)
+		}
+	}
+	if len(d.Outer) != k {
+		return nil, fdxerr.BadInput("checkpoint: delta has %d outer strata, want %d", len(d.Outer), k)
+	}
+	for _, m := range d.Outer {
+		if r, c := m.Dims(); r != k || c != k {
+			return nil, fdxerr.BadInput("checkpoint: delta outer is %dx%d, want %dx%d", r, c, k, k)
+		}
+		for _, v := range m.Data() {
+			e.f64(v)
+		}
+	}
+	return e.buf, nil
+}
+
+// decodeDelta parses a WAL record payload. Structural failures wrap
+// ErrCorruptCheckpoint: the payload already passed its CRC, so a
+// malformed layout means the bytes never came from encodeDelta.
+func decodeDelta(payload []byte) (*core.BatchDelta, error) {
+	d := dec{payload}
+	seq, ok1 := d.u64()
+	rows, ok2 := d.u64()
+	k32, ok3 := d.u32()
+	if !ok1 || !ok2 || !ok3 {
+		return nil, fdxerr.Corrupt("checkpoint: wal record too short")
+	}
+	if k32 > maxAttrs || seq > 1<<62 || rows > 1<<62 {
+		return nil, fdxerr.Corrupt("checkpoint: wal record fields out of range")
+	}
+	k := int(k32)
+	if len(d.buf) != 8*(k*k+k*k*k) {
+		return nil, fdxerr.Corrupt("checkpoint: wal record body is %d bytes, want %d", len(d.buf), 8*(k*k+k*k*k))
+	}
+	out := &core.BatchDelta{
+		Seq:   int(seq),
+		Rows:  int(rows),
+		Sums:  make([][]float64, k),
+		Outer: make([]*linalg.Dense, k),
+	}
+	for s := 0; s < k; s++ {
+		out.Sums[s] = make([]float64, k)
+		for p := 0; p < k; p++ {
+			out.Sums[s][p], _ = d.f64()
+		}
+	}
+	for s := 0; s < k; s++ {
+		data := make([]float64, k*k)
+		for i := range data {
+			data[i], _ = d.f64()
+		}
+		out.Outer[s] = linalg.NewDenseData(k, k, data)
+	}
+	return out, nil
+}

@@ -57,36 +57,66 @@ func (a *Accumulator) Rows() int { return a.rows }
 // Batches returns the number of Add calls absorbed.
 func (a *Accumulator) Batches() int { return a.batches }
 
+// BatchDelta is the statistics contribution of one absorbed batch — the
+// unit the durable-streaming WAL (internal/checkpoint) logs and replays.
+// Applying a snapshot's state and then each logged delta in sequence
+// reproduces the accumulator bit-for-bit, because Absorb folds the live
+// batch through the identical ApplyDelta path.
+type BatchDelta struct {
+	// Seq is the accumulator's batch count after applying this delta
+	// (1-based); deltas apply strictly in sequence.
+	Seq int
+	// Rows is the batch's tuple count (added to every stratum's count).
+	Rows int
+	// Sums[s] is the batch's per-stratum sum of transformed sample rows.
+	Sums [][]float64
+	// Outer[s] is the batch's per-stratum sum of outer products.
+	Outer []*linalg.Dense
+}
+
 // Add transforms one batch of tuples and folds its statistics in. The
 // batch must have the accumulator's schema (same attribute names, in
 // order) and at least two rows (a single row forms no pairs).
+func (a *Accumulator) Add(rel *dataset.Relation) error {
+	_, err := a.Absorb(rel)
+	return err
+}
+
+// Absorb is Add returning the batch's statistics delta, so durable callers
+// can log exactly what was folded in and replay it after a crash.
 // (fdx:numeric-kernel: the exact-zero test is a sparsity fast path over the
 // mostly-zero pair-transform samples.)
-func (a *Accumulator) Add(rel *dataset.Relation) error {
+func (a *Accumulator) Absorb(rel *dataset.Relation) (*BatchDelta, error) {
 	if rel == nil {
-		return fdxerr.BadInput("core: nil batch")
+		return nil, fdxerr.BadInput("core: nil batch")
 	}
 	k := len(a.names)
 	if rel.NumCols() != k {
-		return fdxerr.BadInput("core: batch has %d attributes, accumulator has %d", rel.NumCols(), k)
+		return nil, fdxerr.BadInput("core: batch has %d attributes, accumulator has %d", rel.NumCols(), k)
 	}
 	for i, n := range rel.AttrNames() {
 		if n != a.names[i] {
-			return fdxerr.BadInput("core: batch attribute %d is %q, want %q", i, n, a.names[i])
+			return nil, fdxerr.BadInput("core: batch attribute %d is %q, want %q", i, n, a.names[i])
 		}
 	}
 	n := rel.NumRows()
 	if n < 2 {
-		return fdxerr.BadInput("core: batch needs at least 2 rows, got %d", n)
+		return nil, fdxerr.BadInput("core: batch needs at least 2 rows, got %d", n)
 	}
 	topts := a.opts.Transform
 	topts.Seed = a.opts.Seed + int64(a.batches)
 	dt := Transform(rel, topts)
-	// Fold per-stratum moments: stratum s is rows [s·n, (s+1)·n).
+	d := &BatchDelta{
+		Seq:   a.batches + 1,
+		Rows:  n,
+		Sums:  make([][]float64, k),
+		Outer: make([]*linalg.Dense, k),
+	}
+	// Per-stratum moments of this batch alone: stratum s is transformed
+	// rows [s·n, (s+1)·n).
 	for s := 0; s < k; s++ {
-		cnt := a.count[s]
-		sums := a.sums[s]
-		out := a.outer[s]
+		sums := make([]float64, k)
+		out := linalg.NewDense(k, k)
 		for i := 0; i < n; i++ {
 			row := dt.Row(s*n + i)
 			for p := 0; p < k; p++ {
@@ -101,11 +131,126 @@ func (a *Accumulator) Add(rel *dataset.Relation) error {
 				}
 			}
 		}
-		a.count[s] = cnt + n
+		d.Sums[s] = sums
+		d.Outer[s] = out
 	}
-	a.rows += n
+	if err := a.ApplyDelta(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ApplyDelta folds a batch's statistics delta into the running sums — the
+// WAL replay path. The delta must be the next one in sequence (Seq equal
+// to Batches()+1) and match the accumulator's dimensionality.
+func (a *Accumulator) ApplyDelta(d *BatchDelta) error {
+	k := len(a.names)
+	if d == nil {
+		return fdxerr.BadInput("core: nil batch delta")
+	}
+	if d.Seq != a.batches+1 {
+		return fdxerr.BadInput("core: batch delta seq %d, accumulator expects %d", d.Seq, a.batches+1)
+	}
+	if d.Rows < 2 {
+		return fdxerr.BadInput("core: batch delta covers %d rows, need at least 2", d.Rows)
+	}
+	if len(d.Sums) != k || len(d.Outer) != k {
+		return fdxerr.BadInput("core: batch delta has %d/%d strata, accumulator has %d", len(d.Sums), len(d.Outer), k)
+	}
+	for s := 0; s < k; s++ {
+		if len(d.Sums[s]) != k {
+			return fdxerr.BadInput("core: batch delta stratum %d has %d sums, want %d", s, len(d.Sums[s]), k)
+		}
+		if d.Outer[s] == nil {
+			return fdxerr.BadInput("core: batch delta stratum %d has nil outer product", s)
+		}
+		if r, c := d.Outer[s].Dims(); r != k || c != k {
+			return fdxerr.BadInput("core: batch delta stratum %d outer is %dx%d, want %dx%d", s, r, c, k, k)
+		}
+	}
+	for s := 0; s < k; s++ {
+		a.count[s] += d.Rows
+		sums := a.sums[s]
+		for p, v := range d.Sums[s] {
+			sums[p] += v
+		}
+		dst := a.outer[s].Data()
+		for i, v := range d.Outer[s].Data() {
+			dst[i] += v
+		}
+	}
+	a.rows += d.Rows
 	a.batches++
 	return nil
+}
+
+// AccumulatorState is the complete serializable state of an Accumulator —
+// everything a snapshot must capture so a restored accumulator continues
+// the stream bit-for-bit.
+type AccumulatorState struct {
+	Names   []string
+	Rows    int
+	Batches int
+	Count   []int
+	Sums    [][]float64
+	Outer   []*linalg.Dense
+}
+
+// State returns a deep copy of the accumulator's serializable state.
+func (a *Accumulator) State() *AccumulatorState {
+	k := len(a.names)
+	st := &AccumulatorState{
+		Names:   append([]string(nil), a.names...),
+		Rows:    a.rows,
+		Batches: a.batches,
+		Count:   append([]int(nil), a.count...),
+		Sums:    make([][]float64, k),
+		Outer:   make([]*linalg.Dense, k),
+	}
+	for s := 0; s < k; s++ {
+		st.Sums[s] = append([]float64(nil), a.sums[s]...)
+		st.Outer[s] = a.outer[s].Clone()
+	}
+	return st
+}
+
+// Options returns a copy of the accumulator's pipeline configuration.
+func (a *Accumulator) Options() Options { return a.opts }
+
+// NewAccumulatorFromState reconstructs an accumulator from a snapshot
+// state, validating its internal consistency. The state is deep-copied.
+func NewAccumulatorFromState(st *AccumulatorState, opts Options) (*Accumulator, error) {
+	if st == nil {
+		return nil, fdxerr.BadInput("core: nil accumulator state")
+	}
+	k := len(st.Names)
+	if st.Rows < 0 || st.Batches < 0 || (st.Rows > 0 && st.Batches == 0) || (st.Batches > 0 && st.Rows < 2*st.Batches) {
+		return nil, fdxerr.BadInput("core: state has impossible counters rows=%d batches=%d", st.Rows, st.Batches)
+	}
+	if len(st.Count) != k || len(st.Sums) != k || len(st.Outer) != k {
+		return nil, fdxerr.BadInput("core: state has %d/%d/%d strata, want %d", len(st.Count), len(st.Sums), len(st.Outer), k)
+	}
+	a := NewAccumulator(st.Names, opts)
+	for s := 0; s < k; s++ {
+		if st.Count[s] < 0 || st.Count[s] > st.Rows {
+			return nil, fdxerr.BadInput("core: state stratum %d count %d out of range [0, %d]", s, st.Count[s], st.Rows)
+		}
+		if len(st.Sums[s]) != k {
+			return nil, fdxerr.BadInput("core: state stratum %d has %d sums, want %d", s, len(st.Sums[s]), k)
+		}
+		if st.Outer[s] == nil {
+			return nil, fdxerr.BadInput("core: state stratum %d has nil outer product", s)
+		}
+		if r, c := st.Outer[s].Dims(); r != k || c != k {
+			return nil, fdxerr.BadInput("core: state stratum %d outer is %dx%d, want %dx%d", s, r, c, k, k)
+		}
+		a.count[s] = st.Count[s]
+		copy(a.sums[s], st.Sums[s])
+		copy(a.outer[s].Data(), st.Outer[s].Data())
+	}
+	a.rows = st.Rows
+	a.batches = st.Batches
+	return a, nil
 }
 
 // Covariance returns the pooled per-stratum covariance estimate built from

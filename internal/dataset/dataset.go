@@ -275,6 +275,27 @@ func (r *Relation) MissingRate() float64 {
 	return float64(miss) / float64(total)
 }
 
+// Slice returns rows [lo, hi) as a new relation sharing no storage with r,
+// preserving column names, types, dictionaries, and numeric values.
+// Panics if the range is out of bounds or inverted.
+func (r *Relation) Slice(lo, hi int) *Relation {
+	if lo < 0 || hi < lo || hi > r.NumRows() {
+		panic(fmt.Sprintf("dataset: Slice [%d, %d) out of range for %d rows", lo, hi, r.NumRows()))
+	}
+	out := &Relation{Name: r.Name}
+	for _, c := range r.Columns {
+		nc := NewColumn(c.Name, c.Type)
+		nc.codes = append([]int32(nil), c.codes[lo:hi]...)
+		nc.dict = append([]string(nil), c.dict...)
+		nc.nums = append([]float64(nil), c.nums...)
+		for v, code := range c.index {
+			nc.index[v] = code
+		}
+		out.Columns = append(out.Columns, nc)
+	}
+	return out
+}
+
 // Project returns a new relation containing only the given column indices
 // (sharing no storage with r).
 func (r *Relation) Project(cols ...int) *Relation {

@@ -46,6 +46,18 @@ const (
 	// InternalPanic raises a panic inside the discovery core, exercising
 	// the panic-recovery guard at the public API boundary.
 	InternalPanic
+	// ShortWrite makes a checkpoint write emit only half its bytes and
+	// report an error, exercising the durable write path.
+	ShortWrite
+	// FsyncError makes a checkpoint fsync (file or directory) fail,
+	// exercising the durability error path.
+	FsyncError
+	// ReadBitFlip flips one bit in a checkpoint read buffer, exercising
+	// the CRC validation on restore.
+	ReadBitFlip
+	// RenameFail makes the atomic rename of a finished snapshot fail,
+	// exercising temp-file cleanup and the durability error path.
+	RenameFail
 
 	numPoints
 )
@@ -63,6 +75,14 @@ func (p Point) String() string {
 		return "slow-stage"
 	case InternalPanic:
 		return "internal-panic"
+	case ShortWrite:
+		return "short-write"
+	case FsyncError:
+		return "fsync-error"
+	case ReadBitFlip:
+		return "read-bit-flip"
+	case RenameFail:
+		return "rename-fail"
 	default:
 		return "unknown"
 	}

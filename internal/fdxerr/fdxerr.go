@@ -29,6 +29,14 @@
 //   - ErrInternal: an internal invariant panic was recovered at the public
 //     API boundary and converted into an error. Always a bug in fdx, never
 //     in the caller's data; the wrapped message carries the panic value.
+//   - ErrCorruptCheckpoint: a durable snapshot or WAL failed validation
+//     (bad magic, CRC mismatch, impossible dimensions, mid-log torn record)
+//     or could not be durably written (short write, failed fsync or
+//     rename). The in-memory state is still good; the on-disk checkpoint
+//     must not be trusted.
+//   - ErrCheckpointVersion: a checkpoint was written by an incompatible
+//     format version. The bytes are intact but this build cannot interpret
+//     them; re-snapshot from a live accumulator or upgrade the reader.
 package fdxerr
 
 import (
@@ -45,11 +53,23 @@ var (
 	ErrNotConverged       = errors.New("solver did not converge")
 	ErrCancelled          = errors.New("cancelled")
 	ErrInternal           = errors.New("internal invariant violation")
+	ErrCorruptCheckpoint  = errors.New("corrupt checkpoint")
+	ErrCheckpointVersion  = errors.New("unsupported checkpoint version")
 )
 
 // BadInput wraps ErrBadInput with a formatted message.
 func BadInput(format string, args ...any) error {
 	return fmt.Errorf(format+": %w", append(args, ErrBadInput)...)
+}
+
+// Corrupt wraps ErrCorruptCheckpoint with a formatted message.
+func Corrupt(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrCorruptCheckpoint)...)
+}
+
+// Version wraps ErrCheckpointVersion with a formatted message.
+func Version(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrCheckpointVersion)...)
 }
 
 // Cancelled wraps a context error so the result matches both ErrCancelled
