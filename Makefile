@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint test-race test-faults test-crash fuzz bench experiments fast-experiments fmt loc
+.PHONY: all build test vet lint test-race test-faults test-crash fuzz bench bench-obs experiments fast-experiments fmt loc
 
 all: build vet lint test
 
@@ -21,7 +21,7 @@ lint:
 # covariance (internal/core, internal/stats), the experiment harness's timed
 # goroutines, and the root streaming API.
 test-race:
-	$(GO) test -race ./internal/core ./internal/stats ./internal/experiments .
+	$(GO) test -race ./internal/core ./internal/stats ./internal/experiments ./internal/obs .
 
 # Fault-injection suite: every TestFault* test arms internal/faults points
 # (poisoned covariance, forced non-convergence, bad pivots, slow stages,
@@ -41,6 +41,12 @@ test-crash:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDiscover -fuzztime 30s .
 	$(GO) test -run '^$$' -fuzz FuzzLoadCheckpoint -fuzztime 30s .
+
+# Telemetry micro-benchmarks plus the end-to-end overhead gate: a Discover
+# with live tracer+metrics must stay within 2% of a nil-sink run.
+bench-obs:
+	$(GO) test -run '^$$' -bench Obs -benchmem ./internal/obs
+	FDX_OBS_OVERHEAD=1 $(GO) test -run TestObsOverhead -v .
 
 # One testing.B benchmark per paper table/figure (reduced scale), plus the
 # checkpoint streaming benchmark (BENCH_stream.json).

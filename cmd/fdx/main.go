@@ -31,9 +31,11 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"fdx"
 	"fdx/internal/core"
+	"fdx/internal/obs"
 	"fdx/internal/profile"
 )
 
@@ -100,12 +102,17 @@ func runDiscover(args []string) int {
 		textSim   = fs.Bool("text-similarity", false, "use 3-gram similarity for text columns")
 		numTol    = fs.Float64("numeric-tol", 0, "relative tolerance for numeric equality")
 	)
+	tflags := addTelemetryFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: fdx [flags] data.csv")
 		fmt.Fprintln(os.Stderr, "       fdx stream -checkpoint state.fdx [flags] data.csv")
 		fs.PrintDefaults()
 		return 2
+	}
+	tel, err := tflags.setup()
+	if err != nil {
+		return fail(err)
 	}
 	rel, err := loadRelation(fs.Arg(0))
 	if err != nil {
@@ -117,14 +124,18 @@ func runDiscover(args []string) int {
 			Threshold: *threshold,
 			Ordering:  *ordering,
 			Seed:      *seed,
+			Obs:       obs.Hooks{Tracer: tel.tracer, Metrics: tel.metrics},
 		}})
 		if err != nil {
 			return fail(err)
 		}
 		fmt.Print(rep.String())
+		if err := tel.finish(); err != nil {
+			return fail(err)
+		}
 		return 0
 	}
-	res, err := fdx.Discover(rel, fdx.Options{
+	dopts := fdx.Options{
 		Lambda:           *lambda,
 		Threshold:        *threshold,
 		Ordering:         *ordering,
@@ -132,7 +143,9 @@ func runDiscover(args []string) int {
 		Seed:             *seed,
 		TextSimilarity:   *textSim,
 		NumericTolerance: *numTol,
-	})
+	}
+	tel.apply(&dopts)
+	res, err := fdx.Discover(rel, dopts)
 	if err != nil {
 		return fail(err)
 	}
@@ -165,28 +178,37 @@ func runDiscover(args []string) int {
 				tb.Name, strings.Join(tb.Attributes, ", "), strings.Join(tb.Key, ", "))
 		}
 	}
+	if err := tel.finish(); err != nil {
+		return fail(err)
+	}
 	return 0
 }
 
 func runStream(args []string) int {
 	fs := flag.NewFlagSet("fdx stream", flag.ExitOnError)
 	var (
-		ckpt      = fs.String("checkpoint", "", "checkpoint file path (required); the WAL lives at this path + \".wal\"")
-		every     = fs.Int("every", 16, "durably snapshot every N batches")
-		batchRows = fs.Int("batch", 512, "rows per accumulator batch")
-		lambda    = fs.Float64("lambda", 0, "graphical lasso sparsity penalty")
-		threshold = fs.Float64("threshold", 0, "minimum |B| coefficient for an FD edge (0 = default 0.2)")
-		ordering  = fs.String("ordering", "", "column ordering: heuristic|natural|amd|colamd|metis|nesdis|reverse|random")
-		seed      = fs.Int64("seed", 0, "random seed for the transform shuffle (must match across resumes)")
-		heatmap   = fs.Bool("heatmap", false, "print the autoregression matrix heatmap")
-		textSim   = fs.Bool("text-similarity", false, "use 3-gram similarity for text columns (must match across resumes)")
-		numTol    = fs.Float64("numeric-tol", 0, "relative tolerance for numeric equality (must match across resumes)")
+		ckpt       = fs.String("checkpoint", "", "checkpoint file path (required); the WAL lives at this path + \".wal\"")
+		every      = fs.Int("every", 16, "durably snapshot every N batches")
+		batchRows  = fs.Int("batch", 512, "rows per accumulator batch")
+		lambda     = fs.Float64("lambda", 0, "graphical lasso sparsity penalty")
+		threshold  = fs.Float64("threshold", 0, "minimum |B| coefficient for an FD edge (0 = default 0.2)")
+		ordering   = fs.String("ordering", "", "column ordering: heuristic|natural|amd|colamd|metis|nesdis|reverse|random")
+		seed       = fs.Int64("seed", 0, "random seed for the transform shuffle (must match across resumes)")
+		heatmap    = fs.Bool("heatmap", false, "print the autoregression matrix heatmap")
+		textSim    = fs.Bool("text-similarity", false, "use 3-gram similarity for text columns (must match across resumes)")
+		numTol     = fs.Float64("numeric-tol", 0, "relative tolerance for numeric equality (must match across resumes)")
+		batchDelay = fs.Duration("batch-delay", 0, "sleep this long after each batch (throttle for live inspection)")
 	)
+	tflags := addTelemetryFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 || *ckpt == "" || *every < 1 || *batchRows < 2 {
 		fmt.Fprintln(os.Stderr, "usage: fdx stream -checkpoint state.fdx [-every N] [-batch B] [flags] data.csv")
 		fs.PrintDefaults()
 		return 2
+	}
+	tel, err := tflags.setup()
+	if err != nil {
+		return fail(err)
 	}
 	opts := fdx.Options{
 		Lambda:           *lambda,
@@ -196,6 +218,7 @@ func runStream(args []string) int {
 		TextSimilarity:   *textSim,
 		NumericTolerance: *numTol,
 	}
+	tel.apply(&opts)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -243,6 +266,7 @@ func runStream(args []string) int {
 			acc.Batches(), fs.Arg(0), total, *batchRows, fdx.ErrBadInput))
 	}
 	sinceSave := 0
+	loopStart := time.Now()
 	for i := acc.Batches(); i < total; i++ {
 		if cerr := ctx.Err(); cerr != nil {
 			return fail(fmt.Errorf("stream interrupted after %d/%d batches: %w: %w", i, total, fdx.ErrCancelled, cerr))
@@ -254,6 +278,14 @@ func runStream(args []string) int {
 		}
 		if err := acc.AddLogged(rel.Slice(lo, hi), wal); err != nil {
 			return fail(err)
+		}
+		if tel.verbose {
+			rate := float64(tel.rowsAbsorbed()) / time.Since(loopStart).Seconds()
+			fmt.Fprintf(os.Stderr, "fdx: batch %d/%d  %d rows absorbed  %.0f rows/s  %d sweeps\n",
+				i+1, total, acc.Rows(), rate, tel.sweeps())
+		}
+		if *batchDelay > 0 {
+			time.Sleep(*batchDelay)
 		}
 		if sinceSave++; sinceSave == *every {
 			if err := saveAndReset(acc, *ckpt, wal); err != nil {
@@ -270,6 +302,9 @@ func runStream(args []string) int {
 	if err != nil {
 		return fail(err)
 	}
+	if tel.verbose {
+		fmt.Fprintf(os.Stderr, "fdx: discover done: %d glasso sweeps total\n", tel.sweeps())
+	}
 	fmt.Printf("%s: %d rows in %d batches, %d attributes, %d FDs (model %v)\n\n",
 		rel.Name, acc.Rows(), acc.Batches(), rel.NumCols(), len(res.FDs),
 		res.ModelDuration.Round(1e6))
@@ -279,6 +314,9 @@ func runStream(args []string) int {
 	if *heatmap {
 		fmt.Println()
 		fmt.Print(res.Heatmap())
+	}
+	if err := tel.finish(); err != nil {
+		return fail(err)
 	}
 	return 0
 }

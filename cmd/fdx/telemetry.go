@@ -1,0 +1,116 @@
+package main
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"os"
+
+	"fdx"
+	"fdx/internal/obs"
+)
+
+// telemetryFlags is the observability flag block shared by both
+// subcommands.
+type telemetryFlags struct {
+	tracePath   *string
+	traceMem    *bool
+	metricsAddr *string
+	verbose     *bool
+}
+
+func addTelemetryFlags(fs *flag.FlagSet) *telemetryFlags {
+	return &telemetryFlags{
+		tracePath:   fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto)"),
+		traceMem:    fs.Bool("trace-mem", false, "sample per-span allocation deltas into the trace (implies -trace sinks; slower)"),
+		metricsAddr: fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)"),
+		verbose:     fs.Bool("v", false, "print live progress and a stage summary to stderr"),
+	}
+}
+
+// telemetry holds the sinks built from the flags. tracer and metrics are
+// nil when the corresponding flags are off; the library treats nil sinks
+// as zero-overhead no-ops.
+type telemetry struct {
+	tracer    *fdx.Tracer
+	metrics   *fdx.Metrics
+	tracePath string
+	verbose   bool
+}
+
+// setup builds the sinks and starts the metrics server if requested.
+func (tf *telemetryFlags) setup() (*telemetry, error) {
+	t := &telemetry{tracePath: *tf.tracePath, verbose: *tf.verbose}
+	if t.tracePath != "" || *tf.traceMem || t.verbose {
+		t.tracer = fdx.NewTracer()
+		t.tracer.SetMemSampling(*tf.traceMem)
+	}
+	if *tf.metricsAddr != "" || t.verbose {
+		t.metrics = fdx.NewMetrics()
+	}
+	if addr := *tf.metricsAddr; addr != "" {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("metrics listener: %w: %w", err, fdx.ErrBadInput)
+		}
+		expvar.Publish("fdx", t.metrics)
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			t.metrics.WritePrometheus(w)
+		})
+		// Tests (and humans scripting around :0) parse this line to learn
+		// the bound address.
+		fmt.Fprintf(os.Stderr, "fdx: metrics listening on %s\n", ln.Addr())
+		go http.Serve(ln, nil)
+	}
+	return t, nil
+}
+
+// apply threads the sinks into discovery options.
+func (t *telemetry) apply(opts *fdx.Options) {
+	opts.Tracer = t.tracer
+	opts.Metrics = t.metrics
+}
+
+// finish writes the trace file (-trace) and the stage summary (-v) after
+// the run completes.
+func (t *telemetry) finish() error {
+	if t.verbose && t.tracer != nil {
+		fmt.Fprint(os.Stderr, t.tracer.Summary())
+	}
+	if t.tracePath == "" {
+		return nil
+	}
+	f, err := os.Create(t.tracePath)
+	if err != nil {
+		return fmt.Errorf("trace file: %w: %w", err, fdx.ErrBadInput)
+	}
+	if err := t.tracer.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close trace: %w", err)
+	}
+	if t.verbose {
+		fmt.Fprintf(os.Stderr, "fdx: trace written to %s\n", t.tracePath)
+	}
+	return nil
+}
+
+// counter reads a registry counter by name (0 when metrics are off).
+func (t *telemetry) counter(name string) uint64 {
+	if t.metrics == nil {
+		return 0
+	}
+	return t.metrics.Counter(name).Value()
+}
+
+// sweeps returns the cumulative glasso sweep count.
+func (t *telemetry) sweeps() uint64 { return t.counter(obs.MGlassoSweeps) }
+
+// rowsAbsorbed returns the cumulative absorbed-row count.
+func (t *telemetry) rowsAbsorbed() uint64 { return t.counter(obs.MRowsAbsorbed) }

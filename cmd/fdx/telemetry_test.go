@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// traceDoc mirrors the Chrome trace-event file layout for decoding.
+type traceDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+// TestTraceFlagWritesValidTraceJSON runs discovery with -trace and checks
+// the emitted file is a parseable Chrome trace covering the pipeline
+// stages.
+func TestTraceFlagWritesValidTraceJSON(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "out.json")
+	stdout, stderr, code := run(t, "-trace", tracePath, csvPath)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s%s", code, stdout, stderr)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	seen := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q has phase %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Ts < 0 || ev.Dur < 0 {
+			t.Errorf("event %q has negative ts/dur (%v/%v)", ev.Name, ev.Ts, ev.Dur)
+		}
+		seen[ev.Name] = true
+	}
+	for _, stage := range []string{"discover", "transform", "covariance", "glasso", "generate"} {
+		if !seen[stage] {
+			t.Errorf("trace has no %q span; got %v", stage, seen)
+		}
+	}
+}
+
+// TestMetricsEndpointDuringStream starts a throttled stream run with a
+// live metrics listener and scrapes /metrics while batches are still being
+// absorbed: the rows-absorbed counter must be present and growing.
+func TestMetricsEndpointDuringStream(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "state.fdx")
+	cmd := exec.Command(binPath, "stream",
+		"-checkpoint", ckpt, "-batch", "50", "-batch-delay", "40ms",
+		"-metrics-addr", "127.0.0.1:0", csvPath)
+	stderrPipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The binary prints its bound address before absorbing any batches.
+	addrCh := make(chan string, 1)
+	var stderrTail strings.Builder
+	go func() {
+		sc := bufio.NewScanner(stderrPipe)
+		for sc.Scan() {
+			line := sc.Text()
+			stderrTail.WriteString(line + "\n")
+			if rest, ok := strings.CutPrefix(line, "fdx: metrics listening on "); ok {
+				addrCh <- strings.TrimSpace(rest)
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("no listener line on stderr:\n%s", stderrTail.String())
+	}
+
+	scrape := func(path string) (string, error) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		return string(body), nil
+	}
+
+	// Poll /metrics while the run is live (the 40ms/batch throttle keeps it
+	// running for well over a second).
+	deadline := time.Now().Add(10 * time.Second)
+	var got string
+	for time.Now().Before(deadline) {
+		body, err := scrape("/metrics")
+		if err == nil && strings.Contains(body, "fdx_rows_absorbed_total") &&
+			!strings.Contains(body, "fdx_rows_absorbed_total 0\n") {
+			got = body
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if got == "" {
+		t.Fatalf("never scraped a live fdx_rows_absorbed_total from /metrics")
+	}
+	if !strings.Contains(got, "fdx_wal_records_total") {
+		t.Errorf("/metrics is missing the WAL counter:\n%s", got)
+	}
+	if body, err := scrape("/debug/vars"); err != nil {
+		t.Errorf("/debug/vars: %v", err)
+	} else if !strings.Contains(body, "\"fdx\"") {
+		t.Errorf("/debug/vars does not publish the fdx registry:\n%.400s", body)
+	}
+
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("stream run failed: %v\n%s", err, stderrTail.String())
+	}
+}
+
+// TestVerboseStreamProgress checks -v emits per-batch progress lines and a
+// stage summary.
+func TestVerboseStreamProgress(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "state.fdx")
+	stdout, stderr, code := run(t, "stream", "-checkpoint", ckpt, "-batch", "100", "-v", csvPath)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "rows/s") {
+		t.Errorf("-v printed no progress lines; stderr:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "batch 1/6") {
+		t.Errorf("-v progress lacks batch counters; stderr:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "discover") {
+		t.Errorf("-v printed no stage summary; stderr:\n%s", stderr)
+	}
+}

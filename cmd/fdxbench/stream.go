@@ -23,6 +23,10 @@ type streamReport struct {
 	SnapshotBytes    int64   `json:"snapshot_bytes"`
 	SnapshotMillis   float64 `json:"snapshot_ms"`
 	RestoreMillis    float64 `json:"restore_ms"`
+	DiscoverMillis   float64 `json:"discover_ms"`
+	// StageMillis breaks the discover run into its traced pipeline stages
+	// (covariance, fit, order-search, generate, ...).
+	StageMillis map[string]float64 `json:"stage_ms"`
 }
 
 // runStreamBench measures the checkpoint subsystem end to end — in-memory
@@ -106,6 +110,9 @@ func runStreamBench(outPath string, seed int64, fast bool) int {
 		return 1
 	}
 
+	// Telemetry never changes results, so the tracer rides the same options
+	// (it is excluded from the checkpoint fingerprint).
+	opts.Tracer = fdx.NewTracer()
 	t0 = time.Now()
 	restored, err := fdx.LoadCheckpoint(ckpt, opts)
 	if err != nil {
@@ -118,6 +125,18 @@ func runStreamBench(outPath string, seed int64, fast bool) int {
 		return 1
 	}
 
+	t0 = time.Now()
+	res, err := restored.Discover()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdxbench:", err)
+		return 1
+	}
+	discoverMs := float64(time.Since(t0).Microseconds()) / 1e3
+	stageMs := make(map[string]float64, len(res.StageTimings))
+	for _, st := range res.StageTimings {
+		stageMs[st.Stage] = float64(st.Duration.Microseconds()) / 1e3
+	}
+
 	rep := streamReport{
 		Rows:             total * batchRows,
 		Attributes:       rel.NumCols(),
@@ -128,6 +147,8 @@ func runStreamBench(outPath string, seed int64, fast bool) int {
 		SnapshotBytes:    info.Size(),
 		SnapshotMillis:   float64(snapTotal.Microseconds()) / 1e3 / float64(saves),
 		RestoreMillis:    restoreMs,
+		DiscoverMillis:   discoverMs,
+		StageMillis:      stageMs,
 	}
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

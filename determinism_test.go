@@ -66,3 +66,20 @@ func TestDiscoverDeterministicParallel(t *testing.T) {
 	s1, _ := discoverTwice(t, fdx.Options{Seed: 7, Workers: 1})
 	assertIdentical(t, s1, p1)
 }
+
+// TestDiscoverDeterministicWithTelemetry checks that attaching a tracer and
+// metrics registry changes nothing about the results: same FD list
+// (element-wise) and bit-identical B as a bare run, with both the parallel
+// and the sequential transform.
+func TestDiscoverDeterministicWithTelemetry(t *testing.T) {
+	for _, workers := range []int{4, 1} {
+		bare, _ := discoverTwice(t, fdx.Options{Seed: 7, Workers: workers})
+		traced, _ := discoverTwice(t, fdx.Options{
+			Seed:    7,
+			Workers: workers,
+			Tracer:  fdx.NewTracer(),
+			Metrics: fdx.NewMetrics(),
+		})
+		assertIdentical(t, bare, traced)
+	}
+}

@@ -30,6 +30,7 @@ import (
 
 	"fdx/internal/core"
 	"fdx/internal/dataset"
+	"fdx/internal/obs"
 )
 
 // Relation is a typed table with named attributes and explicit missing
@@ -105,7 +106,41 @@ type Options struct {
 	// ErrNotConverged failure. By default such an estimate is accepted as
 	// a degraded result with Diagnostics.GlassoConverged == false.
 	RequireConvergence bool
+	// Tracer, when non-nil, records a span tree of the run — every
+	// pipeline stage, each transform worker, each glasso sweep and ladder
+	// rung — exportable as Chrome trace-event JSON (Tracer.WriteJSON,
+	// loadable in Perfetto) or a text summary (Tracer.Summary). Telemetry
+	// never changes results: FDs and B are identical with or without it.
+	Tracer *Tracer
+	// Metrics, when non-nil, receives run counters (rows absorbed, glasso
+	// sweeps, fallback escalations, ...) and per-stage latency
+	// histograms, exportable in Prometheus text format or via expvar.
+	Metrics *Metrics
 }
+
+// Tracer collects nestable timing spans from an instrumented run; create
+// one with NewTracer and attach it via Options.Tracer. See internal/obs
+// for the span API.
+type Tracer = obs.Tracer
+
+// NewTracer returns an empty tracer whose trace clock starts now.
+func NewTracer() *Tracer { return obs.New() }
+
+// Span is one timed region of a trace, returned by Tracer.Find/Spans.
+type Span = obs.Span
+
+// Metrics is a concurrent registry of counters, gauges, and fixed-bucket
+// histograms; create one with NewMetrics and attach it via
+// Options.Metrics. It implements expvar.Var and writes Prometheus text
+// format via WritePrometheus. See internal/obs for metric names.
+type Metrics = obs.Registry
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// StageTiming is the aggregated duration of one pipeline stage in
+// Result.StageTimings.
+type StageTiming = obs.StageTiming
 
 // Result is the outcome of discovery.
 type Result struct {
@@ -128,6 +163,10 @@ type Result struct {
 	// and attributes whose statistics were sanitized. Check Degraded()
 	// before trusting a result obtained from pathological data.
 	Diagnostics Diagnostics
+	// StageTimings breaks the run down per pipeline stage (transform,
+	// covariance, fit, generate, ...), aggregated from the telemetry
+	// root span. Nil unless Options.Tracer or Options.Metrics was set.
+	StageTimings []StageTiming
 }
 
 // coreOptions maps the public options onto the pipeline configuration.
@@ -139,12 +178,14 @@ func coreOptions(opts Options) core.Options {
 		Ordering:           opts.Ordering,
 		Seed:               opts.Seed,
 		RequireConvergence: opts.RequireConvergence,
+		Obs:                obs.Hooks{Tracer: opts.Tracer, Metrics: opts.Metrics},
 		Transform: core.TransformOptions{
 			Seed:           opts.Seed,
 			MaxRows:        opts.MaxRows,
 			NumericTol:     opts.NumericTolerance,
 			TextSimilarity: opts.TextSimilarity,
 			Workers:        opts.Workers,
+			Obs:            obs.Hooks{Tracer: opts.Tracer, Metrics: opts.Metrics},
 		},
 	}
 }
@@ -169,6 +210,13 @@ func DiscoverContext(ctx context.Context, rel *Relation, opts Options) (res *Res
 		return nil, fmt.Errorf("fdx: %w", verr)
 	}
 	copts := coreOptions(opts)
+	// Root telemetry span for the whole run; every stage nests under it.
+	// End is deferred for error paths and idempotent on success.
+	run := copts.Obs.Start("discover")
+	defer run.End()
+	copts.Obs = copts.Obs.Under(run)
+	copts.Transform.Obs = copts.Obs
+	copts.Obs.Count(obs.MDiscoverRuns, 1)
 	t0 := time.Now()
 	samples, err := core.TransformContext(ctx, rel, copts.Transform)
 	if err != nil {
@@ -180,9 +228,11 @@ func DiscoverContext(ctx context.Context, rel *Relation, opts Options) (res *Res
 		return nil, fmt.Errorf("fdx: %w", err)
 	}
 	t2 := time.Now()
+	run.End()
 	res = resultFromModel(model, rel.AttrNames())
 	res.TransformDuration = t1.Sub(t0)
 	res.ModelDuration = t2.Sub(t1)
+	res.StageTimings = run.StageTimings()
 	return res, nil
 }
 

@@ -82,6 +82,7 @@ func All() []*Analyzer {
 		GoroutineCapture,
 		NakedPanic,
 		DimCheck,
+		SpanLeak,
 	}
 }
 

@@ -22,7 +22,7 @@ func TestDiagnosticString(t *testing.T) {
 }
 
 func TestAllAnalyzersRegistered(t *testing.T) {
-	want := []string{"floatcmp", "maporder", "goroutinecapture", "nakedpanic", "dimcheck"}
+	want := []string{"floatcmp", "maporder", "goroutinecapture", "nakedpanic", "dimcheck", "spanleak"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))

@@ -87,3 +87,4 @@ func TestMapOrder(t *testing.T)         { testAnalyzerFixture(t, "maporder", Map
 func TestGoroutineCapture(t *testing.T) { testAnalyzerFixture(t, "goroutinecapture", GoroutineCapture) }
 func TestNakedPanic(t *testing.T)       { testAnalyzerFixture(t, "nakedpanic", NakedPanic) }
 func TestDimCheck(t *testing.T)         { testAnalyzerFixture(t, "dimcheck", DimCheck) }
+func TestSpanLeak(t *testing.T)         { testAnalyzerFixture(t, "spanleak", SpanLeak) }

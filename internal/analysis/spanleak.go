@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SpanLeak flags trace spans that are started but never ended. A span that
+// never reaches End() stays open forever: the trace export marks it
+// unfinished, its duration is wrong, and its stage histogram never
+// observes the sample — exactly the silent telemetry rot the obs package's
+// nil-safe API otherwise makes easy to miss.
+//
+// A "start" is a call to a method named StartSpan, Start, StartStage, or
+// Child whose result type has a niladic End() method. The analyzer
+// reports:
+//
+//   - a start call whose result is discarded (expression statement, defer,
+//     go, or assignment to _), and
+//   - a start call assigned to a local variable on which End() is never
+//     called anywhere in the enclosing function (including inside deferred
+//     closures).
+//
+// Returning the span transfers ownership to the caller and is not a leak.
+// The check is per-function and object-based, so one End() call satisfies
+// every start assigned to the same variable; conditional paths that skip
+// End() are beyond its reach.
+var SpanLeak = &Analyzer{
+	Name: "spanleak",
+	Doc:  "flags trace spans that are started but never ended",
+	Run:  runSpanLeak,
+}
+
+// spanStartMethods are the method names that hand out live spans.
+var spanStartMethods = map[string]bool{
+	"StartSpan":  true,
+	"Start":      true,
+	"StartStage": true,
+	"Child":      true,
+}
+
+func runSpanLeak(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkSpanLeaks(pass, fn.Body)
+		}
+	}
+}
+
+// checkSpanLeaks scans one function body. Closures are scanned as part of
+// their enclosing function, so a span started outside a closure and ended
+// inside it (the deferred-cleanup idiom) resolves correctly.
+func checkSpanLeaks(pass *Pass, body *ast.BlockStmt) {
+	// tracked maps a span-holding local to the position of its start call;
+	// ended and returned record the ways the obligation can be met.
+	tracked := map[types.Object]ast.Node{}
+	ended := map[types.Object]bool{}
+	returned := map[types.Object]bool{}
+
+	trackAssign := func(lhs, rhs ast.Expr) {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isSpanStart(pass, call) {
+			return
+		}
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			// A field or index target escapes the function's view; treat it
+			// as an ownership transfer.
+			return
+		}
+		if id.Name == "_" {
+			pass.Reportf(call.Pos(), "span from %s is discarded; every started span must be ended", startName(call))
+			return
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj != nil {
+			tracked[obj] = call
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok && isSpanStart(pass, call) {
+				pass.Reportf(call.Pos(), "span from %s is discarded; assign it and call End()", startName(call))
+			}
+		case *ast.DeferStmt:
+			if isSpanStart(pass, st.Call) {
+				pass.Reportf(st.Call.Pos(), "deferred %s discards its span; start it now and defer End() instead", startName(st.Call))
+			}
+		case *ast.GoStmt:
+			if isSpanStart(pass, st.Call) {
+				pass.Reportf(st.Call.Pos(), "go %s discards its span; every started span must be ended", startName(st.Call))
+			}
+		case *ast.AssignStmt:
+			if len(st.Lhs) == len(st.Rhs) {
+				for i, rhs := range st.Rhs {
+					trackAssign(st.Lhs[i], rhs)
+				}
+			}
+		case *ast.ValueSpec:
+			if len(st.Names) == len(st.Values) {
+				for i, rhs := range st.Values {
+					trackAssign(st.Names[i], rhs)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if id, ok := res.(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						returned[obj] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := st.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "End" || len(st.Args) != 0 {
+				break
+			}
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil {
+					ended[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	for obj, call := range tracked {
+		if !ended[obj] && !returned[obj] {
+			pass.Reportf(call.Pos(), "span assigned to %s is never ended; call %s.End() (or return it)", obj.Name(), obj.Name())
+		}
+	}
+}
+
+// isSpanStart reports whether call is a span-producing method call: the
+// method name is one of the start verbs and the single result type carries
+// a niladic End() method.
+func isSpanStart(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !spanStartMethods[sel.Sel.Name] {
+		return false
+	}
+	tv, ok := pass.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if _, isTuple := tv.Type.(*types.Tuple); isTuple {
+		return false
+	}
+	return hasEndMethod(tv.Type)
+}
+
+// hasEndMethod reports whether t's method set includes End() with no
+// parameters and no results.
+func hasEndMethod(t types.Type) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		fn, ok := ms.At(i).Obj().(*types.Func)
+		if !ok || fn.Name() != "End" {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if ok && sig.Params().Len() == 0 && sig.Results().Len() == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// startName renders the start call for diagnostics, e.g. "obs.StartStage".
+func startName(call *ast.CallExpr) string {
+	sel := call.Fun.(*ast.SelectorExpr)
+	if id, ok := sel.X.(*ast.Ident); ok {
+		return id.Name + "." + sel.Sel.Name
+	}
+	return sel.Sel.Name
+}

@@ -1,0 +1,110 @@
+// Package spanleak is a fixture for the spanleak analyzer. It declares a
+// local miniature of the obs API so the fixture type-checks on its own.
+package spanleak
+
+// Span is a live trace span; every started one must be ended.
+type Span struct{ ended bool }
+
+// End closes the span.
+func (s *Span) End() { s.ended = true }
+
+// Child starts a nested span.
+func (s *Span) Child(name string) *Span { _ = name; return &Span{} }
+
+// Tracer hands out root spans.
+type Tracer struct{}
+
+// StartSpan starts a root span.
+func (t *Tracer) StartSpan(name string) *Span { _ = name; return &Span{} }
+
+// Hooks mirrors the obs.Hooks start verbs.
+type Hooks struct{ T *Tracer }
+
+// Start starts a span.
+func (h Hooks) Start(name string) *Span { return h.T.StartSpan(name) }
+
+// StartStage starts a stage span.
+func (h Hooks) StartStage(name string) *Span { return h.T.StartSpan(name) }
+
+// Job.Start returns a Status with no End method: not a span.
+type Job struct{}
+
+// Status has no End method.
+type Status struct{}
+
+// Start begins the job.
+func (j *Job) Start(name string) *Status { _ = name; return &Status{} }
+
+// DroppedResult discards the span outright.
+func DroppedResult(t *Tracer) {
+	t.StartSpan("work") // want:spanleak
+}
+
+// BlankAssign hides the drop behind the blank identifier.
+func BlankAssign(h Hooks) {
+	_ = h.Start("work") // want:spanleak
+}
+
+// NeverEnded starts and tracks a span but never ends it.
+func NeverEnded(h Hooks) {
+	sp := h.StartStage("work") // want:spanleak
+	sp.Child("inner").End()
+}
+
+// DeferredStart defers the start call itself, discarding the span.
+func DeferredStart(t *Tracer) {
+	defer t.StartSpan("work") // want:spanleak
+}
+
+// ProperDefer is the canonical clean pattern.
+func ProperDefer(h Hooks) {
+	sp := h.Start("work")
+	defer sp.End()
+}
+
+// EndInClosure ends the span inside a deferred closure: clean.
+func EndInClosure(h Hooks) {
+	sp := h.StartStage("work")
+	defer func() {
+		sp.Ended()
+		sp.End()
+	}()
+}
+
+// Ended reports whether the span was closed.
+func (s *Span) Ended() bool { return s.ended }
+
+// ReturnTransfer hands the span to the caller: clean.
+func ReturnTransfer(h Hooks) *Span {
+	return h.Start("work")
+}
+
+// NamedReturnTransfer tracks then returns: clean.
+func NamedReturnTransfer(h Hooks) *Span {
+	sp := h.Start("work")
+	sp.Child("inner").End()
+	return sp
+}
+
+// NotASpan starts something without an End method: not a finding.
+func NotASpan(j *Job) {
+	j.Start("work")
+	_ = j.Start("other")
+}
+
+// ExplicitEndOnEveryPath ends the span on both branches: clean.
+func ExplicitEndOnEveryPath(h Hooks, fail bool) error {
+	sp := h.StartStage("work")
+	if fail {
+		sp.End()
+		return errNope
+	}
+	sp.End()
+	return nil
+}
+
+type nopeError struct{}
+
+func (nopeError) Error() string { return "nope" }
+
+var errNope error = nopeError{}

@@ -191,7 +191,7 @@ func TestSaveLoadDurableRoundtrip(t *testing.T) {
 	acc, _ := testAccumulator(t, 3)
 	path := filepath.Join(t.TempDir(), "state.fdx")
 	fp := Fingerprint(acc.Options())
-	if err := Save(path, acc.State(), fp); err != nil {
+	if _, err := Save(path, acc.State(), fp); err != nil {
 		t.Fatal(err)
 	}
 	st, gotFP, err := Load(path)
@@ -204,7 +204,7 @@ func TestSaveLoadDurableRoundtrip(t *testing.T) {
 	assertStateEqual(t, st, acc.State())
 	// Overwrite with newer state: previous bytes must be fully replaced.
 	acc2, _ := testAccumulator(t, 5)
-	if err := Save(path, acc2.State(), fp); err != nil {
+	if _, err := Save(path, acc2.State(), fp); err != nil {
 		t.Fatal(err)
 	}
 	st2, _, err := Load(path)
@@ -234,7 +234,7 @@ func TestWALAppendReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, d := range deltas {
-		if err := w.Append(d); err != nil {
+		if _, err := w.Append(d); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -261,7 +261,7 @@ func TestWALTornTailTruncatedAtEveryCut(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, d := range deltas {
-		if err := w.Append(d); err != nil {
+		if _, err := w.Append(d); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -313,7 +313,7 @@ func TestWALMidLogCorruptionIsTyped(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, d := range deltas {
-		if err := w.Append(d); err != nil {
+		if _, err := w.Append(d); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -344,13 +344,13 @@ func TestWALResetEmptiesLog(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer w.Close()
-	if err := w.Append(deltas[0]); err != nil {
+	if _, err := w.Append(deltas[0]); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Reset(); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Append(deltas[1]); err != nil {
+	if _, err := w.Append(deltas[1]); err != nil {
 		t.Fatal(err)
 	}
 	n, err := ReplayWAL(path, func(d *core.BatchDelta) error {
@@ -393,13 +393,13 @@ func TestFaultShortWriteSaveFailsTypedAndKeepsOld(t *testing.T) {
 	defer faults.Reset()
 	acc, _ := testAccumulator(t, 2)
 	path := filepath.Join(t.TempDir(), "state.fdx")
-	if err := Save(path, acc.State(), 1); err != nil {
+	if _, err := Save(path, acc.State(), 1); err != nil {
 		t.Fatal(err)
 	}
 	old, _ := os.ReadFile(path)
 	faults.Arm(faults.ShortWrite, faults.Config{Times: 1})
 	acc2, _ := testAccumulator(t, 4)
-	err := Save(path, acc2.State(), 1)
+	_, err := Save(path, acc2.State(), 1)
 	if !errors.Is(err, fdxerr.ErrCorruptCheckpoint) {
 		t.Fatalf("want ErrCorruptCheckpoint, got %v", err)
 	}
@@ -418,7 +418,7 @@ func TestFaultFsyncErrorSaveFailsTyped(t *testing.T) {
 	acc, _ := testAccumulator(t, 2)
 	path := filepath.Join(t.TempDir(), "state.fdx")
 	faults.Arm(faults.FsyncError, faults.Config{Times: 1})
-	if err := Save(path, acc.State(), 1); !errors.Is(err, fdxerr.ErrCorruptCheckpoint) {
+	if _, err := Save(path, acc.State(), 1); !errors.Is(err, fdxerr.ErrCorruptCheckpoint) {
 		t.Fatalf("want ErrCorruptCheckpoint, got %v", err)
 	}
 }
@@ -429,7 +429,7 @@ func TestFaultRenameFailSaveFailsTypedAndCleansTemp(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "state.fdx")
 	faults.Arm(faults.RenameFail, faults.Config{Times: 1})
-	if err := Save(path, acc.State(), 1); !errors.Is(err, fdxerr.ErrCorruptCheckpoint) {
+	if _, err := Save(path, acc.State(), 1); !errors.Is(err, fdxerr.ErrCorruptCheckpoint) {
 		t.Fatalf("want ErrCorruptCheckpoint, got %v", err)
 	}
 	if _, err := os.Stat(path); !os.IsNotExist(err) {
@@ -445,7 +445,7 @@ func TestFaultReadBitFlipLoadFailsTyped(t *testing.T) {
 	defer faults.Reset()
 	acc, _ := testAccumulator(t, 2)
 	path := filepath.Join(t.TempDir(), "state.fdx")
-	if err := Save(path, acc.State(), 1); err != nil {
+	if _, err := Save(path, acc.State(), 1); err != nil {
 		t.Fatal(err)
 	}
 	faults.Arm(faults.ReadBitFlip, faults.Config{Times: 1})
@@ -467,11 +467,11 @@ func TestFaultShortWriteWALAppendFailsTyped(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer w.Close()
-	if err := w.Append(deltas[0]); err != nil {
+	if _, err := w.Append(deltas[0]); err != nil {
 		t.Fatal(err)
 	}
 	faults.Arm(faults.ShortWrite, faults.Config{Times: 1})
-	if err := w.Append(deltas[1]); !errors.Is(err, fdxerr.ErrCorruptCheckpoint) {
+	if _, err := w.Append(deltas[1]); !errors.Is(err, fdxerr.ErrCorruptCheckpoint) {
 		t.Fatalf("want ErrCorruptCheckpoint, got %v", err)
 	}
 	// The torn second record must not poison the first on replay.
@@ -490,7 +490,7 @@ func TestFaultReadBitFlipWALReplayFailsTypedOrTruncates(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, d := range deltas {
-		if err := w.Append(d); err != nil {
+		if _, err := w.Append(d); err != nil {
 			t.Fatal(err)
 		}
 	}

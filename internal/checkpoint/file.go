@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -17,13 +18,14 @@ const WALSuffix = ".wal"
 
 // Save durably writes a snapshot to path: encode into a temp file in the
 // same directory, fsync it, atomically rename over path, and fsync the
-// directory so the rename itself survives a crash. Any failure leaves the
+// directory so the rename itself survives a crash. It returns the
+// snapshot's encoded size (for telemetry). Any failure leaves the
 // previous snapshot at path untouched and wraps ErrCorruptCheckpoint.
-func Save(path string, st *core.AccumulatorState, fingerprint uint64) (err error) {
+func Save(path string, st *core.AccumulatorState, fingerprint uint64) (written int64, err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return fdxerr.Corrupt("checkpoint: create temp snapshot: %v", err)
+		return 0, fdxerr.Corrupt("checkpoint: create temp snapshot: %v", err)
 	}
 	tmpName := tmp.Name()
 	defer func() {
@@ -32,28 +34,41 @@ func Save(path string, st *core.AccumulatorState, fingerprint uint64) (err error
 			os.Remove(tmpName)
 		}
 	}()
-	w := bufio.NewWriter(tmp)
+	cw := &countWriter{w: tmp}
+	w := bufio.NewWriter(cw)
 	if err = WriteSnapshot(w, st, fingerprint); err != nil {
-		return err
+		return 0, err
 	}
 	if ferr := w.Flush(); ferr != nil {
-		return fdxerr.Corrupt("checkpoint: flush snapshot: %v", ferr)
+		return 0, fdxerr.Corrupt("checkpoint: flush snapshot: %v", ferr)
 	}
 	if err = syncFile(tmp); err != nil {
-		return err
+		return 0, err
 	}
 	if cerr := tmp.Close(); cerr != nil {
-		return fdxerr.Corrupt("checkpoint: close temp snapshot: %v", cerr)
+		return 0, fdxerr.Corrupt("checkpoint: close temp snapshot: %v", cerr)
 	}
 	if faults.Fire(faults.RenameFail) {
 		os.Remove(tmpName)
-		return fdxerr.Corrupt("checkpoint: rename %s: injected failure", tmpName)
+		return 0, fdxerr.Corrupt("checkpoint: rename %s: injected failure", tmpName)
 	}
 	if rerr := os.Rename(tmpName, path); rerr != nil {
 		os.Remove(tmpName)
-		return fdxerr.Corrupt("checkpoint: rename snapshot: %v", rerr)
+		return 0, fdxerr.Corrupt("checkpoint: rename snapshot: %v", rerr)
 	}
-	return syncDir(dir)
+	return cw.n, syncDir(dir)
+}
+
+// countWriter counts the bytes flowing to the underlying writer.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // Load reads the snapshot at path. A missing file returns an error

@@ -37,13 +37,14 @@ func OpenWAL(path string) (*WAL, error) {
 // Path returns the WAL's file path.
 func (w *WAL) Path() string { return w.path }
 
-// Append logs one batch delta and fsyncs. On error the record may be torn
-// on disk; a later replay truncates it, so the failed batch is the one at
-// risk, never earlier ones.
-func (w *WAL) Append(d *core.BatchDelta) error {
+// Append logs one batch delta and fsyncs, returning the record's framed
+// size (for telemetry). On error the record may be torn on disk; a later
+// replay truncates it, so the failed batch is the one at risk, never
+// earlier ones.
+func (w *WAL) Append(d *core.BatchDelta) (int, error) {
 	payload, err := encodeDelta(d)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	var header enc
 	header.u32(uint32(len(payload)))
@@ -53,9 +54,9 @@ func (w *WAL) Append(d *core.BatchDelta) error {
 	frame = append(frame, payload...)
 	frame = binary.LittleEndian.AppendUint32(frame, crc)
 	if err := writeFull(w.f, frame); err != nil {
-		return err
+		return 0, err
 	}
-	return syncFile(w.f)
+	return len(frame), syncFile(w.f)
 }
 
 // Reset truncates the WAL after a successful snapshot. Skipping a Reset is

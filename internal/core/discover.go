@@ -13,6 +13,7 @@ import (
 	"fdx/internal/fdxerr"
 	"fdx/internal/glasso"
 	"fdx/internal/linalg"
+	"fdx/internal/obs"
 	"fdx/internal/ordering"
 	"fdx/internal/stats"
 )
@@ -70,6 +71,11 @@ type Options struct {
 	Seed int64
 	// Transform holds the pair-transformation options.
 	Transform TransformOptions
+	// Obs carries the optional telemetry sinks (tracer span context and
+	// metrics registry). The zero value disables instrumentation at
+	// effectively no cost; see internal/obs. Telemetry never affects
+	// results or checkpoint compatibility.
+	Obs obs.Hooks
 }
 
 // defaults fills unset fields. (fdx:numeric-kernel: the exact zero value is
@@ -92,6 +98,9 @@ func (o *Options) defaults() {
 		o.GraphTol = 1e-4
 	}
 	o.Transform.Seed = o.Seed
+	// The transform inherits the pipeline's telemetry sinks; it never has
+	// independently configured ones.
+	o.Transform.Obs = o.Obs
 }
 
 // Model is the fitted FDX model: the estimated precision matrix, the
@@ -112,6 +121,10 @@ type Model struct {
 	// Diagnostics records how the run degraded (fallbacks taken, solver
 	// convergence, sanitized columns); see the Diagnostics type.
 	Diagnostics Diagnostics
+	// Trace is the root telemetry span of the run that produced the model
+	// (nil when no tracer was attached). Its StageTimings break the fit
+	// down per stage.
+	Trace *obs.Span
 	// TransformRows and ModelDuration-style accounting live in the caller;
 	// the model keeps only statistical state.
 }
@@ -150,15 +163,28 @@ func DiscoverContext(ctx context.Context, rel *dataset.Relation, opts Options) (
 	if err := ValidateRelation(rel); err != nil {
 		return nil, err
 	}
+	// Root telemetry span for the run; stages nest under it. End is
+	// deferred for error paths and idempotent on success.
+	run := opts.Obs.Start("discover")
+	defer run.End()
+	opts.Obs = opts.Obs.Under(run)
+	opts.Transform.Obs = opts.Obs
+	opts.Obs.Count(obs.MDiscoverRuns, 1)
 	k := rel.NumCols()
 	if k == 0 {
-		return &Model{Theta: linalg.NewDense(0, 0), B: linalg.NewDense(0, 0), Diagnostics: Diagnostics{GlassoConverged: true}}, nil
+		return &Model{Theta: linalg.NewDense(0, 0), B: linalg.NewDense(0, 0), Diagnostics: Diagnostics{GlassoConverged: true}, Trace: run}, nil
 	}
 	dt, err := TransformContext(ctx, rel, opts.Transform)
 	if err != nil {
 		return nil, err
 	}
-	return DiscoverFromSamplesContext(ctx, dt, rel.AttrNames(), opts)
+	m, err := DiscoverFromSamplesContext(ctx, dt, rel.AttrNames(), opts)
+	if err != nil {
+		return nil, err
+	}
+	run.End()
+	m.Trace = run
+	return m, nil
 }
 
 // DiscoverFromSamples runs structure learning + FD generation on an
@@ -177,6 +203,7 @@ func DiscoverFromSamplesContext(ctx context.Context, dt *linalg.Dense, names []s
 		return nil, fdxerr.BadInput("core: sample matrix has %d columns, want %d", c, k)
 	}
 
+	csp := opts.Obs.StartStage("covariance")
 	var s *linalg.Dense
 	if opts.PooledCovariance {
 		s = stats.Covariance(dt)
@@ -184,6 +211,8 @@ func DiscoverFromSamplesContext(ctx context.Context, dt *linalg.Dense, names []s
 		// One stratum per attribute-sorted block of the transform.
 		s = stats.StratifiedCovariance(dt, k)
 	}
+	csp.Attr("dim", k)
+	csp.End()
 	return DiscoverFromCovarianceContext(ctx, s, names, opts)
 }
 
@@ -223,6 +252,7 @@ func DiscoverFromCovarianceContext(ctx context.Context, s *linalg.Dense, names [
 
 	// Quarantine non-finite statistics instead of letting NaN/Inf propagate
 	// through the solvers as opaque failures.
+	psp := opts.Obs.StartStage("prepare")
 	s, diag.SanitizedColumns = sanitizeCovariance(s)
 
 	if !opts.RawCovariance {
@@ -231,8 +261,17 @@ func DiscoverFromCovarianceContext(ctx context.Context, s *linalg.Dense, names [
 	// Light shrinkage keeps the estimate well-conditioned when columns are
 	// (nearly) collinear — exact FDs make Z columns exactly dependent.
 	s = stats.Shrink(s, 0.05)
+	psp.Attr("sanitized", len(diag.SanitizedColumns))
+	psp.End()
+	opts.Obs.Count(obs.MSanitizedColumns, uint64(len(diag.SanitizedColumns)))
 
-	theta, perm, bP, err := fitLadder(ctx, s, &diag, opts)
+	fsp := opts.Obs.StartStage("fit")
+	lopts := opts
+	lopts.Obs = opts.Obs.Under(fsp)
+	theta, perm, bP, err := fitLadder(ctx, s, &diag, lopts)
+	fsp.Attr("sweeps", diag.GlassoSweeps)
+	fsp.Attr("fallbacks", len(diag.Fallbacks))
+	fsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -240,10 +279,13 @@ func DiscoverFromCovarianceContext(ctx context.Context, s *linalg.Dense, names [
 	// Sparsest-permutation search: try extra random global orders and keep
 	// the one whose thresholded autoregression matrix has the fewest edges.
 	if opts.OrderCandidates > 0 {
+		osp := opts.Obs.StartStage("order-search")
+		osp.Attr("candidates", opts.OrderCandidates)
 		bestEdges := countEdges(bP, opts.Threshold, opts.RelFraction)
 		rng := rand.New(rand.NewSource(opts.Seed + 1))
 		for c := 0; c < opts.OrderCandidates; c++ {
 			if cerr := ctx.Err(); cerr != nil {
+				osp.End()
 				return nil, fdxerr.Cancelled(cerr)
 			}
 			cand := linalg.Permutation(rng.Perm(k))
@@ -255,8 +297,10 @@ func DiscoverFromCovarianceContext(ctx context.Context, s *linalg.Dense, names [
 				bestEdges, bP, perm = e, cb, cand
 			}
 		}
+		osp.End()
 	}
 
+	gsp := opts.Obs.StartStage("generate")
 	// Map back to original attribute coordinates.
 	b := linalg.NewDense(k, k)
 	for i := 0; i < k; i++ {
@@ -266,6 +310,9 @@ func DiscoverFromCovarianceContext(ctx context.Context, s *linalg.Dense, names [
 	}
 
 	fds := GenerateFDs(bP, perm, opts.Threshold, opts.RelFraction)
+	gsp.Attr("fds", len(fds))
+	gsp.End()
+	opts.Obs.Count(obs.MFDsGenerated, uint64(len(fds)))
 	return &Model{
 		AttrNames:   names,
 		Theta:       theta,
@@ -300,6 +347,7 @@ func fitLadder(ctx context.Context, s *linalg.Dense, diag *Diagnostics, opts Opt
 	escalate := func(i int, stage, reason string) {
 		if i < len(fallbackEpsilons) {
 			diag.Fallbacks = append(diag.Fallbacks, Fallback{Stage: stage, Epsilon: fallbackEpsilons[i], Reason: reason})
+			opts.Obs.Count(obs.MFallbacks, 1)
 		}
 	}
 	for rung := 0; rung <= len(fallbackEpsilons); rung++ {
@@ -307,11 +355,19 @@ func fitLadder(ctx context.Context, s *linalg.Dense, diag *Diagnostics, opts Opt
 			return nil, nil, nil, fdxerr.Cancelled(cerr)
 		}
 		trial := s
+		eps := 0.0
 		if rung > 0 {
-			trial = addDiag(s, fallbackEpsilons[rung-1])
+			eps = fallbackEpsilons[rung-1]
+			trial = addDiag(s, eps)
 		}
-		res, err := glasso.SolveContext(ctx, trial, glasso.Options{Lambda: opts.Lambda})
+		rsp := opts.Obs.Start("ladder-rung")
+		rsp.Attr("rung", rung)
+		rsp.Attr("epsilon", eps)
+		ropts := opts
+		ropts.Obs = opts.Obs.Under(rsp)
+		res, err := glasso.SolveContext(ctx, trial, glasso.Options{Lambda: opts.Lambda, Obs: ropts.Obs})
 		if err != nil {
+			rsp.End()
 			if errors.Is(err, fdxerr.ErrCancelled) {
 				return nil, nil, nil, err
 			}
@@ -320,12 +376,14 @@ func fitLadder(ctx context.Context, s *linalg.Dense, diag *Diagnostics, opts Opt
 			continue
 		}
 		if !res.Converged {
+			rsp.End()
 			best = res
 			lastErr = fmt.Errorf("core: graphical lasso exhausted %d sweeps: %w", res.Iterations, fdxerr.ErrNotConverged)
 			escalate(rung, "glasso", fmt.Sprintf("not converged after %d sweeps", res.Iterations))
 			continue
 		}
-		perm, bP, err := orderAndFactorize(ctx, res.Precision, diag, opts)
+		perm, bP, err := orderAndFactorize(ctx, res.Precision, diag, ropts)
+		rsp.End()
 		if err != nil {
 			if !errors.Is(err, fdxerr.ErrNonPositivePivot) {
 				return nil, nil, nil, err
@@ -363,12 +421,14 @@ func orderAndFactorize(ctx context.Context, theta *linalg.Dense, diag *Diagnosti
 		return nil, nil, fdxerr.Cancelled(cerr)
 	}
 	g := ordering.FromPrecision(theta, opts.GraphTol)
-	perm, err := ordering.Order(opts.Ordering, g, opts.Seed)
+	perm, err := ordering.OrderObs(opts.Ordering, g, opts.Seed, opts.Obs)
 	if err != nil {
 		// Already ErrBadInput-wrapped by the ordering package.
 		return nil, nil, fmt.Errorf("core: %w", err)
 	}
+	usp := opts.Obs.StartStage("udu")
 	bP, repaired, err := autoregress(theta, perm)
+	usp.End()
 	if err != nil {
 		return nil, nil, err
 	}

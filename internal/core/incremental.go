@@ -6,6 +6,7 @@ import (
 	"fdx/internal/dataset"
 	"fdx/internal/fdxerr"
 	"fdx/internal/linalg"
+	"fdx/internal/obs"
 )
 
 // Accumulator maintains the sufficient statistics of the FDX pair model
@@ -103,7 +104,15 @@ func (a *Accumulator) Absorb(rel *dataset.Relation) (*BatchDelta, error) {
 	if n < 2 {
 		return nil, fdxerr.BadInput("core: batch needs at least 2 rows, got %d", n)
 	}
+	// Each batch is its own trace tree: the stream loop may absorb
+	// thousands, so they stay roots rather than children of one giant span.
+	bsp := a.opts.Obs.Start("absorb-batch")
+	defer bsp.End()
+	bsp.Attr("seq", a.batches+1)
+	bsp.Attr("rows", n)
+	h := a.opts.Obs.Under(bsp)
 	topts := a.opts.Transform
+	topts.Obs = h
 	topts.Seed = a.opts.Seed + int64(a.batches)
 	dt := Transform(rel, topts)
 	d := &BatchDelta{
@@ -112,6 +121,7 @@ func (a *Accumulator) Absorb(rel *dataset.Relation) (*BatchDelta, error) {
 		Sums:  make([][]float64, k),
 		Outer: make([]*linalg.Dense, k),
 	}
+	asp := h.StartStage("accumulate")
 	// Per-stratum moments of this batch alone: stratum s is transformed
 	// rows [s·n, (s+1)·n).
 	for s := 0; s < k; s++ {
@@ -134,9 +144,12 @@ func (a *Accumulator) Absorb(rel *dataset.Relation) (*BatchDelta, error) {
 		d.Sums[s] = sums
 		d.Outer[s] = out
 	}
+	asp.End()
 	if err := a.ApplyDelta(d); err != nil {
 		return nil, err
 	}
+	h.Count(obs.MRowsAbsorbed, uint64(n))
+	h.Count(obs.MBatchesAbsorbed, 1)
 	return d, nil
 }
 
@@ -255,13 +268,23 @@ func NewAccumulatorFromState(st *AccumulatorState, opts Options) (*Accumulator, 
 
 // Covariance returns the pooled per-stratum covariance estimate built from
 // the absorbed batches.
+func (a *Accumulator) Covariance() (*linalg.Dense, error) {
+	return a.covariance(a.opts.Obs)
+}
+
+// covariance is Covariance reporting under the given telemetry context,
+// so the stage span can nest under a caller's "discover" root.
 // (fdx:numeric-kernel: a stratum's count is an integer held in float64;
 // exactly zero means the stratum absorbed no rows and is skipped.)
-func (a *Accumulator) Covariance() (*linalg.Dense, error) {
+func (a *Accumulator) covariance(h obs.Hooks) (*linalg.Dense, error) {
 	k := len(a.names)
 	if a.rows == 0 {
 		return nil, fdxerr.BadInput("core: accumulator has no data")
 	}
+	sp := h.StartStage("covariance")
+	defer sp.End()
+	sp.Attr("dim", k)
+	sp.Attr("batches", a.batches)
 	acc := linalg.NewDense(k, k)
 	for s := 0; s < k; s++ {
 		n := float64(a.count[s])
@@ -290,9 +313,21 @@ func (a *Accumulator) Discover() (*Model, error) {
 // DiscoverContext is Discover with cancellation (see DiscoverContext at the
 // package level for where the context is checked).
 func (a *Accumulator) DiscoverContext(ctx context.Context) (*Model, error) {
-	s, err := a.Covariance()
+	run := a.opts.Obs.Start("discover")
+	defer run.End()
+	h := a.opts.Obs.Under(run)
+	h.Count(obs.MDiscoverRuns, 1)
+	s, err := a.covariance(h)
 	if err != nil {
 		return nil, err
 	}
-	return DiscoverFromCovarianceContext(ctx, s, a.names, a.opts)
+	opts := a.opts
+	opts.Obs = h
+	m, err := DiscoverFromCovarianceContext(ctx, s, a.names, opts)
+	if err != nil {
+		return nil, err
+	}
+	run.End()
+	m.Trace = run
+	return m, nil
 }

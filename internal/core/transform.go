@@ -13,6 +13,7 @@ import (
 	"fdx/internal/faults"
 	"fdx/internal/fdxerr"
 	"fdx/internal/linalg"
+	"fdx/internal/obs"
 )
 
 // TransformOptions configures the tuple-pair transformation (paper Alg. 2).
@@ -38,6 +39,10 @@ type TransformOptions struct {
 	// (0 = GOMAXPROCS, 1 = sequential). Each attribute's sorted block is
 	// independent, so the output is identical at any worker count.
 	Workers int
+	// Obs carries the optional telemetry sinks; inherited from the
+	// pipeline options by core.Options.defaults. Never part of the
+	// checkpoint fingerprint.
+	Obs obs.Hooks
 }
 
 // defaults fills unset fields. (fdx:numeric-kernel: the exact zero value is
@@ -102,12 +107,22 @@ func TransformContext(ctx context.Context, rel *dataset.Relation, opts Transform
 	if workers > k {
 		workers = k
 	}
+	tsp := opts.Obs.StartStage("transform")
+	defer tsp.End()
+	tsp.Attr("rows", n)
+	tsp.Attr("attrs", k)
+	tsp.Attr("workers", workers)
 	var wg sync.WaitGroup
 	attrCh := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// One span per worker, on its own viewer track so parallel
+			// workers fan out as lanes in the trace.
+			wsp := tsp.Child("worker")
+			wsp.SetTrack(w + 2)
+			defer wsp.End()
 			sorted := make([]int, n)
 			for attr := range attrCh {
 				// Cancelled: keep draining the channel so the feeder never
@@ -115,6 +130,8 @@ func TransformContext(ctx context.Context, rel *dataset.Relation, opts Transform
 				if ctx.Err() != nil {
 					continue
 				}
+				bsp := wsp.Child("block")
+				bsp.Attr("attr", rel.Columns[attr].Name)
 				faults.Sleep(faults.SlowStage)
 				copy(sorted, rows)
 				col := rel.Columns[attr]
@@ -135,8 +152,9 @@ func TransformContext(ctx context.Context, rel *dataset.Relation, opts Transform
 						}
 					}
 				}
+				bsp.End()
 			}
-		}()
+		}(w)
 	}
 	for attr := 0; attr < k; attr++ {
 		attrCh <- attr
@@ -146,6 +164,7 @@ func TransformContext(ctx context.Context, rel *dataset.Relation, opts Transform
 	if err := ctx.Err(); err != nil {
 		return nil, fdxerr.Cancelled(err)
 	}
+	opts.Obs.Count(obs.MTransformPairs, uint64(n)*uint64(k))
 	return out, nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"fdx/internal/faults"
 	"fdx/internal/fdxerr"
 	"fdx/internal/linalg"
+	"fdx/internal/obs"
 )
 
 // Options configures the Graphical Lasso solver.
@@ -32,6 +33,9 @@ type Options struct {
 	InnerMaxIter int
 	// InnerTol is the lasso convergence threshold (default 1e-6).
 	InnerTol float64
+	// Obs carries the optional telemetry sinks: a "glasso" stage span
+	// wrapping the solve and one "glasso-sweep" span per outer sweep.
+	Obs obs.Hooks
 }
 
 // defaults fills unset fields. (fdx:numeric-kernel: the exact zero value is
@@ -74,8 +78,17 @@ func Solve(s *linalg.Dense, opts Options) (*Result, error) {
 
 // SolveContext is Solve with cancellation: the context is checked once per
 // outer sweep and a wrapped ctx.Err() is returned promptly on expiry.
-func SolveContext(ctx context.Context, s *linalg.Dense, opts Options) (*Result, error) {
+func SolveContext(ctx context.Context, s *linalg.Dense, opts Options) (res *Result, err error) {
 	opts.defaults()
+	sp := opts.Obs.StartStage("glasso")
+	defer func() {
+		if res != nil {
+			sp.Attr("sweeps", res.Iterations)
+			sp.Attr("converged", res.Converged)
+		}
+		sp.End()
+	}()
+	opts.Obs = opts.Obs.Under(sp)
 	k, cols := s.Dims()
 	if k != cols {
 		return nil, fdxerr.BadInput("glasso: covariance must be square, got %dx%d", k, cols)
@@ -131,6 +144,7 @@ func solveFrom(ctx context.Context, s, w *linalg.Dense, opts Options) (*Result, 
 		if err := ctx.Err(); err != nil {
 			return nil, fdxerr.Cancelled(err)
 		}
+		ssp := opts.Obs.Start("glasso-sweep")
 		faults.Sleep(faults.SlowStage)
 		iters = sweep + 1
 		delta := 0.0
@@ -182,6 +196,8 @@ func solveFrom(ctx context.Context, s, w *linalg.Dense, opts Options) (*Result, 
 				ai++
 			}
 		}
+		ssp.End()
+		opts.Obs.Count(obs.MGlassoSweeps, 1)
 		// Fault injection: pretend the tolerance was never met, exhausting
 		// MaxIter (silent-non-convergence regression test).
 		if delta/float64(k*k) < opts.Tol && !faults.Fire(faults.GlassoNoConverge) {

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkObsNilHooks measures the disabled-telemetry path every
+// instrumentation site pays: a Start/End pair and a Count on zero Hooks.
+// This is the cost added to an untraced pipeline run.
+func BenchmarkObsNilHooks(b *testing.B) {
+	var h Hooks
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := h.Start("stage")
+		h.Count(MGlassoSweeps, 1)
+		sp.End()
+	}
+}
+
+// BenchmarkObsNilStage is the StartStage variant of the disabled path.
+func BenchmarkObsNilStage(b *testing.B) {
+	var h Hooks
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.StartStage("stage").End()
+	}
+}
+
+// BenchmarkObsLiveSpan measures a traced Start/End pair.
+func BenchmarkObsLiveSpan(b *testing.B) {
+	tr := New()
+	root := tr.StartSpan("run")
+	defer root.End()
+	h := Hooks{Tracer: tr}.Under(root)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Start("stage").End()
+	}
+}
+
+// BenchmarkObsCounter measures contended counter increments.
+func BenchmarkObsCounter(b *testing.B) {
+	reg := NewRegistry()
+	c := reg.Counter(MRowsAbsorbed)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+// BenchmarkObsHistogram measures a histogram observation.
+func BenchmarkObsHistogram(b *testing.B) {
+	reg := NewRegistry()
+	hist := reg.Histogram(StageHist("glasso"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hist.Observe(0.003)
+	}
+}
+
+// BenchmarkObsWriteJSON measures exporting a thousand-span trace.
+func BenchmarkObsWriteJSON(b *testing.B) {
+	tr := New()
+	root := tr.StartSpan("run")
+	for i := 0; i < 1000; i++ {
+		root.Child("sweep").End()
+	}
+	root.End()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.WriteJSON(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,365 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a concurrent collection of named counters, gauges, and
+// fixed-bucket histograms. Metrics are created on first use (Counter /
+// Gauge / Histogram are get-or-create) and live for the registry's
+// lifetime. Names share one namespace: requesting an existing name as a
+// different kind returns a detached metric that records nothing, so
+// instrumentation never panics on a naming clash.
+//
+// A Registry is an expvar.Var (String returns a JSON snapshot) and
+// exports Prometheus text format via WritePrometheus. A nil *Registry is
+// a valid no-op sink.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it if needed. Nil
+// registries and kind clashes return a detached counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	if r.taken(name) {
+		return &Counter{}
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed. Nil registries
+// and kind clashes return a detached gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	if r.taken(name) {
+		return &Gauge{}
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram with the default latency
+// buckets, creating it if needed. Nil registries and kind clashes return
+// a detached histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.HistogramBuckets(name, nil)
+}
+
+// HistogramBuckets is Histogram with explicit bucket upper bounds
+// (ascending; +Inf is implicit; nil means DefBuckets). Bounds are fixed
+// at creation — a later call with different bounds returns the original.
+func (r *Registry) HistogramBuckets(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	if r.taken(name) {
+		return newHistogram(bounds)
+	}
+	h := newHistogram(bounds)
+	r.hists[name] = h
+	return h
+}
+
+// taken reports whether name is registered under any kind.
+// Callers hold r.mu.
+func (r *Registry) taken(name string) bool {
+	_, c := r.counters[name]
+	_, g := r.gauges[name]
+	_, h := r.hists[name]
+	return c || g || h
+}
+
+// Counter is a monotonically increasing uint64, safe for concurrent use.
+// A nil *Counter is a valid no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float64, safe for concurrent use. A nil *Gauge is
+// a valid no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increments the gauge by delta (atomic via CAS).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefBuckets are the default latency buckets (seconds), spanning 100µs
+// to ~100s geometrically — wide enough for both a glasso sweep and a
+// full-relation transform.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations, safe
+// for concurrent use. Bucket counts are per-bucket (non-cumulative)
+// internally; exports produce the cumulative form Prometheus expects.
+// A nil *Histogram is a valid no-op.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; final +Inf bucket implicit
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+	n      atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Buckets returns the upper bounds (excluding +Inf) and the cumulative
+// count at each bound, Prometheus-style.
+func (h *Histogram) Buckets() (bounds []float64, cumulative []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	bounds = make([]float64, len(h.bounds))
+	copy(bounds, h.bounds)
+	cumulative = make([]uint64, len(h.bounds))
+	var run uint64
+	for i := range h.bounds {
+		run += h.counts[i].Load()
+		cumulative[i] = run
+	}
+	return bounds, cumulative
+}
+
+// WritePrometheus writes every metric in Prometheus text exposition
+// format (version 0.0.4), names sorted for deterministic output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	var names []string
+	for k := range counters {
+		names = append(names, k)
+	}
+	for k := range gauges {
+		names = append(names, k)
+	}
+	for k := range hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+
+	var sb strings.Builder
+	for _, name := range names {
+		switch {
+		case counters[name] != nil:
+			fmt.Fprintf(&sb, "# TYPE %s counter\n%s %d\n", name, name, counters[name].Value())
+		case gauges[name] != nil:
+			fmt.Fprintf(&sb, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(gauges[name].Value()))
+		case hists[name] != nil:
+			h := hists[name]
+			fmt.Fprintf(&sb, "# TYPE %s histogram\n", name)
+			bounds, cum := h.Buckets()
+			for i, b := range bounds {
+				fmt.Fprintf(&sb, "%s_bucket{le=%q} %d\n", name, promFloat(b), cum[i])
+			}
+			fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+			fmt.Fprintf(&sb, "%s_sum %s\n", name, promFloat(h.Sum()))
+			fmt.Fprintf(&sb, "%s_count %d\n", name, h.Count())
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// promFloat formats a float the way Prometheus clients do.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// histSnapshot is the JSON shape of one histogram in String().
+type histSnapshot struct {
+	Count   uint64    `json:"count"`
+	Sum     float64   `json:"sum"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []uint64  `json:"buckets"` // cumulative, parallel to Bounds
+}
+
+// String returns a JSON snapshot of the registry, making it an
+// expvar.Var (`expvar.Publish("fdx", registry)` exposes it at
+// /debug/vars). Keys are sorted by encoding/json.
+func (r *Registry) String() string {
+	if r == nil {
+		return "{}"
+	}
+	snap := struct {
+		Counters   map[string]uint64       `json:"counters"`
+		Gauges     map[string]float64      `json:"gauges"`
+		Histograms map[string]histSnapshot `json:"histograms"`
+	}{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]histSnapshot{},
+	}
+	r.mu.Lock()
+	for k, v := range r.counters {
+		snap.Counters[k] = v.Value()
+	}
+	for k, v := range r.gauges {
+		snap.Gauges[k] = v.Value()
+	}
+	for k, v := range r.hists {
+		bounds, cum := v.Buckets()
+		snap.Histograms[k] = histSnapshot{Count: v.Count(), Sum: v.Sum(), Bounds: bounds, Buckets: cum}
+	}
+	r.mu.Unlock()
+	b, err := json.Marshal(snap)
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}

@@ -1,0 +1,41 @@
+package obs
+
+import "strings"
+
+// Canonical metric names recorded by the instrumented pipeline. Keeping
+// them in one place makes dashboards and tests typo-proof.
+const (
+	// MRowsAbsorbed counts relation rows absorbed by the accumulator.
+	MRowsAbsorbed = "fdx_rows_absorbed_total"
+	// MBatchesAbsorbed counts accumulator batches absorbed.
+	MBatchesAbsorbed = "fdx_batches_absorbed_total"
+	// MTransformPairs counts pair-transform sample cells (rows × attrs).
+	MTransformPairs = "fdx_transform_pairs_total"
+	// MGlassoSweeps counts graphical-lasso coordinate-descent sweeps.
+	MGlassoSweeps = "fdx_glasso_sweeps_total"
+	// MFallbacks counts regularization-ladder escalations.
+	MFallbacks = "fdx_fallback_escalations_total"
+	// MSanitizedColumns counts NaN/Inf covariance columns sanitized.
+	MSanitizedColumns = "fdx_sanitized_columns_total"
+	// MFDsGenerated counts functional dependencies emitted.
+	MFDsGenerated = "fdx_fds_generated_total"
+	// MDiscoverRuns counts model fits (Discover calls reaching the solver).
+	MDiscoverRuns = "fdx_discover_runs_total"
+	// MCheckpointSaves counts durable checkpoint snapshots written.
+	MCheckpointSaves = "fdx_checkpoint_saves_total"
+	// MCheckpointBytes counts bytes written into checkpoint snapshots.
+	MCheckpointBytes = "fdx_checkpoint_bytes_total"
+	// MWALRecords counts write-ahead-log records appended.
+	MWALRecords = "fdx_wal_records_total"
+	// MWALBytes counts write-ahead-log bytes appended.
+	MWALBytes = "fdx_wal_bytes_total"
+	// MWALReplayed counts WAL records re-applied during restore.
+	MWALReplayed = "fdx_wal_replayed_records_total"
+)
+
+// StageHist returns the latency-histogram name for a pipeline stage,
+// e.g. StageHist("glasso") == "fdx_stage_glasso_seconds". Hyphens in
+// stage names become underscores to stay Prometheus-legal.
+func StageHist(stage string) string {
+	return "fdx_stage_" + strings.ReplaceAll(stage, "-", "_") + "_seconds"
+}

@@ -1,0 +1,400 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSinksAreNoOps(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartSpan("x")
+	if sp != nil {
+		t.Fatalf("nil tracer StartSpan = %v, want nil", sp)
+	}
+	// Every span method must be callable on nil.
+	sp.Attr("k", 1)
+	sp.SetTrack(3)
+	sp.End()
+	if d := sp.Duration(); d != 0 {
+		t.Errorf("nil span Duration = %v, want 0", d)
+	}
+	if c := sp.Child("y"); c != nil {
+		t.Errorf("nil span Child = %v, want nil", c)
+	}
+	if st := sp.StageTimings(); st != nil {
+		t.Errorf("nil span StageTimings = %v, want nil", st)
+	}
+	tr.SetMemSampling(true)
+	if got := tr.Spans(); got != nil {
+		t.Errorf("nil tracer Spans = %v, want nil", got)
+	}
+
+	var reg *Registry
+	reg.Counter("c").Add(1)
+	reg.Gauge("g").Set(1)
+	reg.Histogram("h").Observe(1)
+	if err := reg.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil registry WritePrometheus: %v", err)
+	}
+	if s := reg.String(); s != "{}" {
+		t.Errorf("nil registry String = %q, want {}", s)
+	}
+
+	var h Hooks
+	if h.Enabled() {
+		t.Error("zero Hooks reports Enabled")
+	}
+	sp = h.Start("x")
+	if sp != nil {
+		t.Fatalf("zero Hooks Start = %v, want nil", sp)
+	}
+	h.StartStage("y").End()
+	h.Count("c", 2)
+	h.SetGauge("g", 3)
+}
+
+func TestSpanTreeAndFind(t *testing.T) {
+	tr := New()
+	root := tr.StartSpan("run")
+	a := root.Child("stage")
+	a.End()
+	b := root.Child("stage")
+	c := b.Child("inner")
+	c.End()
+	b.End()
+	root.End()
+
+	if got := len(tr.Roots()); got != 1 {
+		t.Fatalf("Roots = %d, want 1", got)
+	}
+	if got := len(tr.Find("stage")); got != 2 {
+		t.Errorf("Find(stage) = %d spans, want 2", got)
+	}
+	if got := len(tr.Spans()); got != 4 {
+		t.Errorf("Spans = %d, want 4", got)
+	}
+	if c.Parent() != b {
+		t.Error("inner span has wrong parent")
+	}
+	if !root.Ended() {
+		t.Error("root not ended")
+	}
+	if root.Duration() <= 0 {
+		t.Error("root duration not positive")
+	}
+	// End is idempotent: the first end time sticks.
+	d := a.Duration()
+	time.Sleep(2 * time.Millisecond)
+	a.End()
+	if got := a.Duration(); got != d {
+		t.Errorf("second End changed duration: %v -> %v", d, got)
+	}
+}
+
+func TestStageTimingsAggregates(t *testing.T) {
+	tr := New()
+	root := tr.StartSpan("run")
+	for i := 0; i < 3; i++ {
+		root.Child("sweep").End()
+	}
+	root.Child("order").End()
+	root.End()
+
+	st := root.StageTimings()
+	if len(st) != 2 {
+		t.Fatalf("StageTimings = %v, want 2 groups", st)
+	}
+	if st[0].Stage != "sweep" || st[0].Count != 3 {
+		t.Errorf("first group = %+v, want sweep ×3", st[0])
+	}
+	if st[1].Stage != "order" || st[1].Count != 1 {
+		t.Errorf("second group = %+v, want order ×1", st[1])
+	}
+}
+
+func TestWriteJSONIsValidTrace(t *testing.T) {
+	tr := New()
+	root := tr.StartSpan("run")
+	root.Attr("rows", 100)
+	w := root.Child("worker")
+	w.SetTrack(2)
+	w.End()
+	root.End()
+	open := tr.StartSpan("unfinished")
+	_ = open
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if len(f.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(f.TraceEvents))
+	}
+	byName := map[string]int{}
+	for i, ev := range f.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q ph = %q, want X", ev.Name, ev.Ph)
+		}
+		byName[ev.Name] = i
+	}
+	if got := f.TraceEvents[byName["worker"]].Tid; got != 2 {
+		t.Errorf("worker tid = %d, want 2", got)
+	}
+	if got := f.TraceEvents[byName["run"]].Args["rows"]; got != float64(100) {
+		t.Errorf("run args rows = %v, want 100", got)
+	}
+	if got := f.TraceEvents[byName["unfinished"]].Args["unfinished"]; got != true {
+		t.Errorf("open span not marked unfinished: %v", got)
+	}
+	for i := 1; i < len(f.TraceEvents); i++ {
+		if f.TraceEvents[i].Ts < f.TraceEvents[i-1].Ts {
+			t.Error("events not sorted by ts")
+		}
+	}
+
+	// A nil tracer still writes a loadable empty trace.
+	buf.Reset()
+	var nilTr *Tracer
+	if err := nilTr.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil WriteJSON: %v", err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("nil trace JSON does not parse: %v", err)
+	}
+}
+
+func TestMemSampling(t *testing.T) {
+	tr := New()
+	tr.SetMemSampling(true)
+	sp := tr.StartSpan("alloc")
+	sink := make([]byte, 1<<20)
+	_ = sink
+	sp.End()
+	delta, ok := sp.AllocDelta()
+	if !ok {
+		t.Fatal("AllocDelta not sampled with mem sampling on")
+	}
+	if delta < 1<<20 {
+		t.Errorf("AllocDelta = %d, want >= 1MiB", delta)
+	}
+	tr.SetMemSampling(false)
+	sp2 := tr.StartSpan("noalloc")
+	sp2.End()
+	if _, ok := sp2.AllocDelta(); ok {
+		t.Error("AllocDelta sampled with mem sampling off")
+	}
+}
+
+func TestSummaryTree(t *testing.T) {
+	tr := New()
+	root := tr.StartSpan("run")
+	for i := 0; i < 5; i++ {
+		root.Child("sweep").End()
+	}
+	one := root.Child("order")
+	one.Attr("method", "heuristic")
+	one.End()
+	root.End()
+
+	s := tr.Summary()
+	for _, want := range []string{"run", "sweep ×5", "order", "method=heuristic"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				reg.Counter("c").Inc()
+				reg.Gauge("g").Add(1)
+				reg.Histogram("h").Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("c").Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := reg.Gauge("g").Value(); got != workers*per {
+		t.Errorf("gauge = %v, want %d", got, workers*per)
+	}
+	if got := reg.Histogram("h").Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestRegistryKindClashReturnsDetached(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("name").Add(7)
+	g := reg.Gauge("name") // same name, different kind
+	g.Set(99)              // must not corrupt anything
+	h := reg.Histogram("name")
+	h.Observe(1)
+	if got := reg.Counter("name").Value(); got != 7 {
+		t.Errorf("original counter = %d, want 7", got)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "# TYPE name"); got != 1 {
+		t.Errorf("clashing name exported %d times, want 1:\n%s", got, buf.String())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	bounds, cum := h.Buckets()
+	if len(bounds) != 3 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	// le=0.1 catches 0.05 and 0.1; le=1 adds 0.5; le=10 adds 5; +Inf adds 50.
+	want := []uint64{2, 3, 4}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Errorf("cumulative[%d] = %d, want %d", i, cum[i], want[i])
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-55.65) > 1e-9 {
+		t.Errorf("sum = %v, want 55.65", h.Sum())
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MRowsAbsorbed).Add(123)
+	reg.Gauge("fdx_progress_ratio").Set(0.5)
+	reg.HistogramBuckets(StageHist("glasso"), []float64{0.01, 0.1}).Observe(0.05)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE fdx_rows_absorbed_total counter",
+		"fdx_rows_absorbed_total 123",
+		"# TYPE fdx_progress_ratio gauge",
+		"fdx_progress_ratio 0.5",
+		"# TYPE fdx_stage_glasso_seconds histogram",
+		`fdx_stage_glasso_seconds_bucket{le="0.01"} 0`,
+		`fdx_stage_glasso_seconds_bucket{le="0.1"} 1`,
+		`fdx_stage_glasso_seconds_bucket{le="+Inf"} 1`,
+		"fdx_stage_glasso_seconds_sum 0.05",
+		"fdx_stage_glasso_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic: two writes are identical.
+	var buf2 bytes.Buffer
+	if err := reg.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if out != buf2.String() {
+		t.Error("WritePrometheus output not deterministic")
+	}
+}
+
+func TestRegistryStringIsJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MGlassoSweeps).Add(31)
+	reg.Gauge("g").Set(2.5)
+	reg.Histogram(StageHist("udu")).Observe(0.002)
+
+	var snap struct {
+		Counters   map[string]uint64 `json:"counters"`
+		Gauges     map[string]float64
+		Histograms map[string]struct {
+			Count uint64 `json:"count"`
+		}
+	}
+	if err := json.Unmarshal([]byte(reg.String()), &snap); err != nil {
+		t.Fatalf("String() is not valid JSON: %v", err)
+	}
+	if snap.Counters[MGlassoSweeps] != 31 {
+		t.Errorf("counters = %v", snap.Counters)
+	}
+	if snap.Histograms[StageHist("udu")].Count != 1 {
+		t.Errorf("histograms = %v", snap.Histograms)
+	}
+}
+
+func TestHooksStageWithMetricsOnly(t *testing.T) {
+	reg := NewRegistry()
+	h := Hooks{Metrics: reg}
+	sp := h.StartStage("transform")
+	if sp == nil {
+		t.Fatal("metrics-only StartStage returned nil span")
+	}
+	time.Sleep(time.Millisecond)
+	sp.End()
+	hist := reg.Histogram(StageHist("transform"))
+	if hist.Count() != 1 {
+		t.Fatalf("stage histogram count = %d, want 1", hist.Count())
+	}
+	if hist.Sum() <= 0 {
+		t.Errorf("stage histogram sum = %v, want > 0", hist.Sum())
+	}
+	// Detached spans must not create trace children.
+	if c := sp.Child("x"); c != nil {
+		t.Errorf("detached span Child = %v, want nil", c)
+	}
+}
+
+func TestHooksUnderNests(t *testing.T) {
+	tr := New()
+	h := Hooks{Tracer: tr}
+	root := h.Start("run")
+	child := h.Under(root).Start("stage")
+	child.End()
+	root.End()
+	if child.Parent() != root {
+		t.Error("Under did not nest child under root")
+	}
+	// Under(nil) keeps starting roots.
+	other := h.Under(nil).Start("other")
+	other.End()
+	if other.Parent() != nil {
+		t.Error("Under(nil) should leave hooks rooted on the tracer")
+	}
+}
+
+func TestStageHistName(t *testing.T) {
+	if got := StageHist("ladder-rung"); got != "fdx_stage_ladder_rung_seconds" {
+		t.Errorf("StageHist = %q", got)
+	}
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// traceEvent is one Chrome trace-event ("X" = complete event). Times are
+// microseconds relative to the tracer epoch, per the trace-event spec.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON-object container format, which viewers prefer
+// over the bare array form.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteJSON exports the trace in Chrome trace-event JSON: load the file
+// in https://ui.perfetto.dev or chrome://tracing. Each span becomes a
+// complete ("ph":"X") event; spans still running are emitted with their
+// elapsed duration and an "unfinished" arg. Events are sorted by start
+// time and the track set via SetTrack maps to the tid lane.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	now := time.Now()
+	var events []traceEvent
+	for _, s := range t.Spans() {
+		s.mu.Lock()
+		ev := traceEvent{
+			Name: s.name,
+			Cat:  "fdx",
+			Ph:   "X",
+			Ts:   float64(s.start.Sub(t.epoch)) / float64(time.Microsecond),
+			Pid:  1,
+		}
+		if s.ended {
+			ev.Dur = float64(s.end.Sub(s.start)) / float64(time.Microsecond)
+		} else {
+			ev.Dur = float64(now.Sub(s.start)) / float64(time.Microsecond)
+		}
+		args := map[string]any{}
+		for _, a := range s.attrs {
+			args[a.Key] = a.Value
+		}
+		if !s.ended {
+			args["unfinished"] = true
+		}
+		if s.mem && s.ended {
+			args["alloc_bytes"] = s.allocEnd - s.allocStart
+		}
+		s.mu.Unlock()
+		ev.Tid = s.effectiveTrack()
+		if len(args) > 0 {
+			ev.Args = args
+		}
+		events = append(events, ev)
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Ts < events[j].Ts })
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -19,6 +19,7 @@ import (
 
 	"fdx/internal/fdxerr"
 	"fdx/internal/linalg"
+	"fdx/internal/obs"
 )
 
 // Method names accepted by ByName.
@@ -62,6 +63,15 @@ func (g *Graph) AddEdge(a, b int) {
 
 // N returns the node count.
 func (g *Graph) N() int { return g.n }
+
+// Edges returns the undirected edge count.
+func (g *Graph) Edges() int {
+	half := 0
+	for _, nb := range g.adj {
+		half += len(nb)
+	}
+	return half / 2
+}
 
 // Degree returns the degree of node v.
 func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
@@ -109,6 +119,22 @@ func FromPrecision(theta *linalg.Dense, tol float64) *Graph {
 // variant — an ordering typo must surface as a matchable error from
 // Discover, not kill the process.
 func Order(method string, g *Graph, seed int64) (linalg.Permutation, error) {
+	return OrderObs(method, g, seed, obs.Hooks{})
+}
+
+// OrderObs is Order with telemetry: the computation runs inside an
+// "ordering" stage span annotated with the method and graph size.
+func OrderObs(method string, g *Graph, seed int64, h obs.Hooks) (linalg.Permutation, error) {
+	sp := h.StartStage("ordering")
+	defer sp.End()
+	sp.Attr("method", method)
+	sp.Attr("nodes", g.N())
+	sp.Attr("edges", g.Edges())
+	return order(method, g, seed)
+}
+
+// order dispatches to the method implementations.
+func order(method string, g *Graph, seed int64) (linalg.Permutation, error) {
 	switch method {
 	case Natural:
 		return linalg.IdentityPerm(g.n), nil

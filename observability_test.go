@@ -1,0 +1,132 @@
+package fdx_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"fdx"
+)
+
+// TestDiscoverTelemetryCoverage runs a full discovery with both sinks
+// attached and checks the span tree covers every pipeline stage, the
+// stage timings account for the run's wall time, the registry saw the
+// pipeline's counters, and the trace exports as valid JSON.
+func TestDiscoverTelemetryCoverage(t *testing.T) {
+	rel := noisyAddressRelation(rand.New(rand.NewSource(3)), 1200, 0.02)
+	tr := fdx.NewTracer()
+	reg := fdx.NewMetrics()
+	res, err := fdx.Discover(rel, fdx.Options{Seed: 7, Tracer: tr, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FDs) == 0 {
+		t.Fatal("no FDs found")
+	}
+
+	for _, stage := range []string{
+		"discover", "transform", "covariance", "prepare",
+		"ladder-rung", "glasso", "glasso-sweep", "ordering", "udu", "generate",
+	} {
+		if len(tr.Find(stage)) == 0 {
+			t.Errorf("no %q span in the trace", stage)
+		}
+	}
+	for _, sp := range tr.Spans() {
+		if !sp.Ended() {
+			t.Errorf("span %q was never ended", sp.Name())
+		}
+	}
+
+	roots := tr.Roots()
+	if len(roots) != 1 || roots[0].Name() != "discover" {
+		t.Fatalf("roots = %v, want one discover span", roots)
+	}
+	if len(res.StageTimings) == 0 {
+		t.Fatal("Result.StageTimings is empty")
+	}
+	var sum time.Duration
+	for _, st := range res.StageTimings {
+		if st.Count <= 0 || st.Duration < 0 {
+			t.Errorf("stage %q has count %d duration %v", st.Stage, st.Count, st.Duration)
+		}
+		sum += st.Duration
+	}
+	// The stages are strictly sequential children of the root, so their
+	// durations can never exceed it; they must also account for nearly all
+	// of it (the lower bound is loose enough for -race scheduling gaps).
+	total := roots[0].Duration()
+	if sum > total {
+		t.Errorf("stage timings sum %v exceeds the run's %v", sum, total)
+	}
+	if sum < total*7/10 {
+		t.Errorf("stage timings sum %v accounts for <70%% of the run's %v", sum, total)
+	}
+
+	if c := reg.Counter("fdx_glasso_sweeps_total").Value(); c == 0 {
+		t.Error("glasso sweep counter never incremented")
+	}
+	var prom bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fdx_glasso_sweeps_total", "fdx_transform_pairs_total", "fdx_stage_transform_seconds"} {
+		if !strings.Contains(prom.String(), name) {
+			t.Errorf("prometheus export is missing %s:\n%s", name, prom.String())
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if len(doc.TraceEvents) < 5 {
+		t.Errorf("trace JSON has only %d events", len(doc.TraceEvents))
+	}
+}
+
+// TestAccumulatorTelemetry checks the streaming path: each absorbed batch
+// is its own trace root, the rows counter tracks absorption, and the
+// derived result carries stage timings from its discover span.
+func TestAccumulatorTelemetry(t *testing.T) {
+	rel := noisyAddressRelation(rand.New(rand.NewSource(5)), 300, 0.01)
+	tr := fdx.NewTracer()
+	reg := fdx.NewMetrics()
+	acc := fdx.NewAccumulator(rel.AttrNames(), fdx.Options{Seed: 7, Tracer: tr, Metrics: reg})
+	for b := 0; b < 3; b++ {
+		if err := acc.Add(rel.Slice(b*100, (b+1)*100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(tr.Find("absorb-batch")); got != 3 {
+		t.Errorf("found %d absorb-batch spans, want 3", got)
+	}
+	if got := reg.Counter("fdx_rows_absorbed_total").Value(); got != 300 {
+		t.Errorf("rows absorbed counter = %d, want 300", got)
+	}
+	res, err := acc.Discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.StageTimings) == 0 {
+		t.Error("accumulator result has no stage timings")
+	}
+	if got := len(tr.Find("discover")); got != 1 {
+		t.Errorf("found %d discover spans, want 1", got)
+	}
+	if got := len(tr.Find("covariance")); got != 1 {
+		t.Errorf("found %d covariance spans, want 1", got)
+	}
+	if got := reg.Counter("fdx_discover_runs_total").Value(); got != 1 {
+		t.Errorf("discover runs counter = %d, want 1", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fdx/internal/checkpoint"
 	"fdx/internal/core"
 	"fdx/internal/fdxerr"
+	"fdx/internal/obs"
 )
 
 // Accumulator supports incremental FD discovery over a stream of tuple
@@ -65,6 +66,7 @@ func (a *Accumulator) DiscoverContext(ctx context.Context) (res *Result, err err
 	}
 	res = resultFromModel(model, a.names)
 	res.ModelDuration = time.Since(t0)
+	res.StageTimings = model.Trace.StageTimings()
 	return res, nil
 }
 
@@ -109,7 +111,18 @@ func RestoreAccumulator(r io.Reader, opts Options) (acc *Accumulator, err error)
 func (a *Accumulator) SaveCheckpoint(path string) (err error) {
 	defer guard("fdx: SaveCheckpoint", &err)
 	copts := a.inner.Options()
-	return checkpoint.Save(path, a.inner.State(), checkpoint.Fingerprint(copts))
+	// The checkpoint package stays telemetry-free; spans and byte counters
+	// are wired here at the API boundary from the sizes it reports.
+	sp := copts.Obs.StartStage("checkpoint-save")
+	defer sp.End()
+	n, err := checkpoint.Save(path, a.inner.State(), checkpoint.Fingerprint(copts))
+	if err != nil {
+		return err
+	}
+	sp.Attr("bytes", n)
+	copts.Obs.Count(obs.MCheckpointSaves, 1)
+	copts.Obs.Count(obs.MCheckpointBytes, uint64(n))
+	return nil
 }
 
 // LoadCheckpoint restores an accumulator from the checkpoint at path,
@@ -121,7 +134,10 @@ func (a *Accumulator) SaveCheckpoint(path string) (err error) {
 // ErrCheckpointVersion. Arbitrary bytes never panic.
 func LoadCheckpoint(path string, opts Options) (acc *Accumulator, err error) {
 	defer guard("fdx: LoadCheckpoint", &err)
+	h := coreOptions(opts).Obs
+	lsp := h.StartStage("checkpoint-load")
 	st, fingerprint, err := checkpoint.Load(path)
+	lsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -129,7 +145,9 @@ func LoadCheckpoint(path string, opts Options) (acc *Accumulator, err error) {
 	if err != nil {
 		return nil, err
 	}
-	_, err = checkpoint.ReplayWAL(path+WALSuffix, func(d *core.BatchDelta) error {
+	rsp := h.StartStage("wal-replay")
+	defer rsp.End()
+	applied, err := checkpoint.ReplayWAL(path+WALSuffix, func(d *core.BatchDelta) error {
 		switch {
 		case d.Seq <= acc.inner.Batches():
 			// Already covered by the snapshot (the WAL was not reset after
@@ -141,6 +159,8 @@ func LoadCheckpoint(path string, opts Options) (acc *Accumulator, err error) {
 			return fdxerr.Corrupt("checkpoint: wal skips from batch %d to %d", acc.inner.Batches(), d.Seq)
 		}
 	})
+	rsp.Attr("records", applied)
+	h.Count(obs.MWALReplayed, uint64(applied))
 	if err != nil {
 		return nil, err
 	}
@@ -209,5 +229,15 @@ func (a *Accumulator) AddLogged(rel *Relation, w *WAL) (err error) {
 	if err != nil {
 		return err
 	}
-	return w.inner.Append(d)
+	h := a.inner.Options().Obs
+	sp := h.StartStage("wal-append")
+	defer sp.End()
+	n, err := w.inner.Append(d)
+	if err != nil {
+		return err
+	}
+	sp.Attr("bytes", n)
+	h.Count(obs.MWALRecords, 1)
+	h.Count(obs.MWALBytes, uint64(n))
+	return nil
 }
