@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint test-race test-faults test-crash fuzz bench bench-obs experiments fast-experiments fmt loc
+.PHONY: all build test vet lint test-race test-faults test-crash fuzz bench bench-obs bench-kernels bench-kernels-short experiments fast-experiments fmt loc
 
 all: build vet lint test
 
@@ -18,10 +18,11 @@ lint:
 	$(GO) run ./cmd/fdxlint ./...
 
 # Race-detect the concurrent packages: the parallel transform and stratified
-# covariance (internal/core, internal/stats), the experiment harness's timed
-# goroutines, and the root streaming API.
+# covariance (internal/core, internal/stats), the worker pool and parallel
+# kernels (internal/par, internal/linalg, internal/glasso), the experiment
+# harness's timed goroutines, and the root streaming API.
 test-race:
-	$(GO) test -race ./internal/core ./internal/stats ./internal/experiments ./internal/obs .
+	$(GO) test -race ./internal/core ./internal/stats ./internal/par ./internal/linalg ./internal/glasso ./internal/experiments ./internal/obs .
 
 # Fault-injection suite: every TestFault* test arms internal/faults points
 # (poisoned covariance, forced non-convergence, bad pivots, slow stages,
@@ -53,6 +54,19 @@ bench-obs:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 	$(GO) run ./cmd/fdxbench -stream BENCH_stream.json
+
+# Numeric-kernel benchmark: blocked matmul vs the frozen naive kernel, the
+# parallel Graphical Lasso vs the frozen seed solver, absorb throughput,
+# and steady-state allocation counts. Gates the fresh run against the
+# committed baseline (speedup ratios with 10% slack; allocs exactly), then
+# refreshes BENCH_kernels.json.
+bench-kernels:
+	$(GO) run ./cmd/fdxbench -kernels BENCH_kernels.json -compare BENCH_kernels.json
+
+# CI smoke variant: reduced sizes and repetitions, gated against the
+# committed baseline without touching it.
+bench-kernels-short:
+	$(GO) run ./cmd/fdxbench -kernels /tmp/BENCH_kernels_ci.json -short -compare BENCH_kernels.json
 
 # Regenerate every paper table/figure at report scale (slow).
 experiments:

@@ -1,0 +1,427 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"fdx"
+	"fdx/internal/glasso"
+	"fdx/internal/linalg"
+	"fdx/internal/synth"
+)
+
+// kernelsReport is the JSON schema of BENCH_kernels.json: throughput of the
+// numeric kernel layer (blocked matmul, the parallel Graphical Lasso, the
+// accumulator's absorb path) plus the steady-state allocation counts the
+// zero-alloc refactor pins at zero.
+//
+// The regression gate (-compare) only judges quantities that are stable
+// across machines: same-run speedup ratios (each computed from two
+// measurements taken seconds apart on the same CPU) and allocation counts.
+// Absolute milliseconds and rows/s are recorded for humans, never gated.
+type kernelsReport struct {
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Simd       bool          `json:"simd"`
+	Short      bool          `json:"short"`
+	Matmul     []matmulBench `json:"matmul"`
+	Glasso     []glassoBench `json:"glasso"`
+	Absorb     absorbBench   `json:"absorb"`
+	Allocs     allocsBench   `json:"allocs"`
+}
+
+type matmulBench struct {
+	N             int     `json:"n"`
+	BlockedMillis float64 `json:"blocked_ms"`
+	NaiveMillis   float64 `json:"naive_ms"`
+	BlockedGflops float64 `json:"blocked_gflops"`
+	NaiveGflops   float64 `json:"naive_gflops"`
+	// Speedup is blocked vs the frozen seed triple-loop kernel
+	// (linalg.MulNaive), both measured in this run.
+	Speedup float64 `json:"speedup_vs_naive"`
+}
+
+type glassoBench struct {
+	P              int     `json:"p"`
+	Sweeps         int     `json:"sweeps"`
+	SeedMillis     float64 `json:"seed_ms"`
+	Workers1Millis float64 `json:"workers1_ms"`
+	Workers8Millis float64 `json:"workers8_ms"`
+	// SpeedupVsSeed is the frozen seed solver (cmd/fdxbench/seedref.go)
+	// vs the optimized solver at Workers=8, both measured in this run.
+	SpeedupVsSeed float64 `json:"speedup_vs_seed"`
+	// SpeedupWorkers is Workers=1 vs Workers=8 wall clock. On a
+	// single-CPU runner this hovers near 1.0 (the fan-out still runs,
+	// serialized); it only separates from 1 with real cores.
+	SpeedupWorkers float64 `json:"speedup_workers"`
+}
+
+type absorbBench struct {
+	Rows       int     `json:"rows"`
+	Attributes int     `json:"attributes"`
+	BatchRows  int     `json:"batch_rows"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+}
+
+// allocsBench holds steady-state allocations per operation, measured with
+// testing.AllocsPerRun after warm-up so every sync.Pool is primed.
+type allocsBench struct {
+	// MulToPerOp is allocations per MulTo call into a caller-owned result.
+	MulToPerOp float64 `json:"mul_to_per_op"`
+	// AxpyDotPerOp is allocations per fused Axpy+Dot pair.
+	AxpyDotPerOp float64 `json:"axpy_dot_per_op"`
+	// GlassoSweepPerOp is the marginal allocations per additional outer
+	// sweep of glasso.Solve (the difference between a long and a short
+	// solve divided by the extra sweeps), isolating the sweep loop from
+	// per-solve setup.
+	GlassoSweepPerOp float64 `json:"glasso_sweep_per_op"`
+}
+
+// runKernelBench measures the kernel layer, writes the JSON report to
+// outPath, and — when basePath is non-empty — gates against the baseline
+// report, returning non-zero on a regression.
+func runKernelBench(outPath, basePath string, short bool) int {
+	// Load the baseline up front: outPath and basePath may be the same
+	// file ("gate against the last committed run, then refresh it"), so
+	// the baseline must be read before the report is written.
+	var base *kernelsReport
+	if basePath != "" {
+		var err error
+		base, err = loadKernelsReport(basePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdxbench:", err)
+			return 1
+		}
+	}
+	rep := kernelsReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Simd:       linalg.SimdEnabled(),
+		Short:      short,
+	}
+
+	matReps, glassoReps := 5, 3
+	if short {
+		matReps, glassoReps = 2, 2
+	}
+	for _, n := range []int{64, 128, 256} {
+		rep.Matmul = append(rep.Matmul, benchMatmul(n, matReps))
+	}
+	ps := []int{16, 32, 64, 128}
+	if short {
+		ps = []int{16, 32, 64}
+	}
+	for _, p := range ps {
+		rep.Glasso = append(rep.Glasso, benchGlasso(p, glassoReps))
+	}
+	rep.Absorb = benchAbsorb(short)
+	rep.Allocs = benchAllocs()
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdxbench:", err)
+		return 1
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "fdxbench:", err)
+		return 1
+	}
+	fmt.Printf("kernel benchmark: %s\n%s", outPath, out)
+
+	if base == nil {
+		return 0
+	}
+	failures := compareKernels(&rep, base)
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "fdxbench: REGRESSION:", f)
+	}
+	if len(failures) > 0 {
+		return 1
+	}
+	fmt.Printf("compare vs %s: ok\n", basePath)
+	return 0
+}
+
+// bestOf returns the fastest of reps timed runs of f — the standard defense
+// against scheduler noise on shared runners.
+func bestOf(reps int, f func()) time.Duration {
+	best := time.Duration(0)
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		f()
+		d := time.Since(t0)
+		if r == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func benchMatmul(n, reps int) matmulBench {
+	rng := rand.New(rand.NewSource(int64(n)))
+	a := linalg.NewDense(n, n)
+	b := linalg.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.NormFloat64())
+			b.Set(i, j, rng.NormFloat64())
+		}
+	}
+	c := linalg.NewDense(n, n)
+	linalg.MulTo(c, a, b) // warm the packing pool
+
+	blocked := bestOf(reps, func() { linalg.MulTo(c, a, b) })
+	naive := bestOf(reps, func() { linalg.MulNaive(a, b) })
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	return matmulBench{
+		N:             n,
+		BlockedMillis: float64(blocked.Microseconds()) / 1e3,
+		NaiveMillis:   float64(naive.Microseconds()) / 1e3,
+		BlockedGflops: flops / blocked.Seconds() / 1e9,
+		NaiveGflops:   flops / naive.Seconds() / 1e9,
+		Speedup:       naive.Seconds() / blocked.Seconds(),
+	}
+}
+
+// benchCovariance builds a deterministic well-conditioned SPD matrix of
+// order p: S = GᵀG/p + I/2 for a Gaussian factor G.
+func benchCovariance(p int) *linalg.Dense {
+	rng := rand.New(rand.NewSource(int64(p) * 7919))
+	g := linalg.NewDense(p, p)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			g.Set(i, j, rng.NormFloat64())
+		}
+	}
+	s := linalg.MulTo(linalg.NewDense(p, p), g.Transpose(), g)
+	s.Scale(1 / float64(p))
+	for i := 0; i < p; i++ {
+		s.Add(i, i, 0.5)
+	}
+	s.Symmetrize()
+	return s
+}
+
+func benchGlasso(p, reps int) glassoBench {
+	s := benchCovariance(p)
+	const lambda = 0.1
+	opts := glasso.Options{Lambda: lambda}
+
+	sweeps := 0
+	solve := func(workers int) func() {
+		return func() {
+			o := opts
+			o.Workers = workers
+			res, err := glasso.Solve(s, o)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fdxbench: glasso:", err)
+				os.Exit(1)
+			}
+			sweeps = res.Iterations
+		}
+	}
+	// The seed reference runs with the same hyper-parameters the live
+	// solver defaults to (MaxIter 100, Tol 1e-5, inner 200/1e-6).
+	seedSolve := func() {
+		if _, _, err := seedGlassoSolve(s, lambda, 100, 1e-5, 200, 1e-6); err != nil {
+			fmt.Fprintln(os.Stderr, "fdxbench: seed glasso:", err)
+			os.Exit(1)
+		}
+	}
+	// Warm every variant before timing: the first call grows the heap (and,
+	// for the optimized solver, primes the workspace pool), which would
+	// otherwise be billed to whichever variant ran first.
+	solve(1)()
+	solve(8)()
+	seedSolve()
+	w1 := bestOf(reps, solve(1))
+	w8 := bestOf(reps, solve(8))
+	seed := bestOf(reps, seedSolve)
+	return glassoBench{
+		P:              p,
+		Sweeps:         sweeps,
+		SeedMillis:     float64(seed.Microseconds()) / 1e3,
+		Workers1Millis: float64(w1.Microseconds()) / 1e3,
+		Workers8Millis: float64(w8.Microseconds()) / 1e3,
+		SpeedupVsSeed:  seed.Seconds() / w8.Seconds(),
+		SpeedupWorkers: w1.Seconds() / w8.Seconds(),
+	}
+}
+
+func benchAbsorb(short bool) absorbBench {
+	rows, batchRows := 100_000, 1024
+	if short {
+		rows = 10_000
+	}
+	inst := synth.Generate(synth.Config{
+		Seed:              1,
+		Tuples:            rows,
+		Attributes:        12,
+		DomainCardinality: 144,
+		NoiseRate:         0.01,
+	})
+	rel := inst.Relation
+	acc := fdx.NewAccumulator(rel.AttrNames(), fdx.Options{Seed: 1, Workers: runtime.GOMAXPROCS(0)})
+	total := rel.NumRows() / batchRows
+	t0 := time.Now()
+	for b := 0; b < total; b++ {
+		if err := acc.Add(rel.Slice(b*batchRows, (b+1)*batchRows)); err != nil {
+			fmt.Fprintln(os.Stderr, "fdxbench: absorb:", err)
+			os.Exit(1)
+		}
+	}
+	sec := time.Since(t0).Seconds()
+	return absorbBench{
+		Rows:       total * batchRows,
+		Attributes: rel.NumCols(),
+		BatchRows:  batchRows,
+		RowsPerSec: float64(total*batchRows) / sec,
+	}
+}
+
+func benchAllocs() allocsBench {
+	// MulTo into a caller-owned result, pools warm.
+	n := 96
+	a, b, c := linalg.NewDense(n, n), linalg.NewDense(n, n), linalg.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 1)
+		b.Set(i, i, 2)
+	}
+	linalg.MulTo(c, a, b)
+	mulAllocs := testing.AllocsPerRun(10, func() { linalg.MulTo(c, a, b) })
+
+	x := make([]float64, 1024)
+	y := make([]float64, 1024)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = float64(1024 - i)
+	}
+	sink := 0.0
+	vecAllocs := testing.AllocsPerRun(10, func() {
+		linalg.Axpy(0.5, x, y)
+		sink += linalg.Dot(x, y)
+	})
+	_ = sink
+
+	// Marginal allocations per extra glasso sweep: force exact sweep
+	// counts with a tolerance the delta can never reach (except by
+	// becoming exactly zero, i.e. the fixed point, which allocates
+	// nothing either), then difference a long solve against a short one.
+	s := benchCovariance(32)
+	solveSweeps := func(maxIter int) (*glasso.Result, error) {
+		return glasso.Solve(s, glasso.Options{Lambda: 0.1, MaxIter: maxIter, Tol: 1e-300, Workers: 1})
+	}
+	resShort, err1 := solveSweeps(2)
+	resLong, err2 := solveSweeps(12)
+	if err1 != nil || err2 != nil {
+		fmt.Fprintln(os.Stderr, "fdxbench: glasso allocs:", err1, err2)
+		os.Exit(1)
+	}
+	extra := resLong.Iterations - resShort.Iterations
+	if extra <= 0 {
+		extra = 1
+	}
+	aShort := testing.AllocsPerRun(5, func() {
+		if _, err := solveSweeps(2); err != nil {
+			fmt.Fprintln(os.Stderr, "fdxbench: glasso allocs:", err)
+			os.Exit(1)
+		}
+	})
+	aLong := testing.AllocsPerRun(5, func() {
+		if _, err := solveSweeps(12); err != nil {
+			fmt.Fprintln(os.Stderr, "fdxbench: glasso allocs:", err)
+			os.Exit(1)
+		}
+	})
+	perSweep := (aLong - aShort) / float64(extra)
+	if perSweep < 0 {
+		perSweep = 0
+	}
+	return allocsBench{
+		MulToPerOp:       mulAllocs,
+		AxpyDotPerOp:     vecAllocs,
+		GlassoSweepPerOp: perSweep,
+	}
+}
+
+func loadKernelsReport(path string) (*kernelsReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep kernelsReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compareRatioSlack is how much a same-run speedup ratio may shrink versus
+// the baseline before the gate fails: 10%.
+const compareRatioSlack = 0.9
+
+// compareMinMillis is the floor under the baseline's reference-kernel time
+// for a size to participate in the gate: sub-millisecond measurements are
+// dominated by timer and scheduler noise, and a ratio of two noisy numbers
+// flaps regardless of slack.
+const compareMinMillis = 1.0
+
+// compareKernels gates the fresh report against a baseline. Only
+// machine-portable quantities are judged: speedup ratios (with 10% slack
+// for noise) and steady-state allocation counts (exact — any increase is a
+// regression). Sizes present in only one report — or too small to time
+// reliably (see compareMinMillis) — are skipped, so a short CI run can
+// gate against a full committed baseline.
+func compareKernels(cur, base *kernelsReport) []string {
+	var failures []string
+	for _, bm := range base.Matmul {
+		if bm.NaiveMillis < compareMinMillis {
+			continue
+		}
+		for _, cm := range cur.Matmul {
+			if cm.N != bm.N {
+				continue
+			}
+			if cm.Speedup < bm.Speedup*compareRatioSlack {
+				failures = append(failures, fmt.Sprintf(
+					"matmul n=%d: blocked-vs-naive speedup %.2fx fell more than 10%% below baseline %.2fx",
+					cm.N, cm.Speedup, bm.Speedup))
+			}
+		}
+	}
+	for _, bg := range base.Glasso {
+		if bg.SeedMillis < compareMinMillis {
+			continue
+		}
+		for _, cg := range cur.Glasso {
+			if cg.P != bg.P {
+				continue
+			}
+			if cg.SpeedupVsSeed < bg.SpeedupVsSeed*compareRatioSlack {
+				failures = append(failures, fmt.Sprintf(
+					"glasso p=%d: speedup vs seed %.2fx fell more than 10%% below baseline %.2fx",
+					cg.P, cg.SpeedupVsSeed, bg.SpeedupVsSeed))
+			}
+		}
+	}
+	type allocGate struct {
+		name     string
+		cur, old float64
+	}
+	for _, g := range []allocGate{
+		{"mul_to_per_op", cur.Allocs.MulToPerOp, base.Allocs.MulToPerOp},
+		{"axpy_dot_per_op", cur.Allocs.AxpyDotPerOp, base.Allocs.AxpyDotPerOp},
+		{"glasso_sweep_per_op", cur.Allocs.GlassoSweepPerOp, base.Allocs.GlassoSweepPerOp},
+	} {
+		if g.cur > g.old {
+			failures = append(failures, fmt.Sprintf(
+				"allocs %s: %.1f allocs/op, baseline %.1f (alloc counts are gated exactly)",
+				g.name, g.cur, g.old))
+		}
+	}
+	return failures
+}

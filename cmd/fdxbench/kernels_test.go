@@ -1,0 +1,109 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fdx/internal/glasso"
+)
+
+func gateReport() *kernelsReport {
+	return &kernelsReport{
+		Matmul: []matmulBench{
+			{N: 64, NaiveMillis: 0.2, Speedup: 15},
+			{N: 256, NaiveMillis: 12, Speedup: 10},
+		},
+		Glasso: []glassoBench{
+			{P: 16, SeedMillis: 0.2, SpeedupVsSeed: 0.7},
+			{P: 64, SeedMillis: 4, SpeedupVsSeed: 2.1},
+		},
+		Allocs: allocsBench{MulToPerOp: 0, AxpyDotPerOp: 0, GlassoSweepPerOp: 0},
+	}
+}
+
+func TestCompareKernelsPassesWithinSlack(t *testing.T) {
+	base := gateReport()
+	cur := gateReport()
+	cur.Matmul[1].Speedup = 9.2 // −8%, inside the 10% slack
+	cur.Glasso[1].SpeedupVsSeed = 1.95
+	if failures := compareKernels(cur, base); len(failures) != 0 {
+		t.Fatalf("gate failed inside slack: %v", failures)
+	}
+}
+
+func TestCompareKernelsFlagsRatioRegression(t *testing.T) {
+	base := gateReport()
+	cur := gateReport()
+	cur.Matmul[1].Speedup = 5
+	cur.Glasso[1].SpeedupVsSeed = 1.0
+	failures := compareKernels(cur, base)
+	if len(failures) != 2 {
+		t.Fatalf("want 2 failures (matmul n=256, glasso p=64), got %v", failures)
+	}
+	if !strings.Contains(failures[0], "matmul n=256") || !strings.Contains(failures[1], "glasso p=64") {
+		t.Fatalf("unexpected failure set: %v", failures)
+	}
+}
+
+func TestCompareKernelsSkipsNoisySizes(t *testing.T) {
+	base := gateReport()
+	cur := gateReport()
+	// Sub-millisecond baseline entries are timer noise and must not gate,
+	// however badly their ratios move.
+	cur.Matmul[0].Speedup = 1
+	cur.Glasso[0].SpeedupVsSeed = 0.1
+	if failures := compareKernels(cur, base); len(failures) != 0 {
+		t.Fatalf("gate judged sub-millisecond sizes: %v", failures)
+	}
+}
+
+func TestCompareKernelsFlagsAllocIncrease(t *testing.T) {
+	base := gateReport()
+	cur := gateReport()
+	cur.Allocs.GlassoSweepPerOp = 2
+	failures := compareKernels(cur, base)
+	if len(failures) != 1 || !strings.Contains(failures[0], "glasso_sweep_per_op") {
+		t.Fatalf("want exactly the alloc failure, got %v", failures)
+	}
+}
+
+func TestCompareKernelsSkipsMissingSizes(t *testing.T) {
+	base := gateReport()
+	cur := gateReport()
+	// A short CI run may omit the largest sizes; the gate only judges
+	// sizes present in both reports.
+	cur.Matmul = cur.Matmul[:1]
+	cur.Glasso = cur.Glasso[:1]
+	if failures := compareKernels(cur, base); len(failures) != 0 {
+		t.Fatalf("gate judged sizes absent from the current report: %v", failures)
+	}
+}
+
+// TestSeedGlassoAgreesWithSolver pins the frozen seed reference to the live
+// solver: same covariance, same hyper-parameters, covariance estimates
+// within solver tolerance of each other. If the live solver's algorithm
+// drifts, the benchmark would silently compare unlike quantities.
+func TestSeedGlassoAgreesWithSolver(t *testing.T) {
+	s := benchCovariance(24)
+	wSeed, iters, err := seedGlassoSolve(s, 0.1, 100, 1e-5, 200, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters < 1 {
+		t.Fatalf("seed solver reported %d sweeps", iters)
+	}
+	res, err := glasso.Solve(s, glasso.Options{Lambda: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, _ := s.Dims()
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			d := math.Abs(wSeed.At(i, j) - res.Covariance.At(i, j))
+			if d > 1e-4 {
+				t.Fatalf("W[%d,%d]: seed %v vs solver %v (|Δ|=%g)", i, j, wSeed.At(i, j), res.Covariance.At(i, j), d)
+			}
+		}
+	}
+}

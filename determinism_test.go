@@ -67,6 +67,50 @@ func TestDiscoverDeterministicParallel(t *testing.T) {
 	assertIdentical(t, s1, p1)
 }
 
+// TestDiscoverDeterministicAcrossWorkerCounts sweeps the worker knob across
+// every stage it reaches (transform blocks, glasso columns, accumulator
+// strata) and demands element-wise identical FDs and bit-for-bit identical
+// B at 1, 4, and 8 workers: chunk boundaries and reduction orders depend
+// only on problem sizes, never on the worker count (see internal/par).
+func TestDiscoverDeterministicAcrossWorkerCounts(t *testing.T) {
+	base, _ := discoverTwice(t, fdx.Options{Seed: 7, Workers: 1})
+	for _, workers := range []int{4, 8} {
+		got, again := discoverTwice(t, fdx.Options{Seed: 7, Workers: workers})
+		assertIdentical(t, got, again)
+		assertIdentical(t, base, got)
+	}
+}
+
+// TestAccumulatorDeterministicAcrossWorkerCounts is the streaming variant:
+// batched absorption with 1, 4, and 8 workers must produce bit-for-bit
+// identical accumulated statistics, and therefore identical discovery
+// results.
+func TestAccumulatorDeterministicAcrossWorkerCounts(t *testing.T) {
+	rel := noisyAddressRelation(rand.New(rand.NewSource(11)), 400, 0.03)
+	run := func(workers int) *fdx.Result {
+		acc := fdx.NewAccumulator(rel.AttrNames(), fdx.Options{Seed: 7, Workers: workers})
+		const batch = 100
+		for lo := 0; lo < rel.NumRows(); lo += batch {
+			hi := lo + batch
+			if hi > rel.NumRows() {
+				hi = rel.NumRows()
+			}
+			if err := acc.Add(rel.Slice(lo, hi)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := acc.Discover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(1)
+	for _, workers := range []int{4, 8} {
+		assertIdentical(t, base, run(workers))
+	}
+}
+
 // TestDiscoverDeterministicWithTelemetry checks that attaching a tracer and
 // metrics registry changes nothing about the results: same FD list
 // (element-wise) and bit-identical B as a bare run, with both the parallel

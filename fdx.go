@@ -96,8 +96,10 @@ type Options struct {
 	// TextSimilarity enables 3-gram Jaccard similarity for text columns.
 	TextSimilarity bool
 	// Workers sets the number of goroutines in the pair transform
-	// (0 = GOMAXPROCS, 1 = sequential). Every setting produces identical
-	// results; see determinism_test.go.
+	// (0 = GOMAXPROCS, 1 = sequential) and in the numeric stages — the
+	// Graphical Lasso column updates and the streaming accumulator's
+	// per-stratum moments (there 0 also means sequential). Every setting
+	// produces bit-for-bit identical results; see determinism_test.go.
 	Workers int
 	// Seed drives the transform's shuffling (0 is a valid fixed seed).
 	Seed int64
@@ -176,6 +178,7 @@ func coreOptions(opts Options) core.Options {
 		Threshold:          opts.Threshold,
 		RelFraction:        opts.RelFraction,
 		Ordering:           opts.Ordering,
+		Workers:            opts.Workers,
 		Seed:               opts.Seed,
 		RequireConvergence: opts.RequireConvergence,
 		Obs:                obs.Hooks{Tracer: opts.Tracer, Metrics: opts.Metrics},

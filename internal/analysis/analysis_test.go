@@ -5,6 +5,7 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -104,5 +105,35 @@ func TestLoadModule(t *testing.T) {
 	}
 	if !found {
 		t.Error("LoadModule did not load fdx/internal/analysis")
+	}
+}
+
+// TestLoadDirHonorsBuildConstraints writes a package whose two files carry
+// mutually exclusive build constraints — as the per-architecture SIMD
+// kernel pairs in internal/linalg do — and checks that exactly one is
+// loaded, so the pair never produces redeclaration type errors.
+func TestLoadDirHonorsBuildConstraints(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("yes.go", "//go:build "+runtime.GOARCH+"\n\npackage p\n\nfunc impl() int { return 1 }\n")
+	write("no.go", "//go:build !"+runtime.GOARCH+"\n\npackage p\n\nfunc impl() int { return 2 }\n")
+	write("common.go", "package p\n\nvar _ = impl\n")
+
+	pkg, err := LoadDir(dir, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg == nil {
+		t.Fatal("LoadDir returned no package")
+	}
+	if len(pkg.TypeErrors) != 0 {
+		t.Fatalf("type errors from a constraint-split package: %v", pkg.TypeErrors)
+	}
+	if len(pkg.Files) != 2 {
+		t.Fatalf("loaded %d files, want 2 (the matching half plus common.go)", len(pkg.Files))
 	}
 }

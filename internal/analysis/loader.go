@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -105,6 +106,16 @@ func loadDir(fset *token.FileSet, imp types.Importer, dir, importPath string) (*
 	for _, e := range entries {
 		name := e.Name()
 		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		// Honor GOOS/GOARCH file-name suffixes and //go:build constraints the
+		// same way the compiler does, so per-architecture pairs (kernels_amd64.go
+		// / kernels_noasm.go) never type-check into the same package.
+		match, err := build.Default.MatchFile(dir, name)
+		if err != nil {
+			return nil, err
+		}
+		if !match {
 			continue
 		}
 		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)

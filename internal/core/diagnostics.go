@@ -48,11 +48,12 @@ func (d *Diagnostics) Degraded() bool {
 }
 
 // sanitizeCovariance replaces non-finite entries of the covariance estimate
-// — NaN off-diagonals become 0 (no evidence of dependence), non-finite
-// diagonals become 1 (a unit-variance placeholder) — and returns the
-// implicated column indices in ascending order. The input is not modified;
-// when every entry is finite it is returned as-is with a nil column list.
-func sanitizeCovariance(s *linalg.Dense) (*linalg.Dense, []int) {
+// in place — NaN off-diagonals become 0 (no evidence of dependence),
+// non-finite diagonals become 1 (a unit-variance placeholder) — and returns
+// the implicated column indices in ascending order (nil when every entry
+// is finite and s is untouched). The caller owns s; DiscoverFromCovariance
+// hands it a private clone of the user's matrix.
+func sanitizeCovariance(s *linalg.Dense) []int {
 	k, _ := s.Dims()
 	implicated := make([]bool, k)
 	dirty := false
@@ -67,15 +68,14 @@ func sanitizeCovariance(s *linalg.Dense) (*linalg.Dense, []int) {
 		}
 	}
 	if !dirty {
-		return s, nil
+		return nil
 	}
-	out := s.Clone()
 	var cols []int
 	for i := 0; i < k; i++ {
 		if implicated[i] {
 			cols = append(cols, i)
 		}
-		row := out.Row(i)
+		row := s.Row(i)
 		for j, v := range row {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				if i == j {
@@ -86,7 +86,7 @@ func sanitizeCovariance(s *linalg.Dense) (*linalg.Dense, []int) {
 			}
 		}
 	}
-	return out, cols
+	return cols
 }
 
 // addDiag returns s + εI without modifying s — one rung of the

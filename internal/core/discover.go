@@ -67,6 +67,14 @@ type Options struct {
 	// ErrNotConverged failure. By default such an estimate is accepted as
 	// a degraded result with Diagnostics.GlassoConverged == false.
 	RequireConvergence bool
+	// Workers sets the number of goroutines used by the numeric stages:
+	// the Graphical Lasso per-column updates and regularization paths,
+	// and the accumulator's per-stratum moment accumulation (0 or 1 =
+	// serial). Results are bit-for-bit identical at any worker count;
+	// see internal/par for the chunking contract that guarantees it. The
+	// pair transform's fan-out is configured separately via
+	// Transform.Workers.
+	Workers int
 	// Seed drives the transform shuffle.
 	Seed int64
 	// Transform holds the pair-transformation options.
@@ -236,10 +244,14 @@ func DiscoverFromCovarianceContext(ctx context.Context, s *linalg.Dense, names [
 		return nil, fdxerr.BadInput("core: covariance is %dx%d, want %dx%d", r, c, k, k)
 	}
 
+	// One working copy of the caller's covariance up front: the fault
+	// poison, sanitization, correlation, and shrinkage below all operate
+	// on it in place with no further cloning.
+	s = s.Clone()
+
 	// Fault injection: poison one covariance entry (sanitization test) or
 	// blow up inside the core (public panic-guard test).
 	if k > 0 && faults.Fire(faults.CovarianceNaN) {
-		s = s.Clone()
 		s.Set(0, k-1, math.NaN())
 		s.Set(k-1, 0, math.NaN())
 	}
@@ -253,14 +265,14 @@ func DiscoverFromCovarianceContext(ctx context.Context, s *linalg.Dense, names [
 	// Quarantine non-finite statistics instead of letting NaN/Inf propagate
 	// through the solvers as opaque failures.
 	psp := opts.Obs.StartStage("prepare")
-	s, diag.SanitizedColumns = sanitizeCovariance(s)
+	diag.SanitizedColumns = sanitizeCovariance(s)
 
 	if !opts.RawCovariance {
-		s = stats.Correlation(s)
+		stats.CorrelationInPlace(s)
 	}
 	// Light shrinkage keeps the estimate well-conditioned when columns are
 	// (nearly) collinear — exact FDs make Z columns exactly dependent.
-	s = stats.Shrink(s, 0.05)
+	stats.ShrinkInPlace(s, 0.05)
 	psp.Attr("sanitized", len(diag.SanitizedColumns))
 	psp.End()
 	opts.Obs.Count(obs.MSanitizedColumns, uint64(len(diag.SanitizedColumns)))
@@ -365,7 +377,7 @@ func fitLadder(ctx context.Context, s *linalg.Dense, diag *Diagnostics, opts Opt
 		rsp.Attr("epsilon", eps)
 		ropts := opts
 		ropts.Obs = opts.Obs.Under(rsp)
-		res, err := glasso.SolveContext(ctx, trial, glasso.Options{Lambda: opts.Lambda, Obs: ropts.Obs})
+		res, err := glasso.SolveContext(ctx, trial, glasso.Options{Lambda: opts.Lambda, Workers: opts.Workers, Obs: ropts.Obs})
 		if err != nil {
 			rsp.End()
 			if errors.Is(err, fdxerr.ErrCancelled) {

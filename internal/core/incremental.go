@@ -2,11 +2,13 @@ package core
 
 import (
 	"context"
+	"sync"
 
 	"fdx/internal/dataset"
 	"fdx/internal/fdxerr"
 	"fdx/internal/linalg"
 	"fdx/internal/obs"
+	"fdx/internal/par"
 )
 
 // Accumulator maintains the sufficient statistics of the FDX pair model
@@ -83,10 +85,24 @@ func (a *Accumulator) Add(rel *dataset.Relation) error {
 	return err
 }
 
+// dtPool recycles the transformed-sample buffers of Absorb: transformInto
+// writes every cell, so a recycled buffer needs no zeroing, and the
+// streaming steady state allocates only each batch's delta.
+var dtPool = sync.Pool{New: func() any { return &dtBuf{} }}
+
+type dtBuf struct{ data []float64 }
+
+func getDT(rows, cols int) (*dtBuf, *linalg.Dense) {
+	db := dtPool.Get().(*dtBuf)
+	if cap(db.data) < rows*cols {
+		db.data = make([]float64, rows*cols)
+	}
+	db.data = db.data[:rows*cols]
+	return db, linalg.NewDenseData(rows, cols, db.data)
+}
+
 // Absorb is Add returning the batch's statistics delta, so durable callers
 // can log exactly what was folded in and replay it after a crash.
-// (fdx:numeric-kernel: the exact-zero test is a sparsity fast path over the
-// mostly-zero pair-transform samples.)
 func (a *Accumulator) Absorb(rel *dataset.Relation) (*BatchDelta, error) {
 	if rel == nil {
 		return nil, fdxerr.BadInput("core: nil batch")
@@ -112,9 +128,14 @@ func (a *Accumulator) Absorb(rel *dataset.Relation) (*BatchDelta, error) {
 	bsp.Attr("rows", n)
 	h := a.opts.Obs.Under(bsp)
 	topts := a.opts.Transform
+	topts.defaults()
 	topts.Obs = h
 	topts.Seed = a.opts.Seed + int64(a.batches)
-	dt := Transform(rel, topts)
+	sn, _ := transformDims(rel, &topts)
+	db, dt := getDT(sn*k, k)
+	if err := transformInto(context.Background(), rel, topts, dt); err != nil {
+		return nil, err
+	}
 	d := &BatchDelta{
 		Seq:   a.batches + 1,
 		Rows:  n,
@@ -123,27 +144,28 @@ func (a *Accumulator) Absorb(rel *dataset.Relation) (*BatchDelta, error) {
 	}
 	asp := h.StartStage("accumulate")
 	// Per-stratum moments of this batch alone: stratum s is transformed
-	// rows [s·n, (s+1)·n).
-	for s := 0; s < k; s++ {
-		sums := make([]float64, k)
-		out := linalg.NewDense(k, k)
-		for i := 0; i < n; i++ {
-			row := dt.Row(s*n + i)
-			for p := 0; p < k; p++ {
-				vp := row[p]
-				if vp == 0 {
-					continue
-				}
-				sums[p] += vp
-				orow := out.Row(p)
-				for q := 0; q < k; q++ {
-					orow[q] += vp * row[q]
-				}
-			}
-		}
-		d.Sums[s] = sums
-		d.Outer[s] = out
+	// rows [s·sn, (s+1)·sn). Strata are independent — stratum s owns
+	// d.Sums[s] and d.Outer[s] — so they fan out across the worker pool;
+	// results are identical at any worker count.
+	workers := a.opts.Workers
+	if workers > k {
+		workers = k
 	}
+	pool := par.New(workers)
+	pool.For(k, 1, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			csp := asp.Child("absorb.chunk")
+			csp.Attr("stratum", s)
+			sums := make([]float64, k)
+			out := linalg.NewDense(k, k)
+			accumulateStratum(dt, s, sn, sums, out)
+			d.Sums[s] = sums
+			d.Outer[s] = out
+			csp.End()
+		}
+	})
+	pool.Close()
+	dtPool.Put(db)
 	asp.End()
 	if err := a.ApplyDelta(d); err != nil {
 		return nil, err
@@ -151,6 +173,40 @@ func (a *Accumulator) Absorb(rel *dataset.Relation) (*BatchDelta, error) {
 	h.Count(obs.MRowsAbsorbed, uint64(n))
 	h.Count(obs.MBatchesAbsorbed, 1)
 	return d, nil
+}
+
+// accumulateStratum folds the sn sample rows of stratum s into the
+// per-column sums and the outer-product sum. Only the upper triangle is
+// accumulated — via fused Axpy updates over each row's tail — and then
+// mirrored; the mirror is exact because element (q,p) would sum the very
+// same products in the very same order as (p,q).
+// Panics if out is not k×k or dt's rows cannot cover the stratum.
+// (fdx:numeric-kernel: the exact-zero test is a sparsity fast path over the
+// mostly-zero pair-transform samples.)
+func accumulateStratum(dt *linalg.Dense, s, sn int, sums []float64, out *linalg.Dense) {
+	k := len(sums)
+	if r, c := out.Dims(); r != k || c != k {
+		panic("core: accumulateStratum outer product is not k×k")
+	}
+	if rows, cols := dt.Dims(); cols != k || (s+1)*sn > rows {
+		panic("core: accumulateStratum stratum exceeds transform rows")
+	}
+	for i := 0; i < sn; i++ {
+		row := dt.Row(s*sn + i)
+		for p := 0; p < k; p++ {
+			vp := row[p]
+			if vp == 0 {
+				continue
+			}
+			sums[p] += vp
+			linalg.Axpy(vp, row[p:], out.Row(p)[p:])
+		}
+	}
+	for p := 0; p < k; p++ {
+		for q := p + 1; q < k; q++ {
+			out.Set(q, p, out.At(p, q))
+		}
+	}
 }
 
 // ApplyDelta folds a batch's statistics delta into the running sums — the

@@ -74,11 +74,46 @@ func Transform(rel *dataset.Relation, opts TransformOptions) *linalg.Dense {
 // ctx.Err() is returned promptly on expiry.
 func TransformContext(ctx context.Context, rel *dataset.Relation, opts TransformOptions) (*linalg.Dense, error) {
 	opts.defaults()
-	n := rel.NumRows()
-	k := rel.NumCols()
+	n, k := transformDims(rel, &opts)
 	if n == 0 || k == 0 {
 		return linalg.NewDense(0, k), nil
 	}
+	out := linalg.NewDense(n*k, k)
+	if err := transformInto(ctx, rel, opts, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// transformDims returns the shape of the transform's sample block: the
+// effective tuple count after MaxRows sampling and the attribute count.
+// The output matrix is (rows·cols) × cols. opts must have defaults
+// applied.
+func transformDims(rel *dataset.Relation, opts *TransformOptions) (rows, cols int) {
+	rows, cols = rel.NumRows(), rel.NumCols()
+	if opts.MaxRows > 0 && rows > opts.MaxRows {
+		rows = opts.MaxRows
+	}
+	return rows, cols
+}
+
+// colCtx is the per-attribute comparison context shared by the transform
+// workers: the column, its numeric tolerance scale, and — for text
+// columns under TextSimilarity — per-dictionary-code 3-gram sets built
+// once up front, so the pair loop never allocates.
+type colCtx struct {
+	col   *dataset.Column
+	scale float64
+	grams *textGrams
+}
+
+// transformInto is the core of the pair transform, writing the sample
+// block into the caller's preallocated out matrix (shape per
+// transformDims; every cell is written, so recycled buffers need no
+// zeroing). opts must have defaults applied.
+func transformInto(ctx context.Context, rel *dataset.Relation, opts TransformOptions, out *linalg.Dense) error {
+	n := rel.NumRows()
+	k := rel.NumCols()
 	rng := rand.New(rand.NewSource(opts.Seed))
 
 	rows := make([]int, n)
@@ -91,15 +126,19 @@ func TransformContext(ctx context.Context, rel *dataset.Relation, opts Transform
 		n = opts.MaxRows
 	}
 
-	// Pre-compute numeric scales for approximate equality.
-	scale := make([]float64, k)
+	// Pre-compute the per-column comparison contexts: numeric scales for
+	// approximate equality, 3-gram sets per distinct text value.
+	ctxs := make([]colCtx, k)
 	for j, col := range rel.Columns {
+		ctxs[j].col = col
 		if col.Type == dataset.Numeric {
-			scale[j] = numericScale(col, rows)
+			ctxs[j].scale = numericScale(col, rows)
+		}
+		if col.Type == dataset.Text && opts.TextSimilarity {
+			ctxs[j].grams = buildTextGrams(col)
 		}
 	}
 
-	out := linalg.NewDense(n*k, k)
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -146,9 +185,11 @@ func TransformContext(ctx context.Context, rel *dataset.Relation, opts Transform
 					a := sorted[j]
 					b := sorted[(j+1)%n]
 					row := out.Row(base + j)
-					for l := 0; l < k; l++ {
-						if cellsEqual(rel.Columns[l], a, b, scale[l], &opts) {
+					for l := range ctxs {
+						if cellsEqual(&ctxs[l], a, b, &opts) {
 							row[l] = 1
+						} else {
+							row[l] = 0
 						}
 					}
 				}
@@ -162,10 +203,10 @@ func TransformContext(ctx context.Context, rel *dataset.Relation, opts Transform
 	close(attrCh)
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return nil, fdxerr.Cancelled(err)
+		return fdxerr.Cancelled(err)
 	}
 	opts.Obs.Count(obs.MTransformPairs, uint64(n)*uint64(k))
-	return out, nil
+	return nil
 }
 
 // numericScale returns a robust per-column value scale (max−min over the
@@ -194,8 +235,10 @@ func numericScale(col *dataset.Column, rows []int) float64 {
 
 // cellsEqual is the per-type difference operator of §4.1: exact code
 // equality for categorical data, tolerance-based equality for numeric data,
-// optional q-gram similarity for text.
-func cellsEqual(col *dataset.Column, a, b int, scale float64, opts *TransformOptions) bool {
+// optional q-gram similarity for text (against the precomputed per-code
+// gram sets in cc).
+func cellsEqual(cc *colCtx, a, b int, opts *TransformOptions) bool {
+	col := cc.col
 	ca, cb := col.Code(a), col.Code(b)
 	if ca == dataset.Missing || cb == dataset.Missing {
 		return false
@@ -209,17 +252,61 @@ func cellsEqual(col *dataset.Column, a, b int, scale float64, opts *TransformOpt
 		if math.IsNaN(fa) || math.IsNaN(fb) {
 			return false
 		}
-		return math.Abs(fa-fb) <= opts.NumericTol*scale
+		return math.Abs(fa-fb) <= opts.NumericTol*cc.scale
 	case dataset.Text:
-		if !opts.TextSimilarity {
+		if cc.grams == nil {
 			return false
 		}
-		va, _ := col.Value(a)
-		vb, _ := col.Value(b)
-		return jaccard3gram(va, vb) >= opts.TextThreshold
+		return cc.grams.jaccard(ca, cb) >= opts.TextThreshold
 	default:
 		return false
 	}
+}
+
+// textGrams caches, per dictionary code of one text column, the
+// case-folded value and its 3-gram set (nil for values shorter than one
+// gram). Built once per transform so the pair loop compares precomputed
+// sets instead of re-deriving them per pair.
+type textGrams struct {
+	lower []string
+	grams []map[string]bool
+}
+
+func buildTextGrams(col *dataset.Column) *textGrams {
+	card := col.Cardinality()
+	tg := &textGrams{lower: make([]string, card), grams: make([]map[string]bool, card)}
+	for c := 0; c < card; c++ {
+		s := strings.ToLower(col.DictValue(int32(c)))
+		tg.lower[c] = s
+		if len(s) >= 3 {
+			tg.grams[c] = gramSet(s)
+		}
+	}
+	return tg
+}
+
+// jaccard mirrors jaccard3gram over the precomputed sets of two
+// dictionary codes: short values fall back to exact (case-folded)
+// comparison.
+func (tg *textGrams) jaccard(ca, cb int32) float64 {
+	ga, gb := tg.grams[ca], tg.grams[cb]
+	if ga == nil || gb == nil {
+		if tg.lower[ca] == tg.lower[cb] {
+			return 1
+		}
+		return 0
+	}
+	inter := 0
+	for g := range ga {
+		if gb[g] {
+			inter++
+		}
+	}
+	union := len(ga) + len(gb) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
 }
 
 // jaccard3gram returns the Jaccard similarity of the 3-gram sets of two

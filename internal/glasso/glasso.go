@@ -17,6 +17,7 @@ import (
 	"fdx/internal/fdxerr"
 	"fdx/internal/linalg"
 	"fdx/internal/obs"
+	"fdx/internal/par"
 )
 
 // Options configures the Graphical Lasso solver.
@@ -33,8 +34,16 @@ type Options struct {
 	InnerMaxIter int
 	// InnerTol is the lasso convergence threshold (default 1e-6).
 	InnerTol float64
+	// Workers is the number of goroutines for the per-column linear
+	// algebra of the sweep and the regularization-path fan-out in Path
+	// (0 or 1 = serial). Results are bit-for-bit identical at any worker
+	// count: chunk boundaries and reduction orders depend only on the
+	// problem size (see internal/par).
+	Workers int
 	// Obs carries the optional telemetry sinks: a "glasso" stage span
-	// wrapping the solve and one "glasso-sweep" span per outer sweep.
+	// wrapping the solve, one "glasso-sweep" span per outer sweep, and —
+	// on the parallel path only — one "glasso.column" span per column
+	// update.
 	Obs obs.Hooks
 }
 
@@ -122,21 +131,20 @@ func SolveContext(ctx context.Context, s *linalg.Dense, opts Options) (res *Resu
 }
 
 // solveFrom runs the block coordinate descent starting from the covariance
-// estimate w (consumed and returned inside the Result).
+// estimate w (consumed and returned inside the Result). Scratch comes from
+// the workspace pool and every sweep runs allocation-free; with
+// opts.Workers > 1 the per-column extract and w12 = W11·β phases fan out
+// across a fixed worker pool (see workspace.go for the determinism
+// contract).
 func solveFrom(ctx context.Context, s, w *linalg.Dense, opts Options) (*Result, error) {
 	opts.defaults()
 	k, _ := s.Dims()
 
-	// betas[j] holds the lasso coefficients for column j (length k, entry j
-	// unused), warm-started across sweeps.
-	betas := make([][]float64, k)
-	for j := range betas {
-		betas[j] = make([]float64, k)
-	}
-
-	w11 := linalg.NewDense(k-1, k-1)
-	s12 := make([]float64, k-1)
-	beta := make([]float64, k-1)
+	pool := par.New(opts.Workers)
+	defer pool.Close()
+	ws := getWorkspace(k)
+	defer putWorkspace(ws)
+	ws.s, ws.w = s, w
 
 	iters := 0
 	converged := false
@@ -147,54 +155,11 @@ func solveFrom(ctx context.Context, s, w *linalg.Dense, opts Options) (*Result, 
 		ssp := opts.Obs.Start("glasso-sweep")
 		faults.Sleep(faults.SlowStage)
 		iters = sweep + 1
-		delta := 0.0
-		for j := 0; j < k; j++ {
-			// Extract W11 (drop row/col j) and s12 = S[−j, j].
-			for a, ai := 0, 0; a < k; a++ {
-				if a == j {
-					continue
-				}
-				s12[ai] = s.At(a, j)
-				for b, bi := 0, 0; b < k; b++ {
-					if b == j {
-						continue
-					}
-					w11.Set(ai, bi, w.At(a, b))
-					bi++
-				}
-				ai++
-			}
-			// Warm start from the previous sweep's solution.
-			for a, ai := 0, 0; a < k; a++ {
-				if a == j {
-					continue
-				}
-				beta[ai] = betas[j][a]
-				ai++
-			}
-			lassoCD(w11, s12, opts.Lambda, beta, opts.InnerMaxIter, opts.InnerTol)
-			for a, ai := 0, 0; a < k; a++ {
-				if a == j {
-					continue
-				}
-				betas[j][a] = beta[ai]
-				ai++
-			}
-			// w12 = W11·β; write it back into row/column j of W.
-			for a, ai := 0, 0; a < k; a++ {
-				if a == j {
-					continue
-				}
-				v := 0.0
-				row := w11.Row(ai)
-				for bi := 0; bi < k-1; bi++ {
-					v += row[bi] * beta[bi]
-				}
-				delta += math.Abs(w.At(a, j) - v)
-				w.Set(a, j, v)
-				w.Set(j, a, v)
-				ai++
-			}
+		var delta float64
+		if pool != nil {
+			delta = ws.runSweepObserved(pool, opts)
+		} else {
+			delta = ws.runSweep(nil, opts.Lambda, opts.InnerMaxIter, opts.InnerTol)
 		}
 		ssp.End()
 		opts.Obs.Count(obs.MGlassoSweeps, 1)
@@ -206,11 +171,26 @@ func solveFrom(ctx context.Context, s, w *linalg.Dense, opts Options) (*Result, 
 		}
 	}
 
-	theta, err := precisionFrom(w, betas)
+	theta, err := precisionFrom(w, ws.betas)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{Covariance: w, Precision: theta, Iterations: iters, Converged: converged}, nil
+}
+
+// runSweepObserved is runSweep column by column with a "glasso.column"
+// span around each column update. It only runs on the parallel path, so
+// the tracing cost never burdens the serial zero-allocation sweep.
+func (ws *workspace) runSweepObserved(pool *par.Pool, opts Options) float64 {
+	k := ws.k
+	delta := 0.0
+	for j := 0; j < k; j++ {
+		csp := opts.Obs.Start("glasso.column")
+		delta += ws.runColumn(pool, j, opts.Lambda, opts.InnerMaxIter, opts.InnerTol)
+		csp.Attr("col", j)
+		csp.End()
+	}
+	return delta
 }
 
 // precisionFrom recovers Θ from the final W and per-column lasso
@@ -246,19 +226,18 @@ func precisionFrom(w *linalg.Dense, betas [][]float64) (*linalg.Dense, error) {
 
 // lassoCD solves min_β ½βᵀQβ − bᵀβ + λ‖β‖₁ by cyclic coordinate descent,
 // updating beta in place. Q must be symmetric with positive diagonal.
+// grad is caller-provided scratch of len(b) — lassoCD allocates nothing.
+// Panics if Q is not p×p or beta/grad are not length p.
 // (fdx:numeric-kernel: the exactly-unchanged-coordinate test only skips a
 // no-op gradient update; the soft threshold emits exact zeros by design.)
-func lassoCD(q *linalg.Dense, b []float64, lambda float64, beta []float64, maxIter int, tol float64) {
+func lassoCD(q *linalg.Dense, b []float64, lambda float64, beta []float64, maxIter int, tol float64, grad []float64) {
 	p := len(b)
+	if r, c := q.Dims(); r != p || c != p || len(beta) != p || len(grad) != p {
+		panic("glasso: lassoCD operand shapes disagree")
+	}
 	// grad[i] = (Qβ)_i maintained incrementally.
-	grad := make([]float64, p)
 	for i := 0; i < p; i++ {
-		row := q.Row(i)
-		v := 0.0
-		for j, bj := range beta {
-			v += row[j] * bj
-		}
-		grad[i] = v
+		grad[i] = linalg.Dot(q.Row(i), beta)
 	}
 	for it := 0; it < maxIter; it++ {
 		maxChange := 0.0
@@ -273,10 +252,8 @@ func lassoCD(q *linalg.Dense, b []float64, lambda float64, beta []float64, maxIt
 			d := newBeta - beta[i]
 			if d != 0 {
 				beta[i] = newBeta
-				col := q.Row(i) // symmetric: row i == column i
-				for j := 0; j < p; j++ {
-					grad[j] += col[j] * d
-				}
+				// Symmetric Q: row i doubles as column i.
+				linalg.Axpy(d, q.Row(i), grad)
 				if a := math.Abs(d); a > maxChange {
 					maxChange = a
 				}

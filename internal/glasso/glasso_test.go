@@ -201,7 +201,7 @@ func TestLassoCDSolvesQuadratic(t *testing.T) {
 	}
 	b := linalg.MulVec(q, want)
 	beta := make([]float64, 5)
-	lassoCD(q, b, 0, beta, 5000, 1e-12)
+	lassoCD(q, b, 0, beta, 5000, 1e-12, make([]float64, 5))
 	for i := range want {
 		if math.Abs(beta[i]-want[i]) > 1e-6 {
 			t.Fatalf("beta[%d] = %v, want %v", i, beta[i], want[i])
@@ -213,7 +213,7 @@ func TestLassoCDShrinksToZero(t *testing.T) {
 	q := linalg.Identity(3)
 	b := []float64{0.5, -0.5, 2}
 	beta := make([]float64, 3)
-	lassoCD(q, b, 1, beta, 100, 1e-12)
+	lassoCD(q, b, 1, beta, 100, 1e-12, make([]float64, 3))
 	if beta[0] != 0 || beta[1] != 0 {
 		t.Errorf("small coefficients not zeroed: %v", beta)
 	}

@@ -23,20 +23,15 @@ func Cholesky(a *Dense) (*Dense, error) {
 	}
 	l := NewDense(n, n)
 	for j := 0; j < n; j++ {
-		d := a.At(j, j)
-		for k := 0; k < j; k++ {
-			d -= l.At(j, k) * l.At(j, k)
-		}
+		lj := l.Row(j)[:j]
+		d := a.At(j, j) - Dot(lj, lj)
 		if d <= 0 {
 			return nil, ErrNotPositiveDefinite
 		}
 		ljj := math.Sqrt(d)
 		l.Set(j, j, ljj)
 		for i := j + 1; i < n; i++ {
-			s := a.At(i, j)
-			for k := 0; k < j; k++ {
-				s -= l.At(i, k) * l.At(j, k)
-			}
+			s := a.At(i, j) - Dot(l.Row(i)[:j], lj)
 			l.Set(i, j, s/ljj)
 		}
 	}
@@ -93,20 +88,22 @@ func UDU(a *Dense) (u *Dense, d []float64, err error) {
 	if n > 0 && faults.Fire(faults.NonPositivePivot) {
 		return nil, nil, ErrNotPositiveDefinite
 	}
+	// scaled[k] caches u[j][k]*d[k] for the current column j, turning the
+	// weighted reductions below into plain fused dot products.
+	scaled := make([]float64, n)
 	for j := n - 1; j >= 0; j-- {
-		dj := a.At(j, j)
-		for k := j + 1; k < n; k++ {
-			dj -= u.At(j, k) * u.At(j, k) * d[k]
+		uj := u.Row(j)[j+1:]
+		sc := scaled[j+1:]
+		for k, v := range uj {
+			sc[k] = v * d[j+1+k]
 		}
+		dj := a.At(j, j) - Dot(uj, sc)
 		if dj <= 0 {
 			return nil, nil, ErrNotPositiveDefinite
 		}
 		d[j] = dj
 		for i := 0; i < j; i++ {
-			s := a.At(i, j)
-			for k := j + 1; k < n; k++ {
-				s -= u.At(i, k) * u.At(j, k) * d[k]
-			}
+			s := a.At(i, j) - Dot(u.Row(i)[j+1:], sc)
 			u.Set(i, j, s/dj)
 		}
 	}
@@ -138,12 +135,8 @@ func SolveLower(l *Dense, b []float64) []float64 {
 	}
 	x := make([]float64, n)
 	for i := 0; i < n; i++ {
-		s := b[i]
 		row := l.Row(i)
-		for k := 0; k < i; k++ {
-			s -= row[k] * x[k]
-		}
-		x[i] = s / row[i]
+		x[i] = (b[i] - Dot(row[:i], x[:i])) / row[i]
 	}
 	return x
 }
@@ -157,12 +150,8 @@ func SolveUpper(u *Dense, b []float64) []float64 {
 	}
 	x := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
-		s := b[i]
 		row := u.Row(i)
-		for k := i + 1; k < n; k++ {
-			s -= row[k] * x[k]
-		}
-		x[i] = s / row[i]
+		x[i] = (b[i] - Dot(row[i+1:], x[i+1:])) / row[i]
 	}
 	return x
 }

@@ -1,0 +1,24 @@
+//go:build !amd64
+
+package linalg
+
+// Non-amd64 build: no SIMD kernels. haveFMA reports false, so the
+// dispatch in kernels.go always takes the portable Go paths and these
+// stubs are unreachable; they exist only to satisfy the linker.
+
+func haveFMA() bool { return false }
+
+// fmaKernel4x8 is unreachable on this architecture. Panics if called.
+func fmaKernel4x8(k int, apack, b *float64, ldb int, c *float64, ldc int) {
+	panic("linalg: SIMD kernel called without hardware support")
+}
+
+// fmaAxpy is unreachable on this architecture. Panics if called.
+func fmaAxpy(alpha float64, x, y *float64, n int) {
+	panic("linalg: SIMD kernel called without hardware support")
+}
+
+// fmaDot is unreachable on this architecture. Panics if called.
+func fmaDot(x, y *float64, n int) float64 {
+	panic("linalg: SIMD kernel called without hardware support")
+}

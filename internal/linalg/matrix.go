@@ -87,28 +87,10 @@ func (m *Dense) Transpose() *Dense {
 	return t
 }
 
-// Mul returns a*b as a new matrix.
+// Mul returns a*b as a new matrix, via the blocked kernel in MulTo.
 // Panics if the inner dimensions disagree.
 func Mul(a, b *Dense) *Dense {
-	if a.cols != b.rows {
-		panic(fmt.Sprintf("linalg: Mul dimension mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
-	}
-	c := NewDense(a.rows, b.cols)
-	for i := 0; i < a.rows; i++ {
-		arow := a.Row(i)
-		crow := c.Row(i)
-		for k, av := range arow {
-			//fdx:lint-ignore floatcmp sparsity fast path: an exactly-zero multiplier contributes nothing to the accumulation
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
-	return c
+	return MulTo(NewDense(a.rows, b.cols), a, b)
 }
 
 // MulVec returns a·x as a new vector.
@@ -119,12 +101,7 @@ func MulVec(a *Dense, x []float64) []float64 {
 	}
 	y := make([]float64, a.rows)
 	for i := 0; i < a.rows; i++ {
-		row := a.Row(i)
-		s := 0.0
-		for j, v := range row {
-			s += v * x[j]
-		}
-		y[i] = s
+		y[i] = Dot(a.Row(i), x)
 	}
 	return y
 }
@@ -136,9 +113,7 @@ func AddScaled(a *Dense, s float64, b *Dense) *Dense {
 		panic("linalg: AddScaled dimension mismatch")
 	}
 	c := a.Clone()
-	for i, v := range b.data {
-		c.data[i] += s * v
-	}
+	Axpy(s, b.data, c.data)
 	return c
 }
 

@@ -1,0 +1,80 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestForCoversEveryIndexOnce checks, for serial and parallel pools, that
+// each index of [0, n) is visited exactly once whatever the chunking.
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 8} {
+		for _, n := range []int{0, 1, 5, 64, 257} {
+			for _, chunk := range []int{0, 1, 3, 64, 1000} {
+				p := New(workers)
+				visits := make([]int32, n)
+				p.For(n, chunk, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&visits[i], 1)
+					}
+				})
+				p.Close()
+				for i, v := range visits {
+					if v != 1 {
+						t.Fatalf("workers=%d n=%d chunk=%d: index %d visited %d times", workers, n, chunk, i, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestChunkBoundariesIndependentOfWorkers checks the determinism contract:
+// the set of (lo, hi) ranges fn sees depends only on n and chunk.
+func TestChunkBoundariesIndependentOfWorkers(t *testing.T) {
+	n, chunk := 103, 10
+	ranges := func(workers int) map[[2]int]bool {
+		p := New(workers)
+		defer p.Close()
+		ch := make(chan [2]int, n)
+		p.For(n, chunk, func(lo, hi int) {
+			ch <- [2]int{lo, hi}
+		})
+		close(ch)
+		out := map[[2]int]bool{}
+		for r := range ch {
+			out[r] = true
+		}
+		return out
+	}
+	serial := ranges(1)
+	parallel := ranges(8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("chunk count differs: %d vs %d", len(serial), len(parallel))
+	}
+	for r := range serial {
+		if !parallel[r] {
+			t.Fatalf("range %v missing under parallel pool", r)
+		}
+	}
+}
+
+// TestNilPoolIsSerialInOrder checks ascending execution order on the nil
+// pool — the property chunked reductions rely on.
+func TestNilPoolIsSerialInOrder(t *testing.T) {
+	var p *Pool
+	last := -1
+	p.For(50, 7, func(lo, hi int) {
+		if lo <= last {
+			t.Fatalf("chunks out of order: lo %d after %d", lo, last)
+		}
+		last = hi - 1
+	})
+	if last != 49 {
+		t.Fatalf("final index %d, want 49", last)
+	}
+	p.Close() // no-op on nil
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d", p.Workers())
+	}
+}

@@ -12,7 +12,28 @@ import (
 	"sync"
 
 	"fdx/internal/linalg"
+	"fdx/internal/par"
 )
+
+// vecPool recycles the per-call scratch vectors (column sums, standard
+// deviations) of the moment routines so the streaming accumulator's
+// steady state allocates only its result matrices.
+var vecPool = sync.Pool{New: func() any { return &vecBuf{} }}
+
+type vecBuf struct{ data []float64 }
+
+// getVec returns a zeroed length-k scratch vector from the pool.
+func getVec(k int) *vecBuf {
+	vb := vecPool.Get().(*vecBuf)
+	if cap(vb.data) < k {
+		vb.data = make([]float64, k)
+	}
+	vb.data = vb.data[:k]
+	for i := range vb.data {
+		vb.data[i] = 0
+	}
+	return vb
+}
 
 // Mean returns the column means of data (rows are observations).
 func Mean(data *linalg.Dense) []float64 {
@@ -22,10 +43,7 @@ func Mean(data *linalg.Dense) []float64 {
 		return mu
 	}
 	for i := 0; i < n; i++ {
-		row := data.Row(i)
-		for j, v := range row {
-			mu[j] += v
-		}
+		linalg.Axpy(1, data.Row(i), mu)
 	}
 	for j := range mu {
 		mu[j] /= float64(n)
@@ -33,38 +51,62 @@ func Mean(data *linalg.Dense) []float64 {
 	return mu
 }
 
+// accumulateMoments is the shared single-traversal core of Covariance and
+// SecondMoment: one pass over the rows of data, adding each row to the
+// column sums (when sums is non-nil) and each row's outer product to the
+// upper triangle of s via fused Axpy updates.
+// Panics if s is not k×k (or sums not length k) for data's column count k.
+// (fdx:numeric-kernel: the exact-zero test is a sparsity fast path over the
+// mostly-zero pair-transform samples — a zero multiplier contributes
+// nothing to the accumulation.)
+func accumulateMoments(data *linalg.Dense, sums []float64, s *linalg.Dense) {
+	n, k := data.Dims()
+	if r, c := s.Dims(); r != k || c != k || (sums != nil && len(sums) != k) {
+		panic("stats: accumulateMoments operand shapes disagree")
+	}
+	for i := 0; i < n; i++ {
+		row := data.Row(i)
+		if sums != nil {
+			linalg.Axpy(1, row, sums)
+		}
+		for a := 0; a < k; a++ {
+			va := row[a]
+			if va == 0 {
+				continue
+			}
+			linalg.Axpy(va, row[a:], s.Row(a)[a:])
+		}
+	}
+}
+
 // Covariance returns the empirical covariance matrix of data (rows are
-// observations, columns variables), normalizing by n.
-// (fdx:numeric-kernel: the exact-zero test is a sparsity fast path — a zero
-// deviation contributes nothing to any product.)
+// observations, columns variables), normalizing by n. Sums and raw second
+// moments accumulate in a single traversal; the centering correction
+// cov = E[xy] − E[x]·E[y] is applied at the end, with the diagonal clamped
+// at zero so round-off on near-constant columns can never produce a
+// negative variance.
 func Covariance(data *linalg.Dense) *linalg.Dense {
 	n, k := data.Dims()
-	mu := Mean(data)
 	s := linalg.NewDense(k, k)
 	if n == 0 {
 		return s
 	}
-	for i := 0; i < n; i++ {
-		row := data.Row(i)
-		for a := 0; a < k; a++ {
-			da := row[a] - mu[a]
-			if da == 0 {
-				continue
-			}
-			srow := s.Row(a)
-			for b := a; b < k; b++ {
-				srow[b] += da * (row[b] - mu[b])
-			}
-		}
-	}
+	vb := getVec(k)
+	sums := vb.data
+	accumulateMoments(data, sums, s)
 	inv := 1 / float64(n)
 	for a := 0; a < k; a++ {
+		mua := sums[a] * inv
 		for b := a; b < k; b++ {
-			v := s.At(a, b) * inv
+			v := s.At(a, b)*inv - mua*(sums[b]*inv)
+			if b == a && v < 0 {
+				v = 0
+			}
 			s.Set(a, b, v)
 			s.Set(b, a, v)
 		}
 	}
+	vecPool.Put(vb)
 	return s
 }
 
@@ -73,27 +115,13 @@ func Covariance(data *linalg.Dense) *linalg.Dense {
 // the pair transform already yields a distribution whose relevant structure
 // is around a fixed (not estimated) center, which is what makes the
 // estimate robust to corrupted cells (paper §4.3).
-// (fdx:numeric-kernel: the exact-zero test is a sparsity fast path over the
-// mostly-zero pair-transform samples.)
 func SecondMoment(data *linalg.Dense) *linalg.Dense {
 	n, k := data.Dims()
 	s := linalg.NewDense(k, k)
 	if n == 0 {
 		return s
 	}
-	for i := 0; i < n; i++ {
-		row := data.Row(i)
-		for a := 0; a < k; a++ {
-			va := row[a]
-			if va == 0 {
-				continue
-			}
-			srow := s.Row(a)
-			for b := a; b < k; b++ {
-				srow[b] += va * row[b]
-			}
-		}
-	}
+	accumulateMoments(data, nil, s)
 	inv := 1 / float64(n)
 	for a := 0; a < k; a++ {
 		for b := a; b < k; b++ {
@@ -121,68 +149,75 @@ func StratifiedCovariance(data *linalg.Dense, strata int) *linalg.Dense {
 	block := n / strata
 	acc := linalg.NewDense(k, k)
 	// Strata are independent; compute their covariances concurrently.
+	// Stratum s owns covs[s], and the merge below folds them in fixed
+	// ascending order, so the result is identical at any worker count.
 	covs := make([]*linalg.Dense, strata)
-	var wg sync.WaitGroup
 	workers := runtime.GOMAXPROCS(0)
 	if workers > strata {
 		workers = strata
 	}
-	strataCh := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for s := range strataCh {
-				sub := linalg.NewDenseData(block, k, data.Data()[s*block*k:(s+1)*block*k])
-				covs[s] = Covariance(sub)
-			}
-		}()
-	}
-	for s := 0; s < strata; s++ {
-		strataCh <- s
-	}
-	close(strataCh)
-	wg.Wait()
-	for _, cov := range covs {
-		for i, v := range cov.Data() {
-			acc.Data()[i] += v
+	pool := par.New(workers)
+	pool.For(strata, 1, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			sub := linalg.NewDenseData(block, k, data.Data()[s*block*k:(s+1)*block*k])
+			covs[s] = Covariance(sub)
 		}
+	})
+	pool.Close()
+	for _, cov := range covs {
+		linalg.Axpy(1, cov.Data(), acc.Data())
 	}
 	acc.Scale(1 / float64(strata))
 	return acc
 }
 
-// Correlation converts a covariance matrix to a correlation matrix.
-// Zero-variance variables get unit diagonal and zero off-diagonals.
+// Correlation converts a covariance matrix to a correlation matrix as a
+// new matrix. See CorrelationInPlace.
+func Correlation(cov *linalg.Dense) *linalg.Dense {
+	return CorrelationInPlace(cov.Clone())
+}
+
+// CorrelationInPlace converts the covariance matrix cov to a correlation
+// matrix in place and returns it. Zero-variance variables get unit
+// diagonal and zero off-diagonals.
 // (fdx:numeric-kernel: exact-zero standard deviation is the constant-column
 // sentinel; dividing by anything smaller-but-nonzero is still well defined.)
-func Correlation(cov *linalg.Dense) *linalg.Dense {
+func CorrelationInPlace(cov *linalg.Dense) *linalg.Dense {
 	k, _ := cov.Dims()
-	out := linalg.NewDense(k, k)
-	sd := make([]float64, k)
+	vb := getVec(k)
+	sd := vb.data
 	for i := 0; i < k; i++ {
 		sd[i] = math.Sqrt(cov.At(i, i))
 	}
 	for i := 0; i < k; i++ {
-		for j := 0; j < k; j++ {
-			if i == j {
-				out.Set(i, j, 1)
-				continue
+		row := cov.Row(i)
+		for j := range row {
+			switch {
+			case i == j:
+				row[j] = 1
+			case sd[i] == 0 || sd[j] == 0:
+				row[j] = 0
+			default:
+				row[j] /= sd[i] * sd[j]
 			}
-			if sd[i] == 0 || sd[j] == 0 {
-				continue
-			}
-			out.Set(i, j, cov.At(i, j)/(sd[i]*sd[j]))
 		}
 	}
-	return out
+	vecPool.Put(vb)
+	return cov
 }
 
-// Shrink returns (1−γ)·S + γ·trace(S)/k·I, a Ledoit-Wolf-style ridge
-// shrinkage that guarantees positive definiteness for γ>0 when S is PSD.
+// Shrink returns (1−γ)·S + γ·trace(S)/k·I as a new matrix. See
+// ShrinkInPlace.
+func Shrink(s *linalg.Dense, gamma float64) *linalg.Dense {
+	return ShrinkInPlace(s.Clone(), gamma)
+}
+
+// ShrinkInPlace applies (1−γ)·S + γ·trace(S)/k·I to s in place and
+// returns it — a Ledoit-Wolf-style ridge shrinkage that guarantees
+// positive definiteness for γ>0 when S is PSD.
 // (fdx:numeric-kernel: an exactly-zero trace means S is the zero matrix and
 // the identity target is substituted.)
-func Shrink(s *linalg.Dense, gamma float64) *linalg.Dense {
+func ShrinkInPlace(s *linalg.Dense, gamma float64) *linalg.Dense {
 	k, _ := s.Dims()
 	tr := 0.0
 	for i := 0; i < k; i++ {
@@ -192,12 +227,11 @@ func Shrink(s *linalg.Dense, gamma float64) *linalg.Dense {
 	if target == 0 {
 		target = 1
 	}
-	out := s.Clone()
-	out.Scale(1 - gamma)
+	s.Scale(1 - gamma)
 	for i := 0; i < k; i++ {
-		out.Add(i, i, gamma*target)
+		s.Add(i, i, gamma*target)
 	}
-	return out
+	return s
 }
 
 // Standardize mean-centers and unit-scales each column of data in place.

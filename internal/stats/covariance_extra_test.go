@@ -119,3 +119,46 @@ func TestConstantYScores(t *testing.T) {
 		t.Error("zero-entropy Y should give RFI = 0 by convention")
 	}
 }
+
+func TestInPlaceVariantsMatchCopying(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	data := linalg.NewDense(60, 4)
+	for i := 0; i < 60; i++ {
+		for j := 0; j < 4; j++ {
+			data.Set(i, j, rng.NormFloat64())
+		}
+	}
+	cov := Covariance(data)
+	wantCorr := Correlation(cov)
+	gotCorr := CorrelationInPlace(cov.Clone())
+	if linalg.MaxAbsDiff(wantCorr, gotCorr) != 0 {
+		t.Error("CorrelationInPlace differs from Correlation")
+	}
+	wantShrink := Shrink(cov, 0.05)
+	gotShrink := ShrinkInPlace(cov.Clone(), 0.05)
+	if linalg.MaxAbsDiff(wantShrink, gotShrink) != 0 {
+		t.Error("ShrinkInPlace differs from Shrink")
+	}
+	// The originals must be untouched by the copying variants.
+	if linalg.MaxAbsDiff(cov, Covariance(data)) != 0 {
+		t.Error("copying variants mutated their input")
+	}
+}
+
+func TestCovarianceConstantColumnHasZeroVariance(t *testing.T) {
+	// One-pass raw moments subtract two nearly equal numbers for constant
+	// columns; the diagonal must clamp at zero, never go negative.
+	data := linalg.NewDense(30, 2)
+	for i := 0; i < 30; i++ {
+		data.Set(i, 0, 7.3)
+		data.Set(i, 1, float64(i))
+	}
+	cov := Covariance(data)
+	if v := cov.At(0, 0); v < 0 || v > 1e-10 {
+		t.Errorf("constant column variance = %v, want ~0 and never negative", v)
+	}
+	corr := Correlation(cov)
+	if corr.At(0, 0) != 1 || corr.At(0, 1) != 0 {
+		t.Errorf("constant-column correlation row = [%v %v], want [1 0]", corr.At(0, 0), corr.At(0, 1))
+	}
+}
