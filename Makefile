@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint test-race test-faults test-crash fuzz bench bench-obs bench-kernels bench-kernels-short experiments fast-experiments fmt loc
+.PHONY: all build test vet lint lint-tests lint-baseline lint-report test-race test-faults test-crash fuzz bench bench-obs bench-kernels bench-kernels-short experiments fast-experiments fmt loc
 
 all: build vet lint test
 
@@ -13,9 +13,28 @@ vet:
 test:
 	$(GO) test ./...
 
-# Project analyzers (internal/analysis): determinism and numeric-safety lints.
+# Project analyzers (internal/analysis): the intraprocedural determinism and
+# numeric-safety lints plus the interprocedural call-graph suite (errwrap,
+# ctxflow, detsource, hotalloc). Findings grandfathered in lint-baseline.json
+# do not fail the run; new findings do, and -ratchet fails when baseline
+# entries go stale (debt was paid down) until `make lint-baseline` re-commits
+# the smaller file — the baseline only ever shrinks.
 lint:
-	$(GO) run ./cmd/fdxlint ./...
+	$(GO) run ./cmd/fdxlint -baseline lint-baseline.json -ratchet ./...
+
+# Lint _test.go files too. Checks whose flagged constructs are idiomatic in
+# tests (floatcmp, nakedpanic, dimcheck) skip test files; maporder,
+# goroutinecapture, and spanleak stay active there.
+lint-tests:
+	$(GO) run ./cmd/fdxlint -tests ./...
+
+# Regenerate lint-baseline.json from the current findings.
+lint-baseline:
+	$(GO) run ./cmd/fdxlint -baseline lint-baseline.json -write-baseline ./...
+
+# Machine-readable report (findings, baseline accounting, stale entries).
+lint-report:
+	$(GO) run ./cmd/fdxlint -json -baseline lint-baseline.json ./... > lint-report.json
 
 # Race-detect the concurrent packages: the parallel transform and stratified
 # covariance (internal/core, internal/stats), the worker pool and parallel

@@ -1,18 +1,35 @@
 // Command fdxlint runs the fdx static-analysis suite (internal/analysis)
 // over the module: it loads, parses, and type-checks every package with the
-// standard library toolchain only, applies the project analyzers, honors
+// standard library toolchain only, builds the module call graph for the
+// interprocedural analyzers, applies the project analyzers, honors
 // //fdx:lint-ignore suppressions, and prints file:line:col diagnostics.
-// It exits non-zero when any finding (or type error) survives.
+// It exits non-zero when any un-baselined finding (or type error) survives.
 //
 // Usage:
 //
-//	fdxlint [-list] [-analyzers a,b,c] [-dir path] [packages]
+//	fdxlint [-list] [-analyzers a,b,c] [-disable a,b] [-tests] [-json]
+//	        [-baseline file] [-write-baseline] [-ratchet] [-dir path] [packages]
 //
 // The package pattern is accepted for familiarity (`fdxlint ./...`), but
 // the tool always lints from the module root: partial lints hide exactly
-// the cross-package drift (an unvalidated kernel, a nondeterministic map
-// walk) the suite exists to catch. Naming a sub-tree restricts *reporting*
-// to packages under it.
+// the cross-package drift (an unvalidated kernel, a leaked bare error) the
+// suite exists to catch. Naming a sub-tree restricts *reporting* to
+// packages under it.
+//
+// -tests additionally loads _test.go files: in-package test files join
+// their package, external test packages (package foo_test) are linted as
+// separate packages. Test declarations are linted but never act as
+// boundary/pipeline roots for the interprocedural analyzers.
+//
+// -baseline names a committed JSON file of grandfathered findings: findings
+// matching a baseline entry (by analyzer, file, and message) do not fail
+// the run, new findings do. -write-baseline regenerates the file from the
+// current findings. -ratchet additionally fails when baseline entries no
+// longer match anything — the debt shrank, so the baseline must be
+// re-committed, keeping it monotonically decreasing.
+//
+// -json emits the machine-readable report (findings, type errors, baseline
+// accounting) on stdout instead of text diagnostics.
 //
 // -dir lints one directory as a standalone package, bypassing the module
 // walk. That is how the analyzer fixtures under testdata (which the walk
@@ -20,6 +37,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,12 +48,41 @@ import (
 	"fdx/internal/analysis"
 )
 
+// finding is one diagnostic in the JSON report, with a cwd-relative file.
+type finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+
+	baselined bool
+}
+
+// report is the -json output document.
+type report struct {
+	Findings   []finding `json:"findings"`
+	TypeErrors []string  `json:"type_errors,omitempty"`
+	// Baselined counts findings matched (and absorbed) by the baseline.
+	Baselined int `json:"baselined,omitempty"`
+	// Stale lists baseline entries that matched nothing: debt that has been
+	// paid down and should be removed with -write-baseline.
+	Stale []string `json:"stale_baseline_entries,omitempty"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the registered analyzers and exit")
 	only := flag.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
+	disable := flag.String("disable", "", "comma-separated analyzer names to skip")
 	dir := flag.String("dir", "", "lint a single directory as a standalone package instead of the module")
+	tests := flag.Bool("tests", false, "also load and lint _test.go files")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON on stdout")
+	baselinePath := flag.String("baseline", "", "baseline file of grandfathered findings")
+	writeBaseline := flag.Bool("write-baseline", false, "regenerate the baseline file from the current findings and exit")
+	ratchet := flag.Bool("ratchet", false, "fail when baseline entries no longer match any finding (the baseline must shrink with the debt)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: fdxlint [-list] [-analyzers a,b,c] [-dir path] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: fdxlint [-list] [-analyzers a,b,c] [-disable a,b] [-tests] [-json] [-baseline file] [-write-baseline] [-ratchet] [-dir path] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -50,11 +97,18 @@ func main() {
 	if *only != "" {
 		analyzers = selectAnalyzers(analyzers, *only)
 	}
+	if *disable != "" {
+		analyzers = dropAnalyzers(analyzers, *disable)
+	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
 		fatal(err)
 	}
+	// Findings are reported relative to the module root (falling back to the
+	// cwd in -dir mode), so baseline keys do not depend on which directory
+	// fdxlint was invoked from.
+	base := cwd
 	var pkgs []*analysis.Package
 	if *dir != "" {
 		pkg, err := analysis.LoadDir(*dir, filepath.Base(*dir))
@@ -65,28 +119,182 @@ func main() {
 			pkgs = append(pkgs, pkg)
 		}
 	} else {
-		pkgs, err = analysis.LoadModule(cwd)
+		load := analysis.LoadModule
+		if *tests {
+			load = analysis.LoadModuleTests
+		}
+		pkgs, err = load(cwd)
 		if err != nil {
 			fatal(err)
 		}
-		pkgs = filterPackages(pkgs, cwd, flag.Args())
+		base = moduleRoot(cwd)
 	}
+	// The whole module is always analyzed (the interprocedural analyzers
+	// need every boundary root and callee); package patterns only narrow
+	// what is reported.
+	keep := reportFilter(cwd, flag.Args())
 
-	failed := false
+	rep := report{}
 	for _, pkg := range pkgs {
+		if !keep(pkg.Dir) {
+			continue
+		}
 		for _, terr := range pkg.TypeErrors {
-			failed = true
-			fmt.Printf("%v [typecheck]\n", terr)
+			rep.TypeErrors = append(rep.TypeErrors, fmt.Sprint(terr))
 		}
 	}
-	diags := analysis.Run(pkgs, analyzers)
-	for _, d := range diags {
-		failed = true
-		fmt.Println(rel(cwd, d))
+	for _, d := range analysis.Run(pkgs, analyzers) {
+		if !keep(filepath.Dir(d.Pos.Filename)) {
+			continue
+		}
+		rep.Findings = append(rep.Findings, finding{
+			Analyzer: d.Analyzer,
+			File:     relPath(base, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+
+	if *writeBaseline {
+		path := *baselinePath
+		if path == "" {
+			path = "lint-baseline.json"
+		}
+		if err := saveBaseline(path, rep.Findings); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fdxlint: wrote %d baseline entries to %s\n", len(rep.Findings), path)
+		return
+	}
+
+	newFindings := len(rep.Findings)
+	if *baselinePath != "" {
+		base, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		newFindings = 0
+		for i := range rep.Findings {
+			f := &rep.Findings[i]
+			k := baselineKey(f.Analyzer, f.File, f.Message)
+			if base[k] > 0 {
+				base[k]--
+				f.baselined = true
+				rep.Baselined++
+			} else {
+				newFindings++
+			}
+		}
+		//fdx:lint-ignore maporder stale entries are sorted immediately below
+		for k, left := range base {
+			for ; left > 0; left-- {
+				rep.Stale = append(rep.Stale, k)
+			}
+		}
+		sort.Strings(rep.Stale)
+	}
+
+	failed := len(rep.TypeErrors) > 0 || newFindings > 0 || (*ratchet && len(rep.Stale) > 0)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, terr := range rep.TypeErrors {
+			fmt.Printf("%s [typecheck]\n", terr)
+		}
+		for _, f := range rep.Findings {
+			suffix := ""
+			if f.baselined {
+				suffix = " (baselined)"
+			}
+			fmt.Printf("%s:%d:%d: [%s] %s%s\n", f.File, f.Line, f.Column, f.Analyzer, f.Message, suffix)
+		}
+		for _, k := range rep.Stale {
+			fmt.Printf("stale baseline entry: %s\n", k)
+		}
+		if len(rep.Stale) > 0 && *ratchet {
+			fmt.Println("fdxlint: the baseline has shrunk; re-commit it with -write-baseline")
+		}
 	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// baselineEntry is one grandfathered finding class. Line numbers are
+// deliberately absent: unrelated edits move findings around, and the
+// baseline should only change when the debt itself does.
+type baselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	// Count allows several identical findings in one file.
+	Count int `json:"count"`
+}
+
+type baselineDoc struct {
+	Comment string          `json:"comment,omitempty"`
+	Entries []baselineEntry `json:"entries"`
+}
+
+func baselineKey(analyzer, file, message string) string {
+	return analyzer + "\t" + filepath.ToSlash(file) + "\t" + message
+}
+
+// loadBaseline reads the baseline into a multiset of allowances.
+func loadBaseline(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc baselineDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	out := map[string]int{}
+	for _, e := range doc.Entries {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		out[baselineKey(e.Analyzer, e.File, e.Message)] += n
+	}
+	return out, nil
+}
+
+// saveBaseline writes the findings as a sorted, deduplicated baseline.
+func saveBaseline(path string, findings []finding) error {
+	counts := map[baselineEntry]int{}
+	for _, f := range findings {
+		counts[baselineEntry{Analyzer: f.Analyzer, File: filepath.ToSlash(f.File), Message: f.Message}]++
+	}
+	doc := baselineDoc{
+		Comment: "grandfathered fdxlint findings; regenerate with `go run ./cmd/fdxlint -write-baseline -baseline <this file>`",
+	}
+	//fdx:lint-ignore maporder entries are sorted immediately below before writing
+	for e, n := range counts {
+		e.Count = n
+		doc.Entries = append(doc.Entries, e)
+	}
+	sort.Slice(doc.Entries, func(i, j int) bool {
+		a, b := doc.Entries[i], doc.Entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func selectAnalyzers(all []*analysis.Analyzer, names string) []*analysis.Analyzer {
@@ -112,13 +320,39 @@ func selectAnalyzers(all []*analysis.Analyzer, names string) []*analysis.Analyze
 	return out
 }
 
-// filterPackages narrows reporting to packages under the directories named
-// by the patterns. "./..." (and no patterns at all) keeps everything.
-func filterPackages(pkgs []*analysis.Package, cwd string, patterns []string) []*analysis.Package {
+// dropAnalyzers removes the named analyzers; unknown names are an error so a
+// typo cannot silently disable nothing.
+func dropAnalyzers(all []*analysis.Analyzer, names string) []*analysis.Analyzer {
+	drop := map[string]bool{}
+	for _, n := range strings.Split(names, ",") {
+		drop[strings.TrimSpace(n)] = true
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		if drop[a.Name] {
+			delete(drop, a.Name)
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(drop) > 0 {
+		unknown := make([]string, 0, len(drop))
+		for n := range drop {
+			unknown = append(unknown, n)
+		}
+		sort.Strings(unknown)
+		fatal(fmt.Errorf("unknown analyzers %s (see fdxlint -list)", strings.Join(unknown, ", ")))
+	}
+	return out
+}
+
+// reportFilter narrows reporting to directories under the patterns' roots.
+// "./..." (and no patterns at all) keeps everything.
+func reportFilter(cwd string, patterns []string) func(dir string) bool {
 	var roots []string
 	for _, p := range patterns {
 		if p == "./..." || p == "..." || p == "all" {
-			return pkgs
+			return func(string) bool { return true }
 		}
 		p = strings.TrimSuffix(p, "/...")
 		if !filepath.IsAbs(p) {
@@ -127,26 +361,40 @@ func filterPackages(pkgs []*analysis.Package, cwd string, patterns []string) []*
 		roots = append(roots, filepath.Clean(p))
 	}
 	if len(roots) == 0 {
-		return pkgs
+		return func(string) bool { return true }
 	}
-	var out []*analysis.Package
-	for _, pkg := range pkgs {
+	return func(dir string) bool {
 		for _, root := range roots {
-			if pkg.Dir == root || strings.HasPrefix(pkg.Dir, root+string(filepath.Separator)) {
-				out = append(out, pkg)
-				break
+			if dir == root || strings.HasPrefix(dir, root+string(filepath.Separator)) {
+				return true
 			}
 		}
+		return false
 	}
-	return out
 }
 
-// rel shortens the diagnostic's file name to be cwd-relative for readability.
-func rel(cwd string, d analysis.Diagnostic) string {
-	if r, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
-		d.Pos.Filename = r
+// relPath shortens a file name to be base-relative for readability and for
+// checkout-independent baseline keys.
+func relPath(base, name string) string {
+	if r, err := filepath.Rel(base, name); err == nil && !strings.HasPrefix(r, "..") {
+		return r
 	}
-	return d.String()
+	return name
+}
+
+// moduleRoot walks up from dir to the nearest directory containing go.mod,
+// falling back to dir itself outside a module.
+func moduleRoot(dir string) string {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return dir
+		}
+		d = parent
+	}
 }
 
 func fatal(err error) {

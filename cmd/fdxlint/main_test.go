@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
@@ -33,7 +34,14 @@ func TestMain(m *testing.M) {
 // run executes fdxlint and returns its combined output and exit code.
 func run(t *testing.T, args ...string) (string, int) {
 	t.Helper()
+	return runIn(t, "", args...)
+}
+
+// runIn is run with an explicit working directory.
+func runIn(t *testing.T, dir string, args ...string) (string, int) {
+	t.Helper()
 	cmd := exec.Command(binPath, args...)
+	cmd.Dir = dir
 	out, err := cmd.CombinedOutput()
 	if err == nil {
 		return string(out), 0
@@ -45,8 +53,45 @@ func run(t *testing.T, args ...string) (string, int) {
 	return string(out), ee.ExitCode()
 }
 
+// writeTempModule lays out a throwaway Go module for end-to-end CLI tests.
+func writeTempModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const demoGoMod = "module demo\n\ngo 1.21\n"
+
+// demoDirty has one floatcmp finding; demoClean is the paid-down version.
+const demoDirty = `package demo
+
+// Eq reports equality.
+func Eq(a, b float64) bool { return a == b }
+`
+
+const demoClean = `package demo
+
+// Eq reports equality within 1e-9.
+func Eq(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+`
+
 func TestFixtureDirExitsNonZero(t *testing.T) {
-	for _, fixture := range []string{"floatcmp", "maporder", "goroutinecapture", "nakedpanic", "dimcheck"} {
+	// errwrap is absent: its fixture is a package tree (it imports a local
+	// fdxerr subpackage), which -dir's standalone load cannot resolve; it is
+	// covered by the analysis package's TestErrWrap instead.
+	for _, fixture := range []string{"floatcmp", "maporder", "goroutinecapture", "nakedpanic", "dimcheck", "spanleak", "ctxflow", "detsource", "hotalloc"} {
 		out, code := run(t, "-dir", "../../internal/analysis/testdata/src/"+fixture)
 		if code != 1 {
 			t.Errorf("fdxlint -dir %s: exit %d, want 1\n%s", fixture, code, out)
@@ -69,10 +114,125 @@ func TestListAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("fdxlint -list: exit %d\n%s", code, out)
 	}
-	for _, name := range []string{"floatcmp", "maporder", "goroutinecapture", "nakedpanic", "dimcheck"} {
+	for _, name := range []string{"floatcmp", "maporder", "goroutinecapture", "nakedpanic", "dimcheck", "spanleak", "errwrap", "ctxflow", "detsource", "hotalloc"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("fdxlint -list output is missing %s:\n%s", name, out)
 		}
+	}
+}
+
+func TestDisableAnalyzer(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{"go.mod": demoGoMod, "demo.go": demoDirty})
+	if out, code := runIn(t, dir, "./..."); code != 1 || !strings.Contains(out, "[floatcmp]") {
+		t.Fatalf("baseline run: exit %d, want 1 with a floatcmp finding\n%s", code, out)
+	}
+	if out, code := runIn(t, dir, "-disable", "floatcmp", "./..."); code != 0 {
+		t.Errorf("-disable floatcmp: exit %d, want 0\n%s", code, out)
+	}
+	if out, code := runIn(t, dir, "-disable", "nope", "./..."); code != 2 {
+		t.Errorf("-disable nope: exit %d, want 2\n%s", code, out)
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{"go.mod": demoGoMod, "demo.go": demoDirty})
+	out, code := runIn(t, dir, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("-json: exit %d, want 1\n%s", code, out)
+	}
+	var rep struct {
+		Findings []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, out)
+	}
+	if len(rep.Findings) != 1 {
+		t.Fatalf("-json findings = %d, want 1\n%s", len(rep.Findings), out)
+	}
+	f := rep.Findings[0]
+	if f.Analyzer != "floatcmp" || f.File != "demo.go" || f.Line == 0 || f.Message == "" {
+		t.Errorf("-json finding = %+v, want a located floatcmp finding in demo.go", f)
+	}
+}
+
+func TestBaselineLifecycle(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{"go.mod": demoGoMod, "demo.go": demoDirty})
+
+	// Grandfather the existing debt.
+	if out, code := runIn(t, dir, "-baseline", "b.json", "-write-baseline", "./..."); code != 0 {
+		t.Fatalf("-write-baseline: exit %d\n%s", code, out)
+	}
+	out, code := runIn(t, dir, "-baseline", "b.json", "./...")
+	if code != 0 {
+		t.Fatalf("baselined run: exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "(baselined)") {
+		t.Errorf("baselined run output does not mark the grandfathered finding:\n%s", out)
+	}
+
+	// A new finding alongside the grandfathered one still fails.
+	extra := demoDirty + "\n// Ne reports inequality.\nfunc Ne(a, b float64) bool { return a != b }\n"
+	if err := os.WriteFile(filepath.Join(dir, "demo.go"), []byte(extra), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, code := runIn(t, dir, "-baseline", "b.json", "./..."); code != 1 {
+		t.Errorf("new finding over baseline: exit %d, want 1\n%s", code, out)
+	}
+
+	// Paying the debt down leaves a stale entry: fine normally, a failure
+	// under -ratchet until the baseline is rewritten.
+	if err := os.WriteFile(filepath.Join(dir, "demo.go"), []byte(demoClean), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code = runIn(t, dir, "-baseline", "b.json", "./...")
+	if code != 0 || !strings.Contains(out, "stale baseline entry") {
+		t.Errorf("stale baseline without -ratchet: exit %d, want 0 with a stale notice\n%s", code, out)
+	}
+	if out, code := runIn(t, dir, "-baseline", "b.json", "-ratchet", "./..."); code != 1 {
+		t.Errorf("stale baseline with -ratchet: exit %d, want 1\n%s", code, out)
+	}
+	if out, code := runIn(t, dir, "-baseline", "b.json", "-write-baseline", "./..."); code != 0 {
+		t.Fatalf("rewriting baseline: exit %d\n%s", code, out)
+	}
+	if out, code := runIn(t, dir, "-baseline", "b.json", "-ratchet", "./..."); code != 0 {
+		t.Errorf("clean module, fresh baseline, -ratchet: exit %d, want 0\n%s", code, out)
+	}
+}
+
+func TestTestsMode(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{
+		"go.mod":  demoGoMod,
+		"demo.go": demoClean,
+		"demo_test.go": `package demo
+
+import "testing"
+
+func TestKeys(t *testing.T) {
+	m := map[string]int{"a": 1}
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	if len(out) != 1 {
+		t.Fatal(out)
+	}
+}
+`,
+	})
+	if out, code := runIn(t, dir, "./..."); code != 0 {
+		t.Fatalf("without -tests: exit %d, want 0\n%s", code, out)
+	}
+	out, code := runIn(t, dir, "-tests", "./...")
+	if code != 1 {
+		t.Fatalf("with -tests: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "[maporder]") || !strings.Contains(out, "demo_test.go") {
+		t.Errorf("with -tests: want a maporder finding in demo_test.go\n%s", out)
 	}
 }
 

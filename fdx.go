@@ -220,16 +220,19 @@ func DiscoverContext(ctx context.Context, rel *Relation, opts Options) (res *Res
 	copts.Obs = copts.Obs.Under(run)
 	copts.Transform.Obs = copts.Obs
 	copts.Obs.Count(obs.MDiscoverRuns, 1)
+	//fdx:lint-ignore detsource wall-clock timing metadata (Result.TransformDuration); never feeds FD scores
 	t0 := time.Now()
 	samples, err := core.TransformContext(ctx, rel, copts.Transform)
 	if err != nil {
 		return nil, fmt.Errorf("fdx: %w", err)
 	}
+	//fdx:lint-ignore detsource wall-clock timing metadata (Result.TransformDuration); never feeds FD scores
 	t1 := time.Now()
 	model, err := core.DiscoverFromSamplesContext(ctx, samples, rel.AttrNames(), copts)
 	if err != nil {
 		return nil, fmt.Errorf("fdx: %w", err)
 	}
+	//fdx:lint-ignore detsource wall-clock timing metadata (Result.ModelDuration); never feeds FD scores
 	t2 := time.Now()
 	run.End()
 	res = resultFromModel(model, rel.AttrNames())

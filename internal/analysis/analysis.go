@@ -26,6 +26,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // Diagnostic is a single finding at a source position.
@@ -33,6 +34,24 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// StartLine/EndLine bound the flagged node's line span when the finding
+	// was reported against a node (ReportRangef); suppression comments
+	// anywhere in the span — or on the line above its start — cover the
+	// finding. Zero values fall back to Pos.Line.
+	StartLine int
+	EndLine   int
+}
+
+// span returns the effective [start, end] line range of the finding.
+func (d Diagnostic) span() (start, end int) {
+	start, end = d.Pos.Line, d.Pos.Line
+	if d.StartLine > 0 && d.StartLine < start {
+		start = d.StartLine
+	}
+	if d.EndLine > end {
+		end = d.EndLine
+	}
+	return start, end
 }
 
 // String renders the diagnostic in file:line:col form.
@@ -40,7 +59,10 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Analyzer is a single named check run over one package at a time.
+// Analyzer is a single named check. Intraprocedural analyzers set Run and
+// see one package at a time; interprocedural analyzers set RunModule and
+// see every loaded package plus the call graph at once. Exactly one of the
+// two must be set.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and suppressions.
 	Name string
@@ -48,6 +70,14 @@ type Analyzer struct {
 	Doc string
 	// Run inspects the package in pass and reports findings via pass.Reportf.
 	Run func(pass *Pass)
+	// RunModule inspects the whole loaded package set with call-graph
+	// context. Set instead of Run for interprocedural analyzers.
+	RunModule func(mpass *ModulePass)
+	// SkipTestFiles drops the analyzer's findings located in _test.go files
+	// (loaded by the -tests mode). Set for checks whose flagged constructs
+	// are idiomatic in tests: exact float assertions in determinism tests,
+	// panics in example code.
+	SkipTestFiles bool
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -74,7 +104,59 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All returns the full analyzer suite in deterministic order.
+// ReportRangef records a diagnostic at pos carrying node's full line span,
+// so a suppression comment above (or anywhere inside) a multi-line flagged
+// expression covers it even when pos sits on a later line.
+func (p *Pass) ReportRangef(node ast.Node, pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, rangeDiag(p.Fset, p.Analyzer.Name, node, pos, format, args...))
+}
+
+func rangeDiag(fset *token.FileSet, analyzer string, node ast.Node, pos token.Pos, format string, args ...any) Diagnostic {
+	d := Diagnostic{
+		Pos:      fset.Position(pos),
+		Analyzer: analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	}
+	if node != nil {
+		d.StartLine = fset.Position(node.Pos()).Line
+		d.EndLine = fset.Position(node.End()).Line
+	}
+	return d
+}
+
+// ModulePass carries the whole loaded package set, plus the shared call
+// graph, through one interprocedural analyzer.
+type ModulePass struct {
+	Analyzer *Analyzer
+	// Fset is the file set shared by every loaded package.
+	Fset *token.FileSet
+	// Packages are the loaded packages in deterministic (import path) order.
+	Packages []*Package
+	// Graph is the module call graph, built once and shared by every
+	// interprocedural analyzer in the run.
+	Graph *CallGraph
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportRangef records a diagnostic at pos carrying node's line span (see
+// Pass.ReportRangef).
+func (p *ModulePass) ReportRangef(node ast.Node, pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, rangeDiag(p.Fset, p.Analyzer.Name, node, pos, format, args...))
+}
+
+// All returns the full analyzer suite in deterministic order: the six
+// intraprocedural analyzers first, then the four interprocedural ones that
+// need the module call graph.
 func All() []*Analyzer {
 	return []*Analyzer{
 		FloatCmp,
@@ -83,21 +165,34 @@ func All() []*Analyzer {
 		NakedPanic,
 		DimCheck,
 		SpanLeak,
+		ErrWrap,
+		CtxFlow,
+		DetSource,
+		HotAlloc,
 	}
 }
 
 // Run applies every analyzer to every package, filters suppressed findings,
 // and returns the surviving diagnostics sorted by position. Suppressions
 // lacking a reason are reported under the pseudo-analyzer "lint-ignore".
+// Interprocedural analyzers (RunModule) see the whole package set at once,
+// over a call graph built once per Run; suppressions apply to their
+// findings the same way (they are keyed by file and line, so one global set
+// covers both kinds).
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	sup := &suppressionSet{}
 	for _, pkg := range pkgs {
-		sup := collectSuppressions(pkg.Fset, pkg.Files)
-		for _, d := range sup.malformed {
-			diags = append(diags, d)
-		}
-		var raw []Diagnostic
+		collectSuppressions(sup, pkg.Fset, pkg.Files)
+	}
+	diags = append(diags, sup.malformed...)
+
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -108,10 +203,40 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 			a.Run(pass)
 		}
-		for _, d := range raw {
-			if !sup.suppresses(d) {
-				diags = append(diags, d)
-			}
+	}
+
+	var graph *CallGraph
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		if graph == nil {
+			graph = BuildCallGraph(pkgs)
+		}
+		mpass := &ModulePass{
+			Analyzer: a,
+			Packages: pkgs,
+			Graph:    graph,
+			diags:    &raw,
+		}
+		if len(pkgs) > 0 {
+			mpass.Fset = pkgs[0].Fset
+		}
+		a.RunModule(mpass)
+	}
+
+	skipInTests := map[string]bool{}
+	for _, a := range analyzers {
+		if a.SkipTestFiles {
+			skipInTests[a.Name] = true
+		}
+	}
+	for _, d := range raw {
+		if skipInTests[d.Analyzer] && strings.HasSuffix(d.Pos.Filename, "_test.go") {
+			continue
+		}
+		if !sup.suppresses(d) {
+			diags = append(diags, d)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"go/importer"
 	"go/token"
 	"os"
 	"path/filepath"
@@ -23,7 +24,10 @@ func TestDiagnosticString(t *testing.T) {
 }
 
 func TestAllAnalyzersRegistered(t *testing.T) {
-	want := []string{"floatcmp", "maporder", "goroutinecapture", "nakedpanic", "dimcheck", "spanleak"}
+	want := []string{
+		"floatcmp", "maporder", "goroutinecapture", "nakedpanic", "dimcheck", "spanleak",
+		"errwrap", "ctxflow", "detsource", "hotalloc",
+	}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))
@@ -34,6 +38,9 @@ func TestAllAnalyzersRegistered(t *testing.T) {
 		}
 		if a.Doc == "" {
 			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+		if (a.Run == nil) == (a.RunModule == nil) {
+			t.Errorf("analyzer %s must set exactly one of Run and RunModule", a.Name)
 		}
 	}
 }
@@ -82,6 +89,23 @@ func key(path string, line int) string {
 	return fmt.Sprintf("%s:%d", filepath.Base(path), line)
 }
 
+// TestSuppressionCoversMultiLineSpan is the regression test for suppression
+// comments over multi-line flagged expressions: floatcmp reports at the
+// operator position, which can sit lines below the expression start, and the
+// suppression above the first line must still cover it.
+func TestSuppressionCoversMultiLineSpan(t *testing.T) {
+	pkg := loadFixture(t, "suppress")
+	diags := Run([]*Package{pkg}, []*Analyzer{FloatCmp})
+
+	path := filepath.Join("testdata", "src", "suppress", "fixture.go")
+	op := fixtureLine(t, path, "c) == c")
+	for _, d := range diags {
+		if d.Pos.Line == op {
+			t.Errorf("multi-line comparison still flagged at line %d despite span suppression: %v", op, d)
+		}
+	}
+}
+
 func TestLoadModule(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-module load shells out to the source importer")
@@ -105,6 +129,51 @@ func TestLoadModule(t *testing.T) {
 	}
 	if !found {
 		t.Error("LoadModule did not load fdx/internal/analysis")
+	}
+}
+
+// TestLoadDirTestsMode checks test-file loading: in-package _test.go files
+// merge into the base package; an external (package p_test) file becomes a
+// second package with a "_test"-suffixed import path.
+func TestLoadDirTestsMode(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("base.go", "package p\n\nfunc F() int { return 1 }\n")
+	write("in_test.go", "package p\n\nfunc helper() int { return F() }\n\nvar _ = helper\n")
+	write("ext_test.go", "package p_test\n\nfunc G() int { return 2 }\n\nvar _ = G\n")
+
+	fset := token.NewFileSet()
+	loaded, err := loadDir(fset, importer.ForCompiler(fset, "source", nil), dir, "p", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 2 {
+		t.Fatalf("loaded %d packages, want 2 (base+in-package tests, external tests)", len(loaded))
+	}
+	if got := len(loaded[0].Files); loaded[0].ImportPath != "p" || got != 2 {
+		t.Errorf("base package = %s with %d files, want p with 2", loaded[0].ImportPath, got)
+	}
+	if got := len(loaded[1].Files); loaded[1].ImportPath != "p_test" || got != 1 {
+		t.Errorf("external test package = %s with %d files, want p_test with 1", loaded[1].ImportPath, got)
+	}
+	for _, pkg := range loaded {
+		if len(pkg.TypeErrors) != 0 {
+			t.Errorf("%s: unexpected type errors: %v", pkg.ImportPath, pkg.TypeErrors)
+		}
+	}
+
+	// Without tests, the _test.go files stay invisible.
+	fset2 := token.NewFileSet()
+	plain, err := loadDir(fset2, importer.ForCompiler(fset2, "source", nil), dir, "p", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != 1 || len(plain[0].Files) != 1 {
+		t.Errorf("tests=false loaded %d packages / %d files, want 1/1", len(plain), len(plain[0].Files))
 	}
 }
 

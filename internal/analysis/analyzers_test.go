@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -28,6 +29,17 @@ func loadFixture(t *testing.T, name string) *Package {
 // "<base-file>:<line>".
 func expectations(t *testing.T, pkg *Package) map[string][]string {
 	t.Helper()
+	want := fileExpectations(pkg)
+	if len(want) == 0 {
+		t.Fatalf("fixture %s has no want: annotations", pkg.ImportPath)
+	}
+	return want
+}
+
+// fileExpectations is expectations without the must-have-annotations check,
+// for the packages of a multi-package fixture tree (a taxonomy subpackage
+// legitimately has none).
+func fileExpectations(pkg *Package) map[string][]string {
 	want := map[string][]string{}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -44,9 +56,6 @@ func expectations(t *testing.T, pkg *Package) map[string][]string {
 			}
 		}
 	}
-	if len(want) == 0 {
-		t.Fatalf("fixture %s has no want: annotations", pkg.ImportPath)
-	}
 	return want
 }
 
@@ -60,26 +69,72 @@ func byLine(diags []Diagnostic) map[string][]string {
 	return got
 }
 
+// sortedKeys returns m's keys in ascending order, so comparison output and
+// merge order are deterministic.
+func sortedKeys(m map[string][]string) []string {
+	keys := make([]string, 0, len(m))
+	for key := range m {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// compareDiags checks got against the fixture's want: annotations; the
+// unannotated lines double as the clean-pass cases — a diagnostic on any of
+// them fails the comparison.
+func compareDiags(t *testing.T, want, got map[string][]string) {
+	t.Helper()
+	for _, key := range sortedKeys(want) {
+		if fmt.Sprint(got[key]) != fmt.Sprint(want[key]) {
+			t.Errorf("%s: want %v, got %v", key, want[key], got[key])
+		}
+	}
+	for _, key := range sortedKeys(got) {
+		if len(want[key]) == 0 {
+			t.Errorf("%s: unexpected diagnostics %v", key, got[key])
+		}
+	}
+}
+
 // testAnalyzerFixture runs a single analyzer over its fixture package and
-// compares the findings against the fixture's want: annotations. The
-// unannotated functions double as the clean-pass cases: a diagnostic on any
-// of them fails the comparison.
+// compares the findings against the fixture's want: annotations. Module
+// (RunModule) analyzers work too: Run builds the call graph over the single
+// fixture package.
 func testAnalyzerFixture(t *testing.T, name string, a *Analyzer) {
 	t.Helper()
 	pkg := loadFixture(t, name)
 	diags := Run([]*Package{pkg}, []*Analyzer{a})
-	want := expectations(t, pkg)
-	got := byLine(diags)
-	for key, names := range want {
-		if fmt.Sprint(got[key]) != fmt.Sprint(names) {
-			t.Errorf("%s: want %v, got %v", key, names, got[key])
+	compareDiags(t, expectations(t, pkg), byLine(diags))
+}
+
+// testTreeAnalyzerFixture loads a multi-package fixture tree (the root
+// package plus its subpackages) and runs one module analyzer over all of it.
+// want: annotations are read from every loaded package.
+func testTreeAnalyzerFixture(t *testing.T, name string, a *Analyzer) {
+	t.Helper()
+	pkgs, err := LoadTree(filepath.Join("testdata", "src", name), name)
+	if err != nil {
+		t.Fatalf("loading fixture tree %s: %v", name, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture tree %s has no packages", name)
+	}
+	want := map[string][]string{}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("fixture %s: type error: %v", pkg.ImportPath, terr)
+		}
+		exp := fileExpectations(pkg)
+		for _, key := range sortedKeys(exp) {
+			want[key] = append(want[key], exp[key]...)
 		}
 	}
-	for key, names := range got {
-		if len(want[key]) == 0 {
-			t.Errorf("%s: unexpected diagnostics %v", key, names)
-		}
+	if len(want) == 0 {
+		t.Fatalf("fixture tree %s has no want: annotations", name)
 	}
+	diags := Run(pkgs, []*Analyzer{a})
+	compareDiags(t, want, byLine(diags))
 }
 
 func TestFloatCmp(t *testing.T)         { testAnalyzerFixture(t, "floatcmp", FloatCmp) }
@@ -88,3 +143,7 @@ func TestGoroutineCapture(t *testing.T) { testAnalyzerFixture(t, "goroutinecaptu
 func TestNakedPanic(t *testing.T)       { testAnalyzerFixture(t, "nakedpanic", NakedPanic) }
 func TestDimCheck(t *testing.T)         { testAnalyzerFixture(t, "dimcheck", DimCheck) }
 func TestSpanLeak(t *testing.T)         { testAnalyzerFixture(t, "spanleak", SpanLeak) }
+func TestErrWrap(t *testing.T)          { testTreeAnalyzerFixture(t, "errwrap", ErrWrap) }
+func TestCtxFlow(t *testing.T)          { testAnalyzerFixture(t, "ctxflow", CtxFlow) }
+func TestDetSource(t *testing.T)        { testAnalyzerFixture(t, "detsource", DetSource) }
+func TestHotAlloc(t *testing.T)         { testAnalyzerFixture(t, "hotalloc", HotAlloc) }

@@ -1,0 +1,425 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file builds the static call graph the interprocedural analyzers
+// (errwrap, ctxflow, detsource, hotalloc) share. The graph is deliberately
+// simple — it answers "which declared functions can this function invoke?"
+// — but it is built to be *sound for the module's own code* under three
+// resolution rules:
+//
+//   - Direct calls (pkg.F(...), F(...)) resolve through go/types object use.
+//   - Method calls resolve by the receiver's static type when that type is
+//     concrete; calls through interface values are recorded as dynamic
+//     sites, which analyzers treat conservatively.
+//   - A declared function referenced in non-call position (passed as a
+//     value, assigned to a variable or field) gets a Ref edge from the
+//     referencing function: it may be invoked by whoever receives it, so
+//     reachability and bottom-up facts must assume it runs.
+//
+// Function literals are attributed to their enclosing declared function:
+// the closure's calls become the enclosing function's edges. That matches
+// how the repo uses closures (worker bodies handed to internal/par, defers)
+// and keeps every fact attached to a declared, doc-commentable function.
+//
+// Nodes are keyed by types.Func.FullName() — a package-path-qualified name
+// such as "fdx/internal/glasso.SolveContext" or
+// "(*fdx/internal/linalg.Dense).At" — because each package is type-checked
+// with its own importer view: the *types.Func for a callee seen from the
+// caller's package is a different object than the one from the callee's own
+// check, but the full name is identical. The ID is the identity.
+
+// CallGraph is the module-wide static call graph.
+type CallGraph struct {
+	// Nodes maps the stable function ID (types.Func.FullName()) to its
+	// node. Both module functions (with Decl set) and external callees
+	// (stdlib, with Decl nil) appear.
+	Nodes map[string]*Node
+
+	fset *token.FileSet
+}
+
+// Node is one function in the call graph.
+type Node struct {
+	// ID is the stable package-path-qualified name.
+	ID string
+	// Func is the defining *types.Func when the function belongs to a
+	// loaded package; for external callees it is whatever object the
+	// caller's type info resolved (sufficient for signatures).
+	Func *types.Func
+	// Decl is the declaration, nil for functions outside the loaded set.
+	Decl *ast.FuncDecl
+	// Pkg is the loaded package declaring the function, nil for externals.
+	Pkg *Package
+	// Calls are the outgoing edges in source order.
+	Calls []*Edge
+	// Callers are the incoming edges.
+	Callers []*Edge
+	// Dynamic records call sites through function values or interface
+	// methods that could not be resolved to a declared function.
+	Dynamic []token.Pos
+}
+
+// External reports whether the node's body is outside the loaded packages
+// (stdlib or unexported-by-load); such nodes have no outgoing edges.
+func (n *Node) External() bool { return n.Decl == nil }
+
+// EdgeKind classifies how a call edge was established.
+type EdgeKind int
+
+const (
+	// EdgeCall is a direct function or package-qualified call.
+	EdgeCall EdgeKind = iota
+	// EdgeMethod is a method call resolved via a concrete receiver type.
+	EdgeMethod
+	// EdgeRef is a reference to the function in non-call position — the
+	// function escapes as a value and may be invoked by the receiver.
+	EdgeRef
+)
+
+// Edge is one caller→callee connection.
+type Edge struct {
+	Caller, Callee *Node
+	// Site is the call or reference position.
+	Site token.Pos
+	// Call is the call expression for EdgeCall/EdgeMethod edges, nil for
+	// EdgeRef.
+	Call *ast.CallExpr
+	Kind EdgeKind
+}
+
+// funcID returns the stable node key for fn.
+func funcID(fn *types.Func) string { return fn.FullName() }
+
+// BuildCallGraph constructs the graph over every declared function in pkgs.
+// All packages must share one token.FileSet (LoadModule and LoadTree
+// guarantee this).
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{Nodes: map[string]*Node{}}
+	if len(pkgs) > 0 {
+		g.fset = pkgs[0].Fset
+	}
+	// First pass: register every declared function so cross-package edges
+	// land on the declaring node regardless of package check order.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue // type error left the decl unresolved
+				}
+				id := funcID(fn)
+				n := g.Nodes[id]
+				if n == nil {
+					n = &Node{ID: id}
+					g.Nodes[id] = n
+				}
+				// A declaration always wins over a placeholder created for
+				// an external reference to the same function.
+				n.Func, n.Decl, n.Pkg = fn, fd, pkg
+			}
+		}
+	}
+	// Second pass: extract edges from every body.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.extractEdges(g.Nodes[funcID(fn)], pkg, fd.Body)
+			}
+		}
+	}
+	return g
+}
+
+// node returns (creating if needed) the node for fn as resolved from a
+// caller's package.
+func (g *CallGraph) node(fn *types.Func) *Node {
+	id := funcID(fn)
+	n := g.Nodes[id]
+	if n == nil {
+		n = &Node{ID: id, Func: fn}
+		g.Nodes[id] = n
+	}
+	return n
+}
+
+// extractEdges walks one function body (closures included) and records
+// call, method, ref, and dynamic edges on caller.
+func (g *CallGraph) extractEdges(caller *Node, pkg *Package, body ast.Node) {
+	// funPositions marks expressions in call-operator position (and the Sel
+	// ident inside them) so the ref scan below does not double-count the
+	// callee of a direct call as an escaping function value.
+	funPositions := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun := ast.Unparen(call.Fun)
+		funPositions[fun] = true
+		if sel, ok := fun.(*ast.SelectorExpr); ok {
+			funPositions[sel.Sel] = true
+		}
+		if callee := calleeFunc(pkg.Info, call); callee != nil {
+			kind := EdgeCall
+			if callee.Type().(*types.Signature).Recv() != nil {
+				kind = EdgeMethod
+			}
+			g.addEdge(caller, g.node(callee), call.Pos(), call, kind)
+			return true
+		}
+		// Conversions (T(x)) and builtin calls are not dynamic sites.
+		if isTypeConversion(pkg.Info, call) || isBuiltinCall(pkg.Info, call) {
+			return true
+		}
+		caller.Dynamic = append(caller.Dynamic, call.Pos())
+		return true
+	})
+	// Ref edges: declared functions used as values.
+	ast.Inspect(body, func(n ast.Node) bool {
+		var fn *types.Func
+		var expr ast.Expr
+		switch e := n.(type) {
+		case *ast.Ident:
+			expr = e
+			fn, _ = pkg.Info.Uses[e].(*types.Func)
+		case *ast.SelectorExpr:
+			expr = e
+			fn, _ = pkg.Info.Uses[e.Sel].(*types.Func)
+		default:
+			return true
+		}
+		if fn == nil || funPositions[expr] {
+			return true
+		}
+		g.addEdge(caller, g.node(fn), expr.Pos(), nil, EdgeRef)
+		return false
+	})
+}
+
+// addEdge appends a caller→callee edge, deduplicating exact repeats of the
+// same site (the ref scan can visit a selector and its Sel ident).
+func (g *CallGraph) addEdge(caller, callee *Node, site token.Pos, call *ast.CallExpr, kind EdgeKind) {
+	for _, e := range caller.Calls {
+		if e.Callee == callee && e.Site == site {
+			return
+		}
+	}
+	e := &Edge{Caller: caller, Callee: callee, Site: site, Call: call, Kind: kind}
+	caller.Calls = append(caller.Calls, e)
+	callee.Callers = append(callee.Callers, e)
+}
+
+// calleeFunc resolves the declared function a call invokes, or nil when the
+// call is through a function value or an interface method.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		sel, ok := info.Selections[fun]
+		if !ok {
+			// Package-qualified call: pkg.F(...).
+			if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		if sel.Kind() != types.MethodVal {
+			return nil
+		}
+		fn, ok := sel.Obj().(*types.Func)
+		if !ok {
+			return nil
+		}
+		// Interface dispatch cannot be resolved statically; report it as
+		// dynamic so analyzers stay conservative.
+		if types.IsInterface(sel.Recv()) {
+			return nil
+		}
+		return fn
+	}
+	return nil
+}
+
+func isTypeConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+func isBuiltinCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// Lookup returns the node with the given ID, or nil.
+func (g *CallGraph) Lookup(id string) *Node { return g.Nodes[id] }
+
+// ModuleNodes returns every node with a body in the loaded packages, sorted
+// by ID for deterministic iteration.
+func (g *CallGraph) ModuleNodes() []*Node {
+	var out []*Node
+	for _, n := range g.Nodes {
+		if !n.External() {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Reachable returns the set of nodes reachable from roots along Calls edges
+// (Ref edges included: a function handed out as a value must be assumed to
+// run). The roots themselves are included.
+func (g *CallGraph) Reachable(roots []*Node) map[*Node]bool {
+	seen := map[*Node]bool{}
+	var stack []*Node
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.Calls {
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				stack = append(stack, e.Callee)
+			}
+		}
+	}
+	return seen
+}
+
+// PathFrom reconstructs one call path from any root to target within the
+// reachable set, for diagnostics ("reachable via A → B → C"). It returns
+// node IDs from a root to the target, or nil when target is not reachable.
+func (g *CallGraph) PathFrom(roots []*Node, target *Node) []string {
+	parent := map[*Node]*Node{}
+	seen := map[*Node]bool{}
+	var queue []*Node
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			queue = append(queue, r)
+		}
+	}
+	// Breadth-first with callees visited in source order keeps the chosen
+	// path deterministic.
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n == target {
+			var path []string
+			for m := n; m != nil; m = parent[m] {
+				path = append([]string{m.ID}, path...)
+			}
+			return path
+		}
+		for _, e := range n.Calls {
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				parent[e.Callee] = n
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+	return nil
+}
+
+// BottomUp invokes visit once per strongly connected component in
+// dependency order: every SCC a component calls into is visited before the
+// component itself. Analyzers compute per-function summary facts in the
+// callback; mutual recursion arrives as one multi-node SCC whose facts must
+// be iterated to fixpoint inside the callback (a boolean-monotone fact
+// needs at most len(scc) passes).
+func (g *CallGraph) BottomUp(visit func(scc []*Node)) {
+	for _, scc := range g.SCCs() {
+		visit(scc)
+	}
+}
+
+// SCCs returns the strongly connected components in bottom-up (callee
+// before caller) order, computed with Tarjan's algorithm. Iteration is
+// deterministic: nodes are seeded in ID order.
+func (g *CallGraph) SCCs() [][]*Node {
+	type state struct {
+		index, lowlink int
+		onStack        bool
+	}
+	states := map[*Node]*state{}
+	var stack []*Node
+	var sccs [][]*Node
+	next := 0
+
+	var strongconnect func(v *Node)
+	strongconnect = func(v *Node) {
+		st := &state{index: next, lowlink: next}
+		next++
+		states[v] = st
+		stack = append(stack, v)
+		st.onStack = true
+		for _, e := range v.Calls {
+			w := e.Callee
+			ws, seen := states[w]
+			if !seen {
+				strongconnect(w)
+				if states[w].lowlink < st.lowlink {
+					st.lowlink = states[w].lowlink
+				}
+			} else if ws.onStack && ws.index < st.lowlink {
+				st.lowlink = ws.index
+			}
+		}
+		if st.lowlink == st.index {
+			var scc []*Node
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				states[w].onStack = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+
+	ids := make([]string, 0, len(g.Nodes))
+	for id := range g.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if _, seen := states[g.Nodes[id]]; !seen {
+			strongconnect(g.Nodes[id])
+		}
+	}
+	return sccs
+}

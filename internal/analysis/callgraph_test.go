@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func buildFixtureGraph(t *testing.T) *CallGraph {
+	t.Helper()
+	pkg := loadCallgraphFixture(t)
+	return BuildCallGraph([]*Package{pkg})
+}
+
+func loadCallgraphFixture(t *testing.T) *Package {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "callgraph"), "callgraph")
+	if err != nil {
+		t.Fatalf("loading callgraph fixture: %v", err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("callgraph fixture: type error: %v", terr)
+	}
+	return pkg
+}
+
+// edgeKinds collects caller→callee edge kinds for assertions.
+func edgeKinds(n *Node) map[string][]EdgeKind {
+	out := map[string][]EdgeKind{}
+	for _, e := range n.Calls {
+		out[e.Callee.ID] = append(out[e.Callee.ID], e.Kind)
+	}
+	return out
+}
+
+func TestCallGraphEdges(t *testing.T) {
+	g := buildFixtureGraph(t)
+	top := g.Lookup("callgraph.Top")
+	if top == nil {
+		t.Fatal("callgraph.Top not in graph")
+	}
+	kinds := edgeKinds(top)
+
+	if got := kinds["(*callgraph.Counter).Inc"]; len(got) != 1 || got[0] != EdgeMethod {
+		t.Errorf("Top → (*Counter).Inc edges = %v, want one EdgeMethod", got)
+	}
+	if got := kinds["(callgraph.Counter).Get"]; len(got) != 1 || got[0] != EdgeMethod {
+		t.Errorf("Top → (Counter).Get edges = %v, want one EdgeMethod", got)
+	}
+	if got := kinds["callgraph.helper"]; len(got) != 1 || got[0] != EdgeCall {
+		t.Errorf("Top → helper edges = %v, want one EdgeCall", got)
+	}
+	if got := kinds["callgraph.apply"]; len(got) != 1 || got[0] != EdgeCall {
+		t.Errorf("Top → apply edges = %v, want one EdgeCall", got)
+	}
+	// indirect is referenced twice as a value (assignment, argument), never
+	// called directly from Top.
+	refs := kinds["callgraph.indirect"]
+	if len(refs) != 2 || refs[0] != EdgeRef || refs[1] != EdgeRef {
+		t.Errorf("Top → indirect edges = %v, want two EdgeRef", refs)
+	}
+	// f() is a call through a function value: a dynamic site, not an edge.
+	if len(top.Dynamic) != 1 {
+		t.Errorf("Top has %d dynamic sites, want 1 (the f() call)", len(top.Dynamic))
+	}
+
+	// apply's parameter call is dynamic too.
+	apply := g.Lookup("callgraph.apply")
+	if apply == nil || len(apply.Dynamic) != 1 {
+		t.Fatalf("apply should carry one dynamic site, got %+v", apply)
+	}
+}
+
+func TestCallGraphClosureAttribution(t *testing.T) {
+	g := buildFixtureGraph(t)
+	closures := g.Lookup("callgraph.Closures")
+	if closures == nil {
+		t.Fatal("callgraph.Closures not in graph")
+	}
+	// The literal's call to helper belongs to the enclosing declaration, and
+	// invoking the literal through fn() is a dynamic site of the same.
+	if got := edgeKinds(closures)["callgraph.helper"]; len(got) != 1 || got[0] != EdgeCall {
+		t.Errorf("Closures → helper edges = %v, want one EdgeCall (closure attribution)", got)
+	}
+	if len(closures.Dynamic) != 1 {
+		t.Errorf("Closures has %d dynamic sites, want 1 (the fn() call)", len(closures.Dynamic))
+	}
+}
+
+func TestCallGraphReachable(t *testing.T) {
+	g := buildFixtureGraph(t)
+	top := g.Lookup("callgraph.Top")
+	reach := g.Reachable([]*Node{top})
+
+	for _, id := range []string{
+		"callgraph.Top", "callgraph.helper", "callgraph.apply",
+		"callgraph.indirect", // Ref edges count: the value may be invoked
+		"(*callgraph.Counter).Inc", "(callgraph.Counter).Get",
+	} {
+		if !reach[g.Lookup(id)] {
+			t.Errorf("%s not reachable from Top", id)
+		}
+	}
+	for _, id := range []string{"callgraph.even", "callgraph.odd", "callgraph.Closures"} {
+		if reach[g.Lookup(id)] {
+			t.Errorf("%s unexpectedly reachable from Top", id)
+		}
+	}
+
+	if path := g.PathFrom([]*Node{top}, g.Lookup("callgraph.helper")); len(path) != 2 ||
+		path[0] != "callgraph.Top" || path[1] != "callgraph.helper" {
+		t.Errorf("PathFrom(Top, helper) = %v, want [callgraph.Top callgraph.helper]", path)
+	}
+	if path := g.PathFrom([]*Node{top}, g.Lookup("callgraph.even")); path != nil {
+		t.Errorf("PathFrom(Top, even) = %v, want nil", path)
+	}
+}
+
+func TestCallGraphSCCOrder(t *testing.T) {
+	g := buildFixtureGraph(t)
+
+	sccOf := map[string]int{}
+	var sccs [][]*Node
+	g.BottomUp(func(scc []*Node) {
+		for _, n := range scc {
+			sccOf[n.ID] = len(sccs)
+		}
+		sccs = append(sccs, scc)
+	})
+
+	// even/odd are one two-node component; helper is a singleton despite its
+	// self loop.
+	if sccOf["callgraph.even"] != sccOf["callgraph.odd"] {
+		t.Errorf("even (scc %d) and odd (scc %d) should share a component",
+			sccOf["callgraph.even"], sccOf["callgraph.odd"])
+	}
+	if i := sccOf["callgraph.helper"]; len(sccs[i]) != 1 {
+		t.Errorf("helper's SCC has %d nodes, want 1", len(sccs[i]))
+	}
+
+	// Bottom-up order: every callee's component is visited before its caller's.
+	for _, n := range g.ModuleNodes() {
+		for _, e := range n.Calls {
+			if sccOf[e.Callee.ID] > sccOf[n.ID] && sccOf[e.Callee.ID] != sccOf[n.ID] {
+				t.Errorf("callee %s (scc %d) visited after caller %s (scc %d)",
+					e.Callee.ID, sccOf[e.Callee.ID], n.ID, sccOf[n.ID])
+			}
+		}
+	}
+}
+
+// TestCallGraphCrossPackageIdentity checks that the node for a function seen
+// from two different type-check views (its own declaration and a sibling's
+// import) is a single node: IDs, not object pointers, are the identity.
+func TestCallGraphCrossPackageIdentity(t *testing.T) {
+	pkgs, err := LoadTree(filepath.Join("testdata", "src", "errwrap"), "errwrap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildCallGraph(pkgs)
+	n := g.Lookup("errwrap/fdxerr.BadInput")
+	if n == nil {
+		t.Fatal("errwrap/fdxerr.BadInput not in graph")
+	}
+	if n.External() {
+		t.Error("BadInput resolved as external despite being declared in the tree")
+	}
+	if len(n.Callers) == 0 {
+		t.Error("BadInput has no callers; the cross-package edge was lost")
+	}
+}
+
+// TestLoadDirPartialOnTypeError checks the loader contract the analyzers
+// rely on: a package with type errors still comes back with files and
+// whatever type information the checker recovered, so analysis degrades
+// instead of failing.
+func TestLoadDirPartialOnTypeError(t *testing.T) {
+	dir := t.TempDir()
+	src := "package broken\n\nfunc f() int { return undefinedIdent }\n\nfunc g() {}\n"
+	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir, "broken")
+	if err != nil {
+		t.Fatalf("LoadDir failed outright on a type error: %v", err)
+	}
+	if len(pkg.TypeErrors) == 0 {
+		t.Error("expected recorded type errors")
+	}
+	if len(pkg.Files) != 1 || pkg.Types == nil {
+		t.Errorf("partial package not preserved: files=%d types=%v", len(pkg.Files), pkg.Types)
+	}
+	// The call graph must still build over the partial view.
+	g := BuildCallGraph([]*Package{pkg})
+	if g.Lookup("broken.g") == nil {
+		t.Error("declared function missing from graph built over a partial package")
+	}
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// DetSource is the interprocedural nondeterminism-taint analyzer: code on
+// the result path — anything transitively reachable from an exported
+// function of the boundary packages (fdx, internal/core, internal/glasso,
+// internal/checkpoint), i.e. anything that can feed Result or Accumulator
+// state — must not draw from a nondeterminism source. Sources are
+// wall-clock reads (time.Now/Since/Until), the global math/rand state
+// (rand.Int, rand.Float64, rand.Shuffle, ... — anything seeded by the
+// runtime rather than the caller), and scheduler-shaped values
+// (runtime.NumCPU, runtime.GOMAXPROCS).
+//
+// Sanctioned escapes, mirroring the pipeline's documented determinism
+// story:
+//
+//   - the seeded-RNG constructors rand.New/rand.NewSource and every method
+//     on an explicit *rand.Rand — the caller controls the seed, so results
+//     are reproducible (Options.Seed);
+//   - internal/par, the fixed-order-reduce fan-out whose chunk boundaries
+//     depend only on the problem size — worker counts may come from the
+//     scheduler precisely because par guarantees they cannot change
+//     results;
+//   - internal/obs, the passive telemetry layer, which timestamps spans
+//     but is proven (obs_overhead_test.go) never to change results.
+//
+// Individual sites with a reviewed justification (Result's wall-clock
+// timing metadata) carry //fdx:lint-ignore detsource <reason> comments.
+// Map-iteration-order nondeterminism is maporder's intraprocedural job and
+// is not duplicated here.
+var DetSource = &Analyzer{
+	Name:      "detsource",
+	Doc:       "flags nondeterminism sources (wall clock, global rand, scheduler shape) reachable on the result path",
+	RunModule: runDetSource,
+}
+
+// detSanctionedPkgSuffixes are module packages whose use of the sources is
+// part of their contract (see the analyzer doc).
+var detSanctionedPkgSuffixes = []string{"internal/par", "internal/obs"}
+
+func runDetSource(mpass *ModulePass) {
+	graph := mpass.Graph
+	roots := boundaryExported(mpass)
+	onResultPath := graph.Reachable(roots)
+
+	var nodes []*Node
+	for n := range onResultPath {
+		if n.External() || detSanctionedNode(n) {
+			continue
+		}
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+
+	for _, n := range nodes {
+		for _, e := range n.Calls {
+			if e.Call == nil || e.Callee.Func == nil {
+				continue
+			}
+			src := nondeterminismSource(e.Callee.Func)
+			if src == "" {
+				continue
+			}
+			path := graph.PathFrom(roots, n)
+			where := shortID(n.ID)
+			if len(path) > 1 {
+				where = renderPath(path)
+			}
+			mpass.ReportRangef(e.Call, e.Site,
+				"%s is a nondeterminism source on the result path (%s); plumb a seeded RNG / fixed value, or justify with //fdx:lint-ignore detsource",
+				src, where)
+		}
+	}
+}
+
+// detSanctionedNode reports whether the node lives in a package whose use
+// of nondeterminism sources is contractually safe.
+func detSanctionedNode(n *Node) bool {
+	if n.Pkg == nil {
+		return false
+	}
+	for _, suffix := range detSanctionedPkgSuffixes {
+		if n.Pkg.ImportPath == suffix || strings.HasSuffix(n.Pkg.ImportPath, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// nondeterminismSource classifies fn, returning a human-readable source
+// name ("time.Now()", "global math/rand (rand.Shuffle)") or "" when fn is
+// not a source. Methods on *rand.Rand are explicitly sanctioned: a Rand
+// instance is always constructed from a caller-controlled seed.
+func nondeterminismSource(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "" // methods: *rand.Rand, time.Time arithmetic, ... are fine
+	}
+	switch pkg.Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return "time." + fn.Name() + "()"
+		}
+	case "math/rand", "math/rand/v2":
+		switch fn.Name() {
+		case "New", "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
+			return "" // seeded constructors — the sanctioned entry points
+		}
+		return "global math/rand (rand." + fn.Name() + ")"
+	case "runtime":
+		switch fn.Name() {
+		case "NumCPU", "GOMAXPROCS":
+			return "runtime." + fn.Name() + "()"
+		}
+	}
+	return ""
+}

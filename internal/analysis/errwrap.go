@@ -1,0 +1,384 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ErrWrap enforces the typed-error contract interprocedurally: every error
+// that can escape an exported function of a boundary package (fdx,
+// internal/core, internal/glasso, internal/checkpoint) must be
+// errors.Is-matchable to the internal/fdxerr taxonomy. It flags the
+// *construction sites* that break the contract — `errors.New(...)` and
+// `fmt.Errorf` without a %w verb — when the value they produce can reach a
+// boundary return, including through any chain of unexported helpers: the
+// analyzer computes, bottom-up over the call graph, which callees' error
+// results each function passes through its own returns, then propagates
+// "escapes the exported API" top-down from the boundary.
+//
+// Errors that merely pass through from outside the module (an os.Open
+// failure wrapped with %w) are not flagged: their own sentinel chains stay
+// matchable and they are not this module's to classify. Wrapping a bare
+// error with %w does not launder it — the chain still has no taxonomy
+// root — so `fmt.Errorf("stage: %w", errors.New("x"))` flags the
+// errors.New.
+var ErrWrap = &Analyzer{
+	Name:      "errwrap",
+	Doc:       "flags errors escaping exported boundaries that cannot errors.Is-match the fdxerr taxonomy",
+	RunModule: runErrWrap,
+}
+
+// errOrigin classifies where an error expression's chain can be rooted.
+type errOrigin struct {
+	// taxonomy is set when the chain provably contains a fdxerr sentinel.
+	taxonomy bool
+	// bares are construction sites of taxonomy-free roots (errors.New,
+	// fmt.Errorf without %w) feeding the expression.
+	bares []bareSite
+	// callees are module functions whose error result feeds the expression.
+	callees []string
+}
+
+type bareSite struct {
+	pos  token.Pos
+	node ast.Node
+	what string
+}
+
+// errwrapSummary is the per-function fact: what its returned errors are
+// made of.
+type errwrapSummary struct {
+	bares   []bareSite
+	callees []string
+}
+
+func runErrWrap(mpass *ModulePass) {
+	// Package-level error variables: a `var errX = errors.New(...)` in the
+	// module is a bare root wherever it is returned; one initialized from a
+	// fdxerr sentinel (the public re-exports in errors.go) is taxonomy.
+	pkgVarOrigin := map[string]errOrigin{}
+	for _, pkg := range mpass.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Names) != len(vs.Values) {
+						continue
+					}
+					for i, name := range vs.Names {
+						obj := pkg.Info.Defs[name]
+						if obj == nil || !isErrorType(obj.Type()) {
+							continue
+						}
+						ec := &errwrapClassifier{pkg: pkg, pkgVars: pkgVarOrigin}
+						pkgVarOrigin[objKey(obj)] = ec.classify(vs.Values[i])
+					}
+				}
+			}
+		}
+	}
+
+	// Bottom-up local summaries. The facts do not feed each other across
+	// functions (escape is propagated separately below), so a single pass
+	// in any order suffices; BottomUp keeps the iteration deterministic.
+	summaries := map[*Node]*errwrapSummary{}
+	mpass.Graph.BottomUp(func(scc []*Node) {
+		for _, n := range scc {
+			if n.Decl == nil || n.Decl.Body == nil {
+				continue
+			}
+			summaries[n] = summarizeErrwrap(n, pkgVarOrigin)
+		}
+	})
+
+	// Top-down escape propagation: the error returns of an exported
+	// boundary function escape; so do the error returns of every module
+	// function whose result a escaping function passes through.
+	escapes := map[*Node]bool{}
+	queue := boundaryExported(mpass)
+	for _, n := range queue {
+		escapes[n] = true
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		sum := summaries[n]
+		if sum == nil {
+			continue
+		}
+		for _, id := range sum.callees {
+			callee := mpass.Graph.Lookup(id)
+			if callee == nil || callee.External() || escapes[callee] {
+				continue
+			}
+			escapes[callee] = true
+			queue = append(queue, callee)
+		}
+	}
+
+	// Report every bare construction site inside the escape set, each once,
+	// in deterministic order.
+	var nodes []*Node
+	for n := range escapes {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	seen := map[token.Pos]bool{}
+	for _, n := range nodes {
+		sum := summaries[n]
+		if sum == nil {
+			continue
+		}
+		for _, b := range sum.bares {
+			if seen[b.pos] {
+				continue
+			}
+			seen[b.pos] = true
+			mpass.ReportRangef(b.node, b.pos,
+				"%s escapes the exported API of %s without a fdxerr taxonomy root; wrap a sentinel (e.g. fdxerr.BadInput or fmt.Errorf(\"...: %%w\", fdxerr.Err...))",
+				b.what, shortID(n.ID))
+		}
+	}
+}
+
+// summarizeErrwrap scans one function body: which bare constructions and
+// which callees' error results can reach its returns.
+func summarizeErrwrap(n *Node, pkgVars map[string]errOrigin) *errwrapSummary {
+	ec := &errwrapClassifier{pkg: n.Pkg, pkgVars: pkgVars, vars: map[types.Object]errOrigin{}}
+
+	// First pass: local error-variable origins, in source order. A forward
+	// pass is an approximation (a loop can make flow circular), but error
+	// values in this codebase are assigned then returned.
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch st := node.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) == len(st.Rhs) {
+				for i, lhs := range st.Lhs {
+					ec.assign(lhs, st.Rhs[i])
+				}
+			} else if len(st.Rhs) == 1 {
+				// v, err := f() — the callee's error feeds every lhs; only
+				// error-typed ones keep it.
+				for _, lhs := range st.Lhs {
+					ec.assign(lhs, st.Rhs[0])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(st.Names) == len(st.Values) {
+				for i, name := range st.Names {
+					ec.assign(name, st.Values[i])
+				}
+			}
+		}
+		return true
+	})
+
+	sum := &errwrapSummary{}
+	merge := func(o errOrigin) {
+		if o.taxonomy {
+			return
+		}
+		sum.bares = append(sum.bares, o.bares...)
+		sum.callees = append(sum.callees, o.callees...)
+	}
+
+	// Second pass: returns. Named error results make a bare `return`
+	// carry whatever was assigned to them.
+	var namedErrObjs []types.Object
+	if n.Decl.Type.Results != nil {
+		for _, field := range n.Decl.Type.Results.List {
+			for _, name := range field.Names {
+				obj := n.Pkg.Info.Defs[name]
+				if obj != nil && isErrorType(obj.Type()) {
+					namedErrObjs = append(namedErrObjs, obj)
+				}
+			}
+		}
+	}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		ret, ok := node.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if len(ret.Results) == 0 {
+			for _, obj := range namedErrObjs {
+				merge(ec.vars[obj])
+			}
+			return true
+		}
+		for _, res := range ret.Results {
+			if tv, ok := n.Pkg.Info.Types[res]; ok && !isErrorType(tv.Type) {
+				continue
+			}
+			merge(ec.classify(res))
+		}
+		return true
+	})
+	return sum
+}
+
+// errwrapClassifier resolves the origin of error expressions within one
+// package's type info.
+type errwrapClassifier struct {
+	pkg     *Package
+	pkgVars map[string]errOrigin
+	vars    map[types.Object]errOrigin
+}
+
+func (ec *errwrapClassifier) assign(lhs, rhs ast.Expr) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := ec.pkg.Info.Defs[id]
+	if obj == nil {
+		obj = ec.pkg.Info.Uses[id]
+	}
+	if obj == nil || !isErrorType(obj.Type()) {
+		return
+	}
+	o := ec.classify(rhs)
+	prev := ec.vars[obj]
+	// Re-assignment accumulates: any path's origin can be the returned one.
+	prev.taxonomy = prev.taxonomy || o.taxonomy
+	prev.bares = append(prev.bares, o.bares...)
+	prev.callees = append(prev.callees, o.callees...)
+	ec.vars[obj] = prev
+}
+
+// classify determines the origin of one error-producing expression.
+func (ec *errwrapClassifier) classify(e ast.Expr) errOrigin {
+	info := ec.pkg.Info
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			if isTaxonomyPackage(obj.Pkg()) {
+				return errOrigin{taxonomy: true}
+			}
+			if o, ok := ec.vars[obj]; ok {
+				return o
+			}
+			if o, ok := ec.pkgVars[objKey(obj)]; ok {
+				return o
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj := info.Uses[e.Sel]; obj != nil {
+			if isTaxonomyPackage(obj.Pkg()) {
+				return errOrigin{taxonomy: true}
+			}
+			if o, ok := ec.pkgVars[objKey(obj)]; ok {
+				return o
+			}
+		}
+	case *ast.CallExpr:
+		return ec.classifyCall(e)
+	}
+	return errOrigin{}
+}
+
+// classifyCall handles the error-producing calls: constructors, wrappers,
+// taxonomy helpers, and ordinary callees.
+func (ec *errwrapClassifier) classifyCall(call *ast.CallExpr) errOrigin {
+	fn := calleeFunc(ec.pkg.Info, call)
+	if fn == nil {
+		return errOrigin{}
+	}
+	pkgPath := ""
+	if fn.Pkg() != nil {
+		pkgPath = fn.Pkg().Path()
+	}
+	switch {
+	case isTaxonomyPackage(fn.Pkg()):
+		// fdxerr.BadInput(...), fdxerr.Cancelled(...), sentinels' methods.
+		return errOrigin{taxonomy: true}
+	case pkgPath == "errors" && fn.Name() == "New":
+		return errOrigin{bares: []bareSite{{pos: call.Pos(), node: call, what: "errors.New"}}}
+	case pkgPath == "fmt" && fn.Name() == "Errorf":
+		return ec.classifyErrorf(call)
+	case pkgPath == "errors" && fn.Name() == "Join":
+		o := errOrigin{}
+		for _, arg := range call.Args {
+			ao := ec.classify(arg)
+			o.taxonomy = o.taxonomy || ao.taxonomy
+			o.bares = append(o.bares, ao.bares...)
+			o.callees = append(o.callees, ao.callees...)
+		}
+		return o
+	case pkgPath == "context":
+		// ctx.Err() passthroughs are handled below as methods; the context
+		// constructors do not produce errors.
+		return errOrigin{}
+	}
+	// (context.Context).Err returning raw context.Canceled is not taxonomy-
+	// matchable — it must go through fdxerr.Cancelled. Treat it as a bare
+	// root so `return ctx.Err()` at a boundary is flagged.
+	if fn.Name() == "Err" && fn.Type().(*types.Signature).Recv() != nil &&
+		isContextType(fn.Type().(*types.Signature).Recv().Type()) {
+		return errOrigin{bares: []bareSite{{pos: call.Pos(), node: call, what: "raw ctx.Err()"}}}
+	}
+	// A module callee: its summary is folded in by the escape propagation;
+	// an external callee's error passes through unclassified.
+	return errOrigin{callees: []string{funcID(fn)}}
+}
+
+// classifyErrorf resolves fmt.Errorf: without %w it creates a fresh bare
+// root; with %w verbs it inherits the origins of the wrapped operands.
+func (ec *errwrapClassifier) classifyErrorf(call *ast.CallExpr) errOrigin {
+	if len(call.Args) == 0 {
+		return errOrigin{}
+	}
+	format, ok := stringConstant(ec.pkg.Info, call.Args[0])
+	if !ok {
+		// Dynamic format string: assume the author knows; treat as opaque.
+		return errOrigin{}
+	}
+	if !strings.Contains(format, "%w") {
+		return errOrigin{bares: []bareSite{{pos: call.Pos(), node: call, what: "fmt.Errorf without %w"}}}
+	}
+	o := errOrigin{}
+	for _, arg := range call.Args[1:] {
+		if tv, ok := ec.pkg.Info.Types[arg]; ok && !isErrorType(tv.Type) {
+			continue
+		}
+		ao := ec.classify(arg)
+		o.taxonomy = o.taxonomy || ao.taxonomy
+		o.bares = append(o.bares, ao.bares...)
+		o.callees = append(o.callees, ao.callees...)
+	}
+	return o
+}
+
+// stringConstant returns the compile-time string value of e, if any.
+func stringConstant(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// isErrorType reports whether t is the built-in error interface (or a named
+// interface embedding it — errors in this module are plain `error`).
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return t.String() == "error"
+}
+
+// objKey is a cross-package-stable identity for a package-level object.
+func objKey(obj types.Object) string {
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}

@@ -23,6 +23,9 @@ var FloatCmp = &Analyzer{
 	Name: "floatcmp",
 	Doc:  "flags ==/!= on floating-point operands outside annotated numeric kernels",
 	Run:  runFloatCmp,
+	// Determinism tests assert bit-exact reproducibility; exact comparison
+	// is their purpose, not a bug.
+	SkipTestFiles: true,
 }
 
 func runFloatCmp(pass *Pass) {
@@ -38,7 +41,7 @@ func runFloatCmp(pass *Pass) {
 			if strings.Contains(enclosingFuncDoc(pass.Files, be.Pos()), kernelMarker) {
 				return true
 			}
-			pass.Reportf(be.OpPos, "floating-point %s comparison; use a tolerance (e.g. math.Abs(a-b) <= eps) or mark the function fdx:numeric-kernel", be.Op)
+			pass.ReportRangef(be, be.OpPos, "floating-point %s comparison; use a tolerance (e.g. math.Abs(a-b) <= eps) or mark the function fdx:numeric-kernel", be.Op)
 			return true
 		})
 	}

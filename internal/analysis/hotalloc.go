@@ -1,0 +1,341 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// zeroAllocMarker in a function's doc comment declares the function part of
+// a zero-allocation steady state: it, and everything it calls, must be free
+// of allocating constructs. The runtime complement is the
+// testing.AllocsPerRun gates in kernels_test.go / parallel_test.go /
+// incremental_test.go; this analyzer is the static one, so a regression is
+// caught at lint time with the exact construct named, not as an opaque
+// "got 3 allocs" bench failure.
+const zeroAllocMarker = "fdx:zero-alloc"
+
+// HotAlloc verifies fdx:zero-alloc-marked functions transitively. Flagged
+// constructs: make and new, append (may grow), slice/map/pointer composite
+// literals, string concatenation and string<->[]byte conversions, closures
+// that capture variables, and interface boxing at call arguments (the
+// fmt-style hidden allocation). Calls are followed bottom-up through the
+// call graph: a marked function calling a helper that allocates is flagged
+// at the call site with the offending chain. Dynamic calls (function
+// values, interface methods) cannot be proven allocation-free and are
+// flagged conservatively — zero-alloc kernels are leaves by design.
+//
+// External (stdlib) callees outside a known-allocating set (fmt, strings,
+// strconv, errors, sort, bytes) are trusted: the marked kernels call only
+// math and intrinsics, and the runtime gates back the assumption.
+var HotAlloc = &Analyzer{
+	Name:      "hotalloc",
+	Doc:       "verifies fdx:zero-alloc functions are transitively free of allocating constructs",
+	RunModule: runHotAlloc,
+}
+
+// allocFact summarizes one function for its callers: the first allocating
+// construct on any path through it, or nil when provably clean.
+type allocFact struct {
+	// what describes the construct ("make", "growing append", ...).
+	what string
+	// where is the construct's position, for the diagnostic chain.
+	where token.Position
+	// via names the call chain from the summarized function to the
+	// construct ("" when the construct is the function's own).
+	via string
+}
+
+// allocExternalPkgs are stdlib packages whose calls count as allocating.
+var allocExternalPkgs = map[string]bool{
+	"fmt": true, "strings": true, "strconv": true,
+	"errors": true, "sort": true, "bytes": true,
+}
+
+func runHotAlloc(mpass *ModulePass) {
+	graph := mpass.Graph
+	facts := map[*Node]*allocFact{}
+
+	graph.BottomUp(func(scc []*Node) {
+		for _, n := range scc {
+			if n.Decl == nil || n.Decl.Body == nil {
+				continue
+			}
+			facts[n] = summarizeAllocs(mpass, n, facts)
+		}
+	})
+
+	for _, n := range graph.ModuleNodes() {
+		if !docHasMarker(n, zeroAllocMarker) || n.Decl.Body == nil {
+			continue
+		}
+		reportAllocs(mpass, n, facts)
+	}
+}
+
+// summarizeAllocs computes the function's own first allocating construct;
+// callee facts are folded in lazily at report time so the summary stays
+// cheap (one scan per function) and the chain names the path actually
+// reported.
+func summarizeAllocs(mpass *ModulePass, n *Node, facts map[*Node]*allocFact) *allocFact {
+	sites := allocSites(n, 1)
+	if len(sites) > 0 {
+		return &allocFact{what: sites[0].what, where: mpass.Fset.Position(sites[0].pos)}
+	}
+	if len(n.Dynamic) > 0 {
+		return &allocFact{what: "dynamic call (cannot be proven allocation-free)", where: mpass.Fset.Position(n.Dynamic[0])}
+	}
+	for _, e := range n.Calls {
+		if e.Call == nil {
+			continue
+		}
+		if f := calleeAllocFact(e.Callee, facts); f != nil {
+			via := shortID(e.Callee.ID)
+			if f.via != "" {
+				via += " → " + f.via
+			}
+			return &allocFact{what: f.what, where: f.where, via: via}
+		}
+	}
+	return nil
+}
+
+// calleeAllocFact resolves the fact for a callee: module callees use their
+// computed summary; external callees allocate iff they belong to the
+// known-allocating stdlib set.
+func calleeAllocFact(callee *Node, facts map[*Node]*allocFact) *allocFact {
+	if !callee.External() {
+		return facts[callee]
+	}
+	if callee.Func != nil && callee.Func.Pkg() != nil && allocExternalPkgs[callee.Func.Pkg().Path()] {
+		return &allocFact{what: "call into allocating stdlib package " + callee.Func.Pkg().Path()}
+	}
+	return nil
+}
+
+// reportAllocs emits every violation inside one marked function: its own
+// allocating constructs, its dynamic calls, and each call edge whose callee
+// chain allocates.
+func reportAllocs(mpass *ModulePass, n *Node, facts map[*Node]*allocFact) {
+	name := shortID(n.ID)
+	for _, s := range allocSites(n, 0) {
+		mpass.ReportRangef(s.node, s.pos, "%s in fdx:zero-alloc function %s", s.what, name)
+	}
+	for _, pos := range n.Dynamic {
+		mpass.Reportf(pos, "dynamic call in fdx:zero-alloc function %s cannot be proven allocation-free", name)
+	}
+	for _, e := range n.Calls {
+		if e.Call == nil {
+			continue
+		}
+		f := calleeAllocFact(e.Callee, facts)
+		if f == nil {
+			continue
+		}
+		chain := shortID(e.Callee.ID)
+		if f.via != "" {
+			chain += " → " + f.via
+		}
+		// Base name only: diagnostics (and the lint baseline keyed on their
+		// messages) must not embed checkout-specific absolute paths.
+		detail := f.what
+		if f.where.IsValid() {
+			detail = fmt.Sprintf("%s at %s:%d", f.what, filepath.Base(f.where.Filename), f.where.Line)
+		}
+		mpass.ReportRangef(e.Call, e.Site, "fdx:zero-alloc function %s calls %s, which allocates (%s)", name, chain, detail)
+	}
+}
+
+type allocSite struct {
+	pos  token.Pos
+	node ast.Node
+	what string
+}
+
+// allocSites scans the function body for allocating constructs, returning
+// up to limit sites (0 = all) in source order.
+func allocSites(n *Node, limit int) []allocSite {
+	info := n.Pkg.Info
+	var sites []allocSite
+	add := func(node ast.Node, pos token.Pos, what string) {
+		sites = append(sites, allocSite{pos: pos, node: node, what: what})
+	}
+	full := func() bool { return limit > 0 && len(sites) >= limit }
+
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		if full() {
+			return false
+		}
+		switch e := node.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					switch id.Name {
+					case "make":
+						add(e, e.Pos(), "make")
+					case "new":
+						add(e, e.Pos(), "new")
+					case "append":
+						add(e, e.Pos(), "growing append")
+					}
+					return true
+				}
+			}
+			if conv, ok := stringByteConversion(info, e); ok {
+				add(e, e.Pos(), conv)
+				return true
+			}
+			boxingSites(info, e, add)
+		case *ast.CompositeLit:
+			t := typeOf(info, e)
+			if t == nil {
+				return true
+			}
+			switch types.Unalias(t).Underlying().(type) {
+			case *types.Slice:
+				add(e, e.Pos(), "slice literal")
+			case *types.Map:
+				add(e, e.Pos(), "map literal")
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					add(e, e.Pos(), "&composite literal (escaping pointer)")
+				}
+			}
+		case *ast.FuncLit:
+			if capturesVariables(info, e) {
+				add(e, e.Pos(), "closure capturing variables")
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD && isString(info, e.X) {
+				add(e, e.OpPos, "string concatenation")
+			}
+		case *ast.AssignStmt:
+			if e.Tok == token.ADD_ASSIGN && len(e.Lhs) == 1 && isString(info, e.Lhs[0]) {
+				add(e, e.TokPos, "string concatenation")
+			}
+		}
+		return true
+	})
+	return sites
+}
+
+// stringByteConversion detects string([]byte) / []byte(string) / []rune
+// conversions, which copy.
+func stringByteConversion(info *types.Info, call *ast.CallExpr) (string, bool) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return "", false
+	}
+	dst := types.Unalias(tv.Type).Underlying()
+	src := typeOf(info, call.Args[0])
+	if src == nil {
+		return "", false
+	}
+	srcU := types.Unalias(src).Underlying()
+	dstStr := isStringType(dst)
+	srcStr := isStringType(srcU)
+	dstSlice := isByteOrRuneSlice(dst)
+	srcSlice := isByteOrRuneSlice(srcU)
+	if (dstStr && srcSlice) || (dstSlice && srcStr) {
+		return "string/[]byte conversion (copies)", true
+	}
+	return "", false
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// boxingSites reports call arguments where a concrete value meets an
+// interface parameter — the hidden allocation behind fmt-style APIs.
+func boxingSites(info *types.Info, call *ast.CallExpr, add func(ast.Node, token.Pos, string)) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := types.Unalias(tv.Type).Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			last, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = last.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := typeOf(info, arg)
+		if at == nil || types.IsInterface(types.Unalias(at).Underlying()) {
+			continue
+		}
+		if b, ok := types.Unalias(at).Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		add(arg, arg.Pos(), "interface boxing of "+at.String())
+	}
+}
+
+// capturesVariables reports whether the literal's body references variables
+// declared outside it (a capturing closure allocates its environment).
+func capturesVariables(info *types.Info, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(node ast.Node) bool {
+		if captured {
+			return false
+		}
+		id, ok := node.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.Pkg() == nil || v.IsField() {
+			return true
+		}
+		// Package-level vars are not captured; anything declared before the
+		// literal but used inside it is.
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = true
+			return false
+		}
+		return true
+	})
+	return captured
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}

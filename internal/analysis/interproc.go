@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Shared plumbing for the interprocedural analyzers: which packages form
+// the module's exported error boundary, which functions carry a
+// context.Context, and which doc-comment markers sanction exceptions.
+
+// boundaryDirective marks a package (any file-level comment) as an exported
+// error/determinism boundary, in addition to the built-in list below. The
+// analyzer fixtures under testdata use it; production packages are named
+// explicitly so the contract cannot be dropped by deleting a comment.
+const boundaryDirective = "fdx:lint-boundary"
+
+// defaultBoundaryPaths are the packages whose exported functions form the
+// pipeline's API surface: every error escaping them must be matchable to
+// the fdxerr taxonomy, and everything reachable from them is on the
+// deterministic result path.
+var defaultBoundaryPaths = map[string]bool{
+	"fdx":                     true,
+	"fdx/internal/core":       true,
+	"fdx/internal/glasso":     true,
+	"fdx/internal/checkpoint": true,
+}
+
+// isBoundaryPackage reports whether pkg's exported functions are a
+// contract boundary.
+func isBoundaryPackage(pkg *Package) bool {
+	if defaultBoundaryPaths[pkg.ImportPath] {
+		return true
+	}
+	return packageHasDirective(pkg, boundaryDirective)
+}
+
+// packageHasDirective reports whether any comment in the package contains
+// the marker.
+func packageHasDirective(pkg *Package, marker string) bool {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			if strings.Contains(cg.Text(), marker) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// boundaryExported returns the module nodes that are exported functions or
+// methods of boundary packages, sorted deterministically (ModuleNodes
+// order). Functions declared in _test.go files never qualify: tests are not
+// API surface, so TestXxx/BenchmarkXxx and exported test helpers do not root
+// the escape or taint analyses even when -tests loads them.
+func boundaryExported(mpass *ModulePass) []*Node {
+	var out []*Node
+	for _, n := range mpass.Graph.ModuleNodes() {
+		if n.Decl == nil || !n.Decl.Name.IsExported() || inTestFile(mpass, n) {
+			continue
+		}
+		if isBoundaryPackage(n.Pkg) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// inTestFile reports whether the node is declared in a _test.go file.
+func inTestFile(mpass *ModulePass, n *Node) bool {
+	return n.Decl != nil && strings.HasSuffix(mpass.Fset.Position(n.Decl.Pos()).Filename, "_test.go")
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// ctxParamObj returns the object of n's first context.Context parameter, or
+// nil when the function does not take a context.
+func ctxParamObj(n *Node) types.Object {
+	if n.Decl == nil || n.Decl.Type.Params == nil || n.Pkg == nil {
+		return nil
+	}
+	for _, field := range n.Decl.Type.Params.List {
+		for _, name := range field.Names {
+			obj := n.Pkg.Info.Defs[name]
+			if obj != nil && isContextType(obj.Type()) {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// sigHasContext reports whether fn's signature takes a context.Context.
+func sigHasContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// docHasMarker reports whether the node's doc comment contains marker.
+func docHasMarker(n *Node, marker string) bool {
+	return n.Decl != nil && n.Decl.Doc != nil && strings.Contains(n.Decl.Doc.Text(), marker)
+}
+
+// shortID strips the module path prefix from a node ID for readable
+// diagnostics: "fdx/internal/glasso.SolveContext" → "glasso.SolveContext".
+func shortID(id string) string {
+	if i := strings.LastIndex(id, "/"); i >= 0 {
+		// Keep everything after the last slash; method IDs like
+		// "(*fdx/internal/linalg.Dense).At" keep their receiver shape.
+		if strings.HasPrefix(id, "(") {
+			return "(" + strings.TrimPrefix(id[i+1:], "(")
+		}
+		return id[i+1:]
+	}
+	return id
+}
+
+// renderPath renders a call path for diagnostics.
+func renderPath(path []string) string {
+	short := make([]string, len(path))
+	for i, id := range path {
+		short[i] = shortID(id)
+	}
+	return strings.Join(short, " → ")
+}
+
+// isTaxonomyPackage reports whether p is the fdxerr taxonomy package (or a
+// fixture's miniature stand-in, any package whose path ends in "fdxerr").
+func isTaxonomyPackage(p *types.Package) bool {
+	if p == nil {
+		return false
+	}
+	return p.Path() == "fdxerr" || strings.HasSuffix(p.Path(), "/fdxerr")
+}
+
+// exprHasContextArg reports whether any argument of call has static type
+// context.Context according to info.
+func exprHasContextArg(info *types.Info, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if tv, ok := info.Types[arg]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}

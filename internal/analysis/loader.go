@@ -38,6 +38,19 @@ type Package struct {
 // vendor, and hidden directories). Packages come back sorted by import path
 // so downstream output is deterministic.
 func LoadModule(dir string) ([]*Package, error) {
+	return loadModule(dir, false)
+}
+
+// LoadModuleTests is LoadModule with the test-file blind spot closed: each
+// directory's _test.go files are loaded and type-checked too. In-package
+// test files merge into their package's file set; external test packages
+// (package foo_test) come back as separate packages whose import path
+// carries a "_test" suffix.
+func LoadModuleTests(dir string) ([]*Package, error) {
+	return loadModule(dir, true)
+}
+
+func loadModule(dir string, tests bool) ([]*Package, error) {
 	root, modPath, err := findModule(dir)
 	if err != nil {
 		return nil, err
@@ -78,13 +91,11 @@ func LoadModule(dir string) ([]*Package, error) {
 		if rel != "." {
 			ip = modPath + "/" + filepath.ToSlash(rel)
 		}
-		pkg, err := loadDir(fset, imp, d, ip)
+		loaded, err := loadDir(fset, imp, d, ip, tests)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: %s: %w", ip, err)
 		}
-		if pkg != nil {
-			pkgs = append(pkgs, pkg)
-		}
+		pkgs = append(pkgs, loaded...)
 	}
 	return pkgs, nil
 }
@@ -94,18 +105,124 @@ func LoadModule(dir string) ([]*Package, error) {
 // fixture packages from testdata.
 func LoadDir(dir, importPath string) (*Package, error) {
 	fset := token.NewFileSet()
-	return loadDir(fset, importer.ForCompiler(fset, "source", nil), dir, importPath)
+	loaded, err := loadDir(fset, importer.ForCompiler(fset, "source", nil), dir, importPath, false)
+	if err != nil || len(loaded) == 0 {
+		return nil, err
+	}
+	return loaded[0], nil
 }
 
-func loadDir(fset *token.FileSet, imp types.Importer, dir, importPath string) (*Package, error) {
+// LoadTree parses and type-checks a directory tree as a self-contained set
+// of packages: the root directory becomes the package importPrefix, and
+// each subdirectory sub becomes importPrefix/sub, importable from its
+// siblings. Imports outside the tree (the standard library) resolve through
+// the source importer. The interprocedural analyzer fixtures use this to
+// model multi-package contracts — a fixture package plus its own miniature
+// taxonomy package — without needing a go.mod.
+func LoadTree(root, importPrefix string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	tl := &treeLoader{
+		fset:     fset,
+		fallback: importer.ForCompiler(fset, "source", nil),
+		root:     root,
+		prefix:   importPrefix,
+		loaded:   map[string]*Package{},
+	}
+	var dirs []string
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() && hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, d := range dirs {
+		rel, err := filepath.Rel(root, d)
+		if err != nil {
+			return nil, err
+		}
+		ip := importPrefix
+		if rel != "." {
+			ip = importPrefix + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := tl.load(ip)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// treeLoader resolves imports within a LoadTree root, memoizing packages so
+// sibling imports share one type-checked instance (and one *types.Func
+// identity).
+type treeLoader struct {
+	fset     *token.FileSet
+	fallback types.Importer
+	root     string
+	prefix   string
+	loaded   map[string]*Package
+}
+
+// Import implements types.Importer for in-tree paths.
+func (tl *treeLoader) Import(path string) (*types.Package, error) {
+	if path == tl.prefix || strings.HasPrefix(path, tl.prefix+"/") {
+		pkg, err := tl.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: no package at %s", path)
+		}
+		return pkg.Types, nil
+	}
+	return tl.fallback.Import(path)
+}
+
+func (tl *treeLoader) load(importPath string) (*Package, error) {
+	if pkg, ok := tl.loaded[importPath]; ok {
+		return pkg, nil
+	}
+	tl.loaded[importPath] = nil // break import cycles
+	dir := tl.root
+	if importPath != tl.prefix {
+		dir = filepath.Join(tl.root, filepath.FromSlash(strings.TrimPrefix(importPath, tl.prefix+"/")))
+	}
+	loaded, err := loadDir(tl.fset, tl, dir, importPath, false)
+	if err != nil || len(loaded) == 0 {
+		return nil, err
+	}
+	tl.loaded[importPath] = loaded[0]
+	return loaded[0], nil
+}
+
+// loadDir parses and type-checks the package in one directory. With tests
+// set, _test.go files are included: in-package test files join the base
+// package's file list, and an external test package (package foo_test)
+// becomes a second returned Package with import path importPath+"_test".
+func loadDir(fset *token.FileSet, imp types.Importer, dir, importPath string, tests bool) ([]*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	var files []*ast.File
+	var files, inTest, extTest []*ast.File
 	for _, e := range entries {
 		name := e.Name()
-		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		if !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		isTest := strings.HasSuffix(name, "_test.go")
+		if isTest && !tests {
 			continue
 		}
 		// Honor GOOS/GOARCH file-name suffixes and //go:build constraints the
@@ -125,11 +242,29 @@ func loadDir(fset *token.FileSet, imp types.Importer, dir, importPath string) (*
 		if isIgnored(f) {
 			continue
 		}
-		files = append(files, f)
+		switch {
+		case !isTest:
+			files = append(files, f)
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			extTest = append(extTest, f)
+		default:
+			inTest = append(inTest, f)
+		}
 	}
-	if len(files) == 0 {
-		return nil, nil
+	var pkgs []*Package
+	if len(files)+len(inTest) > 0 {
+		pkgs = append(pkgs, checkPackage(fset, imp, dir, importPath, append(files, inTest...)))
 	}
+	if len(extTest) > 0 {
+		pkgs = append(pkgs, checkPackage(fset, imp, dir, importPath+"_test", extTest))
+	}
+	return pkgs, nil
+}
+
+// checkPackage type-checks one file set into a Package, collecting type
+// errors rather than failing: analyzers run on the partial view the checker
+// could recover.
+func checkPackage(fset *token.FileSet, imp types.Importer, dir, importPath string, files []*ast.File) *Package {
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
@@ -150,7 +285,7 @@ func loadDir(fset *token.FileSet, imp types.Importer, dir, importPath string) (*
 	// Check records errors through conf.Error and still returns as much of
 	// the package as it could type; analyzers run on that partial view.
 	pkg.Types, _ = conf.Check(importPath, fset, files, info)
-	return pkg, nil
+	return pkg
 }
 
 // isIgnored reports whether the file carries a "//go:build ignore"

@@ -16,6 +16,8 @@ var NakedPanic = &Analyzer{
 	Name: "nakedpanic",
 	Doc:  "flags panic in library code not wrapped in a documented invariant helper",
 	Run:  runNakedPanic,
+	// Panics in tests and example code are idiomatic failure reporting.
+	SkipTestFiles: true,
 }
 
 func runNakedPanic(pass *Pass) {

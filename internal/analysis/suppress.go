@@ -25,12 +25,12 @@ type suppressionSet struct {
 	malformed []Diagnostic
 }
 
-// collectSuppressions gathers every fdx:lint-ignore comment in the files.
-// Markers with no analyzer name or no reason are reported as malformed
-// under the "lint-ignore" pseudo-analyzer: an unexplained suppression is
-// exactly the kind of silent exception this toolchain exists to prevent.
-func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressionSet {
-	set := &suppressionSet{}
+// collectSuppressions gathers every fdx:lint-ignore comment in the files
+// into set. Markers with no analyzer name or no reason are reported as
+// malformed under the "lint-ignore" pseudo-analyzer: an unexplained
+// suppression is exactly the kind of silent exception this toolchain
+// exists to prevent.
+func collectSuppressions(set *suppressionSet, fset *token.FileSet, files []*ast.File) {
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -66,12 +66,14 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressionSet
 			}
 		}
 	}
-	return set
 }
 
-// suppresses reports whether d is covered by a suppression comment on its
-// line or the line directly above.
+// suppresses reports whether d is covered by a suppression comment within
+// the flagged node's line span, or on the line directly above its start.
+// Findings reported without a node span degrade to the single Pos line, so
+// the historic "same line or line above" behavior still holds for them.
 func (s *suppressionSet) suppresses(d Diagnostic) bool {
+	start, end := d.span()
 	for _, it := range s.items {
 		if it.file != d.Pos.Filename {
 			continue
@@ -79,7 +81,7 @@ func (s *suppressionSet) suppresses(d Diagnostic) bool {
 		if it.analyzer != "all" && it.analyzer != d.Analyzer {
 			continue
 		}
-		if it.line == d.Pos.Line || it.line == d.Pos.Line-1 {
+		if it.line >= start-1 && it.line <= end {
 			return true
 		}
 	}

@@ -1,0 +1,55 @@
+// Package callgraph is the construction fixture for the call-graph tests:
+// direct calls, concrete-receiver method calls, function-value references,
+// dynamic call sites, closures attributed to their enclosing declaration,
+// and recursion cycles (self and mutual) for the SCC order.
+package callgraph
+
+// Counter carries methods called through a concrete receiver.
+type Counter struct{ n int }
+
+func (c *Counter) Inc()    { c.n++ }
+func (c Counter) Get() int { return c.n }
+
+// Top exercises every edge kind from one body.
+func Top(c *Counter) int {
+	c.Inc()         // method call, pointer receiver
+	helper(c)       // direct call
+	f := indirect   // function value → Ref edge
+	f()             // dynamic site
+	apply(indirect) // Ref edge as an argument
+	return c.Get()  // method call, value receiver
+}
+
+func helper(c *Counter) {
+	c.Inc()
+	if c.Get() < 10 {
+		helper(c) // self recursion → singleton SCC with a self loop
+	}
+}
+
+func indirect() {}
+
+func apply(f func()) { f() } // dynamic site on a parameter
+
+// even/odd form a two-node SCC.
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+
+// Closures attributes the literal's call to the enclosing declaration.
+func Closures() {
+	fn := func() { helper(&Counter{}) }
+	fn()
+}
+
+var _ = even

@@ -1,0 +1,94 @@
+// Package ctxflow exercises the ctxflow analyzer: context re-rooting,
+// dropped-context calls, and unchecked working loops reachable from
+// *Context entry points are flagged; checked loops, glue loops, and
+// justified suppressions are not.
+package ctxflow
+
+import "context"
+
+var sink int
+
+func work(i int) { sink += i }
+
+// RunContext is a pipeline entry point whose working loop never checks
+// cancellation: the seeded violation.
+func RunContext(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ { // want:ctxflow
+		work(i)
+	}
+	return nil
+}
+
+// StepContext is clean: the working loop checks ctx.Err() every iteration,
+// and the trailing glue loop (no module calls) needs no check.
+func StepContext(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		work(i)
+	}
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	sink = len(out)
+	return nil
+}
+
+// LoopViaCalleeContext is clean interprocedurally: step's own ctx.Err()
+// check covers the loop because the ctx is passed down.
+func LoopViaCalleeContext(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		step(ctx)
+	}
+}
+
+func step(ctx context.Context) {
+	if ctx.Err() != nil {
+		return
+	}
+	work(0)
+}
+
+// RerootContext detaches its callees from the caller's deadline.
+func RerootContext(ctx context.Context) {
+	detached := context.Background() // want:ctxflow
+	step(detached)
+	if ctx.Err() != nil {
+		return
+	}
+}
+
+// Solve is the context-free variant of SolveContext.
+func Solve(n int) int {
+	work(n)
+	return sink
+}
+
+// SolveContext is the cancellable variant.
+func SolveContext(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return Solve(n)
+}
+
+// DropContext holds a ctx but calls the context-free Solve, severing
+// propagation.
+func DropContext(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return Solve(n) // want:ctxflow
+}
+
+// JustifiedContext re-roots with a reviewed reason.
+func JustifiedContext(ctx context.Context) {
+	//fdx:lint-ignore ctxflow fixture: detached audit log write must survive caller cancellation
+	bg := context.Background()
+	step(bg)
+	if ctx.Err() != nil {
+		return
+	}
+}

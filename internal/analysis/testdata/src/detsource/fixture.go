@@ -1,0 +1,43 @@
+// Package detsource exercises the detsource analyzer: nondeterminism
+// sources reachable from the exported boundary are flagged; seeded RNGs,
+// unreachable helpers, and justified suppressions are not.
+//
+// fdx:lint-boundary — this fixture package stands in for an exported
+// pipeline boundary.
+package detsource
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+)
+
+// Solve is on the result path; helper's sources are reached through it.
+func Solve(n int) float64 {
+	return helper(n)
+}
+
+func helper(n int) float64 {
+	t := time.Now() // want:detsource
+	_ = t
+	return rand.Float64() * float64(n) // want:detsource
+}
+
+// SeededSolve is clean: the RNG is constructed from a caller-controlled
+// seed, and *rand.Rand methods are sanctioned.
+func SeededSolve(seed int64, n int) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64() * float64(n)
+}
+
+// WorkerCount reads scheduler shape with a reviewed justification.
+func WorkerCount() int {
+	//fdx:lint-ignore detsource fixture: worker count feeds fixed-order chunking only, results are count-invariant
+	return runtime.GOMAXPROCS(0)
+}
+
+// offPath is never reachable from an exported function, so its wall-clock
+// read is not on the result path.
+func offPath() time.Time {
+	return time.Now()
+}

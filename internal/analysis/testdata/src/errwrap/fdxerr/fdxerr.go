@@ -1,0 +1,16 @@
+// Package fdxerr is the fixture's miniature error taxonomy, mirroring
+// fdx/internal/fdxerr: sentinels plus wrapping helpers.
+package fdxerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadInput is the fixture taxonomy's malformed-input sentinel.
+var ErrBadInput = errors.New("bad input")
+
+// BadInput wraps ErrBadInput with a formatted message.
+func BadInput(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrBadInput)...)
+}

@@ -1,0 +1,91 @@
+// Package errwrap exercises the errwrap analyzer: bare error roots that
+// escape the exported API must be flagged; taxonomy-rooted errors, errors
+// confined to unexported code, and justified suppressions must not.
+//
+// fdx:lint-boundary — this fixture package stands in for an exported
+// pipeline boundary.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+
+	"errwrap/fdxerr"
+)
+
+// Exported returns a naked errors.New straight across the boundary.
+func Exported(x int) error {
+	if x < 0 {
+		return errors.New("negative") // want:errwrap
+	}
+	return nil
+}
+
+// ExportedErrorf returns an un-%w'd fmt.Errorf across the boundary.
+func ExportedErrorf(x int) error {
+	if x < 0 {
+		return fmt.Errorf("bad x: %d", x) // want:errwrap
+	}
+	return nil
+}
+
+// ExportedWrapped is clean: the chain is rooted in the taxonomy.
+func ExportedWrapped(x int) error {
+	if x < 0 {
+		return fdxerr.BadInput("x = %d", x)
+	}
+	return nil
+}
+
+// ExportedSentinel is clean: %w wraps a taxonomy sentinel.
+func ExportedSentinel(x int) error {
+	if x < 0 {
+		return fmt.Errorf("x = %d: %w", x, fdxerr.ErrBadInput)
+	}
+	return nil
+}
+
+// ExportedViaHelper leaks helper's bare error through two hops — the
+// interprocedural case. The finding lands on the construction site inside
+// deepHelper, not here.
+func ExportedViaHelper() error {
+	return helper()
+}
+
+func helper() error {
+	if err := deepHelper(); err != nil {
+		return fmt.Errorf("helper: %w", err)
+	}
+	return nil
+}
+
+func deepHelper() error {
+	return errors.New("deep failure") // want:errwrap
+}
+
+// ExportedRewrapped is clean even though lower() is bare: the boundary
+// return adds a taxonomy root to the chain before it escapes.
+func ExportedRewrapped() error {
+	if err := lower(); err != nil {
+		return fmt.Errorf("%w: %w", fdxerr.ErrBadInput, err)
+	}
+	return nil
+}
+
+func lower() error {
+	return errors.New("lower detail")
+}
+
+// ExportedJustified carries a reviewed suppression.
+func ExportedJustified() error {
+	//fdx:lint-ignore errwrap fixture: sentinel defined by an external spec, callers match by message
+	return errors.New("externally specified")
+}
+
+// unexportedOnly never escapes the exported API; its bare error is not
+// flagged.
+func unexportedOnly() error {
+	return errors.New("internal scratch")
+}
+
+var _ = unexportedOnly

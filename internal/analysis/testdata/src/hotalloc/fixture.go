@@ -1,0 +1,85 @@
+// Package hotalloc exercises the hotalloc analyzer: fdx:zero-alloc
+// functions must be transitively free of allocating constructs; unmarked
+// helpers may allocate, and reviewed suppressions are honored.
+package hotalloc
+
+// Dot is a clean zero-alloc kernel.
+//
+// fdx:zero-alloc
+func Dot(x, y []float64) float64 {
+	var s float64
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Axpy is clean and may call another clean marked kernel.
+//
+// fdx:zero-alloc
+func Axpy(a float64, x, y []float64) float64 {
+	for i := range x {
+		y[i] += a * x[i]
+	}
+	return Dot(x, y)
+}
+
+// BadMake allocates directly.
+//
+// fdx:zero-alloc
+func BadMake(n int) []float64 {
+	buf := make([]float64, n) // want:hotalloc
+	return buf
+}
+
+// BadTransitive calls a helper that allocates; the finding lands on the
+// call site with the offending chain.
+//
+// fdx:zero-alloc
+func BadTransitive(n int) []float64 {
+	return scratch(n) // want:hotalloc
+}
+
+func scratch(n int) []float64 {
+	return make([]float64, n)
+}
+
+// unmarked may allocate freely: no marker, no findings.
+func unmarked(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Justified carries a reviewed exemption.
+//
+// fdx:zero-alloc
+func Justified(n int) []float64 {
+	//fdx:lint-ignore hotalloc fixture: one-time warmup allocation outside the steady state
+	return make([]float64, n)
+}
+
+// BadBoxing boxes a concrete int into an interface parameter.
+//
+// fdx:zero-alloc
+func BadBoxing(v int) {
+	sink(v) // want:hotalloc
+}
+
+func sink(v any) { _ = v }
+
+// BadClosure returns a closure that captures its parameter.
+//
+// fdx:zero-alloc
+func BadClosure(n int) func() int {
+	return func() int { return n } // want:hotalloc
+}
+
+// BadConcat concatenates strings on the hot path.
+//
+// fdx:zero-alloc
+func BadConcat(a, b string) string {
+	return a + b // want:hotalloc
+}

@@ -18,6 +18,16 @@ func Wildcard(a, b float64) bool {
 	return a != b
 }
 
+// MultiLineSuppressed has the suppression above a comparison whose flagged
+// operator sits two lines further down: the node's full line span, not the
+// operator's line, decides coverage.
+func MultiLineSuppressed(a, b, c float64) bool {
+	//fdx:lint-ignore floatcmp fixture: the whole expression is one finding
+	return (a +
+		b +
+		c) == c
+}
+
 // MissingReason has a suppression with no justification: the marker itself
 // is reported and the finding it meant to cover survives.
 func MissingReason(a, b float64) bool {

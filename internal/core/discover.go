@@ -315,6 +315,7 @@ func DiscoverFromCovarianceContext(ctx context.Context, s *linalg.Dense, names [
 	gsp := opts.Obs.StartStage("generate")
 	// Map back to original attribute coordinates.
 	b := linalg.NewDense(k, k)
+	//fdx:lint-ignore ctxflow O(k²) index remap of a finished result; bounded glue with no kernel work
 	for i := 0; i < k; i++ {
 		for j := 0; j < k; j++ {
 			b.Set(perm[i], perm[j], bP.At(i, j))

@@ -130,6 +130,11 @@ func transformInto(ctx context.Context, rel *dataset.Relation, opts TransformOpt
 	// approximate equality, 3-gram sets per distinct text value.
 	ctxs := make([]colCtx, k)
 	for j, col := range rel.Columns {
+		// Building a text column's 3-gram sets scans every distinct value;
+		// honor cancellation between columns.
+		if err := ctx.Err(); err != nil {
+			return fdxerr.Cancelled(err)
+		}
 		ctxs[j].col = col
 		if col.Type == dataset.Numeric {
 			ctxs[j].scale = numericScale(col, rows)
@@ -141,6 +146,7 @@ func transformInto(ctx context.Context, rel *dataset.Relation, opts TransformOpt
 
 	workers := opts.Workers
 	if workers <= 0 {
+		//fdx:lint-ignore detsource worker count only; chunking is fixed-order and results are count-invariant
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > k {

@@ -124,6 +124,7 @@ func SolveContext(ctx context.Context, s *linalg.Dense, opts Options) (res *Resu
 	// W = S + λI is the initial covariance estimate.
 	w := s.Clone()
 	w.Symmetrize()
+	//fdx:lint-ignore ctxflow O(k) diagonal shift before the cancellable solve; bounded glue
 	for i := 0; i < k; i++ {
 		w.Add(i, i, opts.Lambda)
 	}
@@ -230,6 +231,9 @@ func precisionFrom(w *linalg.Dense, betas [][]float64) (*linalg.Dense, error) {
 // Panics if Q is not p×p or beta/grad are not length p.
 // (fdx:numeric-kernel: the exactly-unchanged-coordinate test only skips a
 // no-op gradient update; the soft threshold emits exact zeros by design.)
+//
+// fdx:zero-alloc — verified statically by the hotalloc analyzer and at
+// runtime by the AllocsPerRun gate in parallel_test.go.
 func lassoCD(q *linalg.Dense, b []float64, lambda float64, beta []float64, maxIter int, tol float64, grad []float64) {
 	p := len(b)
 	if r, c := q.Dims(); r != p || c != p || len(beta) != p || len(grad) != p {
@@ -265,6 +269,9 @@ func lassoCD(q *linalg.Dense, b []float64, lambda float64, beta []float64, maxIt
 	}
 }
 
+// softThreshold is the lasso shrinkage operator.
+//
+// fdx:zero-alloc
 func softThreshold(x, lambda float64) float64 {
 	switch {
 	case x > lambda:

@@ -79,7 +79,7 @@ func LDL(a *Dense) (l *Dense, d []float64, err error) {
 func UDU(a *Dense) (u *Dense, d []float64, err error) {
 	n := a.rows
 	if a.cols != n {
-		return nil, nil, fmt.Errorf("linalg: UDU of non-square %dx%d matrix", a.rows, a.cols)
+		return nil, nil, fmt.Errorf("linalg: UDU of non-square %dx%d matrix: %w", a.rows, a.cols, fdxerr.ErrBadInput)
 	}
 	u = Identity(n)
 	d = make([]float64, n)

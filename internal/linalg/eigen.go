@@ -3,6 +3,8 @@ package linalg
 import (
 	"fmt"
 	"math"
+
+	"fdx/internal/fdxerr"
 )
 
 // SymEigen computes the eigendecomposition of the symmetric matrix a using
@@ -11,7 +13,7 @@ import (
 func SymEigen(a *Dense) (vals []float64, vecs *Dense, err error) {
 	n := a.rows
 	if a.cols != n {
-		return nil, nil, fmt.Errorf("linalg: SymEigen of non-square %dx%d matrix", a.rows, a.cols)
+		return nil, nil, fmt.Errorf("linalg: SymEigen of non-square %dx%d matrix: %w", a.rows, a.cols, fdxerr.ErrBadInput)
 	}
 	m := a.Clone()
 	m.Symmetrize()

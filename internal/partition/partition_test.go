@@ -98,6 +98,7 @@ func TestProductMatchesDirectConstruction(t *testing.T) {
 			groups[k] = append(groups[k], i)
 		}
 		var want [][]int
+		//fdx:lint-ignore maporder samePartition sorts both sides before comparing; group order is irrelevant
 		for _, g := range groups {
 			if len(g) >= 2 {
 				want = append(want, g)

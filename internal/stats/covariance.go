@@ -152,6 +152,7 @@ func StratifiedCovariance(data *linalg.Dense, strata int) *linalg.Dense {
 	// Stratum s owns covs[s], and the merge below folds them in fixed
 	// ascending order, so the result is identical at any worker count.
 	covs := make([]*linalg.Dense, strata)
+	//fdx:lint-ignore detsource worker count only; per-stratum results merge in fixed ascending order
 	workers := runtime.GOMAXPROCS(0)
 	if workers > strata {
 		workers = strata

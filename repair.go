@@ -1,9 +1,8 @@
 package fdx
 
 import (
-	"fmt"
-
 	"fdx/internal/core"
+	"fdx/internal/fdxerr"
 	"fdx/internal/violations"
 )
 
@@ -27,13 +26,13 @@ func fdToCore(fd FD, rel *Relation) (core.FD, error) {
 	out := core.FD{Score: fd.Score}
 	rhs := rel.ColumnIndex(fd.RHS)
 	if rhs < 0 {
-		return out, fmt.Errorf("fdx: unknown attribute %q", fd.RHS)
+		return out, fdxerr.BadInput("fdx: unknown attribute %q", fd.RHS)
 	}
 	out.RHS = rhs
 	for _, l := range fd.LHS {
 		i := rel.ColumnIndex(l)
 		if i < 0 {
-			return out, fmt.Errorf("fdx: unknown attribute %q", l)
+			return out, fdxerr.BadInput("fdx: unknown attribute %q", l)
 		}
 		out.LHS = append(out.LHS, i)
 	}

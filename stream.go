@@ -59,12 +59,14 @@ func (a *Accumulator) Discover() (*Result, error) {
 // for where the context is checked.
 func (a *Accumulator) DiscoverContext(ctx context.Context) (res *Result, err error) {
 	defer guard("fdx: Accumulator.Discover", &err)
+	//fdx:lint-ignore detsource wall-clock timing metadata (Result.ModelDuration); never feeds FD scores
 	t0 := time.Now()
 	model, err := a.inner.DiscoverContext(ctx)
 	if err != nil {
 		return nil, err
 	}
 	res = resultFromModel(model, a.names)
+	//fdx:lint-ignore detsource wall-clock timing metadata (Result.ModelDuration); never feeds FD scores
 	res.ModelDuration = time.Since(t0)
 	res.StageTimings = model.Trace.StageTimings()
 	return res, nil
