@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-tests lint-baseline lint-report test-race test-faults test-crash fuzz bench bench-obs bench-kernels bench-kernels-short experiments fast-experiments fmt loc
+.PHONY: all build test vet lint lint-tests lint-baseline lint-report test-race test-faults test-crash test-serve fuzz bench bench-obs bench-kernels bench-kernels-short bench-serve bench-serve-short experiments fast-experiments fmt loc
 
 all: build vet lint test
 
@@ -41,7 +41,7 @@ lint-report:
 # kernels (internal/par, internal/linalg, internal/glasso), the experiment
 # harness's timed goroutines, and the root streaming API.
 test-race:
-	$(GO) test -race ./internal/core ./internal/stats ./internal/par ./internal/linalg ./internal/glasso ./internal/experiments ./internal/obs .
+	$(GO) test -race ./internal/core ./internal/stats ./internal/par ./internal/linalg ./internal/glasso ./internal/experiments ./internal/obs ./internal/serve/... .
 
 # Fault-injection suite: every TestFault* test arms internal/faults points
 # (poisoned covariance, forced non-convergence, bad pivots, slow stages,
@@ -49,13 +49,21 @@ test-race:
 # degraded-but-valid results. Run under the race detector since injections
 # exercise cancellation paths.
 test-faults:
-	$(GO) test -race -run 'Fault' ./internal/faults ./internal/core ./internal/glasso ./internal/checkpoint .
+	$(GO) test -race -run 'Fault' ./internal/faults ./internal/core ./internal/glasso ./internal/checkpoint ./internal/serve .
 
 # Crash-equivalence suite: kill the durable stream at every byte of its
 # snapshot and WAL, restore, and require results identical to an
 # uninterrupted run (or a typed corruption error) — never a panic.
 test-crash:
-	$(GO) test -race -run 'Crash' ./internal/checkpoint .
+	$(GO) test -race -run 'Crash' ./internal/checkpoint ./internal/serve .
+
+# Service robustness suite: the race-enabled internal/serve tests (armed
+# IngestStall/QueueFull/DrainTimeout faults under concurrent tenants,
+# kill-and-resume bit-identity) plus the built-binary fdxd tests (SIGTERM
+# drain under active ingest, kill -9 restart) and the stream drain tests.
+test-serve:
+	$(GO) test -race ./internal/serve/... ./cmd/fdxd
+	$(GO) test -run 'TestStream' ./cmd/fdx
 
 # Short local fuzz campaigns over the public entry points.
 fuzz:
@@ -86,6 +94,16 @@ bench-kernels:
 # committed baseline without touching it.
 bench-kernels-short:
 	$(GO) run ./cmd/fdxbench -kernels /tmp/BENCH_kernels_ci.json -short -compare BENCH_kernels.json
+
+# Service benchmark: multi-tenant ingest throughput over HTTP, discover
+# latency quantiles, and the shed rate under deliberate overload
+# (BENCH_serve.json).
+bench-serve:
+	$(GO) run ./cmd/fdxbench -serve BENCH_serve.json
+
+# CI smoke variant: reduced workload, report left in /tmp.
+bench-serve-short:
+	$(GO) run ./cmd/fdxbench -serve /tmp/BENCH_serve_ci.json -short
 
 # Regenerate every paper table/figure at report scale (slow).
 experiments:

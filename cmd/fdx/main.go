@@ -28,15 +28,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
+	"sync/atomic"
 	"time"
 
 	"fdx"
 	"fdx/internal/core"
 	"fdx/internal/obs"
 	"fdx/internal/profile"
+	"fdx/internal/serve"
 )
 
 func main() {
@@ -220,8 +220,24 @@ func runStream(args []string) int {
 	}
 	tel.apply(&opts)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// SIGTERM asks for a graceful drain (checkpoint, exit 0); SIGINT stays
+	// a prompt interrupt (exit 130). Both cancel the context so a running
+	// discover stops at its next cancellation point.
+	sigs := serve.NotifyDrain()
+	defer sigs.Stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var draining atomic.Bool
+	go func() {
+		select {
+		case <-sigs.Drain():
+			draining.Store(true)
+			cancel()
+		case <-sigs.Interrupt():
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
 
 	rel, err := loadRelation(fs.Arg(0))
 	if err != nil {
@@ -238,6 +254,9 @@ func runStream(args []string) int {
 		}
 		fmt.Fprintf(os.Stderr, "fdx: resuming from %s: %d batches, %d rows already absorbed\n",
 			*ckpt, acc.Batches(), acc.Rows())
+		if tel.verbose && tel.tornTails() > 0 {
+			fmt.Fprintf(os.Stderr, "fdx: warning: truncated a torn WAL tail record (the batch the previous run died appending); resuming one batch earlier\n")
+		}
 	case errors.Is(err, os.ErrNotExist):
 		acc = fdx.NewAccumulator(rel.AttrNames(), opts)
 		// Write the empty-state snapshot up front so batches logged before
@@ -269,6 +288,16 @@ func runStream(args []string) int {
 	loopStart := time.Now()
 	for i := acc.Batches(); i < total; i++ {
 		if cerr := ctx.Err(); cerr != nil {
+			if draining.Load() {
+				// Graceful drain: make everything absorbed durable and
+				// exit cleanly; the next run resumes at this exact batch.
+				if err := saveAndReset(acc, *ckpt, wal); err != nil {
+					return fail(err)
+				}
+				fmt.Fprintf(os.Stderr, "fdx: SIGTERM: checkpointed %d/%d batches to %s, exiting cleanly\n",
+					i, total, *ckpt)
+				return 0
+			}
 			return fail(fmt.Errorf("stream interrupted after %d/%d batches: %w: %w", i, total, fdx.ErrCancelled, cerr))
 		}
 		lo := i * *batchRows
@@ -300,6 +329,12 @@ func runStream(args []string) int {
 
 	res, err := acc.DiscoverContext(ctx)
 	if err != nil {
+		if draining.Load() && errors.Is(err, fdx.ErrCancelled) {
+			// The drain hit during discovery; the stream itself is already
+			// checkpointed, so stopping here loses nothing.
+			fmt.Fprintf(os.Stderr, "fdx: SIGTERM: stream checkpointed to %s, discovery cancelled, exiting cleanly\n", *ckpt)
+			return 0
+		}
 		return fail(err)
 	}
 	if tel.verbose {

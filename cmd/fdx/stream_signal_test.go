@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"fdx"
+)
+
+// signalStream starts a deliberately slow stream run, delivers sig after
+// delay, and returns stdout, stderr, and the exit code.
+func signalStream(t *testing.T, ckpt string, sig os.Signal, delay time.Duration) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(binPath, "stream", "-checkpoint", ckpt,
+		"-batch", "20", "-every", "1000", "-batch-delay", "30ms", csvPath)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(delay)
+	if err := cmd.Process.Signal(sig); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	var code int
+	select {
+	case err := <-done:
+		code = 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("waiting for fdx stream: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("fdx stream did not exit after %v; stderr:\n%s", sig, stderr.String())
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+// TestStreamSIGTERMDrainsCleanly: SIGTERM mid-stream checkpoints the
+// absorbed prefix and exits 0; a rerun resumes from that checkpoint and
+// produces the same dependencies as an uninterrupted run.
+func TestStreamSIGTERMDrainsCleanly(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "state.fdx")
+	_, stderr, code := signalStream(t, ckpt, syscall.SIGTERM, 200*time.Millisecond)
+	if code != 0 {
+		t.Fatalf("SIGTERM drain: exit %d, want 0; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "SIGTERM") || !strings.Contains(stderr, "exiting cleanly") {
+		t.Errorf("drain did not announce itself; stderr:\n%s", stderr)
+	}
+	// The drain checkpointed: the WAL is reset and the rerun resumes.
+	if fi, err := os.Stat(ckpt + fdx.WALSuffix); err == nil && fi.Size() != 0 {
+		t.Errorf("post-drain WAL holds %d bytes, want 0", fi.Size())
+	}
+	resumed, stderr2, code := run(t, "stream", "-checkpoint", ckpt, "-batch", "20", "-every", "1000", csvPath)
+	if code != 0 {
+		t.Fatalf("rerun after drain: exit %d\n%s", code, stderr2)
+	}
+	if !strings.Contains(stderr2, "resuming from") {
+		t.Errorf("rerun did not resume from the drain checkpoint; stderr:\n%s", stderr2)
+	}
+	fresh, _, code := run(t, "stream", "-checkpoint", filepath.Join(t.TempDir(), "ref.fdx"),
+		"-batch", "20", "-every", "1000", csvPath)
+	if code != 0 {
+		t.Fatalf("reference run: exit %d", code)
+	}
+	if a, b := fdLines(fresh), fdLines(resumed); !equalStrings(a, b) {
+		t.Errorf("dependencies after drained resume differ:\nfresh:   %v\nresumed: %v", a, b)
+	}
+}
+
+// TestStreamSIGINTStaysInterrupt: SIGINT keeps the prompt-interrupt
+// contract — exit 130, no clean-drain message.
+func TestStreamSIGINTStaysInterrupt(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "state.fdx")
+	_, stderr, code := signalStream(t, ckpt, os.Interrupt, 200*time.Millisecond)
+	if code != 130 {
+		t.Fatalf("SIGINT: exit %d, want 130; stderr:\n%s", code, stderr)
+	}
+	if strings.Contains(stderr, "exiting cleanly") {
+		t.Errorf("SIGINT took the drain path; stderr:\n%s", stderr)
+	}
+}
+
+// TestStreamTornTailWarning: a WAL whose tail record was torn mid-append
+// (simulated by truncation) makes a verbose resume print the torn-tail
+// warning and continue one batch earlier.
+func TestStreamTornTailWarning(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "state.fdx")
+	rel, err := fdx.LoadCSV(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := fdx.NewAccumulator(rel.AttrNames(), fdx.Options{})
+	if err := acc.SaveCheckpoint(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	wal, err := fdx.OpenWAL(ckpt + fdx.WALSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 2; b++ {
+		if err := acc.AddLogged(rel.Slice(b*100, (b+1)*100), wal); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wal.Close()
+	// Tear the tail: drop the last 5 bytes of the second record.
+	walPath := ckpt + fdx.WALSuffix
+	fi, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walPath, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	_, stderr, code := run(t, "stream", "-v", "-checkpoint", ckpt, "-batch", "100", csvPath)
+	if code != 0 {
+		t.Fatalf("resume over torn WAL: exit %d\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "torn WAL tail") {
+		t.Errorf("verbose resume did not warn about the torn tail; stderr:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "1 batches, 100 rows already absorbed") {
+		t.Errorf("resume position wrong (want 1 batch after truncation); stderr:\n%s", stderr)
+	}
+}

@@ -114,3 +114,6 @@ func (t *telemetry) sweeps() uint64 { return t.counter(obs.MGlassoSweeps) }
 
 // rowsAbsorbed returns the cumulative absorbed-row count.
 func (t *telemetry) rowsAbsorbed() uint64 { return t.counter(obs.MRowsAbsorbed) }
+
+// tornTails returns how many torn WAL tail records restores truncated.
+func (t *telemetry) tornTails() uint64 { return t.counter(obs.MWALTornTail) }

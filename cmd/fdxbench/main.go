@@ -29,6 +29,7 @@ func main() {
 		verbose = flag.Bool("v", false, "log per-method progress to stderr")
 		format  = flag.String("format", "text", "output format: text | json")
 		stream  = flag.String("stream", "", "run the checkpoint streaming benchmark and write its JSON report to this path")
+		srv     = flag.String("serve", "", "run the fdxd service benchmark and write its JSON report to this path")
 		kernels = flag.String("kernels", "", "run the numeric-kernel benchmark and write its JSON report to this path")
 		compare = flag.String("compare", "", "with -kernels: baseline report to gate against (>10% speedup-ratio regression or any alloc increase exits non-zero)")
 		short   = flag.Bool("short", false, "with -kernels: reduced sizes and repetitions for a CI smoke pass")
@@ -36,6 +37,9 @@ func main() {
 	flag.Parse()
 	if *stream != "" {
 		os.Exit(runStreamBench(*stream, *seed, *fast))
+	}
+	if *srv != "" {
+		os.Exit(runServeBench(*srv, *short))
 	}
 	if *kernels != "" {
 		os.Exit(runKernelBench(*kernels, *compare, *short))

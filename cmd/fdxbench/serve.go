@@ -1,0 +1,277 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fdx/internal/serve"
+	"fdx/internal/serve/limit"
+)
+
+// serveReport is the JSON schema of BENCH_serve.json: the fdxd service
+// under a concurrent multi-tenant workload — ingest throughput over real
+// HTTP, discover latency quantiles, and the shed rate once the server is
+// deliberately overloaded.
+type serveReport struct {
+	Tenants          int     `json:"tenants"`
+	BatchesPerTenant int     `json:"batches_per_tenant"`
+	RowsPerBatch     int     `json:"rows_per_batch"`
+	IngestRowsPerSec float64 `json:"ingest_rows_per_sec"`
+	Discovers        int     `json:"discovers"`
+	DiscoverP50Ms    float64 `json:"discover_p50_ms"`
+	DiscoverP99Ms    float64 `json:"discover_p99_ms"`
+	// Overload phase: a one-worker, depth-one queue plus a tight ingest
+	// rate limit, hammered concurrently; shed = typed 429/503 responses.
+	OverloadRequests int     `json:"overload_requests"`
+	OverloadShed     int     `json:"overload_shed"`
+	OverloadShedRate float64 `json:"overload_shed_rate"`
+}
+
+// benchServer runs an fdxd Server on a loopback listener and returns its
+// base URL plus a shutdown func.
+func benchServer(cfg serve.Config) (string, func(), error) {
+	sv, err := serve.New(cfg)
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := sv.HTTPServer("")
+	go hs.Serve(ln)
+	stop := func() {
+		sv.Drain()
+		hs.Close()
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+func benchPost(client *http.Client, url, tenant string, body any) (int, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequest("POST", url, bytes.NewReader(raw))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("X-Fdx-Tenant", tenant)
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func benchRows(n, offset int) [][]string {
+	rows := make([][]string, n)
+	for i := range rows {
+		v := offset + i
+		rows[i] = []string{
+			fmt.Sprintf("a%d", v%7),
+			fmt.Sprintf("b%d", (v%7)*3),
+			fmt.Sprintf("c%d", v%4),
+			fmt.Sprintf("d%d", (v%4)*5),
+			fmt.Sprintf("e%d", v%3),
+		}
+	}
+	return rows
+}
+
+var benchAttrs = []string{"a", "b", "c", "d", "e"}
+
+// runServeBench measures the fdxd service end to end and writes the
+// report to outPath. short reduces sizes for a CI smoke pass.
+func runServeBench(outPath string, short bool) int {
+	rep := serveReport{Tenants: 4, BatchesPerTenant: 48, RowsPerBatch: 256, Discovers: 32}
+	if short {
+		rep.BatchesPerTenant, rep.RowsPerBatch, rep.Discovers = 8, 64, 8
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "fdxbench:", err)
+		return 1
+	}
+
+	// Phase 1: concurrent multi-tenant ingest + discover, no quotas.
+	dir, err := os.MkdirTemp("", "fdxbench-serve")
+	if err != nil {
+		return fail(err)
+	}
+	defer os.RemoveAll(dir)
+	base, stop, err := benchServer(serve.Config{DataDir: dir, CheckpointEvery: 16})
+	if err != nil {
+		return fail(err)
+	}
+	for ti := 0; ti < rep.Tenants; ti++ {
+		tenant := fmt.Sprintf("t%d", ti)
+		code, err := benchPost(client, base+"/v1/sessions", tenant,
+			map[string]any{"id": "bench-" + tenant, "attributes": benchAttrs})
+		if err != nil || code != http.StatusCreated {
+			stop()
+			return fail(fmt.Errorf("create session (%d): %v", code, err))
+		}
+	}
+	var wg sync.WaitGroup
+	var ingestErr atomic.Value
+	t0 := time.Now()
+	for ti := 0; ti < rep.Tenants; ti++ {
+		tenant := fmt.Sprintf("t%d", ti)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			url := base + "/v1/sessions/bench-" + tenant + "/rows"
+			for seq := 1; seq <= rep.BatchesPerTenant; seq++ {
+				code, err := benchPost(client, url, tenant, map[string]any{
+					"seq": seq, "rows": benchRows(rep.RowsPerBatch, (seq-1)*rep.RowsPerBatch)})
+				if err != nil || code != http.StatusOK {
+					ingestErr.Store(fmt.Errorf("ingest (%d): %v", code, err))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := ingestErr.Load().(error); ok {
+		stop()
+		return fail(err)
+	}
+	totalRows := rep.Tenants * rep.BatchesPerTenant * rep.RowsPerBatch
+	rep.IngestRowsPerSec = float64(totalRows) / time.Since(t0).Seconds()
+
+	// Discover latency quantiles: tenants issue discovers round-robin.
+	lat := make([]float64, 0, rep.Discovers)
+	var latMu sync.Mutex
+	for ti := 0; ti < rep.Tenants; ti++ {
+		tenant := fmt.Sprintf("t%d", ti)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			url := base + "/v1/sessions/bench-" + tenant + "/discover"
+			for i := 0; i < rep.Discovers/rep.Tenants; i++ {
+				d0 := time.Now()
+				code, err := benchPost(client, url, tenant, nil)
+				ms := time.Since(d0).Seconds() * 1000
+				if err != nil || code != http.StatusOK {
+					ingestErr.Store(fmt.Errorf("discover (%d): %v", code, err))
+					return
+				}
+				latMu.Lock()
+				lat = append(lat, ms)
+				latMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	stop()
+	if err, ok := ingestErr.Load().(error); ok {
+		return fail(err)
+	}
+	sort.Float64s(lat)
+	rep.DiscoverP50Ms = percentile(lat, 0.50)
+	rep.DiscoverP99Ms = percentile(lat, 0.99)
+
+	// Phase 2: overload. One worker, depth-one queue, tight rate limit;
+	// every shed must be a typed 429/503.
+	dir2, err := os.MkdirTemp("", "fdxbench-serve-ovl")
+	if err != nil {
+		return fail(err)
+	}
+	defer os.RemoveAll(dir2)
+	base, stop, err = benchServer(serve.Config{
+		DataDir:         dir2,
+		DiscoverWorkers: 1,
+		QueueDepth:      1,
+		Quotas:          limit.Quotas{RowsPerSecond: float64(rep.RowsPerBatch) * 4},
+	})
+	if err != nil {
+		return fail(err)
+	}
+	defer stop()
+	code, err := benchPost(client, base+"/v1/sessions", "ovl",
+		map[string]any{"id": "ovl", "attributes": benchAttrs})
+	if err != nil || code != http.StatusCreated {
+		return fail(fmt.Errorf("create overload session (%d): %v", code, err))
+	}
+	if code, err = benchPost(client, base+"/v1/sessions/ovl/rows", "ovl",
+		map[string]any{"seq": 1, "rows": benchRows(rep.RowsPerBatch, 0)}); err != nil || code != http.StatusOK {
+		return fail(fmt.Errorf("seed overload session (%d): %v", code, err))
+	}
+	overloadTotal := 200
+	if short {
+		overloadTotal = 60
+	}
+	var shed, unexpected atomic.Int64
+	sem := make(chan struct{}, 16)
+	seq := 2
+	for i := 0; i < overloadTotal; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		kind := i % 2
+		mySeq := seq
+		if kind == 0 {
+			seq++
+		}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var code int
+			var err error
+			if kind == 0 {
+				code, err = benchPost(client, base+"/v1/sessions/ovl/rows", "ovl",
+					map[string]any{"seq": mySeq, "rows": benchRows(rep.RowsPerBatch, 0)})
+			} else {
+				code, err = benchPost(client, base+"/v1/sessions/ovl/discover", "ovl", nil)
+			}
+			switch {
+			case err != nil:
+				unexpected.Add(1)
+			case code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable:
+				shed.Add(1)
+			case code != http.StatusOK && code != http.StatusConflict:
+				// Conflict is expected: concurrent rows requests race on
+				// seq. Anything else off-taxonomy is a failure.
+				unexpected.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := unexpected.Load(); n > 0 {
+		return fail(fmt.Errorf("overload phase saw %d unexpected responses", n))
+	}
+	rep.OverloadRequests = overloadTotal
+	rep.OverloadShed = int(shed.Load())
+	rep.OverloadShedRate = float64(rep.OverloadShed) / float64(overloadTotal)
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fail(err)
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		return fail(err)
+	}
+	fmt.Printf("serve bench: %.0f rows/s ingest, discover p50 %.1fms p99 %.1fms, overload shed %.0f%%\n",
+		rep.IngestRowsPerSec, rep.DiscoverP50Ms, rep.DiscoverP99Ms, 100*rep.OverloadShedRate)
+	fmt.Printf("report written to %s\n", outPath)
+	return 0
+}
+
+// percentile returns the p-quantile of sorted values (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

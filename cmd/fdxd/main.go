@@ -1,0 +1,144 @@
+// Command fdxd serves incremental FD discovery over HTTP/JSON: named
+// accumulator sessions with durable checkpoint+WAL state, batched
+// idempotent ingest, queued discovery, per-tenant admission control, and
+// graceful drain.
+//
+// Usage:
+//
+//	fdxd -data DIR [flags]
+//
+// Endpoints (see README "Serving" for bodies and error codes):
+//
+//	POST   /v1/sessions                  create (idempotent) a session
+//	GET    /v1/sessions/{id}             session position
+//	DELETE /v1/sessions/{id}             delete a session and its files
+//	POST   /v1/sessions/{id}/rows        ingest one batch (seq-idempotent)
+//	POST   /v1/sessions/{id}/discover    run discovery on a snapshot
+//	GET    /metrics                      Prometheus text format
+//	GET    /healthz                      ok / draining
+//
+// On SIGTERM the server stops admitting work (503 + Retry-After),
+// finishes or abandons in-flight requests within -drain-timeout,
+// checkpoints every session, and exits 0. Kill -9 instead loses at most
+// the batch torn mid-append: every acknowledged batch is fsynced to the
+// session's WAL, so a restart over the same -data directory resumes every
+// stream bit-identically. SIGINT exits 130 without draining.
+//
+// Exit codes: 0 clean (drained) shutdown, 1 internal or drain-deadline
+// error, 2 bad flags, 3 corrupt session state at startup, 130 interrupted.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"fdx"
+	"fdx/internal/serve"
+	"fdx/internal/serve/limit"
+)
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("fdxd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	dataDir := fs.String("data", "", "session data directory (manifests, checkpoints, WALs); required")
+	every := fs.Int("every", 16, "checkpoint a session every N absorbed batches")
+	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline, propagated into discovery")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "max wait for in-flight work on SIGTERM before checkpointing anyway")
+	workers := fs.Int("discover-workers", 2, "structure-learning worker-pool size")
+	queueDepth := fs.Int("queue-depth", 16, "bounded discover backlog; a full queue sheds with 503")
+	maxSessions := fs.Int("max-sessions", 0, "per-tenant concurrent-session cap (0 = unlimited)")
+	rowsPerSec := fs.Float64("rows-per-sec", 0, "per-tenant sustained ingest rate in rows/s (0 = unlimited)")
+	burst := fs.Float64("burst", 0, "ingest token-bucket capacity in rows (0 = one second of -rows-per-sec)")
+	maxDiscover := fs.Int("max-discover", 0, "per-tenant in-flight discover cap (0 = unlimited)")
+	verbose := fs.Bool("v", false, "log lifecycle events to stderr")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "fdxd: -data is required")
+		return 2
+	}
+	if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "fdxd:", err)
+		return 2
+	}
+	logger := log.New(io.Discard, "", 0)
+	if *verbose {
+		logger = log.New(os.Stderr, "", log.LstdFlags)
+	}
+
+	sv, err := serve.New(serve.Config{
+		DataDir: *dataDir,
+		Quotas: limit.Quotas{
+			MaxSessions:         *maxSessions,
+			RowsPerSecond:       *rowsPerSec,
+			Burst:               *burst,
+			MaxInflightDiscover: *maxDiscover,
+		},
+		CheckpointEvery: *every,
+		RequestTimeout:  *reqTimeout,
+		DiscoverWorkers: *workers,
+		QueueDepth:      *queueDepth,
+		DrainTimeout:    *drainTimeout,
+		Log:             logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdxd:", err)
+		return startupExitCode(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdxd:", err)
+		return 2
+	}
+	// The tests (and operators' readiness probes) key on this line.
+	fmt.Fprintf(os.Stderr, "fdxd: listening on http://%s\n", ln.Addr())
+
+	hs := sv.HTTPServer(*addr)
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigs := serve.NotifyDrain()
+	defer sigs.Stop()
+	select {
+	case <-sigs.Drain():
+		fmt.Fprintln(os.Stderr, "fdxd: SIGTERM received, draining")
+		derr := sv.Drain()
+		hs.Close()
+		if derr != nil {
+			fmt.Fprintln(os.Stderr, "fdxd:", derr)
+			return 1
+		}
+		fmt.Fprintln(os.Stderr, "fdxd: drained cleanly, exiting")
+		return 0
+	case <-sigs.Interrupt():
+		hs.Close()
+		fmt.Fprintln(os.Stderr, "fdxd: interrupted")
+		return 130
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "fdxd:", err)
+		return 1
+	}
+}
+
+// startupExitCode maps a session-restore failure onto the documented exit
+// codes (mirrors cmd/fdx).
+func startupExitCode(err error) int {
+	switch {
+	case errors.Is(err, fdx.ErrCorruptCheckpoint), errors.Is(err, fdx.ErrCheckpointVersion):
+		return 3
+	case errors.Is(err, fdx.ErrBadInput):
+		return 2
+	default:
+		return 1
+	}
+}

@@ -242,7 +242,7 @@ func TestWALAppendReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	replayed := core.NewAccumulator(acc.State().Names, acc.Options())
-	n, err := ReplayWAL(path, replayed.ApplyDelta)
+	n, _, err := ReplayWAL(path, replayed.ApplyDelta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +277,7 @@ func TestWALTornTailTruncatedAtEveryCut(t *testing.T) {
 			t.Fatal(err)
 		}
 		var got []*core.BatchDelta
-		n, err := ReplayWAL(path, func(d *core.BatchDelta) error {
+		n, torn, err := ReplayWAL(path, func(d *core.BatchDelta) error {
 			got = append(got, d)
 			return nil
 		})
@@ -286,6 +286,9 @@ func TestWALTornTailTruncatedAtEveryCut(t *testing.T) {
 		}
 		if want := cut / recordLen; n != want {
 			t.Fatalf("cut at %d: replayed %d records, want %d", cut, n, want)
+		}
+		if want := cut%recordLen != 0; torn != want {
+			t.Fatalf("cut at %d: torn=%v, want %v", cut, torn, want)
 		}
 		for i, d := range got {
 			if d.Seq != deltas[i].Seq || d.Rows != deltas[i].Rows {
@@ -330,7 +333,7 @@ func TestWALMidLogCorruptionIsTyped(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, err = ReplayWAL(path, func(*core.BatchDelta) error { return nil })
+	_, _, err = ReplayWAL(path, func(*core.BatchDelta) error { return nil })
 	if !errors.Is(err, fdxerr.ErrCorruptCheckpoint) {
 		t.Fatalf("want ErrCorruptCheckpoint, got %v", err)
 	}
@@ -353,7 +356,7 @@ func TestWALResetEmptiesLog(t *testing.T) {
 	if _, err := w.Append(deltas[1]); err != nil {
 		t.Fatal(err)
 	}
-	n, err := ReplayWAL(path, func(d *core.BatchDelta) error {
+	n, _, err := ReplayWAL(path, func(d *core.BatchDelta) error {
 		if d.Seq != deltas[1].Seq {
 			return fmt.Errorf("unexpected seq %d", d.Seq)
 		}
@@ -474,10 +477,11 @@ func TestFaultShortWriteWALAppendFailsTyped(t *testing.T) {
 	if _, err := w.Append(deltas[1]); !errors.Is(err, fdxerr.ErrCorruptCheckpoint) {
 		t.Fatalf("want ErrCorruptCheckpoint, got %v", err)
 	}
-	// The torn second record must not poison the first on replay.
-	n, err := ReplayWAL(path, func(*core.BatchDelta) error { return nil })
-	if err != nil || n != 1 {
-		t.Fatalf("replay after torn append: n=%d err=%v", n, err)
+	// The torn second record must not poison the first on replay, and the
+	// truncation must be reported.
+	n, torn, err := ReplayWAL(path, func(*core.BatchDelta) error { return nil })
+	if err != nil || n != 1 || !torn {
+		t.Fatalf("replay after torn append: n=%d torn=%v err=%v", n, torn, err)
 	}
 }
 
@@ -496,7 +500,7 @@ func TestFaultReadBitFlipWALReplayFailsTypedOrTruncates(t *testing.T) {
 	}
 	w.Close()
 	faults.Arm(faults.ReadBitFlip, faults.Config{Times: 1})
-	n, err := ReplayWAL(path, func(*core.BatchDelta) error { return nil })
+	n, _, err := ReplayWAL(path, func(*core.BatchDelta) error { return nil })
 	// The flip lands in the first read chunk: either the damaged record is
 	// detected as mid-log corruption (typed error) or, if it hit the final
 	// record's bytes, the tail is dropped. Never a silent full replay.

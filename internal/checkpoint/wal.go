@@ -82,25 +82,27 @@ func (w *WAL) Close() error {
 
 // ReplayWAL reads the WAL at path, calling apply for each complete record
 // in order, and truncates a torn tail record in place so later appends
-// continue after the last good one. A missing file replays zero records.
+// continue after the last good one; torn reports whether such a tail was
+// found (callers surface it — a torn tail is the one unsynced batch a kill
+// can lose, and hiding the truncation would make a resumed stream look
+// further along than it is). A missing file replays zero records.
 // Mid-log corruption (a bad record with valid data after it) wraps
 // ErrCorruptCheckpoint; an apply error is returned as-is.
-func ReplayWAL(path string, apply func(*core.BatchDelta) error) (applied int, err error) {
+func ReplayWAL(path string, apply func(*core.BatchDelta) error) (applied int, torn bool, err error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if os.IsNotExist(err) {
-		return 0, nil
+		return 0, false, nil
 	}
 	if err != nil {
-		return 0, fdxerr.Corrupt("checkpoint: open wal: %v", err)
+		return 0, false, fdxerr.Corrupt("checkpoint: open wal: %v", err)
 	}
 	defer f.Close()
 	data, err := io.ReadAll(flipReader{f})
 	if err != nil {
-		return 0, fdxerr.Corrupt("checkpoint: read wal: %v", err)
+		return 0, false, fdxerr.Corrupt("checkpoint: read wal: %v", err)
 	}
 
 	off := 0
-	torn := false
 	for off < len(data) {
 		rem := data[off:]
 		if len(rem) < 8 {
@@ -124,27 +126,27 @@ func ReplayWAL(path string, apply func(*core.BatchDelta) error) (applied int, er
 				torn = true
 				break
 			}
-			return applied, fdxerr.Corrupt("checkpoint: wal record at offset %d fails its checksum with %d live bytes after it", off, len(rem)-int(total))
+			return applied, torn, fdxerr.Corrupt("checkpoint: wal record at offset %d fails its checksum with %d live bytes after it", off, len(rem)-int(total))
 		}
 		d, derr := decodeDelta(frame[4:])
 		if derr != nil {
-			return applied, fmt.Errorf("checkpoint: wal record at offset %d: %w", off, derr)
+			return applied, torn, fmt.Errorf("checkpoint: wal record at offset %d: %w", off, derr)
 		}
 		if aerr := apply(d); aerr != nil {
-			return applied, aerr
+			return applied, torn, aerr
 		}
 		applied++
 		off += int(total)
 	}
 	if torn {
 		if err := f.Truncate(int64(off)); err != nil {
-			return applied, fdxerr.Corrupt("checkpoint: truncate torn wal tail: %v", err)
+			return applied, torn, fdxerr.Corrupt("checkpoint: truncate torn wal tail: %v", err)
 		}
 		if err := syncFile(f); err != nil {
-			return applied, err
+			return applied, torn, err
 		}
 	}
-	return applied, nil
+	return applied, torn, nil
 }
 
 // encodeDelta serializes a batch delta as a WAL record payload: seq, rows,

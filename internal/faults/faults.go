@@ -58,6 +58,17 @@ const (
 	// RenameFail makes the atomic rename of a finished snapshot fail,
 	// exercising temp-file cleanup and the durability error path.
 	RenameFail
+	// IngestStall makes the service's session-ingest path sleep
+	// Config.Delay per batch, exercising request deadlines and
+	// backpressure under slow absorption.
+	IngestStall
+	// QueueFull makes the service's discover job queue report itself full,
+	// exercising the load-shedding (503 + Retry-After) path.
+	QueueFull
+	// DrainTimeout stalls the service's graceful-drain path past its
+	// deadline, exercising the degraded-drain (checkpoint everything,
+	// report the overrun) contract.
+	DrainTimeout
 
 	numPoints
 )
@@ -83,6 +94,12 @@ func (p Point) String() string {
 		return "read-bit-flip"
 	case RenameFail:
 		return "rename-fail"
+	case IngestStall:
+		return "ingest-stall"
+	case QueueFull:
+		return "queue-full"
+	case DrainTimeout:
+		return "drain-timeout"
 	default:
 		return "unknown"
 	}

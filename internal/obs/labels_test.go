@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLabeled(t *testing.T) {
+	cases := []struct {
+		name string
+		kv   []string
+		want string
+	}{
+		{"fdx_serve_rows_total", []string{"tenant", "acme"}, `fdx_serve_rows_total{tenant="acme"}`},
+		{"m", []string{"a", "1", "b", "2"}, `m{a="1",b="2"}`},
+		{"m", nil, "m"},
+		{"m", []string{"dangling"}, "m"},
+		{"m", []string{"t", `quo"te\back` + "\nnl"}, `m{t="quo\"te\\back\nnl"}`},
+	}
+	for _, c := range cases {
+		if got := Labeled(c.name, c.kv...); got != c.want {
+			t.Errorf("Labeled(%q, %v) = %q, want %q", c.name, c.kv, got, c.want)
+		}
+	}
+}
+
+// TestPrometheusLabeledGrouping: all series of one family share a single
+// # TYPE line with the family (brace-free) name, and labeled histograms
+// fold their labels into each sample line.
+func TestPrometheusLabeledGrouping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Labeled("fdx_serve_rows_total", "tenant", "a")).Add(3)
+	r.Counter(Labeled("fdx_serve_rows_total", "tenant", "b")).Add(5)
+	r.Gauge("fdx_serve_queue_depth").Set(2)
+	r.HistogramBuckets(Labeled("fdx_serve_ingest_seconds", "tenant", "a"), []float64{1}).Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if n := strings.Count(out, "# TYPE fdx_serve_rows_total counter"); n != 1 {
+		t.Errorf("want exactly one TYPE line for the rows family, got %d in:\n%s", n, out)
+	}
+	if strings.Contains(out, "# TYPE fdx_serve_rows_total{") {
+		t.Errorf("TYPE line leaked a label block:\n%s", out)
+	}
+	for _, want := range []string{
+		`fdx_serve_rows_total{tenant="a"} 3`,
+		`fdx_serve_rows_total{tenant="b"} 5`,
+		`fdx_serve_ingest_seconds_bucket{tenant="a",le="1"} 1`,
+		`fdx_serve_ingest_seconds_bucket{tenant="a",le="+Inf"} 1`,
+		`fdx_serve_ingest_seconds_sum{tenant="a"} 0.5`,
+		`fdx_serve_ingest_seconds_count{tenant="a"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Series of one family must be contiguous (text-format requirement).
+	first := strings.Index(out, `fdx_serve_rows_total{tenant="a"}`)
+	second := strings.Index(out, `fdx_serve_rows_total{tenant="b"}`)
+	between := out[first:second]
+	if strings.Contains(between, "# TYPE") {
+		t.Errorf("family interrupted by another TYPE line:\n%s", out)
+	}
+}

@@ -283,29 +283,72 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for k := range hists {
 		names = append(names, k)
 	}
-	sort.Strings(names)
+	// Sort by (family, full name) so every labeled series of one family —
+	// rows_total{tenant="a"}, rows_total{tenant="b"} — forms one group
+	// under a single # TYPE line, as the text format requires.
+	sort.Slice(names, func(i, j int) bool {
+		bi, bj := baseName(names[i]), baseName(names[j])
+		if bi != bj {
+			return bi < bj
+		}
+		return names[i] < names[j]
+	})
 
 	var sb strings.Builder
+	prevBase := ""
+	typeLine := func(name, kind string) {
+		if b := baseName(name); b != prevBase {
+			fmt.Fprintf(&sb, "# TYPE %s %s\n", b, kind)
+			prevBase = b
+		}
+	}
 	for _, name := range names {
 		switch {
 		case counters[name] != nil:
-			fmt.Fprintf(&sb, "# TYPE %s counter\n%s %d\n", name, name, counters[name].Value())
+			typeLine(name, "counter")
+			fmt.Fprintf(&sb, "%s %d\n", name, counters[name].Value())
 		case gauges[name] != nil:
-			fmt.Fprintf(&sb, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(gauges[name].Value()))
+			typeLine(name, "gauge")
+			fmt.Fprintf(&sb, "%s %s\n", name, promFloat(gauges[name].Value()))
 		case hists[name] != nil:
 			h := hists[name]
-			fmt.Fprintf(&sb, "# TYPE %s histogram\n", name)
+			typeLine(name, "histogram")
+			base, labels := splitLabels(name)
 			bounds, cum := h.Buckets()
 			for i, b := range bounds {
-				fmt.Fprintf(&sb, "%s_bucket{le=%q} %d\n", name, promFloat(b), cum[i])
+				fmt.Fprintf(&sb, "%s_bucket{%sle=%q} %d\n", base, labels, promFloat(b), cum[i])
 			}
-			fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
-			fmt.Fprintf(&sb, "%s_sum %s\n", name, promFloat(h.Sum()))
-			fmt.Fprintf(&sb, "%s_count %d\n", name, h.Count())
+			fmt.Fprintf(&sb, "%s_bucket{%sle=\"+Inf\"} %d\n", base, labels, h.Count())
+			fmt.Fprintf(&sb, "%s_sum%s %s\n", base, braced(labels), promFloat(h.Sum()))
+			fmt.Fprintf(&sb, "%s_count%s %d\n", base, braced(labels), h.Count())
 		}
 	}
 	_, err := io.WriteString(w, sb.String())
 	return err
+}
+
+// splitLabels separates a Labeled metric name into its family name and a
+// `k="v",` prefix ready to precede further labels inside braces. Unlabeled
+// names return an empty prefix.
+func splitLabels(name string) (base, labelPrefix string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	inner := strings.TrimSuffix(name[i+1:], "}")
+	if inner == "" {
+		return name[:i], ""
+	}
+	return name[:i], inner + ","
+}
+
+// braced re-wraps a splitLabels prefix as a standalone label block
+// ("" stays "").
+func braced(labelPrefix string) string {
+	if labelPrefix == "" {
+		return ""
+	}
+	return "{" + strings.TrimSuffix(labelPrefix, ",") + "}"
 }
 
 // promFloat formats a float the way Prometheus clients do.

@@ -31,7 +31,75 @@ const (
 	MWALBytes = "fdx_wal_bytes_total"
 	// MWALReplayed counts WAL records re-applied during restore.
 	MWALReplayed = "fdx_wal_replayed_records_total"
+	// MWALTornTail counts torn WAL tail records truncated during restore —
+	// the one unsynced batch a kill can lose. Non-zero after a load means
+	// the stream resumed one batch earlier than the dead process got to.
+	MWALTornTail = "fdx_wal_torn_tail_total"
+
+	// Service (fdxd / internal/serve) metric names. Per-tenant series
+	// attach a tenant label via Labeled.
+	//
+	// MServeSessions gauges live accumulator sessions.
+	MServeSessions = "fdx_serve_sessions"
+	// MServeRows counts rows absorbed through the ingest endpoint.
+	MServeRows = "fdx_serve_rows_total"
+	// MServeBatches counts ingest batches absorbed (duplicates excluded).
+	MServeBatches = "fdx_serve_batches_total"
+	// MServeDiscovers counts discover jobs completed.
+	MServeDiscovers = "fdx_serve_discover_total"
+	// MServeShed counts requests rejected by admission control, by reason
+	// label (rate_limited, quota_exceeded, queue_full, draining).
+	MServeShed = "fdx_serve_shed_total"
+	// MServeQueueDepth gauges the discover queue's current depth.
+	MServeQueueDepth = "fdx_serve_queue_depth"
+	// MServeDrainSeconds gauges the duration of the last graceful drain.
+	MServeDrainSeconds = "fdx_serve_drain_seconds"
+	// MServeIngestSeconds is the ingest-request latency histogram.
+	MServeIngestSeconds = "fdx_serve_ingest_seconds"
+	// MServeDiscoverSeconds is the discover-job latency histogram
+	// (queue wait included).
+	MServeDiscoverSeconds = "fdx_serve_discover_seconds"
 )
+
+// Labeled attaches Prometheus-style labels to a metric name:
+// Labeled("fdx_serve_rows_total", "tenant", "acme") is
+// `fdx_serve_rows_total{tenant="acme"}`. The registry treats the result as
+// an ordinary opaque name; WritePrometheus recognizes the brace syntax and
+// groups labeled series under one # TYPE line per base name. kv alternates
+// key, value; a trailing odd key is ignored. Label values are escaped per
+// the Prometheus text format (backslash, quote, newline).
+func Labeled(name string, kv ...string) string {
+	if len(kv) < 2 {
+		return name
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(kv[i])
+		sb.WriteString(`="`)
+		v := kv[i+1]
+		v = strings.ReplaceAll(v, `\`, `\\`)
+		v = strings.ReplaceAll(v, `"`, `\"`)
+		v = strings.ReplaceAll(v, "\n", `\n`)
+		sb.WriteString(v)
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// baseName strips a Labeled name's label block, returning the metric
+// family name Prometheus type lines must use.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
 
 // StageHist returns the latency-histogram name for a pipeline stage,
 // e.g. StageHist("glasso") == "fdx_stage_glasso_seconds". Hyphens in

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"fdx"
+	"fdx/internal/serve/limit"
+)
+
+// discoverB runs a discover and returns the exact B matrix from the wire
+// (JSON float64 round-trips shortest-repr exactly, so equality here is
+// bit-identity).
+func discoverB(t *testing.T, sv *Server, id, tenant string) [][]float64 {
+	t.Helper()
+	rec, body := do(t, sv, "POST", "/v1/sessions/"+id+"/discover", tenant, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("discover: status %d body %v", rec.Code, body)
+	}
+	raw := body["b"].([]any)
+	b := make([][]float64, len(raw))
+	for i, row := range raw {
+		cells := row.([]any)
+		b[i] = make([]float64, len(cells))
+		for j, c := range cells {
+			b[i][j] = c.(float64)
+		}
+	}
+	return b
+}
+
+// TestCrashServeRestartBitIdentical: feed a session, abandon the server
+// without drain (the crash), build a fresh server over the same data dir,
+// and require the restored session to (a) resume at the same stream
+// position and (b) produce a bit-identical B matrix — both against the
+// pre-crash server and against an uninterrupted in-process accumulator fed
+// the same batches.
+func TestCrashServeRestartBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	// CheckpointEvery 2 leaves a WAL tail record after 5 batches, so the
+	// restart exercises snapshot + replay, not just snapshot.
+	mk := func() *Server {
+		sv, err := New(Config{DataDir: dir, CheckpointEvery: 2, RequestTimeout: 30 * time.Second})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return sv
+	}
+	svA := mk()
+	createSession(t, svA, "s1", "acme")
+	const batches, rowsPer = 5, 40
+	for i := 0; i < batches; i++ {
+		ingest(t, svA, "s1", "acme", i+1, rowsPer, i*rowsPer)
+	}
+	wantB := discoverB(t, svA, "s1", "acme")
+
+	// The crash: no Drain, no checkpoint flush. AddLogged fsynced every
+	// batch, so the WAL holds everything the client was acknowledged for.
+	svB := mk()
+	rec, body := do(t, svB, "GET", "/v1/sessions/s1", "acme", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("get after restart: status %d body %v", rec.Code, body)
+	}
+	if body["rows"] != float64(batches*rowsPer) || body["batches"] != float64(batches) {
+		t.Fatalf("restored position: %v, want %d rows / %d batches", body, batches*rowsPer, batches)
+	}
+	gotB := discoverB(t, svB, "s1", "acme")
+	if !reflect.DeepEqual(gotB, wantB) {
+		t.Errorf("B after crash+restart differs from pre-crash B")
+	}
+
+	// Uninterrupted baseline: same batches through a local accumulator.
+	acc := fdx.NewAccumulator(testAttrs, fdx.Options{})
+	for i := 0; i < batches; i++ {
+		rel := fdx.NewRelation("base", testAttrs...)
+		for _, row := range genRows(rowsPer, i*rowsPer) {
+			if err := rel.AppendRow(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := acc.Add(rel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := acc.Discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotB, res.B) {
+		t.Errorf("B after crash+restart differs from the uninterrupted baseline")
+	}
+
+	// The restarted stream keeps going: the next seq is accepted and the
+	// idempotent-duplicate rule still holds.
+	body = ingest(t, svB, "s1", "acme", batches+1, rowsPer, batches*rowsPer)
+	if body["applied"] != true {
+		t.Fatalf("post-restart ingest: %v", body)
+	}
+	body = ingest(t, svB, "s1", "acme", batches+1, rowsPer, batches*rowsPer)
+	if body["applied"] != false {
+		t.Fatalf("post-restart duplicate: %v", body)
+	}
+}
+
+// TestCrashServeRestartQuotaReseed: restored sessions count against their
+// tenant's session quota after a restart.
+func TestCrashServeRestartQuotaReseed(t *testing.T) {
+	dir := t.TempDir()
+	mk := func() *Server {
+		sv, err := New(Config{DataDir: dir, Quotas: limit.Quotas{MaxSessions: 1}})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return sv
+	}
+	svA := mk()
+	createSession(t, svA, "s1", "acme")
+	svB := mk()
+	rec, body := do(t, svB, "POST", "/v1/sessions", "acme", createRequest{ID: "s2", Attributes: testAttrs})
+	if rec.Code != http.StatusTooManyRequests || errCode(t, body) != CodeQuotaExceeded {
+		t.Fatalf("create over restored quota: status %d body %v", rec.Code, body)
+	}
+}

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"time"
+
+	"fdx/internal/fdxerr"
+)
+
+// Error codes of the wire taxonomy. Every non-2xx response body is
+// {"error":{"code":..., "message":..., "retry_after_ms":...}} with code
+// drawn from this fixed set, so clients branch on stable machine-readable
+// strings instead of parsing messages. The chaos suite asserts no response
+// ever carries a code outside this set.
+const (
+	// CodeBadInput: the request is malformed (body, id, schema, seq out of
+	// order is CodeConflict). Maps fdxerr.ErrBadInput. HTTP 400.
+	CodeBadInput = "bad_input"
+	// CodeNotFound: no such session. HTTP 404.
+	CodeNotFound = "not_found"
+	// CodeConflict: the session exists with different parameters, or the
+	// ingest seq skips ahead of the accumulator. HTTP 409.
+	CodeConflict = "conflict"
+	// CodeRateLimited: the tenant exceeded its ingest rows/s. Retry after
+	// the bucket refills. HTTP 429.
+	CodeRateLimited = "rate_limited"
+	// CodeQuotaExceeded: the tenant is at its session or in-flight
+	// discover cap. HTTP 429.
+	CodeQuotaExceeded = "quota_exceeded"
+	// CodeQueueFull: the discover job queue is at capacity. HTTP 503.
+	CodeQueueFull = "queue_full"
+	// CodeDraining: the server is shutting down and admits no new work.
+	// HTTP 503.
+	CodeDraining = "draining"
+	// CodeTimeout: the request's deadline expired before the work
+	// finished. Maps fdxerr.ErrCancelled. HTTP 504.
+	CodeTimeout = "timeout"
+	// CodeNotConverged: discovery failed to converge under
+	// RequireConvergence. Maps fdxerr.ErrNotConverged. HTTP 422.
+	CodeNotConverged = "not_converged"
+	// CodeSingular: the session's statistics are numerically singular.
+	// Maps fdxerr.ErrSingularCovariance. HTTP 422.
+	CodeSingular = "singular_covariance"
+	// CodeNonPositivePivot: factorization failure past the fallback
+	// ladder. Maps fdxerr.ErrNonPositivePivot. HTTP 422.
+	CodeNonPositivePivot = "non_positive_pivot"
+	// CodeCorruptCheckpoint: the session's durable state failed
+	// validation. Maps fdxerr.ErrCorruptCheckpoint. HTTP 500.
+	CodeCorruptCheckpoint = "corrupt_checkpoint"
+	// CodeCheckpointVersion: the session's durable state has an
+	// incompatible format version. Maps fdxerr.ErrCheckpointVersion.
+	// HTTP 500.
+	CodeCheckpointVersion = "checkpoint_version"
+	// CodeInternal: a recovered invariant violation or unclassified
+	// failure. Maps fdxerr.ErrInternal. HTTP 500.
+	CodeInternal = "internal"
+)
+
+// KnownCode reports whether code belongs to the wire taxonomy (the chaos
+// suite's oracle).
+func KnownCode(code string) bool {
+	switch code {
+	case CodeBadInput, CodeNotFound, CodeConflict, CodeRateLimited,
+		CodeQuotaExceeded, CodeQueueFull, CodeDraining, CodeTimeout,
+		CodeNotConverged, CodeSingular, CodeNonPositivePivot,
+		CodeCorruptCheckpoint, CodeCheckpointVersion, CodeInternal:
+		return true
+	}
+	return false
+}
+
+// wireError is the JSON error payload (nested under "error" in the
+// response envelope).
+type wireError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// RetryAfterMS, when non-zero, tells the client how long to back off;
+	// the same value rides the Retry-After header (rounded up to whole
+	// seconds, the header's unit).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// httpError pairs the wire payload with its HTTP status.
+type httpError struct {
+	status int
+	wireError
+}
+
+// serveError builds a service-level error response.
+func serveError(status int, code, message string) *httpError {
+	return &httpError{status: status, wireError: wireError{Code: code, Message: message}}
+}
+
+// withRetry attaches a backoff hint.
+func (e *httpError) withRetry(d time.Duration) *httpError {
+	if d <= 0 {
+		d = time.Second
+	}
+	e.RetryAfterMS = d.Milliseconds()
+	if e.RetryAfterMS == 0 {
+		e.RetryAfterMS = 1
+	}
+	return e
+}
+
+// taxonomyError maps a library error onto the wire taxonomy. Every fdxerr
+// sentinel has a stable code; anything unclassified is CodeInternal, so the
+// wire never leaks an untyped failure.
+func taxonomyError(err error) *httpError {
+	msg := err.Error()
+	switch {
+	case errors.Is(err, fdxerr.ErrCancelled):
+		return serveError(http.StatusGatewayTimeout, CodeTimeout, msg)
+	case errors.Is(err, fdxerr.ErrCorruptCheckpoint):
+		return serveError(http.StatusInternalServerError, CodeCorruptCheckpoint, msg)
+	case errors.Is(err, fdxerr.ErrCheckpointVersion):
+		return serveError(http.StatusInternalServerError, CodeCheckpointVersion, msg)
+	case errors.Is(err, fdxerr.ErrNotConverged):
+		return serveError(http.StatusUnprocessableEntity, CodeNotConverged, msg)
+	case errors.Is(err, fdxerr.ErrSingularCovariance):
+		return serveError(http.StatusUnprocessableEntity, CodeSingular, msg)
+	case errors.Is(err, fdxerr.ErrNonPositivePivot):
+		return serveError(http.StatusUnprocessableEntity, CodeNonPositivePivot, msg)
+	case errors.Is(err, fdxerr.ErrBadInput):
+		return serveError(http.StatusBadRequest, CodeBadInput, msg)
+	default:
+		return serveError(http.StatusInternalServerError, CodeInternal, msg)
+	}
+}

@@ -1,0 +1,137 @@
+package limit
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestBucketAdmitsBurstThenRefills(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBucket(10, 20) // 10 rows/s, burst 20
+	b.SetClock(clk.now)
+
+	if ok, _ := b.Take(20); !ok {
+		t.Fatal("full bucket rejected its burst")
+	}
+	ok, retry := b.Take(5)
+	if ok {
+		t.Fatal("empty bucket admitted 5 tokens")
+	}
+	// 5 tokens at 10/s is 500ms away.
+	if retry < 400*time.Millisecond || retry > 600*time.Millisecond {
+		t.Errorf("retryAfter = %v, want ~500ms", retry)
+	}
+	clk.advance(time.Second) // refills 10 tokens
+	if ok, _ := b.Take(5); !ok {
+		t.Error("bucket did not refill after 1s")
+	}
+	if ok, _ := b.Take(5); !ok {
+		t.Error("second 5-token take within the refill rejected")
+	}
+	if ok, _ := b.Take(1); ok {
+		t.Error("bucket over-refilled")
+	}
+}
+
+func TestBucketClampsOversizedCost(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBucket(10, 20)
+	b.SetClock(clk.now)
+	// A single request bigger than the burst pays the whole burst instead
+	// of being unadmittable forever.
+	if ok, _ := b.Take(1000); !ok {
+		t.Fatal("oversized cost rejected on a full bucket")
+	}
+	if ok, _ := b.Take(1); ok {
+		t.Fatal("bucket not drained by clamped cost")
+	}
+}
+
+func TestBucketUnlimited(t *testing.T) {
+	for _, b := range []*Bucket{NewBucket(0, 0), NewBucket(0, 10), NewBucket(10, 0), nil} {
+		if ok, retry := b.Take(1e12); !ok || retry != 0 {
+			t.Errorf("unlimited bucket rejected: ok=%v retry=%v", ok, retry)
+		}
+	}
+}
+
+func TestPerTenantSessionsAndDiscoverSlots(t *testing.T) {
+	l := NewPerTenant(Quotas{MaxSessions: 2, MaxInflightDiscover: 1})
+	if !l.AcquireSession("a") || !l.AcquireSession("a") {
+		t.Fatal("session slots under the cap rejected")
+	}
+	if l.AcquireSession("a") {
+		t.Fatal("third session admitted over MaxSessions=2")
+	}
+	if !l.AcquireSession("b") {
+		t.Fatal("tenant b throttled by tenant a's usage")
+	}
+	l.ReleaseSession("a")
+	if !l.AcquireSession("a") {
+		t.Fatal("released slot not reusable")
+	}
+	if got := l.Sessions("a"); got != 2 {
+		t.Errorf("Sessions(a) = %d, want 2", got)
+	}
+
+	if !l.AcquireDiscover("a") {
+		t.Fatal("first discover slot rejected")
+	}
+	if l.AcquireDiscover("a") {
+		t.Fatal("second discover admitted over MaxInflightDiscover=1")
+	}
+	l.ReleaseDiscover("a")
+	if !l.AcquireDiscover("a") {
+		t.Fatal("released discover slot not reusable")
+	}
+	// Releasing below zero must not underflow.
+	l.ReleaseDiscover("zzz")
+	l.ReleaseSession("zzz")
+}
+
+func TestPerTenantRateIsolation(t *testing.T) {
+	clk := newFakeClock()
+	l := NewPerTenant(Quotas{RowsPerSecond: 100}) // burst defaults to 100
+	l.SetClock(clk.now)
+	if ok, _ := l.TakeRows("a", 100); !ok {
+		t.Fatal("tenant a's burst rejected")
+	}
+	if ok, _ := l.TakeRows("a", 1); ok {
+		t.Fatal("tenant a admitted over rate")
+	}
+	if ok, _ := l.TakeRows("b", 100); !ok {
+		t.Fatal("tenant b throttled by tenant a")
+	}
+	clk.advance(500 * time.Millisecond)
+	if ok, _ := l.TakeRows("a", 50); !ok {
+		t.Fatal("tenant a did not refill at 100 rows/s")
+	}
+}
+
+func TestPerTenantUnlimitedRows(t *testing.T) {
+	l := NewPerTenant(Quotas{})
+	if ok, _ := l.TakeRows("a", 1_000_000); !ok {
+		t.Fatal("unlimited quotas rejected rows")
+	}
+}

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"fdx"
+	"fdx/internal/faults"
+	"fdx/internal/obs"
+)
+
+// discoverJob is one queued discovery request. The accumulator is a
+// private snapshot clone, so the worker never contends with ingest.
+type discoverJob struct {
+	ctx  context.Context
+	acc  *fdx.Accumulator
+	done chan discoverResult
+}
+
+type discoverResult struct {
+	res *fdx.Result
+	err error
+}
+
+// discoverQueue bounds the structure-learning backlog: a fixed worker pool
+// drains a fixed-depth channel, and a full channel sheds the request
+// immediately (503 queue_full) instead of letting latency grow without
+// bound. Closing is coordinated through mu+closed so a late submit returns
+// queue_full rather than panicking on a closed channel.
+type discoverQueue struct {
+	jobs    chan *discoverJob
+	metrics *obs.Registry
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// newDiscoverQueue starts workers goroutines draining a depth-bounded
+// queue.
+func newDiscoverQueue(workers, depth int, metrics *obs.Registry) *discoverQueue {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	q := &discoverQueue{jobs: make(chan *discoverJob, depth), metrics: metrics}
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+// submit enqueues a job without blocking. ok=false means the queue is full
+// (or closed for drain) and the caller should shed with 503.
+func (q *discoverQueue) submit(j *discoverJob) bool {
+	if faults.Fire(faults.QueueFull) {
+		return false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	select {
+	case q.jobs <- j:
+		q.metrics.Gauge(obs.MServeQueueDepth).Set(float64(len(q.jobs)))
+		return true
+	default:
+		return false
+	}
+}
+
+// worker drains jobs until the channel closes. A job whose context is
+// already dead is answered without running discovery — the client stopped
+// waiting, so the work would be wasted.
+func (q *discoverQueue) worker() {
+	defer q.wg.Done()
+	for j := range q.jobs {
+		q.metrics.Gauge(obs.MServeQueueDepth).Set(float64(len(q.jobs)))
+		if err := j.ctx.Err(); err != nil {
+			j.done <- discoverResult{err: err}
+			continue
+		}
+		res, err := j.acc.DiscoverContext(j.ctx)
+		j.done <- discoverResult{res: res, err: err}
+	}
+}
+
+// close stops intake (submit returns false from here on) and waits for the
+// workers to finish the jobs already queued.
+func (q *discoverQueue) close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	close(q.jobs)
+	q.mu.Unlock()
+	q.wg.Wait()
+}

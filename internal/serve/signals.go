@@ -1,0 +1,41 @@
+package serve
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// DrainSignals splits termination signals into two intents shared by fdxd
+// and `fdx stream`: SIGTERM asks for a graceful drain (checkpoint, then
+// exit 0), SIGINT for a prompt interrupt (exit 130, the shell convention).
+// A second signal of either kind is left to the default handler — after
+// Stop, a repeat SIGTERM kills a wedged process instead of being swallowed.
+type DrainSignals struct {
+	drain chan os.Signal
+	intr  chan os.Signal
+}
+
+// NotifyDrain starts listening for SIGTERM (drain) and SIGINT (interrupt).
+func NotifyDrain() *DrainSignals {
+	s := &DrainSignals{
+		drain: make(chan os.Signal, 1),
+		intr:  make(chan os.Signal, 1),
+	}
+	signal.Notify(s.drain, syscall.SIGTERM)
+	signal.Notify(s.intr, os.Interrupt)
+	return s
+}
+
+// Drain fires when a graceful shutdown was requested.
+func (s *DrainSignals) Drain() <-chan os.Signal { return s.drain }
+
+// Interrupt fires when a prompt interrupt was requested.
+func (s *DrainSignals) Interrupt() <-chan os.Signal { return s.intr }
+
+// Stop restores default signal handling, so the next signal of either kind
+// terminates the process even if the drain has wedged.
+func (s *DrainSignals) Stop() {
+	signal.Stop(s.drain)
+	signal.Stop(s.intr)
+}

@@ -149,7 +149,7 @@ func LoadCheckpoint(path string, opts Options) (acc *Accumulator, err error) {
 	}
 	rsp := h.StartStage("wal-replay")
 	defer rsp.End()
-	applied, err := checkpoint.ReplayWAL(path+WALSuffix, func(d *core.BatchDelta) error {
+	applied, torn, err := checkpoint.ReplayWAL(path+WALSuffix, func(d *core.BatchDelta) error {
 		switch {
 		case d.Seq <= acc.inner.Batches():
 			// Already covered by the snapshot (the WAL was not reset after
@@ -163,6 +163,13 @@ func LoadCheckpoint(path string, opts Options) (acc *Accumulator, err error) {
 	})
 	rsp.Attr("records", applied)
 	h.Count(obs.MWALReplayed, uint64(applied))
+	if torn {
+		// The tail record was torn mid-append and truncated: the stream
+		// resumes one batch before where the dead writer got to. Surfaced
+		// as a counter so operators see the (bounded, by-design) loss.
+		rsp.Attr("torn_tail", 1)
+		h.Count(obs.MWALTornTail, 1)
+	}
 	if err != nil {
 		return nil, err
 	}

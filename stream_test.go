@@ -3,6 +3,7 @@ package fdx_test
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"testing"
 
 	"fdx"
@@ -54,5 +55,67 @@ func TestAccumulatorRejectsBadBatch(t *testing.T) {
 	}
 	if _, err := acc.Discover(); err == nil {
 		t.Error("empty accumulator discover should error")
+	}
+}
+
+// TestLoadCheckpointCountsTornTail: a WAL whose last record was torn
+// mid-append restores fine (the torn batch is dropped by design), but the
+// truncation must be visible on the fdx_wal_torn_tail_total metric rather
+// than silent.
+func TestLoadCheckpointCountsTornTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	opts := fdx.Options{Seed: 3}
+	dir := t.TempDir()
+	ckpt := dir + "/state.fdx"
+
+	rel := noisyAddressRelation(rng, 240, 0.02)
+	acc := fdx.NewAccumulator(rel.AttrNames(), opts)
+	if err := acc.SaveCheckpoint(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	wal, err := fdx.OpenWAL(ckpt + fdx.WALSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 2; b++ {
+		if err := acc.AddLogged(rel.Slice(b*100, (b+1)*100), wal); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the second record: drop the final 5 bytes of the log.
+	info, err := os.Stat(ckpt + fdx.WALSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(ckpt+fdx.WALSuffix, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	opts.Metrics = fdx.NewMetrics()
+	restored, err := fdx.LoadCheckpoint(ckpt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Batches() != 1 {
+		t.Errorf("restored %d batches, want 1 (torn second batch dropped)", restored.Batches())
+	}
+	if got := opts.Metrics.Counter("fdx_wal_torn_tail_total").Value(); got != 1 {
+		t.Errorf("fdx_wal_torn_tail_total = %d, want 1", got)
+	}
+
+	// An intact log must not count a torn tail.
+	opts2 := fdx.Options{Seed: 3, Metrics: fdx.NewMetrics()}
+	if err := os.Truncate(ckpt+fdx.WALSuffix, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fdx.LoadCheckpoint(ckpt, opts2); err != nil {
+		t.Fatal(err)
+	}
+	if got := opts2.Metrics.Counter("fdx_wal_torn_tail_total").Value(); got != 0 {
+		t.Errorf("intact wal counted torn tail: %d", got)
 	}
 }
