@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-tests lint-baseline lint-report test-race test-faults test-crash test-serve fuzz bench bench-obs bench-kernels bench-kernels-short bench-serve bench-serve-short experiments fast-experiments fmt loc
+.PHONY: all build test vet lint lint-tests lint-baseline lint-report test-race test-faults test-crash test-serve test-shard fuzz bench bench-obs bench-kernels bench-kernels-short bench-serve bench-serve-short bench-shard-short experiments fast-experiments fmt loc
 
 all: build vet lint test
 
@@ -65,10 +65,20 @@ test-serve:
 	$(GO) test -race ./internal/serve/... ./cmd/fdxd
 	$(GO) test -run 'TestStream' ./cmd/fdx
 
+# Sharded-discovery chaos suite under the race detector: the supervised
+# `fdx stream -shards` workers with ShardCrash/ShardStall/MergeCorrupt
+# armed (crash at every checkpoint boundary → bit-identical to the 1-shard
+# run), the shard-shipping service API (idempotent seq handling, corrupt
+# and mismatched snapshots rejected typed), the built-binary fdxd
+# kill-and-resume ship test, and the library-level determinism sweep.
+test-shard:
+	$(GO) test -race -run 'Shard' ./cmd/fdx ./internal/serve/... ./cmd/fdxd .
+
 # Short local fuzz campaigns over the public entry points.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDiscover -fuzztime 30s .
 	$(GO) test -run '^$$' -fuzz FuzzLoadCheckpoint -fuzztime 30s .
+	$(GO) test -run '^$$' -fuzz FuzzMergeSnapshot -fuzztime 30s .
 
 # Telemetry micro-benchmarks plus the end-to-end overhead gate: a Discover
 # with live tracer+metrics must stay within 2% of a nil-sink run.
@@ -104,6 +114,12 @@ bench-serve:
 # CI smoke variant: reduced workload, report left in /tmp.
 bench-serve-short:
 	$(GO) run ./cmd/fdxbench -serve /tmp/BENCH_serve_ci.json -short
+
+# CI smoke variant of the shard-merge scaling section: reduced rows,
+# report left in /tmp (the committed BENCH_stream.json carries the full
+# run via `fdxbench -stream BENCH_stream.json -shards`).
+bench-shard-short:
+	$(GO) run ./cmd/fdxbench -stream /tmp/BENCH_stream_ci.json -fast -shards
 
 # Regenerate every paper table/figure at report scale (slow).
 experiments:

@@ -15,7 +15,9 @@
 // durably checkpointing every -every batches. Killed at any point — even
 // mid-write — a rerun with the same flags resumes from the checkpoint,
 // re-absorbs only the unsaved batches, and produces the same dependencies
-// as an uninterrupted run.
+// as an uninterrupted run. With -shards N the batch grid is split across
+// N supervised local workers, each its own crash domain with its own
+// checkpoint and WAL; the merged result is bit-identical to -shards 1.
 //
 // Exit codes map the error taxonomy: 0 success, 1 internal error, 2 bad
 // input (malformed data, flags, or mismatched resume options), 3 corrupt
@@ -56,7 +58,7 @@ func exitCode(err error) int {
 		return 130
 	case errors.Is(err, fdx.ErrCorruptCheckpoint), errors.Is(err, fdx.ErrCheckpointVersion):
 		return 3
-	case errors.Is(err, fdx.ErrBadInput):
+	case errors.Is(err, fdx.ErrBadInput), errors.Is(err, fdx.ErrShardMismatch):
 		return 2
 	default:
 		// ErrInternal and anything unclassified.
@@ -198,11 +200,14 @@ func runStream(args []string) int {
 		textSim    = fs.Bool("text-similarity", false, "use 3-gram similarity for text columns (must match across resumes)")
 		numTol     = fs.Float64("numeric-tol", 0, "relative tolerance for numeric equality (must match across resumes)")
 		batchDelay = fs.Duration("batch-delay", 0, "sleep this long after each batch (throttle for live inspection)")
+		shards     = fs.Int("shards", 1, "fan batches across N supervised local shard workers (1 = sequential); the result is bit-identical at any N")
+		shardTries = fs.Int("shard-retries", 3, "restarts allowed per crashed or stalled shard worker")
+		shardStall = fs.Duration("shard-stall-timeout", 0, "restart a shard worker that makes no progress for this long (0 = off)")
 	)
 	tflags := addTelemetryFlags(fs)
 	fs.Parse(args)
-	if fs.NArg() != 1 || *ckpt == "" || *every < 1 || *batchRows < 2 {
-		fmt.Fprintln(os.Stderr, "usage: fdx stream -checkpoint state.fdx [-every N] [-batch B] [flags] data.csv")
+	if fs.NArg() != 1 || *ckpt == "" || *every < 1 || *batchRows < 2 || *shards < 1 || *shardTries < 0 {
+		fmt.Fprintln(os.Stderr, "usage: fdx stream -checkpoint state.fdx [-every N] [-batch B] [-shards S] [flags] data.csv")
 		fs.PrintDefaults()
 		return 2
 	}
@@ -268,12 +273,6 @@ func runStream(args []string) int {
 		return fail(err)
 	}
 
-	wal, err := fdx.OpenWAL(*ckpt + fdx.WALSuffix)
-	if err != nil {
-		return fail(err)
-	}
-	defer wal.Close()
-
 	// The batch grid is a pure function of the input and -batch, so a
 	// resumed run rebuilds the same batches and skips the absorbed prefix.
 	total := rel.NumRows() / *batchRows
@@ -284,6 +283,36 @@ func runStream(args []string) int {
 		return fail(fmt.Errorf("checkpoint has %d batches but %s yields only %d with -batch %d: %w",
 			acc.Batches(), fs.Arg(0), total, *batchRows, fdx.ErrBadInput))
 	}
+
+	if *shards > 1 {
+		// Sharded mode: supervised workers absorb disjoint spans into their
+		// own checkpoints, then merge into the main one — bit-identical to
+		// the sequential loop below at any shard count.
+		merged, err := runShardedStream(ctx, rel, opts, acc, total, shardedConfig{
+			ckpt:      *ckpt,
+			every:     *every,
+			batchRows: *batchRows,
+			shards:    *shards,
+			retries:   *shardTries,
+			stall:     *shardStall,
+			verbose:   tel.verbose,
+		})
+		if err != nil {
+			if draining.Load() && errors.Is(err, fdx.ErrCancelled) {
+				fmt.Fprintf(os.Stderr, "fdx: SIGTERM: shard checkpoints saved, exiting cleanly; rerun to resume\n")
+				return 0
+			}
+			return fail(err)
+		}
+		return finishStream(ctx, rel, merged, tel, &draining, *ckpt, *heatmap)
+	}
+
+	wal, err := fdx.OpenWAL(*ckpt + fdx.WALSuffix)
+	if err != nil {
+		return fail(err)
+	}
+	defer wal.Close()
+
 	sinceSave := 0
 	loopStart := time.Now()
 	for i := acc.Batches(); i < total; i++ {
@@ -326,13 +355,19 @@ func runStream(args []string) int {
 	if err := saveAndReset(acc, *ckpt, wal); err != nil {
 		return fail(err)
 	}
+	return finishStream(ctx, rel, acc, tel, &draining, *ckpt, *heatmap)
+}
 
+// finishStream runs discovery on the fully-absorbed accumulator and
+// prints the dependencies — the common tail of the sequential and
+// sharded stream paths.
+func finishStream(ctx context.Context, rel *fdx.Relation, acc *fdx.Accumulator, tel *telemetry, draining *atomic.Bool, ckpt string, heatmap bool) int {
 	res, err := acc.DiscoverContext(ctx)
 	if err != nil {
 		if draining.Load() && errors.Is(err, fdx.ErrCancelled) {
 			// The drain hit during discovery; the stream itself is already
 			// checkpointed, so stopping here loses nothing.
-			fmt.Fprintf(os.Stderr, "fdx: SIGTERM: stream checkpointed to %s, discovery cancelled, exiting cleanly\n", *ckpt)
+			fmt.Fprintf(os.Stderr, "fdx: SIGTERM: stream checkpointed to %s, discovery cancelled, exiting cleanly\n", ckpt)
 			return 0
 		}
 		return fail(err)
@@ -346,7 +381,7 @@ func runStream(args []string) int {
 	for _, fd := range res.FDs {
 		fmt.Printf("%s   (score %.3f)\n", fd, fd.Score)
 	}
-	if *heatmap {
+	if heatmap {
 		fmt.Println()
 		fmt.Print(res.Heatmap())
 	}

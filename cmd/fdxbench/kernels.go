@@ -25,13 +25,18 @@ import (
 // measurements taken seconds apart on the same CPU) and allocation counts.
 // Absolute milliseconds and rows/s are recorded for humans, never gated.
 type kernelsReport struct {
-	GoMaxProcs int           `json:"gomaxprocs"`
-	Simd       bool          `json:"simd"`
-	Short      bool          `json:"short"`
-	Matmul     []matmulBench `json:"matmul"`
-	Glasso     []glassoBench `json:"glasso"`
-	Absorb     absorbBench   `json:"absorb"`
-	Allocs     allocsBench   `json:"allocs"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	// NumCPU records the machine's core count: together with gomaxprocs it
+	// keys whether the parallel-speedup gate applies (a 1-CPU runner can
+	// execute workers=8, but the fan-out serializes and the ratio is
+	// meaningless).
+	NumCPU int           `json:"num_cpu"`
+	Simd   bool          `json:"simd"`
+	Short  bool          `json:"short"`
+	Matmul []matmulBench `json:"matmul"`
+	Glasso []glassoBench `json:"glasso"`
+	Absorb absorbBench   `json:"absorb"`
+	Allocs allocsBench   `json:"allocs"`
 }
 
 type matmulBench struct {
@@ -99,6 +104,7 @@ func runKernelBench(outPath, basePath string, short bool) int {
 	}
 	rep := kernelsReport{
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Simd:       linalg.SimdEnabled(),
 		Short:      short,
 	}
@@ -370,6 +376,17 @@ const compareRatioSlack = 0.9
 // flaps regardless of slack.
 const compareMinMillis = 1.0
 
+// minParallelSpeedup is the absolute workers1-vs-workers8 floor a
+// multi-core run must clear at its largest reliably-timed glasso size.
+// Deliberately modest: the gate exists to catch the fan-out silently
+// serializing, not to demand linear scaling.
+const minParallelSpeedup = 1.05
+
+// multiCore reports whether a run had real parallelism available.
+func multiCore(r *kernelsReport) bool {
+	return r.GoMaxProcs > 1 && (r.NumCPU > 1 || r.NumCPU == 0)
+}
+
 // compareKernels gates the fresh report against a baseline. Only
 // machine-portable quantities are judged: speedup ratios (with 10% slack
 // for noise) and steady-state allocation counts (exact — any increase is a
@@ -406,6 +423,43 @@ func compareKernels(cur, base *kernelsReport) []string {
 					"glasso p=%d: speedup vs seed %.2fx fell more than 10%% below baseline %.2fx",
 					cg.P, cg.SpeedupVsSeed, bg.SpeedupVsSeed))
 			}
+		}
+	}
+	// Parallel speedup needs real cores behind it before its ratio means
+	// anything: workers1-vs-workers8 is gated only when BOTH runs were
+	// multi-core (keyed by gomaxprocs/num_cpu), so a single-CPU runner
+	// neither flaps the gate nor launders a parallel regression into the
+	// baseline. A multi-core current run additionally owes an absolute
+	// speedup at the largest reliably-timed size — the glasso fan-out must
+	// actually buy wall clock, not just avoid regressing.
+	if multiCore(cur) && multiCore(base) {
+		for _, bg := range base.Glasso {
+			if bg.Workers1Millis < compareMinMillis {
+				continue
+			}
+			for _, cg := range cur.Glasso {
+				if cg.P != bg.P {
+					continue
+				}
+				if cg.SpeedupWorkers < bg.SpeedupWorkers*compareRatioSlack {
+					failures = append(failures, fmt.Sprintf(
+						"glasso p=%d: parallel speedup %.2fx fell more than 10%% below baseline %.2fx",
+						cg.P, cg.SpeedupWorkers, bg.SpeedupWorkers))
+				}
+			}
+		}
+	}
+	if multiCore(cur) {
+		var largest *glassoBench
+		for i := range cur.Glasso {
+			if cur.Glasso[i].Workers1Millis >= compareMinMillis {
+				largest = &cur.Glasso[i]
+			}
+		}
+		if largest != nil && largest.SpeedupWorkers < minParallelSpeedup {
+			failures = append(failures, fmt.Sprintf(
+				"glasso p=%d: parallel speedup %.2fx on a %d-core run, want >= %.2fx",
+				largest.P, largest.SpeedupWorkers, cur.GoMaxProcs, minParallelSpeedup))
 		}
 	}
 	type allocGate struct {

@@ -80,6 +80,57 @@ func TestCompareKernelsSkipsMissingSizes(t *testing.T) {
 	}
 }
 
+func TestCompareKernelsParallelGateNeedsCoresOnBothSides(t *testing.T) {
+	base := gateReport()
+	cur := gateReport()
+	// Terrible parallel ratios, well-timed, but at least one side is
+	// single-core: the workers gate must stay out of it.
+	base.Glasso[1].SpeedupWorkers = 3
+	base.Glasso[1].Workers1Millis = 9
+	cur.Glasso[1].SpeedupWorkers = 0.5
+	cur.Glasso[1].Workers1Millis = 9
+	for _, procs := range [][2]int{{1, 1}, {1, 8}, {8, 1}} {
+		cur.GoMaxProcs, cur.NumCPU = procs[0], procs[0]
+		base.GoMaxProcs, base.NumCPU = procs[1], procs[1]
+		for _, f := range compareKernels(cur, base) {
+			// The relative (vs-baseline) gate needs cores on both sides.
+			// The absolute floor still applies to a multi-core current run
+			// — that one may fire in the {8,1} case.
+			if strings.Contains(f, "below baseline") && strings.Contains(f, "parallel") {
+				t.Fatalf("relative parallel gate ran at cur=%d base=%d cores: %v", procs[0], procs[1], f)
+			}
+			if procs[0] == 1 && strings.Contains(f, "parallel") {
+				t.Fatalf("parallel gate judged a single-core run: %v", f)
+			}
+		}
+	}
+}
+
+func TestCompareKernelsParallelGateOnMultiCore(t *testing.T) {
+	base := gateReport()
+	cur := gateReport()
+	base.GoMaxProcs, base.NumCPU = 8, 8
+	cur.GoMaxProcs, cur.NumCPU = 8, 8
+	base.Glasso[0].SpeedupWorkers = 1.0 // sub-millisecond: skipped
+	base.Glasso[1].SpeedupWorkers = 3.0
+	base.Glasso[1].Workers1Millis = 9
+	cur.Glasso[1].Workers1Millis = 9
+
+	// Inside slack and above the absolute floor: clean.
+	cur.Glasso[1].SpeedupWorkers = 2.8
+	if failures := compareKernels(cur, base); len(failures) != 0 {
+		t.Fatalf("multi-core gate failed inside slack: %v", failures)
+	}
+	// Fan-out silently serialized: both the relative and absolute gates fire.
+	cur.Glasso[1].SpeedupWorkers = 1.0
+	failures := compareKernels(cur, base)
+	if len(failures) != 2 ||
+		!strings.Contains(failures[0], "below baseline") ||
+		!strings.Contains(failures[1], "want >= 1.05") {
+		t.Fatalf("want relative + absolute parallel failures, got %v", failures)
+	}
+}
+
 // TestSeedGlassoAgreesWithSolver pins the frozen seed reference to the live
 // solver: same covariance, same hyper-parameters, covariance estimates
 // within solver tolerance of each other. If the live solver's algorithm

@@ -33,10 +33,11 @@ func main() {
 		kernels = flag.String("kernels", "", "run the numeric-kernel benchmark and write its JSON report to this path")
 		compare = flag.String("compare", "", "with -kernels: baseline report to gate against (>10% speedup-ratio regression or any alloc increase exits non-zero)")
 		short   = flag.Bool("short", false, "with -kernels: reduced sizes and repetitions for a CI smoke pass")
+		shards  = flag.Bool("shards", false, "with -stream: include the shard-merge scaling section")
 	)
 	flag.Parse()
 	if *stream != "" {
-		os.Exit(runStreamBench(*stream, *seed, *fast))
+		os.Exit(runStreamBench(*stream, *seed, *fast, *shards))
 	}
 	if *srv != "" {
 		os.Exit(runServeBench(*srv, *short))

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"fdx"
@@ -27,12 +28,64 @@ type streamReport struct {
 	// StageMillis breaks the discover run into its traced pipeline stages
 	// (covariance, fit, order-search, generate, ...).
 	StageMillis map[string]float64 `json:"stage_ms"`
+	// Shards is the shard-merge scaling section (-shards): the same batch
+	// grid absorbed across N in-memory shards, then tree-merged.
+	Shards []shardBench `json:"shards,omitempty"`
+}
+
+// shardBench is one row of the shard scaling section. On a single-CPU
+// runner the shards absorb serially, so absorb throughput stays flat and
+// the interesting number is the merge cost; with real cores the absorb
+// column shows the scale-out headroom.
+type shardBench struct {
+	Shards           int     `json:"shards"`
+	AbsorbRowsPerSec float64 `json:"absorb_rows_per_sec"`
+	MergeMillis      float64 `json:"merge_ms"`
+	TotalRowsPerSec  float64 `json:"total_rows_per_sec"`
+}
+
+// benchShards measures sharded absorption and the deterministic tree
+// merge at several shard counts, verifying the merged grid is complete.
+func benchShards(rel *fdx.Relation, opts fdx.Options, batchRows, total int) ([]shardBench, error) {
+	var out []shardBench
+	for _, n := range []int{1, 2, 4} {
+		t0 := time.Now()
+		accs := make([]*fdx.Accumulator, 0, n)
+		for _, span := range fdx.ShardSpans(total, n) {
+			acc := fdx.NewAccumulator(rel.AttrNames(), opts)
+			for g := span.Lo; g < span.Hi; g++ {
+				if err := acc.AddAt(rel.Slice(g*batchRows, (g+1)*batchRows), g); err != nil {
+					return nil, err
+				}
+			}
+			accs = append(accs, acc)
+		}
+		absorbSec := time.Since(t0).Seconds()
+		t0 = time.Now()
+		merged, err := fdx.MergeShards(accs, runtime.GOMAXPROCS(0))
+		if err != nil {
+			return nil, err
+		}
+		mergeSec := time.Since(t0).Seconds()
+		if merged.Batches() != total {
+			return nil, fmt.Errorf("shards=%d: merged %d batches, want %d", n, merged.Batches(), total)
+		}
+		rows := float64(total * batchRows)
+		out = append(out, shardBench{
+			Shards:           n,
+			AbsorbRowsPerSec: rows / absorbSec,
+			MergeMillis:      mergeSec * 1e3,
+			TotalRowsPerSec:  rows / (absorbSec + mergeSec),
+		})
+	}
+	return out, nil
 }
 
 // runStreamBench measures the checkpoint subsystem end to end — in-memory
 // absorption, WAL-logged absorption (one fsync per batch), durable
-// snapshot saves, and restore — and writes the report to outPath.
-func runStreamBench(outPath string, seed int64, fast bool) int {
+// snapshot saves, and restore — plus, with withShards, the shard-merge
+// scaling section, and writes the report to outPath.
+func runStreamBench(outPath string, seed int64, fast, withShards bool) int {
 	rows, batchRows, saveEvery := 200_000, 1024, 16
 	if fast {
 		rows = 20_000
@@ -149,6 +202,14 @@ func runStreamBench(outPath string, seed int64, fast bool) int {
 		RestoreMillis:    restoreMs,
 		DiscoverMillis:   discoverMs,
 		StageMillis:      stageMs,
+	}
+	if withShards {
+		shards, err := benchShards(rel, fdx.Options{Seed: seed}, batchRows, total)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdxbench:", err)
+			return 1
+		}
+		rep.Shards = shards
 	}
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -52,6 +52,11 @@ var (
 	// format version: the bytes are intact but this build cannot interpret
 	// them.
 	ErrCheckpointVersion = fdxerr.ErrCheckpointVersion
+	// ErrShardMismatch marks two shard states that cannot be merged: their
+	// options fingerprints or attribute schemas differ, or their batch
+	// coverage partially overlaps (the same batch absorbed by both sides).
+	// Both states are individually intact; the merge request is wrong.
+	ErrShardMismatch = fdxerr.ErrShardMismatch
 )
 
 // Fallback records one degradation step the pipeline took instead of

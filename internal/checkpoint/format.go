@@ -63,6 +63,7 @@ const (
 	secCounts = 2 // per-stratum observation counts
 	secSums   = 3 // per-stratum sum vectors
 	secOuter  = 4 // per-stratum outer-product sums
+	secRanges = 5 // batch-coverage intervals (absent = [0, batches))
 
 	// maxSectionLen bounds a section (and WAL record) payload so a
 	// corrupted length field cannot demand an absurd allocation.

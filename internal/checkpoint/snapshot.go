@@ -69,7 +69,33 @@ func WriteSnapshot(w io.Writer, st *core.AccumulatorState, fingerprint uint64) e
 		return err
 	}
 
+	// The coverage section is written only when it differs from the
+	// sequential default [0, batches), so unsharded snapshots stay
+	// byte-identical to what pre-sharding builds wrote (and readable by
+	// them — readers skip unknown sections).
+	if !sequentialRanges(st.Ranges, st.Batches) {
+		var ranges enc
+		ranges.u32(uint32(len(st.Ranges)))
+		for _, r := range st.Ranges {
+			ranges.u64(uint64(r.Lo))
+			ranges.u64(uint64(r.Hi))
+		}
+		if err := writeSection(w, secRanges, ranges.buf); err != nil {
+			return err
+		}
+	}
+
 	return writeSection(w, secEnd, nil)
+}
+
+// sequentialRanges reports whether the coverage is the sequential default
+// a rangeless snapshot restores to: empty at zero batches, or the single
+// interval [0, batches).
+func sequentialRanges(rs []core.BatchRange, batches int) bool {
+	if len(rs) == 0 {
+		return batches == 0
+	}
+	return len(rs) == 1 && rs[0].Lo == 0 && rs[0].Hi == batches
 }
 
 // ReadSnapshot decodes a snapshot from r, returning the accumulator state
@@ -123,6 +149,8 @@ func ReadSnapshot(r io.Reader) (*core.AccumulatorState, uint64, error) {
 			err = decodeSums(st, payload)
 		case secOuter:
 			err = decodeOuter(st, payload)
+		case secRanges:
+			err = decodeRanges(st, payload)
 		default:
 			// Unknown section from a newer minor revision: checksummed
 			// above, skipped here.
@@ -210,6 +238,42 @@ func decodeSums(st *core.AccumulatorState, payload []byte) error {
 		for p := 0; p < k; p++ {
 			st.Sums[s][p], _ = d.f64()
 		}
+	}
+	return nil
+}
+
+// decodeRanges parses the optional batch-coverage section. A snapshot
+// without one restores with nil Ranges, which the core defaults to the
+// sequential coverage [0, batches) — the only coverage pre-sharding
+// writers could have had.
+func decodeRanges(st *core.AccumulatorState, payload []byte) error {
+	if st == nil {
+		return fdxerr.Corrupt("checkpoint: ranges section before meta")
+	}
+	d := dec{payload}
+	n, ok := d.u32()
+	if !ok {
+		return fdxerr.Corrupt("checkpoint: ranges section too short")
+	}
+	if uint64(n) > uint64(st.Batches) {
+		// Coalesced disjoint intervals over b batches can never number
+		// more than b.
+		return fdxerr.Corrupt("checkpoint: ranges section claims %d intervals for %d batches", n, st.Batches)
+	}
+	st.Ranges = make([]core.BatchRange, n)
+	for i := range st.Ranges {
+		lo, ok1 := d.u64()
+		hi, ok2 := d.u64()
+		if !ok1 || !ok2 {
+			return fdxerr.Corrupt("checkpoint: ranges section truncated at interval %d", i)
+		}
+		if lo > 1<<62 || hi > 1<<62 {
+			return fdxerr.Corrupt("checkpoint: ranges interval %d out of range", i)
+		}
+		st.Ranges[i] = core.BatchRange{Lo: int(lo), Hi: int(hi)}
+	}
+	if len(d.buf) != 0 {
+		return fdxerr.Corrupt("checkpoint: ranges section has %d trailing bytes", len(d.buf))
 	}
 	return nil
 }

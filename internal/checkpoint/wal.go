@@ -150,7 +150,9 @@ func ReplayWAL(path string, apply func(*core.BatchDelta) error) (applied int, to
 }
 
 // encodeDelta serializes a batch delta as a WAL record payload: seq, rows,
-// k, then the per-stratum sums and outer-product sums.
+// k, global, then the per-stratum sums and outer-product sums. The global
+// field postdates the original layout; decodeDelta discriminates the two
+// by payload length, so logs written before sharding still replay.
 func encodeDelta(d *core.BatchDelta) ([]byte, error) {
 	if d == nil {
 		return nil, fdxerr.BadInput("checkpoint: nil batch delta")
@@ -159,10 +161,14 @@ func encodeDelta(d *core.BatchDelta) ([]byte, error) {
 	if k > maxAttrs {
 		return nil, fdxerr.BadInput("checkpoint: delta has %d strata, format limit %d", k, maxAttrs)
 	}
+	if d.Global < 0 {
+		return nil, fdxerr.BadInput("checkpoint: delta has negative global index %d", d.Global)
+	}
 	var e enc
 	e.u64(uint64(d.Seq))
 	e.u64(uint64(d.Rows))
 	e.u32(uint32(k))
+	e.u64(uint64(d.Global))
 	for _, stratum := range d.Sums {
 		if len(stratum) != k {
 			return nil, fdxerr.BadInput("checkpoint: delta stratum has %d sums, want %d", len(stratum), k)
@@ -200,14 +206,29 @@ func decodeDelta(payload []byte) (*core.BatchDelta, error) {
 		return nil, fdxerr.Corrupt("checkpoint: wal record fields out of range")
 	}
 	k := int(k32)
-	if len(d.buf) != 8*(k*k+k*k*k) {
-		return nil, fdxerr.Corrupt("checkpoint: wal record body is %d bytes, want %d", len(d.buf), 8*(k*k+k*k*k))
+	// Two layouts share the header: the original body is exactly the sums
+	// and outer floats; the sharded layout prefixes a u64 global index.
+	// The 8-byte difference discriminates them for any k. Records without
+	// the field predate sharding, where the global index was always the
+	// 0-based batch position Seq-1.
+	global := seq - 1
+	switch len(d.buf) {
+	case 8 * (k*k + k*k*k):
+	case 8 + 8*(k*k+k*k*k):
+		g, _ := d.u64()
+		if g > 1<<62 {
+			return nil, fdxerr.Corrupt("checkpoint: wal record global index out of range")
+		}
+		global = g
+	default:
+		return nil, fdxerr.Corrupt("checkpoint: wal record body is %d bytes, want %d", len(d.buf), 8+8*(k*k+k*k*k))
 	}
 	out := &core.BatchDelta{
-		Seq:   int(seq),
-		Rows:  int(rows),
-		Sums:  make([][]float64, k),
-		Outer: make([]*linalg.Dense, k),
+		Seq:    int(seq),
+		Global: int(global),
+		Rows:   int(rows),
+		Sums:   make([][]float64, k),
+		Outer:  make([]*linalg.Dense, k),
 	}
 	for s := 0; s < k; s++ {
 		out.Sums[s] = make([]float64, k)

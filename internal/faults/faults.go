@@ -69,6 +69,21 @@ const (
 	// deadline, exercising the degraded-drain (checkpoint everything,
 	// report the overrun) contract.
 	DrainTimeout
+	// ShardCrash kills a shard worker at its checkpoint boundary (the
+	// worker returns a simulated crash instead of continuing), exercising
+	// the supervisor's restart-from-own-checkpoint protocol.
+	ShardCrash
+	// ShardStall makes a shard worker sleep Config.Delay before a batch,
+	// exercising the supervisor's stall detection and restart.
+	ShardStall
+	// MergeCorrupt flips one bit in a shard snapshot as it is read for
+	// merging, exercising the merge path's validate-before-commit contract
+	// (typed ErrCorruptCheckpoint, merged state untouched).
+	MergeCorrupt
+	// ShipTimeout makes the shard-shipping client sleep Config.Delay
+	// before a request, exercising per-request deadlines and the
+	// retry/backoff path through fdxd's shard endpoint.
+	ShipTimeout
 
 	numPoints
 )
@@ -100,6 +115,14 @@ func (p Point) String() string {
 		return "queue-full"
 	case DrainTimeout:
 		return "drain-timeout"
+	case ShardCrash:
+		return "shard-crash"
+	case ShardStall:
+		return "shard-stall"
+	case MergeCorrupt:
+		return "merge-corrupt"
+	case ShipTimeout:
+		return "ship-timeout"
 	default:
 		return "unknown"
 	}

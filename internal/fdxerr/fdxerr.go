@@ -37,6 +37,10 @@
 //   - ErrCheckpointVersion: a checkpoint was written by an incompatible
 //     format version. The bytes are intact but this build cannot interpret
 //     them; re-snapshot from a live accumulator or upgrade the reader.
+//   - ErrShardMismatch: two accumulator shards cannot be merged — their
+//     options fingerprints or attribute schemas differ, or their batch
+//     coverage overlaps partially (the same batch folded into both). The
+//     shards are individually intact; the merge request is what is wrong.
 package fdxerr
 
 import (
@@ -55,6 +59,7 @@ var (
 	ErrInternal           = errors.New("internal invariant violation")
 	ErrCorruptCheckpoint  = errors.New("corrupt checkpoint")
 	ErrCheckpointVersion  = errors.New("unsupported checkpoint version")
+	ErrShardMismatch      = errors.New("shard mismatch")
 )
 
 // BadInput wraps ErrBadInput with a formatted message.
@@ -70,6 +75,11 @@ func Corrupt(format string, args ...any) error {
 // Version wraps ErrCheckpointVersion with a formatted message.
 func Version(format string, args ...any) error {
 	return fmt.Errorf(format+": %w", append(args, ErrCheckpointVersion)...)
+}
+
+// ShardMismatch wraps ErrShardMismatch with a formatted message.
+func ShardMismatch(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrShardMismatch)...)
 }
 
 // Cancelled wraps a context error so the result matches both ErrCancelled

@@ -35,6 +35,12 @@ const (
 	// the one unsynced batch a kill can lose. Non-zero after a load means
 	// the stream resumed one batch earlier than the dead process got to.
 	MWALTornTail = "fdx_wal_torn_tail_total"
+	// MShardMerges counts shard states merged into an accumulator
+	// (Accumulator.Merge / MergeSnapshot, duplicates excluded).
+	MShardMerges = "fdx_shard_merges_total"
+	// MShardShipRetries counts shard-shipping requests the client retried
+	// after a retryable failure (timeout, 429/503, connection error).
+	MShardShipRetries = "fdx_shard_ship_retries_total"
 
 	// Service (fdxd / internal/serve) metric names. Per-tenant series
 	// attach a tenant label via Labeled.
@@ -59,6 +65,17 @@ const (
 	// MServeDiscoverSeconds is the discover-job latency histogram
 	// (queue wait included).
 	MServeDiscoverSeconds = "fdx_serve_discover_seconds"
+	// MServeShardsMerged counts shard snapshots merged into a session
+	// (duplicate deliveries excluded).
+	MServeShardsMerged = "fdx_serve_shards_merged_total"
+	// MServeShardDuplicates counts duplicate shard deliveries acknowledged
+	// without re-merging (seq at or below the session's high-water mark, or
+	// coverage already contained).
+	MServeShardDuplicates = "fdx_serve_shard_duplicates_total"
+	// MServeShardBatches gauges a merger session's covered batch count —
+	// the lag indicator: shards yet to arrive are the gap between this and
+	// the stream's total batch grid, which only the clients know.
+	MServeShardBatches = "fdx_serve_shard_batches"
 )
 
 // Labeled attaches Prometheus-style labels to a metric name:

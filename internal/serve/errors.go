@@ -45,6 +45,12 @@ const (
 	// CodeNonPositivePivot: factorization failure past the fallback
 	// ladder. Maps fdxerr.ErrNonPositivePivot. HTTP 422.
 	CodeNonPositivePivot = "non_positive_pivot"
+	// CodeShardMismatch: a shipped shard snapshot cannot merge into the
+	// session — different options fingerprint, different schema, or batch
+	// coverage partially overlapping what the session already holds.
+	// Re-sending the same bytes cannot succeed. Maps
+	// fdxerr.ErrShardMismatch. HTTP 409.
+	CodeShardMismatch = "shard_mismatch"
 	// CodeCorruptCheckpoint: the session's durable state failed
 	// validation. Maps fdxerr.ErrCorruptCheckpoint. HTTP 500.
 	CodeCorruptCheckpoint = "corrupt_checkpoint"
@@ -64,7 +70,8 @@ func KnownCode(code string) bool {
 	case CodeBadInput, CodeNotFound, CodeConflict, CodeRateLimited,
 		CodeQuotaExceeded, CodeQueueFull, CodeDraining, CodeTimeout,
 		CodeNotConverged, CodeSingular, CodeNonPositivePivot,
-		CodeCorruptCheckpoint, CodeCheckpointVersion, CodeInternal:
+		CodeShardMismatch, CodeCorruptCheckpoint, CodeCheckpointVersion,
+		CodeInternal:
 		return true
 	}
 	return false
@@ -112,6 +119,8 @@ func taxonomyError(err error) *httpError {
 	switch {
 	case errors.Is(err, fdxerr.ErrCancelled):
 		return serveError(http.StatusGatewayTimeout, CodeTimeout, msg)
+	case errors.Is(err, fdxerr.ErrShardMismatch):
+		return serveError(http.StatusConflict, CodeShardMismatch, msg)
 	case errors.Is(err, fdxerr.ErrCorruptCheckpoint):
 		return serveError(http.StatusInternalServerError, CodeCorruptCheckpoint, msg)
 	case errors.Is(err, fdxerr.ErrCheckpointVersion):

@@ -1,0 +1,162 @@
+// Package retry is a small, context-aware retry loop with capped
+// exponential backoff and deterministic jitter, shared by everything in
+// fdx that re-attempts a failed operation against a busy peer: the shard
+// supervisor restarting a crashed worker and the shard-shipping client
+// talking to fdxd.
+//
+// The server side of the protocol already names its price — load-shed
+// responses carry Retry-After — so the loop treats a server-provided
+// delay as authoritative and only falls back to its own exponential
+// schedule when the failure carries no hint. Jitter draws from a rand
+// seeded by Policy.Seed, so a test replays the same wait sequence on
+// every run.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Defaults applied by Policy.Do for zero-valued fields.
+const (
+	DefaultBase        = 50 * time.Millisecond
+	DefaultCap         = 2 * time.Second
+	DefaultMaxAttempts = 4
+	DefaultJitter      = 0.5
+)
+
+// Policy configures a retry loop. The zero value is usable: 4 attempts,
+// 50ms base doubling to a 2s cap, half the wait jittered.
+type Policy struct {
+	// Base is the pre-jitter backoff before the first retry; each retry
+	// doubles it up to Cap.
+	Base time.Duration
+	// Cap bounds the pre-jitter backoff.
+	Cap time.Duration
+	// MaxAttempts is the total number of calls to the operation
+	// (first try included).
+	MaxAttempts int
+	// Jitter is the fraction of each wait that is randomized away:
+	// the actual wait is uniform in [wait*(1-Jitter), wait]. Pulling
+	// earlier (never later) keeps the cap honest while still spreading
+	// synchronized retriers. 0 applies DefaultJitter; negative disables.
+	Jitter float64
+	// Seed seeds the jitter sequence, making waits reproducible in tests.
+	Seed int64
+	// Sleep replaces the context-aware wait, letting tests observe the
+	// schedule without real time passing. Nil uses a timer.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Notify, when set, observes each scheduled retry: the attempt that
+	// just failed (0-based), the wait before the next one, and the error.
+	// Callers hang retry counters and logs here.
+	Notify func(attempt int, wait time.Duration, err error)
+}
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Do stops immediately and returns it (unwrapped)
+// instead of burning remaining attempts. Use for failures that retrying
+// cannot fix: bad input, mismatched shards, corrupt state the caller
+// must regenerate. Permanent(nil) is nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// Do runs op until it succeeds, fails permanently, exhausts
+// Policy.MaxAttempts, or ctx is done. op receives the 0-based attempt
+// number and returns the delay the peer asked for (its Retry-After;
+// 0 when it named none) alongside the error. A peer-provided delay
+// overrides the exponential schedule for that wait and is not jittered —
+// the server already spread its callers. The returned error is the last
+// attempt's (with context errors joined in when the wait was cut short),
+// so errors.Is sees the underlying taxonomy.
+func (p Policy) Do(ctx context.Context, op func(attempt int) (retryAfter time.Duration, err error)) error {
+	base, cp, attempts, jitter := p.Base, p.Cap, p.MaxAttempts, p.Jitter
+	if base <= 0 {
+		base = DefaultBase
+	}
+	if cp <= 0 {
+		cp = DefaultCap
+	}
+	if attempts <= 0 {
+		attempts = DefaultMaxAttempts
+	}
+	//fdx:lint-ignore floatcmp exactly-zero means "unset, use the default"; a caller wanting no jitter sets a negative value
+	if jitter == 0 {
+		jitter = DefaultJitter
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = sleepCtx
+	}
+	//fdx:lint-ignore detsource seeded jitter spreads retry waits; never feeds FD scores
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	backoff := base
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return fmt.Errorf("retry: cancelled after %d attempts: %w: %w", attempt, lastErr, err)
+			}
+			return err
+		}
+		retryAfter, err := op(attempt)
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		lastErr = err
+		if attempt == attempts-1 {
+			break
+		}
+		wait := backoff
+		if jitter > 0 {
+			wait = time.Duration(float64(wait) * (1 - jitter*rng.Float64()))
+		}
+		if retryAfter > 0 {
+			// The peer named its price; believe it, unjittered.
+			wait = retryAfter
+		}
+		if p.Notify != nil {
+			p.Notify(attempt, wait, err)
+		}
+		if serr := sleep(ctx, wait); serr != nil {
+			return fmt.Errorf("retry: cancelled while backing off after attempt %d: %w: %w", attempt, lastErr, serr)
+		}
+		if backoff < cp/2 {
+			backoff *= 2
+		} else {
+			backoff = cp
+		}
+	}
+	return fmt.Errorf("retry: %d attempts exhausted: %w", attempts, lastErr)
+}
+
+// sleepCtx blocks for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

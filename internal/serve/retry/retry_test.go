@@ -1,0 +1,160 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock records requested waits without sleeping.
+type fakeClock struct{ waits []time.Duration }
+
+func (c *fakeClock) sleep(ctx context.Context, d time.Duration) error {
+	c.waits = append(c.waits, d)
+	return ctx.Err()
+}
+
+func TestDoSucceedsFirstTry(t *testing.T) {
+	clk := &fakeClock{}
+	calls := 0
+	err := Policy{Sleep: clk.sleep}.Do(context.Background(), func(int) (time.Duration, error) {
+		calls++
+		return 0, nil
+	})
+	if err != nil || calls != 1 || len(clk.waits) != 0 {
+		t.Fatalf("err=%v calls=%d waits=%v", err, calls, clk.waits)
+	}
+}
+
+func TestDoRetriesThenSucceeds(t *testing.T) {
+	clk := &fakeClock{}
+	calls := 0
+	err := Policy{Sleep: clk.sleep}.Do(context.Background(), func(attempt int) (time.Duration, error) {
+		if calls != attempt {
+			t.Errorf("attempt %d reported as %d", calls, attempt)
+		}
+		calls++
+		if calls < 3 {
+			return 0, errors.New("transient")
+		}
+		return 0, nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	if len(clk.waits) != 2 {
+		t.Fatalf("waits=%v, want 2 entries", clk.waits)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	sentinel := errors.New("still broken")
+	calls := 0
+	err := Policy{MaxAttempts: 3, Sleep: (&fakeClock{}).sleep}.Do(context.Background(),
+		func(int) (time.Duration, error) { calls++; return 0, sentinel })
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("exhausted error %v does not wrap the last attempt's", err)
+	}
+}
+
+func TestDoStopsOnPermanent(t *testing.T) {
+	sentinel := errors.New("bad request")
+	calls := 0
+	err := Policy{Sleep: (&fakeClock{}).sleep}.Do(context.Background(),
+		func(int) (time.Duration, error) { calls++; return 0, Permanent(sentinel) })
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (no retry of a permanent failure)", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want the wrapped sentinel", err)
+	}
+}
+
+func TestPermanentNil(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) should be nil")
+	}
+}
+
+func TestDoHonorsRetryAfter(t *testing.T) {
+	clk := &fakeClock{}
+	calls := 0
+	hint := 123 * time.Millisecond
+	err := Policy{MaxAttempts: 2, Sleep: clk.sleep}.Do(context.Background(),
+		func(int) (time.Duration, error) {
+			calls++
+			if calls == 1 {
+				return hint, errors.New("busy")
+			}
+			return 0, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clk.waits) != 1 || clk.waits[0] != hint {
+		t.Fatalf("waits = %v, want exactly the server's Retry-After %v", clk.waits, hint)
+	}
+}
+
+func TestDoBackoffGrowsAndCaps(t *testing.T) {
+	clk := &fakeClock{}
+	p := Policy{Base: 10 * time.Millisecond, Cap: 40 * time.Millisecond,
+		MaxAttempts: 6, Jitter: -1, Sleep: clk.sleep}
+	p.Do(context.Background(), func(int) (time.Duration, error) { return 0, errors.New("x") })
+	want := []time.Duration{10, 20, 40, 40, 40}
+	for i, w := range want {
+		if clk.waits[i] != w*time.Millisecond {
+			t.Fatalf("waits = %v, want %v ms sequence", clk.waits, want)
+		}
+	}
+}
+
+func TestDoJitterDeterministicAndBounded(t *testing.T) {
+	run := func() []time.Duration {
+		clk := &fakeClock{}
+		p := Policy{Base: 100 * time.Millisecond, MaxAttempts: 4, Seed: 7, Sleep: clk.sleep}
+		p.Do(context.Background(), func(int) (time.Duration, error) { return 0, errors.New("x") })
+		return clk.waits
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jitter not reproducible: %v vs %v", a, b)
+		}
+	}
+	if a[0] > 100*time.Millisecond || a[0] < 50*time.Millisecond {
+		t.Errorf("jittered wait %v outside [base/2, base]", a[0])
+	}
+}
+
+func TestDoContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sentinel := errors.New("transient")
+	err := Policy{Sleep: sleepCtx, Base: time.Millisecond}.Do(ctx,
+		func(attempt int) (time.Duration, error) {
+			if attempt == 1 {
+				cancel()
+			}
+			return 0, sentinel
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, should also wrap the last attempt's error", err)
+	}
+}
+
+func TestDoNotify(t *testing.T) {
+	var seen []int
+	p := Policy{MaxAttempts: 3, Sleep: (&fakeClock{}).sleep,
+		Notify: func(attempt int, _ time.Duration, _ error) { seen = append(seen, attempt) }}
+	p.Do(context.Background(), func(int) (time.Duration, error) { return 0, errors.New("x") })
+	if len(seen) != 2 || seen[0] != 0 || seen[1] != 1 {
+		t.Fatalf("notified attempts %v, want [0 1] (no notify after the final failure)", seen)
+	}
+}

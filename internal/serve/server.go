@@ -13,6 +13,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -130,6 +131,7 @@ func (sv *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}", sv.route(sv.handleGet))
 	mux.HandleFunc("DELETE /v1/sessions/{id}", sv.route(sv.handleDelete))
 	mux.HandleFunc("POST /v1/sessions/{id}/rows", sv.route(sv.handleRows))
+	mux.HandleFunc("POST /v1/sessions/{id}/shards", sv.route(sv.handleShards))
 	mux.HandleFunc("POST /v1/sessions/{id}/discover", sv.route(sv.handleDiscover))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		if sv.draining.Load() {
@@ -368,18 +370,60 @@ func (sv *Server) handleRows(w http.ResponseWriter, r *http.Request) *httpError 
 	return nil
 }
 
-// discoverReply carries the full discovery result; B round-trips float64
-// exactly through JSON, so clients can verify bit-identical resumption.
-type discoverReply struct {
+// maxShardBytes bounds a shipped shard snapshot. Snapshot size grows with
+// the attribute count squared, not the row count, so 64 MiB is far beyond
+// any legitimate schema; a larger body is a protocol error, not big data.
+const maxShardBytes = 64 << 20
+
+// handleShards applies a shard snapshot shipped by a worker (POST
+// /v1/sessions/{id}/shards?seq=N, body application/octet-stream in the
+// checkpoint snapshot encoding). Retries with the same seq are
+// acknowledged idempotently; a snapshot from an incompatible accumulator
+// answers 409 shard_mismatch and a corrupt body 500 corrupt_checkpoint,
+// neither touching the session's state.
+func (sv *Server) handleShards(w http.ResponseWriter, r *http.Request) *httpError {
+	tenant := tenantOf(r)
+	s, herr := sv.store.get(r.PathValue("id"), tenant)
+	if herr != nil {
+		return herr
+	}
+	seq, err := strconv.Atoi(r.URL.Query().Get("seq"))
+	if err != nil || seq < 1 {
+		return serveError(http.StatusBadRequest, CodeBadInput, "seq query parameter must be an integer >= 1")
+	}
+	snap, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxShardBytes))
+	if err != nil {
+		return serveError(http.StatusBadRequest, CodeBadInput, "reading shard snapshot: "+err.Error())
+	}
+	applied, herr := s.mergeShard(snap, seq)
+	if herr != nil {
+		return herr
+	}
+	if applied {
+		sv.cfg.Metrics.Counter(obs.Labeled(obs.MServeShardsMerged, "tenant", tenant)).Inc()
+	} else {
+		sv.cfg.Metrics.Counter(obs.Labeled(obs.MServeShardDuplicates, "tenant", tenant)).Inc()
+	}
+	rows, batches := s.stats()
+	sv.cfg.Metrics.Gauge(obs.Labeled(obs.MServeShardBatches, "tenant", tenant)).Set(float64(batches))
+	writeJSON(w, http.StatusOK, rowsReply{Applied: applied, Rows: rows, Batches: batches})
+	return nil
+}
+
+// DiscoverResponse carries the full discovery result; B round-trips
+// float64 exactly through JSON, so clients can verify bit-identical
+// resumption. Exported for ShardClient callers.
+type DiscoverResponse struct {
 	Attributes []string    `json:"attributes"`
-	FDs        []wireFD    `json:"fds"`
+	FDs        []WireFD    `json:"fds"`
 	B          [][]float64 `json:"b"`
 	Rows       int         `json:"rows"`
 	Batches    int         `json:"batches"`
 	Degraded   bool        `json:"degraded,omitempty"`
 }
 
-type wireFD struct {
+// WireFD is one discovered dependency on the wire.
+type WireFD struct {
 	LHS   []string `json:"lhs"`
 	RHS   string   `json:"rhs"`
 	Score float64  `json:"score"`
@@ -429,16 +473,16 @@ func (sv *Server) handleDiscover(w http.ResponseWriter, r *http.Request) *httpEr
 	sv.cfg.Metrics.Histogram(obs.Labeled(obs.MServeDiscoverSeconds, "tenant", tenant)).
 		Observe(time.Since(t0).Seconds())
 	res := out.res
-	reply := discoverReply{
+	reply := DiscoverResponse{
 		Attributes: res.Attributes,
-		FDs:        make([]wireFD, 0, len(res.FDs)),
+		FDs:        make([]WireFD, 0, len(res.FDs)),
 		B:          res.B,
 		Rows:       rows,
 		Batches:    batches,
 		Degraded:   res.Diagnostics.Degraded(),
 	}
 	for _, fd := range res.FDs {
-		reply.FDs = append(reply.FDs, wireFD{LHS: fd.LHS, RHS: fd.RHS, Score: fd.Score})
+		reply.FDs = append(reply.FDs, WireFD{LHS: fd.LHS, RHS: fd.RHS, Score: fd.Score})
 	}
 	writeJSON(w, http.StatusOK, reply)
 	return nil

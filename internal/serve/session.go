@@ -79,8 +79,9 @@ type session struct {
 	mu        sync.Mutex
 	acc       *fdx.Accumulator
 	wal       *fdx.WAL
-	sinceSave int  // batches absorbed since the last checkpoint
-	closed    bool // deleted or store shut down
+	sinceSave int          // batches absorbed since the last checkpoint
+	shardSeqs map[int]bool // shard-ship seqs acknowledged (fast retry dedup)
+	closed    bool         // deleted or store shut down
 }
 
 // ingest absorbs one batch at the given 1-based client sequence number.
@@ -115,6 +116,40 @@ func (s *session) ingest(rel *fdx.Relation, seq, checkpointEvery int) (applied b
 		}
 	}
 	return true, nil
+}
+
+// mergeShard merges a shipped shard snapshot at the given 1-based client
+// sequence number. An already-acknowledged seq is a duplicate delivery,
+// acknowledged again without touching state; a fresh seq whose batch
+// coverage the session already holds merges as a no-op (applied=false) —
+// the accumulator's coverage intervals are the durable dedup, the seq set
+// only an in-memory fast path. Shards may land in any order (workers ship
+// concurrently), so unlike ingest there is no skip-ahead conflict: the
+// seq set, not a high-water mark, records what was seen, and after a
+// restart clears it a retried ship simply re-merges into the coverage
+// no-op. Merges bypass the WAL, so a successful merge checkpoints
+// immediately — the ack must imply durability.
+func (s *session) mergeShard(snapshot []byte, seq int) (applied bool, herr *httpError) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, serveError(404, CodeNotFound, "session "+s.id+" is deleted")
+	}
+	if s.shardSeqs[seq] {
+		return false, nil // duplicate delivery; already durable
+	}
+	applied, err := s.acc.MergeSnapshot(bytes.NewReader(snapshot))
+	if err != nil {
+		return false, taxonomyError(err)
+	}
+	if err := s.saveLocked(); err != nil {
+		return applied, taxonomyError(err)
+	}
+	if s.shardSeqs == nil {
+		s.shardSeqs = map[int]bool{}
+	}
+	s.shardSeqs[seq] = true
+	return applied, nil
 }
 
 // saveLocked checkpoints the accumulator and resets the WAL. Callers hold

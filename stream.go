@@ -238,15 +238,5 @@ func (a *Accumulator) AddLogged(rel *Relation, w *WAL) (err error) {
 	if err != nil {
 		return err
 	}
-	h := a.inner.Options().Obs
-	sp := h.StartStage("wal-append")
-	defer sp.End()
-	n, err := w.inner.Append(d)
-	if err != nil {
-		return err
-	}
-	sp.Attr("bytes", n)
-	h.Count(obs.MWALRecords, 1)
-	h.Count(obs.MWALBytes, uint64(n))
-	return nil
+	return a.logDelta(d, w)
 }
