@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-tests lint-baseline lint-report test-race test-faults test-crash test-serve test-shard fuzz bench bench-obs bench-kernels bench-kernels-short bench-serve bench-serve-short bench-shard-short experiments fast-experiments fmt loc
+.PHONY: all build test vet lint lint-tests lint-baseline lint-report test-race test-faults test-crash test-serve test-shard fuzz bench bench-obs bench-flight bench-kernels bench-kernels-short bench-serve bench-serve-short bench-shard-short experiments fast-experiments fmt loc
 
 all: build vet lint test
 
@@ -79,12 +79,20 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDiscover -fuzztime 30s .
 	$(GO) test -run '^$$' -fuzz FuzzLoadCheckpoint -fuzztime 30s .
 	$(GO) test -run '^$$' -fuzz FuzzMergeSnapshot -fuzztime 30s .
+	$(GO) test -run '^$$' -fuzz FuzzFlightDecode -fuzztime 30s ./internal/obs/flight
 
 # Telemetry micro-benchmarks plus the end-to-end overhead gate: a Discover
 # with live tracer+metrics must stay within 2% of a nil-sink run.
 bench-obs:
 	$(GO) test -run '^$$' -bench Obs -benchmem ./internal/obs
 	FDX_OBS_OVERHEAD=1 $(GO) test -run TestObsOverhead -v .
+
+# Flight-recorder micro-benchmarks (per-sample encode cost, decode
+# throughput) plus the always-on gate: a metric-hammering workload with a
+# live 1 Hz recorder must stay within 2% of the same workload without one.
+bench-flight:
+	$(GO) test -run '^$$' -bench Flight -benchmem ./internal/obs/flight
+	FDX_FLIGHT_OVERHEAD=1 $(GO) test -run TestFlightOverhead -v ./internal/obs/flight
 
 # One testing.B benchmark per paper table/figure (reduced scale), plus the
 # checkpoint streaming benchmark (BENCH_stream.json).

@@ -1,0 +1,310 @@
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"fdx"
+	"fdx/internal/obs"
+	"fdx/internal/obs/flight"
+	"fdx/internal/serve"
+)
+
+// The flight subcommand reads the black-box captures written by
+// `fdxd -flight-dir` and `fdx stream -flight-dir`:
+//
+//	fdx flight decode  [-format json|csv] DIR|FILE...
+//	fdx flight tail    [-every 1s] [-n N] DIR
+//	fdx flight summary DIR|FILE...
+//
+// decode dumps every sample; tail follows a live capture directory;
+// summary prints the postmortem view (capture window, counter deltas,
+// gauge ranges). A corrupt capture still yields everything decoded before
+// the damage, with a warning on stderr and exit code 3.
+
+func runFlight(args []string) int {
+	if len(args) < 1 {
+		return flightUsage()
+	}
+	switch args[0] {
+	case "decode":
+		return runFlightDecode(args[1:])
+	case "tail":
+		return runFlightTail(args[1:])
+	case "summary":
+		return runFlightSummary(args[1:])
+	default:
+		return flightUsage()
+	}
+}
+
+func flightUsage() int {
+	fmt.Fprintln(os.Stderr, "usage: fdx flight decode  [-format json|csv] DIR|FILE...")
+	fmt.Fprintln(os.Stderr, "       fdx flight tail    [-every 1s] [-n N] DIR")
+	fmt.Fprintln(os.Stderr, "       fdx flight summary DIR|FILE...")
+	return 2
+}
+
+// loadCapture decodes every argument (capture directory or single .ftdc
+// file) oldest-first into one sample sequence. A corrupt capture returns
+// the healthy prefix alongside the error, so postmortems still see the
+// history leading up to the damage.
+func loadCapture(paths []string) ([]flight.Sample, error) {
+	var (
+		samples  []flight.Sample
+		firstErr error
+	)
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			return samples, fmt.Errorf("%w: %w", err, fdx.ErrBadInput)
+		}
+		var s []flight.Sample
+		if info.IsDir() {
+			s, err = flight.DecodeDir(p)
+		} else {
+			s, err = flight.DecodeFile(p)
+		}
+		samples = append(samples, s...)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return samples, firstErr
+}
+
+// captureExit maps a capture-read error onto the exit-code taxonomy:
+// corrupt frames are 3 (like corrupt checkpoints), everything else is bad
+// input. The decoded prefix has already been printed either way.
+func captureExit(err error) int {
+	if err == nil {
+		return 0
+	}
+	fmt.Fprintln(os.Stderr, "fdx: flight:", err)
+	if errors.Is(err, flight.ErrCorrupt) {
+		return 3
+	}
+	return exitCode(err)
+}
+
+func runFlightDecode(args []string) int {
+	fs := flag.NewFlagSet("fdx flight decode", flag.ExitOnError)
+	format := fs.String("format", "json", "output format: json (one object per sample) or csv")
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		return flightUsage()
+	}
+	samples, err := loadCapture(fs.Args())
+	switch *format {
+	case "json":
+		for _, s := range samples {
+			if werr := writeSampleJSON(os.Stdout, s); werr != nil {
+				return fail(werr)
+			}
+		}
+	case "csv":
+		if werr := writeSamplesCSV(samples); werr != nil {
+			return fail(werr)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "fdx: flight: unknown -format %q (want json or csv)\n", *format)
+		return 2
+	}
+	return captureExit(err)
+}
+
+// writeSampleJSON emits one sample as a single JSON line; map keys are
+// the series names (encoding/json sorts them, so output is stable).
+func writeSampleJSON(w *os.File, s flight.Sample) error {
+	values := make(map[string]json.Number, len(s.Series))
+	for _, sr := range s.Series {
+		values[sr.Name] = json.Number(formatSeries(sr))
+	}
+	line, err := json.Marshal(struct {
+		Time   time.Time              `json:"time"`
+		Series map[string]json.Number `json:"series"`
+	}{s.Time, values})
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", line)
+	return err
+}
+
+// writeSamplesCSV emits a header of the union of series names (sorted)
+// and one row per sample; series absent from a sample leave empty cells.
+func writeSamplesCSV(samples []flight.Sample) error {
+	names := map[string]bool{}
+	for _, s := range samples {
+		for _, sr := range s.Series {
+			names[sr.Name] = true
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	header := append([]string{"time"}, sorted...)
+	col := make(map[string]int, len(header))
+	for i, n := range header {
+		col[n] = i
+	}
+	w := csv.NewWriter(os.Stdout)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for _, s := range samples {
+		for i := range row {
+			row[i] = ""
+		}
+		row[0] = s.Time.Format(time.RFC3339Nano)
+		for _, sr := range s.Series {
+			row[col[sr.Name]] = formatSeries(sr)
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// formatSeries renders a series value: counters as integers, gauges in
+// shortest-round-trip float form.
+func formatSeries(sr obs.Series) string {
+	if sr.Kind == obs.KindGauge {
+		return strconv.FormatFloat(sr.Number(), 'g', -1, 64)
+	}
+	return strconv.FormatUint(sr.Raw, 10)
+}
+
+func runFlightTail(args []string) int {
+	fs := flag.NewFlagSet("fdx flight tail", flag.ExitOnError)
+	every := fs.Duration("every", time.Second, "poll interval")
+	count := fs.Int("n", 0, "exit after printing N samples (0 = follow until interrupted)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return flightUsage()
+	}
+	dir := fs.Arg(0)
+	sigs := serve.NotifyDrain()
+	defer sigs.Stop()
+	var last time.Time
+	printed := 0
+	for {
+		samples, err := loadCapture([]string{dir})
+		if err != nil && !errors.Is(err, flight.ErrCorrupt) {
+			return captureExit(err)
+		}
+		for _, s := range samples {
+			if !s.Time.After(last) {
+				continue
+			}
+			last = s.Time
+			if werr := writeSampleJSON(os.Stdout, s); werr != nil {
+				return fail(werr)
+			}
+			if printed++; *count > 0 && printed >= *count {
+				return 0
+			}
+		}
+		select {
+		case <-sigs.Interrupt():
+			return 0
+		case <-sigs.Drain():
+			return 0
+		case <-time.After(*every):
+		}
+	}
+}
+
+func runFlightSummary(args []string) int {
+	fs := flag.NewFlagSet("fdx flight summary", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		return flightUsage()
+	}
+	samples, err := loadCapture(fs.Args())
+	if len(samples) == 0 {
+		fmt.Println("capture: no samples")
+		return captureExit(err)
+	}
+	first, lastS := samples[0], samples[len(samples)-1]
+	window := lastS.Time.Sub(first.Time)
+	fmt.Printf("capture: %d samples  %s → %s  (%v)\n",
+		len(samples), first.Time.Format(time.RFC3339), lastS.Time.Format(time.RFC3339), window.Round(time.Millisecond))
+
+	// Per-series aggregates over the whole capture. A series' kind is
+	// stable within a capture; first/min/max track the window.
+	type agg struct {
+		kind          obs.SeriesKind
+		first, last   float64
+		min, max      float64
+		seen          bool
+		firstRaw, raw uint64
+	}
+	stats := map[string]*agg{}
+	var names []string
+	for _, s := range samples {
+		for _, sr := range s.Series {
+			a := stats[sr.Name]
+			if a == nil {
+				a = &agg{kind: sr.Kind}
+				stats[sr.Name] = a
+				names = append(names, sr.Name)
+			}
+			v := sr.Number()
+			if !a.seen {
+				a.seen = true
+				a.first, a.min, a.max = v, v, v
+				a.firstRaw = sr.Raw
+			}
+			if v < a.min {
+				a.min = v
+			}
+			if v > a.max {
+				a.max = v
+			}
+			a.last, a.raw = v, sr.Raw
+		}
+	}
+	sort.Strings(names)
+	width := 0
+	for _, n := range names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	fmt.Println("\ncounters (delta over capture):")
+	secs := window.Seconds()
+	for _, n := range names {
+		a := stats[n]
+		if a.kind != obs.KindCounter {
+			continue
+		}
+		delta := a.raw - a.firstRaw
+		line := fmt.Sprintf("  %-*s  +%d", width, n, delta)
+		if secs > 0 && delta > 0 {
+			line += fmt.Sprintf("  (%.1f/s)", float64(delta)/secs)
+		}
+		fmt.Println(line)
+	}
+	fmt.Println("\ngauges (min / max / last):")
+	for _, n := range names {
+		a := stats[n]
+		if a.kind != obs.KindGauge {
+			continue
+		}
+		fmt.Printf("  %-*s  %g / %g / %g\n", width, n, a.min, a.max, a.last)
+	}
+	return captureExit(err)
+}

@@ -4,6 +4,7 @@
 //
 //	fdx [flags] data.csv
 //	fdx stream -checkpoint state.fdx [flags] data.csv
+//	fdx flight decode|tail|summary [flags] DIR
 //
 // CSV input needs a header row; .jsonl/.ndjson files are read as JSON
 // Lines. Empty cells and JSON nulls are treated as missing
@@ -18,6 +19,13 @@
 // as an uninterrupted run. With -shards N the batch grid is split across
 // N supervised local workers, each its own crash domain with its own
 // checkpoint and WAL; the merged result is bit-identical to -shards 1.
+// With -ship URL the shard snapshots travel to an fdxd session instead
+// and discovery runs server-side; -trace then captures supervisor, worker,
+// and fdxd server spans in one file under one trace id.
+//
+// The flight subcommand decodes the black-box captures that -flight-dir
+// (here and on fdxd) records: `decode` dumps samples as JSON or CSV,
+// `tail` follows a live capture, `summary` prints the postmortem view.
 //
 // Exit codes map the error taxonomy: 0 success, 1 internal error, 2 bad
 // input (malformed data, flags, or mismatched resume options), 3 corrupt
@@ -30,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -43,8 +52,13 @@ import (
 
 func main() {
 	args := os.Args[1:]
-	if len(args) > 0 && args[0] == "stream" {
-		os.Exit(runStream(args[1:]))
+	if len(args) > 0 {
+		switch args[0] {
+		case "stream":
+			os.Exit(runStream(args[1:]))
+		case "flight":
+			os.Exit(runFlight(args[1:]))
+		}
 	}
 	os.Exit(runDiscover(args))
 }
@@ -203,13 +217,19 @@ func runStream(args []string) int {
 		shards     = fs.Int("shards", 1, "fan batches across N supervised local shard workers (1 = sequential); the result is bit-identical at any N")
 		shardTries = fs.Int("shard-retries", 3, "restarts allowed per crashed or stalled shard worker")
 		shardStall = fs.Duration("shard-stall-timeout", 0, "restart a shard worker that makes no progress for this long (0 = off)")
+		ship       = fs.String("ship", "", "ship shard snapshots to this fdxd base URL (e.g. http://127.0.0.1:8080) and discover remotely")
+		session    = fs.String("session", "", "fdxd session id for -ship (default: the checkpoint file name)")
+		tenant     = fs.String("tenant", "", "X-Fdx-Tenant header for -ship (empty = the server's default tenant)")
 	)
 	tflags := addTelemetryFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 || *ckpt == "" || *every < 1 || *batchRows < 2 || *shards < 1 || *shardTries < 0 {
-		fmt.Fprintln(os.Stderr, "usage: fdx stream -checkpoint state.fdx [-every N] [-batch B] [-shards S] [flags] data.csv")
+		fmt.Fprintln(os.Stderr, "usage: fdx stream -checkpoint state.fdx [-every N] [-batch B] [-shards S] [-ship URL] [flags] data.csv")
 		fs.PrintDefaults()
 		return 2
+	}
+	if *session == "" {
+		*session = filepath.Base(*ckpt)
 	}
 	tel, err := tflags.setup()
 	if err != nil {
@@ -284,11 +304,13 @@ func runStream(args []string) int {
 			acc.Batches(), fs.Arg(0), total, *batchRows, fdx.ErrBadInput))
 	}
 
-	if *shards > 1 {
+	if *shards > 1 || *ship != "" {
 		// Sharded mode: supervised workers absorb disjoint spans into their
 		// own checkpoints, then merge into the main one — bit-identical to
-		// the sequential loop below at any shard count.
-		merged, err := runShardedStream(ctx, rel, opts, acc, total, shardedConfig{
+		// the sequential loop below at any shard count. With -ship the merge
+		// happens remotely: snapshots travel to an fdxd session and
+		// discovery runs server-side.
+		cfg := shardedConfig{
 			ckpt:      *ckpt,
 			every:     *every,
 			batchRows: *batchRows,
@@ -296,7 +318,24 @@ func runStream(args []string) int {
 			retries:   *shardTries,
 			stall:     *shardStall,
 			verbose:   tel.verbose,
-		})
+			obs:       tel.hooks(),
+			log:       tel.log,
+			ship:      *ship,
+			session:   *session,
+			tenant:    *tenant,
+		}
+		if *ship != "" {
+			code, err := runShippedStream(ctx, rel, opts, acc, total, cfg, tel)
+			if err != nil {
+				if draining.Load() && errors.Is(err, fdx.ErrCancelled) {
+					fmt.Fprintf(os.Stderr, "fdx: SIGTERM: shard checkpoints saved, exiting cleanly; rerun to resume\n")
+					return 0
+				}
+				return fail(err)
+			}
+			return code
+		}
+		merged, err := runShardedStream(ctx, rel, opts, acc, total, cfg)
 		if err != nil {
 			if draining.Load() && errors.Is(err, fdx.ErrCancelled) {
 				fmt.Fprintf(os.Stderr, "fdx: SIGTERM: shard checkpoints saved, exiting cleanly; rerun to resume\n")

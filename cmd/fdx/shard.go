@@ -4,14 +4,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"fdx"
 	"fdx/internal/faults"
+	"fdx/internal/obs"
 	"fdx/internal/serve/retry"
 )
 
@@ -43,6 +46,19 @@ type shardedConfig struct {
 	retries   int           // worker restarts / merge re-reads beyond the first attempt
 	stall     time.Duration // watchdog: restart a worker silent this long (0 = off)
 	verbose   bool
+	obs       obs.Hooks    // supervisor telemetry; runShardedStream nests it under the root span
+	log       *slog.Logger // structured supervisor events (shard_restart, shard_stall, ...)
+	ship      string       // fdxd base URL; "" keeps the merge local
+	session   string       // fdxd session id for -ship
+	tenant    string       // X-Fdx-Tenant for -ship
+}
+
+// shardHooks returns the supervisor hooks with shard s's metric label, so
+// restart/stall/ship counters split per shard on /metrics.
+func (cfg *shardedConfig) shardHooks(s int) obs.Hooks {
+	h := cfg.obs
+	h.Labels = []string{"shard", strconv.Itoa(s)}
+	return h
 }
 
 // shardPath names shard s's private checkpoint; its WAL lives at the
@@ -62,36 +78,17 @@ func runShardedStream(ctx context.Context, rel *fdx.Relation, opts fdx.Options, 
 		// A previous run already merged the full grid; nothing to absorb.
 		return base, nil
 	}
-	// The main checkpoint may hold a sequential prefix [0, begin) from an
-	// earlier unsharded run or drain; shards split only the remainder.
-	begin := base.NextGlobal()
-	spans := fdx.ShardSpans(total-begin, cfg.shards)
-	for i := range spans {
-		spans[i].Lo += begin
-		spans[i].Hi += begin
-	}
+	// Root supervisor span: workers fan out beneath it on their own tracks,
+	// and it must end before the trace file is written, so no defer-to-exit.
+	root := cfg.obs.Start("stream")
+	defer root.End()
+	root.Attr("shards", cfg.shards)
+	cfg.obs = cfg.obs.Under(root)
+	cfg.log = supervisorLogger(cfg.log, root)
 
-	// Phase 1: absorb. One supervisor goroutine per non-empty span, each
-	// restarting its worker with backoff on crash or stall.
-	errs := make([]error, len(spans))
-	var wg sync.WaitGroup
-	for s, span := range spans {
-		if span.Lo == span.Hi {
-			continue
-		}
-		wg.Add(1)
-		go func(s int, span fdx.BatchRange) {
-			defer wg.Done()
-			errs[s] = superviseShard(ctx, rel, opts, span, s, cfg)
-		}(s, span)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			// Workers past the failure saved their own checkpoints; report
-			// the lowest-index failure deterministically.
-			return nil, err
-		}
+	spans, err := absorbShards(ctx, rel, opts, base, total, cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	// Phase 2: merge. Each shard snapshot is re-read from disk through the
@@ -100,6 +97,8 @@ func runShardedStream(ctx context.Context, rel *fdx.Relation, opts fdx.Options, 
 	// tree. A snapshot that reads corrupt is retried (the file may be
 	// mid-rewrite or the corruption transient); persistent corruption
 	// surfaces the typed error with the main checkpoint unharmed.
+	msp := cfg.obs.Start("merge")
+	defer msp.End()
 	accs := []*fdx.Accumulator{base}
 	for s, span := range spans {
 		if span.Lo == span.Hi {
@@ -132,11 +131,64 @@ func runShardedStream(ctx context.Context, rel *fdx.Relation, opts fdx.Options, 
 		os.Remove(cfg.shardPath(s))
 		os.Remove(cfg.shardPath(s) + fdx.WALSuffix)
 	}
+	msp.Attr("batches", merged.Batches())
+	cfg.log.Info("shards_merged", "shards", len(accs)-1, "checkpoint", cfg.ckpt, "batches", merged.Batches())
 	if cfg.verbose {
 		fmt.Fprintf(os.Stderr, "fdx: merged %d shards into %s (%d batches)\n",
 			len(accs)-1, cfg.ckpt, merged.Batches())
 	}
 	return merged, nil
+}
+
+// supervisorLogger binds the run's trace identity onto the supervisor's
+// structured log lines, so `grep trace_id=` joins CLI logs with fdxd's.
+func supervisorLogger(log *slog.Logger, root *obs.Span) *slog.Logger {
+	if log == nil {
+		log = slog.Default()
+	}
+	if tid := root.TraceID(); tid != "" {
+		log = log.With("trace_id", tid, "span_id", root.SpanID())
+	}
+	return log
+}
+
+// absorbShards is phase 1 of both sharded paths (local merge and -ship):
+// split the unabsorbed remainder of the batch grid into spans and run one
+// supervised worker per span, each its own crash domain. On return with a
+// nil error every span's shard checkpoint holds its full coverage.
+func absorbShards(ctx context.Context, rel *fdx.Relation, opts fdx.Options, base *fdx.Accumulator, total int, cfg shardedConfig) ([]fdx.BatchRange, error) {
+	// The main checkpoint may hold a sequential prefix [0, begin) from an
+	// earlier unsharded run or drain; shards split only the remainder.
+	begin := base.NextGlobal()
+	spans := fdx.ShardSpans(total-begin, cfg.shards)
+	for i := range spans {
+		spans[i].Lo += begin
+		spans[i].Hi += begin
+	}
+
+	// One supervisor goroutine per non-empty span, each restarting its
+	// worker with backoff on crash or stall.
+	errs := make([]error, len(spans))
+	var wg sync.WaitGroup
+	for s, span := range spans {
+		if span.Lo == span.Hi {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, span fdx.BatchRange) {
+			defer wg.Done()
+			errs[s] = superviseShard(ctx, rel, opts, span, s, cfg)
+		}(s, span)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			// Workers past the failure saved their own checkpoints; report
+			// the lowest-index failure deterministically.
+			return nil, err
+		}
+	}
+	return spans, nil
 }
 
 // superviseShard runs one shard's worker, restarting it with jittered
@@ -145,19 +197,32 @@ func runShardedStream(ctx context.Context, rel *fdx.Relation, opts fdx.Options, 
 // each resuming from the shard's own checkpoint and WAL.
 func superviseShard(ctx context.Context, rel *fdx.Relation, opts fdx.Options, span fdx.BatchRange, s int, cfg shardedConfig) error {
 	var progress atomic.Int64
+	h := cfg.shardHooks(s)
 	pol := retry.Policy{
 		Base:        25 * time.Millisecond,
 		Cap:         time.Second,
 		MaxAttempts: cfg.retries + 1,
 		Seed:        int64(s),
 		Notify: func(attempt int, wait time.Duration, err error) {
+			h.Count(obs.MShardRestarts, 1)
+			cfg.log.Info("shard_restart", "shard", s, "attempt", attempt+1, "error", err.Error(), "wait", wait)
 			if cfg.verbose {
 				fmt.Fprintf(os.Stderr, "fdx: shard %d attempt %d failed (%v); restarting from its checkpoint in %v\n",
 					s, attempt+1, err, wait)
 			}
 		},
 	}
-	return pol.Do(ctx, func(int) (time.Duration, error) {
+	return pol.Do(ctx, func(attempt int) (time.Duration, error) {
+		// One span per attempt on the shard's own viewer track, so restarts
+		// show up as separate bars in the same lane.
+		wsp := cfg.obs.Start("shard")
+		defer wsp.End()
+		wsp.SetTrack(s + 2)
+		wsp.Attr("shard", s)
+		wsp.Attr("span", fmt.Sprintf("[%d,%d)", span.Lo, span.Hi))
+		if attempt > 0 {
+			wsp.Attr("attempt", attempt+1)
+		}
 		attemptCtx, cancel := context.WithCancel(ctx)
 		var stalled atomic.Bool
 		var watch sync.WaitGroup
@@ -174,11 +239,14 @@ func superviseShard(ctx context.Context, rel *fdx.Relation, opts fdx.Options, sp
 		if err == nil {
 			return 0, nil
 		}
+		wsp.Attr("error", err.Error())
 		switch {
 		case ctx.Err() != nil:
 			// The whole run is shutting down; the worker already saved.
 			return 0, retry.Permanent(err)
 		case stalled.Load():
+			h.Count(obs.MShardStalls, 1)
+			cfg.log.Warn("shard_stall", "shard", s, "stall_timeout", cfg.stall)
 			return 0, fmt.Errorf("shard %d: %w", s, errShardStall)
 		case errors.Is(err, fdx.ErrBadInput), errors.Is(err, fdx.ErrShardMismatch):
 			return 0, retry.Permanent(err)

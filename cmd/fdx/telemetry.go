@@ -4,13 +4,16 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
+	"time"
 
 	"fdx"
 	"fdx/internal/obs"
+	"fdx/internal/obs/flight"
 )
 
 // telemetryFlags is the observability flag block shared by both
@@ -19,6 +22,8 @@ type telemetryFlags struct {
 	tracePath   *string
 	traceMem    *bool
 	metricsAddr *string
+	flightDir   *string
+	flightEvery *time.Duration
 	verbose     *bool
 }
 
@@ -27,6 +32,8 @@ func addTelemetryFlags(fs *flag.FlagSet) *telemetryFlags {
 		tracePath:   fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto)"),
 		traceMem:    fs.Bool("trace-mem", false, "sample per-span allocation deltas into the trace (implies -trace sinks; slower)"),
 		metricsAddr: fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)"),
+		flightDir:   fs.String("flight-dir", "", "flight-recorder capture directory: sample the metrics registry + runtime stats there (see `fdx flight`)"),
+		flightEvery: fs.Duration("flight-every", flight.DefaultInterval, "flight-recorder sampling interval"),
 		verbose:     fs.Bool("v", false, "print live progress and a stage summary to stderr"),
 	}
 }
@@ -37,6 +44,8 @@ func addTelemetryFlags(fs *flag.FlagSet) *telemetryFlags {
 type telemetry struct {
 	tracer    *fdx.Tracer
 	metrics   *fdx.Metrics
+	flight    *flight.Recorder
+	log       *slog.Logger
 	tracePath string
 	verbose   bool
 }
@@ -48,8 +57,27 @@ func (tf *telemetryFlags) setup() (*telemetry, error) {
 		t.tracer = fdx.NewTracer()
 		t.tracer.SetMemSampling(*tf.traceMem)
 	}
-	if *tf.metricsAddr != "" || t.verbose {
+	if *tf.metricsAddr != "" || t.verbose || *tf.flightDir != "" {
 		t.metrics = fdx.NewMetrics()
+	}
+	// Structured supervisor logging mirrors fdxd: warnings always reach
+	// stderr, -v turns on the per-event Info lines too.
+	level := slog.LevelWarn
+	if t.verbose {
+		level = slog.LevelInfo
+	}
+	t.log = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	if dir := *tf.flightDir; dir != "" {
+		rec, err := flight.Start(flight.Options{
+			Dir:      dir,
+			Interval: *tf.flightEvery,
+			Metrics:  t.metrics,
+			OnError:  func(err error) { t.log.Warn("flight_recorder", "error", err.Error()) },
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", err, fdx.ErrBadInput)
+		}
+		t.flight = rec
 	}
 	if addr := *tf.metricsAddr; addr != "" {
 		ln, err := net.Listen("tcp", addr)
@@ -75,9 +103,21 @@ func (t *telemetry) apply(opts *fdx.Options) {
 	opts.Metrics = t.metrics
 }
 
+// hooks bundles the sinks for code that instruments directly (the shard
+// supervisor) rather than through fdx.Options.
+func (t *telemetry) hooks() obs.Hooks {
+	return obs.Hooks{Tracer: t.tracer, Metrics: t.metrics}
+}
+
 // finish writes the trace file (-trace) and the stage summary (-v) after
-// the run completes.
+// the run completes, and seals the flight capture with a final sample.
 func (t *telemetry) finish() error {
+	if t.flight != nil {
+		if err := t.flight.Close(); err != nil {
+			t.log.Warn("flight_recorder", "error", err.Error())
+		}
+		t.flight = nil
+	}
 	if t.verbose && t.tracer != nil {
 		fmt.Fprint(os.Stderr, t.tracer.Summary())
 	}

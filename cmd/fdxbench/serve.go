@@ -7,11 +7,11 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"fdx/internal/obs"
 	"fdx/internal/serve"
 	"fdx/internal/serve/limit"
 )
@@ -104,13 +104,16 @@ func runServeBench(outPath string, short bool) int {
 		return 1
 	}
 
-	// Phase 1: concurrent multi-tenant ingest + discover, no quotas.
+	// Phase 1: concurrent multi-tenant ingest + discover, no quotas. The
+	// registry is ours so the latency quantiles can be read back from the
+	// server's own per-tenant histograms after the run.
 	dir, err := os.MkdirTemp("", "fdxbench-serve")
 	if err != nil {
 		return fail(err)
 	}
 	defer os.RemoveAll(dir)
-	base, stop, err := benchServer(serve.Config{DataDir: dir, CheckpointEvery: 16})
+	metrics := obs.NewRegistry()
+	base, stop, err := benchServer(serve.Config{DataDir: dir, CheckpointEvery: 16, Metrics: metrics})
 	if err != nil {
 		return fail(err)
 	}
@@ -150,9 +153,11 @@ func runServeBench(outPath string, short bool) int {
 	totalRows := rep.Tenants * rep.BatchesPerTenant * rep.RowsPerBatch
 	rep.IngestRowsPerSec = float64(totalRows) / time.Since(t0).Seconds()
 
-	// Discover latency quantiles: tenants issue discovers round-robin.
-	lat := make([]float64, 0, rep.Discovers)
-	var latMu sync.Mutex
+	// Discover latency quantiles: tenants issue discovers round-robin. The
+	// quantiles come from the server's fdx_serve_discover_seconds{tenant=…}
+	// histograms — the same series a dashboard reads — summed across
+	// tenants, not from client-side stopwatches that fold in HTTP and
+	// scheduling noise.
 	for ti := 0; ti < rep.Tenants; ti++ {
 		tenant := fmt.Sprintf("t%d", ti)
 		wg.Add(1)
@@ -160,16 +165,11 @@ func runServeBench(outPath string, short bool) int {
 			defer wg.Done()
 			url := base + "/v1/sessions/bench-" + tenant + "/discover"
 			for i := 0; i < rep.Discovers/rep.Tenants; i++ {
-				d0 := time.Now()
 				code, err := benchPost(client, url, tenant, nil)
-				ms := time.Since(d0).Seconds() * 1000
 				if err != nil || code != http.StatusOK {
 					ingestErr.Store(fmt.Errorf("discover (%d): %v", code, err))
 					return
 				}
-				latMu.Lock()
-				lat = append(lat, ms)
-				latMu.Unlock()
 			}
 		}()
 	}
@@ -178,9 +178,22 @@ func runServeBench(outPath string, short bool) int {
 	if err, ok := ingestErr.Load().(error); ok {
 		return fail(err)
 	}
-	sort.Float64s(lat)
-	rep.DiscoverP50Ms = percentile(lat, 0.50)
-	rep.DiscoverP99Ms = percentile(lat, 0.99)
+	var (
+		cum   []uint64
+		total uint64
+	)
+	for ti := 0; ti < rep.Tenants; ti++ {
+		h := metrics.HistogramBuckets(
+			obs.Labeled(obs.MServeDiscoverSeconds, "tenant", fmt.Sprintf("t%d", ti)), obs.ServeBuckets)
+		_, c := h.Buckets()
+		cum = obs.SumBuckets(cum, c)
+		total += h.Count()
+	}
+	if int(total) != rep.Discovers {
+		return fail(fmt.Errorf("discover histograms count %d observations, want %d", total, rep.Discovers))
+	}
+	rep.DiscoverP50Ms = obs.HistogramQuantile(obs.ServeBuckets, cum, total, 0.50) * 1000
+	rep.DiscoverP99Ms = obs.HistogramQuantile(obs.ServeBuckets, cum, total, 0.99) * 1000
 
 	// Phase 2: overload. One worker, depth-one queue, tight rate limit;
 	// every shed must be a typed 429/503.
@@ -265,13 +278,4 @@ func runServeBench(outPath string, short bool) int {
 		rep.IngestRowsPerSec, rep.DiscoverP50Ms, rep.DiscoverP99Ms, 100*rep.OverloadShedRate)
 	fmt.Printf("report written to %s\n", outPath)
 	return 0
-}
-
-// percentile returns the p-quantile of sorted values (nearest-rank).
-func percentile(sorted []float64, p float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(p * float64(len(sorted)-1))
-	return sorted[idx]
 }

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"fdx/internal/obs"
+	"fdx/internal/obs/flight"
+)
+
+// preserveFlightCapture copies the capture directory's ring files into
+// $FDX_FLIGHT_ARTIFACT_DIR/<test-name> when the test fails, so CI can
+// upload the black box of a failed chaos run for postmortem with
+// `fdx flight`.
+func preserveFlightCapture(t *testing.T, dir string) {
+	t.Cleanup(func() {
+		dst := os.Getenv("FDX_FLIGHT_ARTIFACT_DIR")
+		if dst == "" || !t.Failed() {
+			return
+		}
+		out := filepath.Join(dst, strings.ReplaceAll(t.Name(), "/", "_"))
+		files, err := flight.Files(dir)
+		if err == nil {
+			err = os.MkdirAll(out, 0o755)
+		}
+		if err != nil {
+			t.Logf("preserving flight capture: %v", err)
+			return
+		}
+		for _, f := range files {
+			data, rerr := os.ReadFile(f)
+			if rerr == nil {
+				rerr = os.WriteFile(filepath.Join(out, filepath.Base(f)), data, 0o644)
+			}
+			if rerr != nil {
+				t.Logf("preserving flight capture %s: %v", f, rerr)
+			}
+		}
+		t.Logf("flight capture preserved in %s", out)
+	})
+}
+
+// TestServerKillDashNineFlightPostmortem is the black-box contract: an
+// fdxd killed with SIGKILL mid-ingest leaves a decodable flight capture
+// whose final sample is no older than one sampling interval (plus
+// scheduling slack) before the kill, and that sample holds the per-tenant
+// ingest counters plus the synthesized runtime series — everything a
+// postmortem needs with no cooperation from the dying process.
+func TestServerKillDashNineFlightPostmortem(t *testing.T) {
+	dir := t.TempDir()
+	fdir := filepath.Join(dir, "flight")
+	preserveFlightCapture(t, fdir)
+	const interval = 25 * time.Millisecond
+	s := startServer(t, dir, "-flight-dir", fdir, "-flight-every", interval.String())
+	mustCreate(t, s, "bb")
+	const batches = 5
+	for seq := 1; seq <= batches; seq++ {
+		mustIngest(t, s, "bb", seq)
+	}
+	// Let a few post-ingest samples land so the row counters are on disk.
+	time.Sleep(6 * interval)
+
+	killedAt := time.Now()
+	if err := s.cmd.Process.Kill(); err != nil { // SIGKILL: no flush, no defer
+		t.Fatal(err)
+	}
+	s.wait(t, 10*time.Second)
+
+	samples, err := flight.DecodeDir(fdir)
+	if err != nil {
+		t.Fatalf("capture after kill -9 must decode cleanly, got: %v", err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("capture after kill -9 holds no samples")
+	}
+	last := samples[len(samples)-1]
+	// Generous slack over one interval: the sampler may be descheduled, and
+	// the kill itself races the tick.
+	if age := killedAt.Sub(last.Time); age > interval+500*time.Millisecond {
+		t.Errorf("last sample is %v older than the kill, want ≤ %v", age, interval)
+	}
+	rowsSeries := obs.Labeled(obs.MServeRows, "tenant", "acme")
+	if rows, ok := last.Number(rowsSeries); !ok || rows < float64(batches*30) {
+		t.Errorf("final sample %s = %v (ok=%v), want ≥ %d", rowsSeries, rows, ok, batches*30)
+	}
+	if g, ok := last.Number("go_goroutines"); !ok || g <= 0 {
+		t.Errorf("final sample go_goroutines = %v (ok=%v), want > 0", g, ok)
+	}
+}

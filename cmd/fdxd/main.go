@@ -32,13 +32,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"io"
-	"log"
+	"log/slog"
 	"net"
 	"os"
 	"time"
 
 	"fdx"
+	"fdx/internal/obs/flight"
 	"fdx/internal/serve"
 	"fdx/internal/serve/limit"
 )
@@ -58,7 +58,10 @@ func run(args []string) int {
 	rowsPerSec := fs.Float64("rows-per-sec", 0, "per-tenant sustained ingest rate in rows/s (0 = unlimited)")
 	burst := fs.Float64("burst", 0, "ingest token-bucket capacity in rows (0 = one second of -rows-per-sec)")
 	maxDiscover := fs.Int("max-discover", 0, "per-tenant in-flight discover cap (0 = unlimited)")
-	verbose := fs.Bool("v", false, "log lifecycle events to stderr")
+	slowReq := fs.Duration("slow-request", time.Second, "slow-request log threshold (logged at warn; <0 disables)")
+	flightDir := fs.String("flight-dir", "", "flight-recorder capture directory (empty disables the black box)")
+	flightEvery := fs.Duration("flight-every", flight.DefaultInterval, "flight-recorder sampling interval")
+	verbose := fs.Bool("v", false, "log requests and lifecycle events to stderr (warnings always log)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -70,10 +73,13 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "fdxd:", err)
 		return 2
 	}
-	logger := log.New(io.Discard, "", 0)
+	// Structured request logging: warnings (slow_request, panics) always
+	// reach stderr; -v turns on the per-request Info lines too.
+	level := slog.LevelWarn
 	if *verbose {
-		logger = log.New(os.Stderr, "", log.LstdFlags)
+		level = slog.LevelInfo
 	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	sv, err := serve.New(serve.Config{
 		DataDir: *dataDir,
@@ -89,10 +95,27 @@ func run(args []string) int {
 		QueueDepth:      *queueDepth,
 		DrainTimeout:    *drainTimeout,
 		Log:             logger,
+		SlowRequest:     *slowReq,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fdxd:", err)
 		return startupExitCode(err)
+	}
+
+	// The black box: always-on capture of the whole registry plus runtime
+	// stats, surviving kill -9 for `fdx flight` postmortems.
+	if *flightDir != "" {
+		rec, err := flight.Start(flight.Options{
+			Dir:      *flightDir,
+			Interval: *flightEvery,
+			Metrics:  sv.Metrics(),
+			OnError:  func(err error) { logger.Warn("flight_recorder", "error", err.Error()) },
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdxd:", err)
+			return 2
+		}
+		defer rec.Close()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -118,6 +118,12 @@ type Options struct {
 	// sweeps, fallback escalations, ...) and per-stage latency
 	// histograms, exportable in Prometheus text format or via expvar.
 	Metrics *Metrics
+	// MetricLabels, when set, are Prometheus-style key/value pairs
+	// (alternating) appended to every metric name this run records, so a
+	// host sharing one registry across tenants or shards gets separate
+	// series — fdx_stage_glasso_seconds{tenant="acme"} — without separate
+	// registries. Ignored when Metrics is nil.
+	MetricLabels []string
 }
 
 // Tracer collects nestable timing spans from an instrumented run; create
@@ -181,14 +187,14 @@ func coreOptions(opts Options) core.Options {
 		Workers:            opts.Workers,
 		Seed:               opts.Seed,
 		RequireConvergence: opts.RequireConvergence,
-		Obs:                obs.Hooks{Tracer: opts.Tracer, Metrics: opts.Metrics},
+		Obs:                obs.Hooks{Tracer: opts.Tracer, Metrics: opts.Metrics, Labels: opts.MetricLabels},
 		Transform: core.TransformOptions{
 			Seed:           opts.Seed,
 			MaxRows:        opts.MaxRows,
 			NumericTol:     opts.NumericTolerance,
 			TextSimilarity: opts.TextSimilarity,
 			Workers:        opts.Workers,
-			Obs:            obs.Hooks{Tracer: opts.Tracer, Metrics: opts.Metrics},
+			Obs:            obs.Hooks{Tracer: opts.Tracer, Metrics: opts.Metrics, Labels: opts.MetricLabels},
 		},
 	}
 }

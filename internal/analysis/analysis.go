@@ -154,8 +154,8 @@ func (p *ModulePass) ReportRangef(node ast.Node, pos token.Pos, format string, a
 	*p.diags = append(*p.diags, rangeDiag(p.Fset, p.Analyzer.Name, node, pos, format, args...))
 }
 
-// All returns the full analyzer suite in deterministic order: the six
-// intraprocedural analyzers first, then the four interprocedural ones that
+// All returns the full analyzer suite in deterministic order: the
+// intraprocedural analyzers first, then the interprocedural ones that
 // need the module call graph.
 func All() []*Analyzer {
 	return []*Analyzer{
@@ -169,6 +169,7 @@ func All() []*Analyzer {
 		CtxFlow,
 		DetSource,
 		HotAlloc,
+		ObsNames,
 	}
 }
 

@@ -26,7 +26,7 @@ func TestDiagnosticString(t *testing.T) {
 func TestAllAnalyzersRegistered(t *testing.T) {
 	want := []string{
 		"floatcmp", "maporder", "goroutinecapture", "nakedpanic", "dimcheck", "spanleak",
-		"errwrap", "ctxflow", "detsource", "hotalloc",
+		"errwrap", "ctxflow", "detsource", "hotalloc", "obsnames",
 	}
 	all := All()
 	if len(all) != len(want) {

@@ -147,3 +147,4 @@ func TestErrWrap(t *testing.T)          { testTreeAnalyzerFixture(t, "errwrap", 
 func TestCtxFlow(t *testing.T)          { testAnalyzerFixture(t, "ctxflow", CtxFlow) }
 func TestDetSource(t *testing.T)        { testAnalyzerFixture(t, "detsource", DetSource) }
 func TestHotAlloc(t *testing.T)         { testAnalyzerFixture(t, "hotalloc", HotAlloc) }
+func TestObsNames(t *testing.T)         { testTreeAnalyzerFixture(t, "obsnames", ObsNames) }

@@ -41,7 +41,7 @@ var DetSource = &Analyzer{
 
 // detSanctionedPkgSuffixes are module packages whose use of the sources is
 // part of their contract (see the analyzer doc).
-var detSanctionedPkgSuffixes = []string{"internal/par", "internal/obs"}
+var detSanctionedPkgSuffixes = []string{"internal/par", "internal/obs", "internal/obs/flight"}
 
 func runDetSource(mpass *ModulePass) {
 	graph := mpass.Graph

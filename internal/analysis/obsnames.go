@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ObsNames is the metric-name hygiene analyzer. The observability layer's
+// contract is that internal/obs/names.go is the single registry of metric
+// names: dashboards, the flight recorder, and the Prometheus endpoint all
+// key on those strings, so a name that exists only as a scattered literal
+// (or a constant nothing records) silently breaks the telemetry story.
+// Two checks enforce it:
+//
+//  1. Every exported metric-name constant (a top-level string constant
+//     whose value starts with "fdx_") must carry a doc comment saying what
+//     the series measures, and must be referenced somewhere outside its
+//     declaring file — an unreferenced name is a metric nothing records,
+//     i.e. a dashboard that will silently stay empty.
+//  2. Outside the obs package family, metric names passed to obs
+//     registration calls (Registry.Counter/Gauge/Histogram, Labeled,
+//     Hooks.Count, ...) must be the named constants, not raw "fdx_..."
+//     literals that can drift from names.go.
+//
+// Test files are exempt from check 2 (SkipTestFiles): asserting the wire
+// format with the literal string is exactly what a telemetry test should
+// do. Fixtures mark their miniature names package with the
+// fdx:lint-metric-names directive; in production the package is
+// internal/obs itself.
+var ObsNames = &Analyzer{
+	Name:          "obsnames",
+	Doc:           "checks metric names: names.go constants documented and recorded, no raw fdx_ literals at obs call sites",
+	RunModule:     runObsNames,
+	SkipTestFiles: true,
+}
+
+// obsNamesDirective marks a fixture package as the metric-name registry.
+const obsNamesDirective = "fdx:lint-metric-names"
+
+// namesPackage locates the metric-name registry package.
+func namesPackage(mpass *ModulePass) *Package {
+	for _, pkg := range mpass.Packages {
+		if pkg.ImportPath == "fdx/internal/obs" ||
+			strings.HasSuffix(pkg.ImportPath, "/internal/obs") ||
+			packageHasDirective(pkg, obsNamesDirective) {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// metricConst is one exported "fdx_..." string constant of the names
+// package.
+type metricConst struct {
+	file   string // declaring file (uses there don't count as references)
+	hasDoc bool
+	used   bool
+	pos    token.Pos
+}
+
+func runObsNames(mpass *ModulePass) {
+	names := namesPackage(mpass)
+	if names == nil {
+		return
+	}
+
+	consts := map[string]*metricConst{}
+	for _, f := range names.Files {
+		file := mpass.Fset.Position(f.Pos()).Filename
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || len(vs.Values) != 1 {
+					continue
+				}
+				name := vs.Names[0]
+				if !name.IsExported() || !isMetricLit(vs.Values[0]) {
+					continue
+				}
+				consts[name.Name] = &metricConst{
+					file:   file,
+					hasDoc: vs.Doc != nil || (len(gd.Specs) == 1 && gd.Doc != nil),
+					pos:    name.Pos(),
+				}
+			}
+		}
+	}
+	if len(consts) == 0 && names.ImportPath != "fdx/internal/obs" {
+		return // a directive-less near-miss (some other */internal/obs)
+	}
+
+	// Pass over every package: mark constant references, and flag raw
+	// literals fed to obs registration calls from outside the obs family.
+	for _, pkg := range mpass.Packages {
+		for ident, obj := range pkg.Info.Uses {
+			c, ok := obj.(*types.Const)
+			if !ok || c.Pkg() == nil || c.Pkg().Path() != names.ImportPath {
+				continue
+			}
+			mc := consts[c.Name()]
+			if mc == nil {
+				continue
+			}
+			if mpass.Fset.Position(ident.Pos()).Filename != mc.file {
+				mc.used = true
+			}
+		}
+		if pkg.ImportPath == names.ImportPath ||
+			strings.HasPrefix(pkg.ImportPath, names.ImportPath+"/") {
+			continue // the obs family itself may spell names out
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != names.ImportPath {
+					return true
+				}
+				for _, arg := range call.Args {
+					if lit, val := metricLit(arg); lit != nil {
+						mpass.ReportRangef(call, lit.Pos(),
+							"raw metric name %q passed to %s.%s: use (or add) the named constant in %s",
+							val, fn.Pkg().Name(), fn.Name(), names.ImportPath)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	for _, name := range sortedConstNames(consts) {
+		mc := consts[name]
+		if !mc.hasDoc {
+			mpass.Reportf(mc.pos,
+				"metric name constant %s has no doc comment saying what the series measures", name)
+		}
+		if !mc.used {
+			mpass.Reportf(mc.pos,
+				"metric name constant %s is never referenced outside its declaring file: nothing records the series", name)
+		}
+	}
+}
+
+// metricLit returns arg as a string literal beginning with "fdx_", with its
+// unquoted value, or (nil, "").
+func metricLit(arg ast.Expr) (*ast.BasicLit, string) {
+	lit, ok := ast.Unparen(arg).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return nil, ""
+	}
+	val, err := strconv.Unquote(lit.Value)
+	if err != nil || !strings.HasPrefix(val, "fdx_") {
+		return nil, ""
+	}
+	return lit, val
+}
+
+// isMetricLit reports whether expr is a "fdx_..." string literal.
+func isMetricLit(expr ast.Expr) bool {
+	lit, _ := metricLit(expr)
+	return lit != nil
+}
+
+// sortedConstNames returns the constant names in declaration-independent
+// (alphabetical) order so findings are deterministic.
+func sortedConstNames(consts map[string]*metricConst) []string {
+	names := make([]string, 0, len(consts))
+	for n := range consts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

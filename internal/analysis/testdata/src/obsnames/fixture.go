@@ -1,0 +1,29 @@
+// Package obsnames exercises the obsnames analyzer: raw "fdx_..." literals
+// at obs registration sites must be flagged; named constants, non-obs
+// calls, and non-metric strings must not.
+package obsnames
+
+import (
+	"strings"
+
+	"obsnames/obs"
+)
+
+// Record registers series the sanctioned way and the flagged way.
+func Record(r *obs.Registry) {
+	r.Counter(obs.MUsed)  // clean: named constant
+	r.Counter(obs.MUndoc) // clean here (the constant's missing doc is flagged at its declaration)
+
+	r.Counter("fdx_raw_total")                   // want:obsnames
+	_ = obs.Labeled("fdx_other_total", "k", "v") // want:obsnames
+	_ = obs.Labeled(obs.MUsed, "tenant", "acme") // clean: named constant with labels
+}
+
+// NotObs shows fdx_ literals outside obs calls are fine: asserting wire
+// format, log messages, and local helpers are all legitimate.
+func NotObs() bool {
+	note("fdx_fine_total")
+	return strings.Contains("fdx_used_total 3", "fdx_used_total")
+}
+
+func note(string) {}

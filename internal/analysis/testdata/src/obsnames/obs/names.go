@@ -1,0 +1,31 @@
+// Package obs is a miniature metric-name registry standing in for
+// internal/obs.
+//
+// fdx:lint-metric-names — this fixture package is the names registry.
+package obs
+
+const (
+	// MUsed counts something real: documented and referenced by the fixture.
+	MUsed = "fdx_used_total"
+	// MUnused is documented but nothing ever records it.
+	MUnused = "fdx_unused_total" // want:obsnames
+	MUndoc  = "fdx_undoc_total"  // want:obsnames
+)
+
+// notMetric is unexported and not a metric name: exempt from both checks.
+const notMetric = "fdx_internal_scratch"
+
+// OtherConst has a non-metric value: exempt.
+const OtherConst = "plain_string"
+
+// Registry is the miniature metrics registry.
+type Registry struct{}
+
+// Counter registers a counter series by name.
+func (r *Registry) Counter(name string) int { _ = name; return 0 }
+
+// Labeled attaches labels to a metric name.
+func Labeled(name string, kv ...string) string { _ = kv; return name }
+
+// use keeps the unexported constant referenced within the package.
+var _ = notMetric

@@ -1,0 +1,130 @@
+package flight
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Decode parses one capture file's bytes into samples. A torn final
+// chunk — fewer bytes on disk than the frame declares, the signature of a
+// crash mid-write — is truncated silently: the samples before it are
+// returned with a nil error. Structural damage inside fully-present bytes
+// (bad magic, CRC mismatch, malformed varints) returns the samples
+// decoded so far alongside an error wrapping ErrCorrupt. Decode never
+// panics, whatever the input (fuzzed by FuzzFlightDecode).
+func Decode(data []byte) ([]Sample, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	if len(data) < len(magic) {
+		// A crash can tear the very first write; a prefix of the magic is a
+		// torn header, anything else is damage.
+		if string(data) == magic[:len(data)] {
+			return nil, nil
+		}
+		return nil, corruptf("bad magic")
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, corruptf("bad magic")
+	}
+
+	var (
+		dec     decoder
+		samples []Sample
+		off     = len(magic)
+	)
+	for off < len(data) {
+		frameStart := off
+		kind := data[off]
+		off++
+		plen, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			// Distinguish a varint truncated by EOF (torn tail) from one
+			// that is malformed within available bytes (corrupt).
+			if n == 0 && len(data)-off < binary.MaxVarintLen64 {
+				return samples, nil
+			}
+			return samples, corruptf("bad chunk length at offset %d", off)
+		}
+		off += n
+		if plen > maxChunkBytes {
+			return samples, corruptf("chunk length %d exceeds limit", plen)
+		}
+		if uint64(len(data)-off) < plen+4 {
+			return samples, nil // torn tail: frame declared but not fully on disk
+		}
+		payload := data[off : off+int(plen)]
+		off += int(plen)
+		want := binary.LittleEndian.Uint32(data[off : off+4])
+		off += 4
+		if got := crc32.Checksum(data[frameStart:off-4], castagnoli); got != want {
+			return samples, corruptf("crc mismatch at offset %d", frameStart)
+		}
+		s, ok, err := dec.chunk(kind, payload)
+		if err != nil {
+			return samples, err
+		}
+		if ok {
+			samples = append(samples, s)
+		}
+	}
+	return samples, nil
+}
+
+// DecodeFile reads and decodes one capture file.
+func DecodeFile(path string) ([]Sample, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	samples, derr := Decode(data)
+	if derr != nil {
+		return samples, fmt.Errorf("%s: %w", filepath.Base(path), derr)
+	}
+	return samples, nil
+}
+
+// Files lists a capture directory's flight files in ring order (ascending
+// index, i.e. oldest first).
+func Files(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), filePrefix) && strings.HasSuffix(e.Name(), fileSuffix) {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(out) // zero-padded indices sort chronologically
+	return out, nil
+}
+
+// DecodeDir decodes every capture file in dir, oldest first, into one
+// sample sequence. Per-file corruption stops that file but not the scan:
+// the error for the first damaged file is returned alongside everything
+// that did decode, so a postmortem still sees the healthy history.
+func DecodeDir(dir string) ([]Sample, error) {
+	files, err := Files(dir)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		samples  []Sample
+		firstErr error
+	)
+	for _, f := range files {
+		s, err := DecodeFile(f)
+		samples = append(samples, s...)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return samples, firstErr
+}

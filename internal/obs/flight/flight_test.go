@@ -1,0 +1,346 @@
+package flight
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fdx/internal/obs"
+)
+
+// fill seeds a registry with a representative mix of series.
+func fill(m *obs.Registry, rows uint64, depth float64) {
+	m.Counter(obs.MRowsAbsorbed).Add(rows)
+	m.Counter(obs.Labeled(obs.MServeRows, "tenant", "acme")).Add(rows * 2)
+	m.Gauge(obs.MServeQueueDepth).Set(depth)
+	m.Histogram(obs.StageHist("transform")).Observe(0.003)
+}
+
+func TestFlightRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := obs.NewRegistry()
+	fill(m, 10, 1)
+	r, err := Start(Options{Dir: dir, Interval: time.Hour, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(m, 5, 3)
+	r.SampleNow()
+	fill(m, 7, 0)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	samples, err := DecodeDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start's immediate sample + SampleNow + Close's final sample.
+	if len(samples) != 3 {
+		t.Fatalf("got %d samples, want 3", len(samples))
+	}
+	wantRows := []float64{10, 15, 22}
+	for i, s := range samples {
+		if got, ok := s.Number(obs.MRowsAbsorbed); !ok || got != wantRows[i] {
+			t.Errorf("sample %d rows = %v (ok=%v), want %v", i, got, ok, wantRows[i])
+		}
+	}
+	if got, _ := samples[2].Number(obs.Labeled(obs.MServeRows, "tenant", "acme")); got != 44 {
+		t.Errorf("labeled counter = %v, want 44", got)
+	}
+	if got, _ := samples[1].Number(obs.MServeQueueDepth); got != 3 {
+		t.Errorf("gauge at sample 1 = %v, want 3", got)
+	}
+	if got, _ := samples[2].Number(obs.StageHist("transform") + "_count"); got != 3 {
+		t.Errorf("hist count = %v, want 3", got)
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Time.Before(samples[i-1].Time) {
+			t.Errorf("sample %d time %v before %v", i, samples[i].Time, samples[i-1].Time)
+		}
+	}
+	// Runtime series ride along by default.
+	if _, ok := samples[0].Number("go_goroutines"); !ok {
+		t.Error("go_goroutines missing from sample")
+	}
+	if _, ok := samples[0].Number("go_alloc_bytes_total"); !ok {
+		t.Error("go_alloc_bytes_total missing from sample")
+	}
+}
+
+// TestFlightDeltaCompression checks the FTDC property that makes the
+// recorder affordable: steady-state samples of an idle registry are tiny
+// relative to the schema chunk.
+func TestFlightDeltaCompression(t *testing.T) {
+	m := obs.NewRegistry()
+	fill(m, 100, 2)
+	series := m.Snapshot()
+
+	var e encoder
+	now := time.UnixMicro(1_700_000_000_000_000)
+	schema := e.encode(nil, now, series)
+	delta := e.encode(nil, now.Add(time.Second), series)
+	if len(delta) >= len(schema)/4 {
+		t.Errorf("idle delta chunk %dB vs schema %dB: delta encoding not engaging", len(delta), len(schema))
+	}
+
+	all := append(append([]byte(magic), schema...), delta...)
+	samples, err := Decode(all)
+	if err != nil || len(samples) != 2 {
+		t.Fatalf("decode: %d samples, err %v", len(samples), err)
+	}
+	for i, s := range samples {
+		if len(s.Series) != len(series) {
+			t.Fatalf("sample %d has %d series, want %d", i, len(s.Series), len(series))
+		}
+		for j, sr := range s.Series {
+			if sr != series[j] {
+				t.Errorf("sample %d series %d = %+v, want %+v", i, j, sr, series[j])
+			}
+		}
+	}
+}
+
+// TestFlightKillAtEveryByte is the chunk-boundary crash test: a capture
+// truncated at every possible byte — the on-disk state a kill -9 can
+// leave — must decode every complete chunk and report the torn remainder
+// as clean truncation, never corruption, never a panic. Mirrors the
+// checkpoint suite's kill-at-every-byte test.
+func TestFlightKillAtEveryByte(t *testing.T) {
+	m := obs.NewRegistry()
+	fill(m, 1, 1)
+	var e encoder
+	now := time.UnixMicro(1_700_000_000_000_000)
+	data := []byte(magic)
+	boundaries := []int{len(data)} // decodable sample count changes here
+	for i := 0; i < 5; i++ {
+		fill(m, uint64(i+1), float64(i))
+		data = e.encode(data, now.Add(time.Duration(i)*time.Second), m.Snapshot())
+		boundaries = append(boundaries, len(data))
+	}
+
+	complete := func(n int) int {
+		c := 0
+		for i := 1; i < len(boundaries); i++ {
+			if boundaries[i] <= n {
+				c = i
+			}
+		}
+		return c
+	}
+	for cut := 0; cut <= len(data); cut++ {
+		samples, err := Decode(data[:cut])
+		if err != nil {
+			t.Fatalf("cut %d: unexpected error %v", cut, err)
+		}
+		if want := complete(cut); len(samples) != want {
+			t.Fatalf("cut %d: %d samples, want %d", cut, len(samples), want)
+		}
+	}
+}
+
+// TestFlightCorruptDetected flips one byte inside each fully-present
+// chunk and requires a typed ErrCorrupt (CRC catches it), with the
+// preceding healthy samples still returned.
+func TestFlightCorruptDetected(t *testing.T) {
+	m := obs.NewRegistry()
+	fill(m, 3, 1)
+	var e encoder
+	now := time.UnixMicro(1_700_000_000_000_000)
+	data := []byte(magic)
+	data = e.encode(data, now, m.Snapshot())
+	firstEnd := len(data)
+	fill(m, 4, 2)
+	data = e.encode(data, now.Add(time.Second), m.Snapshot())
+
+	corrupt := append([]byte(nil), data...)
+	corrupt[firstEnd+3] ^= 0xff // inside the second chunk
+	samples, err := Decode(corrupt)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	if len(samples) != 1 {
+		t.Errorf("%d healthy samples returned, want 1", len(samples))
+	}
+
+	// Bad magic is corruption too, except a torn prefix of the magic.
+	if _, err := Decode([]byte("NOTMAGIC-and-more")); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad magic: err = %v, want ErrCorrupt", err)
+	}
+	if s, err := Decode([]byte(magic[:3])); err != nil || len(s) != 0 {
+		t.Errorf("torn magic prefix: samples=%d err=%v, want clean empty", len(s), err)
+	}
+	if s, err := Decode(nil); err != nil || len(s) != 0 {
+		t.Errorf("empty capture: samples=%d err=%v, want clean empty", len(s), err)
+	}
+}
+
+// TestFlightRebaseline: a counter moving backwards (registry swap) and a
+// series-set change must both force a fresh schema chunk, keeping deltas
+// honest.
+func TestFlightRebaseline(t *testing.T) {
+	m1 := obs.NewRegistry()
+	m1.Counter("a_total").Add(100)
+	m2 := obs.NewRegistry()
+	m2.Counter("a_total").Add(10) // decreased vs m1
+
+	var e encoder
+	now := time.UnixMicro(1_700_000_000_000_000)
+	data := []byte(magic)
+	data = e.encode(data, now, m1.Snapshot())
+	data = e.encode(data, now.Add(time.Second), m2.Snapshot())
+	m2.Gauge("b").Set(1) // series set change
+	data = e.encode(data, now.Add(2*time.Second), m2.Snapshot())
+
+	samples, err := Decode(data)
+	if err != nil || len(samples) != 3 {
+		t.Fatalf("decode: %d samples err=%v", len(samples), err)
+	}
+	if v, _ := samples[1].Number("a_total"); v != 10 {
+		t.Errorf("after counter decrease: a_total = %v, want 10", v)
+	}
+	if len(samples[2].Series) != 2 {
+		t.Errorf("after series add: %d series, want 2", len(samples[2].Series))
+	}
+}
+
+func TestFlightRingRotation(t *testing.T) {
+	dir := t.TempDir()
+	m := obs.NewRegistry()
+	for i := 0; i < 40; i++ {
+		m.Counter(obs.Labeled("fdx_pad_total", "i", string(rune('a'+i)))).Add(uint64(i))
+	}
+	r, err := Start(Options{Dir: dir, Interval: time.Hour, Metrics: m,
+		MaxFileBytes: 2048, MaxFiles: 3, NoRuntime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		m.Counter("fdx_rows_total").Add(1)
+		r.SampleNow()
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	files, err := Files(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) > 3 {
+		t.Errorf("ring holds %d files, want <= 3", len(files))
+	}
+	// Every surviving file decodes standalone (schema chunk leads each).
+	total := 0
+	for _, f := range files {
+		s, err := DecodeFile(f)
+		if err != nil {
+			t.Errorf("%s: %v", filepath.Base(f), err)
+		}
+		total += len(s)
+	}
+	if total == 0 {
+		t.Fatal("no samples survived rotation")
+	}
+	// The newest sample reflects the final counter value.
+	samples, err := DecodeDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := samples[len(samples)-1].Number("fdx_rows_total"); !ok || v != 50 {
+		t.Errorf("last sample fdx_rows_total = %v (ok=%v), want 50", v, ok)
+	}
+}
+
+// TestFlightSuccessorRun: a restarted recorder must not clobber its dead
+// predecessor's capture — postmortems depend on it.
+func TestFlightSuccessorRun(t *testing.T) {
+	dir := t.TempDir()
+	m := obs.NewRegistry()
+	m.Counter("fdx_runs_total").Add(1)
+	r1, err := Start(Options{Dir: dir, Interval: time.Hour, Metrics: m, NoRuntime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m.Counter("fdx_runs_total").Add(1)
+	r2, err := Start(Options{Dir: dir, Interval: time.Hour, Metrics: m, NoRuntime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	files, err := Files(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("%d capture files, want 2 (one per run)", len(files))
+	}
+	first, err := DecodeFile(files[0])
+	if err != nil || len(first) == 0 {
+		t.Fatalf("predecessor capture unreadable: %d samples err=%v", len(first), err)
+	}
+	if v, _ := first[len(first)-1].Number("fdx_runs_total"); v != 1 {
+		t.Errorf("predecessor's last sample = %v, want 1", v)
+	}
+}
+
+func TestFlightUnknownChunkSkipped(t *testing.T) {
+	m := obs.NewRegistry()
+	m.Counter("a_total").Add(1)
+	var e encoder
+	now := time.UnixMicro(1_700_000_000_000_000)
+	data := []byte(magic)
+	data = e.encode(data, now, m.Snapshot())
+	data = appendChunk(data, 0x7f, []byte("future extension"))
+	m.Counter("a_total").Add(1)
+	data = e.encode(data, now.Add(time.Second), m.Snapshot())
+
+	samples, err := Decode(data)
+	if err != nil || len(samples) != 2 {
+		t.Fatalf("decode with unknown chunk: %d samples err=%v, want 2 and nil", len(samples), err)
+	}
+}
+
+func TestFlightDeltaBeforeSchemaCorrupt(t *testing.T) {
+	var e encoder
+	m := obs.NewRegistry()
+	m.Counter("a_total").Add(1)
+	now := time.UnixMicro(1_700_000_000_000_000)
+	e.encode([]byte(magic), now, m.Snapshot()) // prime the encoder's schema
+	delta := e.encode(nil, now.Add(time.Second), m.Snapshot())
+	if _, err := Decode(append([]byte(magic), delta...)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("delta before schema: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestFlightDirFromEnv mirrors how the chaos suites point built binaries
+// at a shared capture dir: verify Start handles a nested, not-yet-created
+// path.
+func TestFlightDirFromEnv(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "flight")
+	r, err := Start(Options{Dir: dir, Interval: time.Hour, NoRuntime: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dir() != dir {
+		t.Errorf("Dir() = %q, want %q", r.Dir(), dir)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := DecodeDir(dir)
+	if err != nil || len(samples) == 0 {
+		t.Fatalf("runtime-only capture: %d samples err=%v", len(samples), err)
+	}
+}

@@ -1,0 +1,300 @@
+// Package flight is the FDX flight recorder: an always-on black box that
+// samples the whole obs metrics registry plus Go runtime stats at a fixed
+// interval and appends them, delta+varint-encoded and CRC-framed, to a
+// small ring of capture files. The design follows the full-time-data-
+// capture (FTDC) pattern: because consecutive samples of a mostly-idle
+// registry differ in only a handful of series, a delta sample is tens of
+// bytes, so a 1 Hz recorder costs well under the 2% overhead budget
+// (gated by `make bench-flight`) while keeping hours of history in a few
+// megabytes.
+//
+// Crash safety comes from the framing, not from fsync: each sample is one
+// self-checksummed chunk written with a single write(2), so a kill -9
+// loses at most the interval since the last tick, and a torn final chunk
+// is detected by its CRC and truncated cleanly on decode. The capture
+// directory is therefore a postmortem artifact — `fdx flight summary`
+// reads it after the process is gone.
+package flight
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"fdx/internal/obs"
+)
+
+// Capture file layout: an 8-byte magic, then back-to-back chunks.
+//
+//	chunk  := kind(1) | uvarint(len(payload)) | payload | crc32c(4, LE)
+//	         (the CRC covers kind, length, and payload)
+//
+// Chunk kinds:
+//
+//	schema := uvarint(unixMicro) | uvarint(nseries) |
+//	          nseries × ( kind(1) | uvarint(len(name)) | name | uvarint(raw) )
+//	delta  := uvarint(dtMicro) | nseries × uvarint(diff)
+//
+// A schema chunk is a full sample: it names every series and carries
+// absolute values. A delta chunk carries one varint per series in schema
+// order: counters encode cur−prev (monotone, so non-negative), gauges
+// encode Float64bits(cur) XOR Float64bits(prev) — zero when unchanged, so
+// idle series cost one byte. The encoder falls back to a fresh schema
+// chunk whenever the series set changes or a counter appears to decrease
+// (a registry swap). Decoders skip chunk kinds they don't know, so new
+// kinds can be added without breaking old readers.
+const (
+	magic = "FDXFTDC1"
+
+	chunkSchema byte = 1
+	chunkDelta  byte = 2
+
+	// maxChunkBytes bounds a declared payload length so a corrupt length
+	// field cannot make the decoder allocate gigabytes.
+	maxChunkBytes = 16 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a structurally invalid capture: bad magic, a CRC
+// mismatch on a fully-present chunk, a malformed varint, or an impossible
+// length. A torn final chunk (crash mid-write) is NOT corruption — decode
+// truncates it silently, per the crash-safety contract.
+var ErrCorrupt = errors.New("flight: corrupt capture")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Sample is one decoded flight-recorder tick: a timestamp and the full
+// series state at that instant (deltas already resolved).
+type Sample struct {
+	Time   time.Time
+	Series []obs.Series
+}
+
+// encoder turns successive snapshots into chunks, tracking the schema and
+// previous values needed for delta encoding. Not safe for concurrent use;
+// the recorder drives it from a single goroutine.
+type encoder struct {
+	names     []string
+	kinds     []obs.SeriesKind
+	prev      []uint64
+	lastMicro int64
+	buf       []byte // reused chunk build buffer
+}
+
+// appendChunk frames a payload: kind | uvarint len | payload | crc.
+func appendChunk(dst []byte, kind byte, payload []byte) []byte {
+	start := len(dst)
+	dst = append(dst, kind)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	crc := crc32.Checksum(dst[start:], castagnoli)
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// sameShape reports whether the snapshot matches the current schema.
+func (e *encoder) sameShape(series []obs.Series) bool {
+	if len(series) != len(e.names) {
+		return false
+	}
+	for i, s := range series {
+		if s.Name != e.names[i] || s.Kind != e.kinds[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// deltaEncodable reports whether every counter moved monotonically
+// (a decrease means the registry was swapped; re-baseline with a schema
+// chunk instead of encoding an impossible negative delta).
+func (e *encoder) deltaEncodable(series []obs.Series) bool {
+	for i, s := range series {
+		if s.Kind == obs.KindCounter && s.Raw < e.prev[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// encode appends one sample chunk for the snapshot to dst and returns it.
+// The first call — and any call where the schema no longer fits — emits a
+// schema chunk; steady state emits deltas.
+func (e *encoder) encode(dst []byte, now time.Time, series []obs.Series) []byte {
+	micro := now.UnixMicro()
+	if e.names != nil && e.sameShape(series) && e.deltaEncodable(series) && micro >= e.lastMicro {
+		e.buf = e.buf[:0]
+		e.buf = binary.AppendUvarint(e.buf, uint64(micro-e.lastMicro))
+		for i, s := range series {
+			var diff uint64
+			if s.Kind == obs.KindCounter {
+				diff = s.Raw - e.prev[i]
+			} else {
+				diff = s.Raw ^ e.prev[i]
+			}
+			e.buf = binary.AppendUvarint(e.buf, diff)
+			e.prev[i] = s.Raw
+		}
+		e.lastMicro = micro
+		return appendChunk(dst, chunkDelta, e.buf)
+	}
+
+	e.names = make([]string, len(series))
+	e.kinds = make([]obs.SeriesKind, len(series))
+	e.prev = make([]uint64, len(series))
+	e.buf = e.buf[:0]
+	e.buf = binary.AppendUvarint(e.buf, uint64(micro))
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(series)))
+	for i, s := range series {
+		e.names[i] = s.Name
+		e.kinds[i] = s.Kind
+		e.prev[i] = s.Raw
+		e.buf = append(e.buf, byte(s.Kind))
+		e.buf = binary.AppendUvarint(e.buf, uint64(len(s.Name)))
+		e.buf = append(e.buf, s.Name...)
+		e.buf = binary.AppendUvarint(e.buf, s.Raw)
+	}
+	e.lastMicro = micro
+	return appendChunk(dst, chunkSchema, e.buf)
+}
+
+// reset forgets the schema, forcing the next encode to emit a full schema
+// chunk — called when the recorder rotates to a new file so every capture
+// file decodes standalone.
+func (e *encoder) reset() {
+	e.names, e.kinds, e.prev = nil, nil, nil
+}
+
+// decoder is the inverse state machine. It consumes whole chunks and
+// yields Samples; delta chunks before any schema chunk are corruption.
+type decoder struct {
+	names     []string
+	kinds     []obs.SeriesKind
+	cur       []uint64
+	lastMicro int64
+}
+
+// chunk decodes one chunk payload, returning the sample it carries.
+// Unknown kinds return ok=false with no error.
+func (d *decoder) chunk(kind byte, payload []byte) (s Sample, ok bool, err error) {
+	switch kind {
+	case chunkSchema:
+		return d.schema(payload)
+	case chunkDelta:
+		return d.delta(payload)
+	default:
+		return Sample{}, false, nil
+	}
+}
+
+// uvarint reads one varint from payload at off, failing as corrupt on
+// overlong or truncated encodings (the chunk is complete — its CRC
+// matched — so a bad varint cannot be a torn write).
+func uvarint(payload []byte, off int) (v uint64, n int, err error) {
+	v, n = binary.Uvarint(payload[off:])
+	if n <= 0 {
+		return 0, 0, corruptf("bad varint at payload offset %d", off)
+	}
+	return v, off + n, nil
+}
+
+func (d *decoder) schema(payload []byte) (Sample, bool, error) {
+	micro, off, err := uvarint(payload, 0)
+	if err != nil {
+		return Sample{}, false, err
+	}
+	n, off, err := uvarint(payload, off)
+	if err != nil {
+		return Sample{}, false, err
+	}
+	if n > maxChunkBytes/2 { // each series needs ≥2 payload bytes
+		return Sample{}, false, corruptf("schema declares %d series", n)
+	}
+	names := make([]string, n)
+	kinds := make([]obs.SeriesKind, n)
+	cur := make([]uint64, n)
+	for i := range names {
+		if off >= len(payload) {
+			return Sample{}, false, corruptf("schema truncated at series %d", i)
+		}
+		k := obs.SeriesKind(payload[off])
+		if k != obs.KindCounter && k != obs.KindGauge {
+			return Sample{}, false, corruptf("unknown series kind %d", k)
+		}
+		off++
+		nameLen, o, err := uvarint(payload, off)
+		if err != nil {
+			return Sample{}, false, err
+		}
+		off = o
+		if nameLen > uint64(len(payload)-off) {
+			return Sample{}, false, corruptf("series name overruns payload")
+		}
+		names[i] = string(payload[off : off+int(nameLen)])
+		off += int(nameLen)
+		raw, o, err := uvarint(payload, off)
+		if err != nil {
+			return Sample{}, false, err
+		}
+		off = o
+		kinds[i] = k
+		cur[i] = raw
+	}
+	if off != len(payload) {
+		return Sample{}, false, corruptf("%d trailing bytes in schema chunk", len(payload)-off)
+	}
+	d.names, d.kinds, d.cur = names, kinds, cur
+	d.lastMicro = int64(micro)
+	return d.sample(), true, nil
+}
+
+func (d *decoder) delta(payload []byte) (Sample, bool, error) {
+	if d.names == nil {
+		return Sample{}, false, corruptf("delta chunk before schema chunk")
+	}
+	dt, off, err := uvarint(payload, 0)
+	if err != nil {
+		return Sample{}, false, err
+	}
+	for i := range d.names {
+		diff, o, err := uvarint(payload, off)
+		if err != nil {
+			return Sample{}, false, err
+		}
+		off = o
+		if d.kinds[i] == obs.KindCounter {
+			d.cur[i] += diff
+		} else {
+			d.cur[i] ^= diff
+		}
+	}
+	if off != len(payload) {
+		return Sample{}, false, corruptf("%d trailing bytes in delta chunk", len(payload)-off)
+	}
+	d.lastMicro += int64(dt)
+	return d.sample(), true, nil
+}
+
+func (d *decoder) sample() Sample {
+	series := make([]obs.Series, len(d.names))
+	for i := range series {
+		series[i] = obs.Series{Name: d.names[i], Kind: d.kinds[i], Raw: d.cur[i]}
+	}
+	return Sample{Time: time.UnixMicro(d.lastMicro).UTC(), Series: series}
+}
+
+// Number is a convenience mirror of obs.Series.Number for decoded values
+// keyed by name; it returns the value of the named series in s and
+// whether it exists.
+func (s Sample) Number(name string) (float64, bool) {
+	for _, sr := range s.Series {
+		if sr.Name == name {
+			return sr.Number(), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,65 @@
+package flight
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"fdx/internal/obs"
+)
+
+// FuzzFlightDecode: arbitrary bytes must decode into samples or a typed
+// ErrCorrupt — never a panic, never an unbounded allocation, and a torn
+// final chunk must truncate cleanly (asserted by the valid-prefix seeds).
+func FuzzFlightDecode(f *testing.F) {
+	m := obs.NewRegistry()
+	m.Counter(obs.MRowsAbsorbed).Add(42)
+	m.Gauge(obs.MServeQueueDepth).Set(3)
+	m.Histogram(obs.StageHist("glasso")).Observe(0.01)
+
+	var e encoder
+	now := time.UnixMicro(1_700_000_000_000_000)
+	valid := []byte(magic)
+	for i := 0; i < 3; i++ {
+		m.Counter(obs.MRowsAbsorbed).Add(uint64(i))
+		valid = e.encode(valid, now.Add(time.Duration(i)*time.Second), m.Snapshot())
+	}
+
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // torn tail
+	f.Add(valid[:11])           // torn mid-first-chunk
+	corrupted := append([]byte(nil), valid...)
+	corrupted[len(magic)+5] ^= 0x40
+	f.Add(corrupted)
+	f.Add(append(append([]byte(nil), valid...), 0x7f, 0x03, 'a', 'b', 'c', 0, 0, 0, 0)) // unknown kind, bad crc
+	f.Add([]byte("FDXFTDC2 wrong version magic"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		samples, err := Decode(data)
+		if err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("non-typed error %v", err)
+		}
+		for _, s := range samples {
+			for _, sr := range s.Series {
+				_ = sr.Number()
+			}
+		}
+		// Every decodable capture's strict prefix is either decodable or
+		// typed-corrupt too, with no more samples than the whole.
+		if err == nil && len(data) > len(magic) {
+			cut := len(data) - 1 - (len(data)-len(magic))/2
+			if cut < len(magic) {
+				cut = len(magic)
+			}
+			prefix, perr := Decode(data[:cut])
+			if perr != nil && !errors.Is(perr, ErrCorrupt) {
+				t.Fatalf("prefix: non-typed error %v", perr)
+			}
+			if len(prefix) > len(samples) {
+				t.Fatalf("prefix decoded %d samples, whole only %d", len(prefix), len(samples))
+			}
+		}
+	})
+}

@@ -1,0 +1,295 @@
+package flight
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"fdx/internal/obs"
+)
+
+const (
+	filePrefix = "flight-"
+	fileSuffix = ".ftdc"
+
+	// DefaultInterval is the sampling period when Options.Interval is zero.
+	DefaultInterval = time.Second
+	// DefaultMaxFileBytes rotates capture files at 1 MiB.
+	DefaultMaxFileBytes = 1 << 20
+	// DefaultMaxFiles keeps an 8-file ring (~8 MiB, hours of 1 Hz history).
+	DefaultMaxFiles = 8
+)
+
+// Options configures a Recorder. The zero value of every field has a
+// usable default except Dir, which is required.
+type Options struct {
+	// Dir is the capture directory; created if absent. Each recorder run
+	// starts a fresh ring file, so captures from a crashed predecessor
+	// survive until the ring rotates them out.
+	Dir string
+	// Interval between samples (default DefaultInterval).
+	Interval time.Duration
+	// MaxFileBytes rotates the current file when it would grow past this
+	// (default DefaultMaxFileBytes).
+	MaxFileBytes int64
+	// MaxFiles bounds the ring; the oldest file is removed when a rotation
+	// would exceed it (default DefaultMaxFiles).
+	MaxFiles int
+	// Metrics is the registry to sample; nil records runtime stats only.
+	Metrics *obs.Registry
+	// NoRuntime drops the synthesized go_* series (goroutines, heap, GC).
+	NoRuntime bool
+	// OnError, when set, receives write/rotation errors. The recorder
+	// keeps running regardless — a full disk must not take down the host
+	// process; Close returns the first error either way.
+	OnError func(error)
+}
+
+// Recorder is a running flight recorder. Start it with Start, stop it
+// with Close; all sampling happens on one internal goroutine.
+type Recorder struct {
+	opts Options
+	kick chan chan struct{}
+	stop chan struct{}
+	done chan struct{}
+
+	mu      sync.Mutex
+	f       *os.File
+	size    int64
+	index   int
+	enc     encoder
+	scratch []byte
+	err     error
+}
+
+// Start creates the capture directory, opens a fresh ring file after any
+// predecessor's, and begins sampling every Interval. The first sample
+// (a full schema chunk) is written before Start returns, so even an
+// immediately-killed process leaves a decodable capture.
+func Start(opts Options) (*Recorder, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("flight: Options.Dir is required")
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultInterval
+	}
+	if opts.MaxFileBytes <= 0 {
+		opts.MaxFileBytes = DefaultMaxFileBytes
+	}
+	if opts.MaxFiles <= 0 {
+		opts.MaxFiles = DefaultMaxFiles
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("flight: %w", err)
+	}
+	r := &Recorder{
+		opts: opts,
+		kick: make(chan chan struct{}),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	next := 1
+	if files, err := Files(opts.Dir); err == nil && len(files) > 0 {
+		if i, ok := fileIndex(files[len(files)-1]); ok {
+			next = i + 1
+		}
+	}
+	if err := r.open(next); err != nil {
+		return nil, err
+	}
+	r.sample(time.Now())
+	go r.loop()
+	return r, nil
+}
+
+// Dir returns the capture directory.
+func (r *Recorder) Dir() string { return r.opts.Dir }
+
+// SampleNow forces one out-of-schedule sample and waits until it is
+// written — used by tests and by hosts that want a final state recorded
+// at a known boundary.
+func (r *Recorder) SampleNow() {
+	if r == nil {
+		return
+	}
+	ack := make(chan struct{})
+	select {
+	case r.kick <- ack:
+		<-ack
+	case <-r.done:
+	}
+}
+
+// Close writes one final sample, closes the capture file, and returns the
+// first error the recorder hit (nil in the common case). Close is
+// idempotent; a nil receiver is a no-op.
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	select {
+	case <-r.done:
+	default:
+		select {
+		case <-r.stop:
+		default:
+			close(r.stop)
+		}
+		<-r.done
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+func (r *Recorder) loop() {
+	defer close(r.done)
+	tick := time.NewTicker(r.opts.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case now := <-tick.C:
+			r.sample(now)
+		case ack := <-r.kick:
+			r.sample(time.Now())
+			close(ack)
+		case <-r.stop:
+			r.sample(time.Now())
+			r.mu.Lock()
+			if r.f != nil {
+				if err := r.f.Close(); err != nil && r.err == nil {
+					r.err = err
+				}
+				r.f = nil
+			}
+			r.mu.Unlock()
+			return
+		}
+	}
+}
+
+// sample snapshots the registry plus runtime stats and appends one chunk,
+// rotating the ring first when the file is full.
+func (r *Recorder) sample(now time.Time) {
+	series := r.opts.Metrics.Snapshot()
+	if !r.opts.NoRuntime {
+		series = appendRuntimeSeries(series)
+		sort.Slice(series, func(i, j int) bool { return series[i].Name < series[j].Name })
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.f == nil {
+		return
+	}
+	r.scratch = r.enc.encode(r.scratch[:0], now, series)
+	if r.size+int64(len(r.scratch)) > r.opts.MaxFileBytes && r.size > int64(len(magic)) {
+		if err := r.rotateLocked(); err != nil {
+			r.fail(err)
+			return
+		}
+		// A fresh file must decode standalone: re-encode as a schema chunk.
+		r.enc.reset()
+		r.scratch = r.enc.encode(r.scratch[:0], now, series)
+	}
+	n, err := r.f.Write(r.scratch)
+	r.size += int64(n)
+	if err != nil {
+		r.fail(err)
+	}
+}
+
+// open starts ring file #index (writing the magic) and prunes the ring.
+// Callers hold r.mu or have exclusive access.
+func (r *Recorder) open(index int) error {
+	path := filepath.Join(r.opts.Dir, fmt.Sprintf("%s%08d%s", filePrefix, index, fileSuffix))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("flight: %w", err)
+	}
+	if _, err := f.WriteString(magic); err != nil {
+		f.Close()
+		return fmt.Errorf("flight: %w", err)
+	}
+	r.f, r.size, r.index = f, int64(len(magic)), index
+	r.prune()
+	return nil
+}
+
+func (r *Recorder) rotateLocked() error {
+	if err := r.f.Close(); err != nil && r.err == nil {
+		r.err = err
+	}
+	r.f = nil
+	return r.open(r.index + 1)
+}
+
+// prune removes the oldest ring files beyond MaxFiles. Removal errors are
+// reported but never fatal.
+func (r *Recorder) prune() {
+	files, err := Files(r.opts.Dir)
+	if err != nil {
+		return
+	}
+	for len(files) > r.opts.MaxFiles {
+		if err := os.Remove(files[0]); err != nil {
+			r.fail(err)
+			return
+		}
+		files = files[1:]
+	}
+}
+
+// fail records the first error and forwards every error to OnError.
+// Callers hold r.mu.
+func (r *Recorder) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+	if r.opts.OnError != nil {
+		r.opts.OnError(err)
+	}
+}
+
+// fileIndex parses the ring index out of a capture file path.
+func fileIndex(path string) (int, bool) {
+	name := filepath.Base(path)
+	name = strings.TrimPrefix(name, filePrefix)
+	name = strings.TrimSuffix(name, fileSuffix)
+	i, err := strconv.Atoi(name)
+	if err != nil || i < 0 {
+		return 0, false
+	}
+	return i, true
+}
+
+// Runtime-stat series synthesized into every sample (unless NoRuntime):
+// the black box should answer "was it leaking goroutines / thrashing the
+// GC?" even when the host registered no metrics at all.
+const (
+	seriesGoroutines = "go_goroutines"
+	seriesHeapAlloc  = "go_heap_alloc_bytes"
+	seriesHeapSys    = "go_heap_sys_bytes"
+	seriesGCCycles   = "go_gc_cycles_total"
+	seriesGCPauseNs  = "go_gc_pause_ns_total"
+	seriesAllocTotal = "go_alloc_bytes_total"
+)
+
+func appendRuntimeSeries(series []obs.Series) []obs.Series {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return append(series,
+		obs.Series{Name: seriesGoroutines, Kind: obs.KindGauge, Raw: obs.GaugeBits(float64(runtime.NumGoroutine()))},
+		obs.Series{Name: seriesHeapAlloc, Kind: obs.KindGauge, Raw: obs.GaugeBits(float64(ms.HeapAlloc))},
+		obs.Series{Name: seriesHeapSys, Kind: obs.KindGauge, Raw: obs.GaugeBits(float64(ms.HeapSys))},
+		obs.Series{Name: seriesGCCycles, Kind: obs.KindCounter, Raw: uint64(ms.NumGC)},
+		obs.Series{Name: seriesGCPauseNs, Kind: obs.KindCounter, Raw: ms.PauseTotalNs},
+		obs.Series{Name: seriesAllocTotal, Kind: obs.KindCounter, Raw: ms.TotalAlloc},
+	)
+}

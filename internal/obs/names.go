@@ -41,6 +41,15 @@ const (
 	// MShardShipRetries counts shard-shipping requests the client retried
 	// after a retryable failure (timeout, 429/503, connection error).
 	MShardShipRetries = "fdx_shard_ship_retries_total"
+	// MShardRestarts counts shard workers restarted by the stream
+	// supervisor after a retryable failure (labeled per shard).
+	MShardRestarts = "fdx_shard_restarts_total"
+	// MShardStalls counts shard workers killed by the supervisor's stall
+	// watchdog (no checkpoint progress within the stall timeout).
+	MShardStalls = "fdx_shard_stalls_total"
+	// MShardShipped counts shard snapshots successfully shipped to a
+	// remote fdxd session in `fdx stream -ship` mode.
+	MShardShipped = "fdx_shard_shipped_total"
 
 	// Service (fdxd / internal/serve) metric names. Per-tenant series
 	// attach a tenant label via Labeled.

@@ -33,6 +33,19 @@ type Hooks struct {
 	// Metrics receives counters, gauges, and per-stage latency
 	// histograms; nil disables metric collection.
 	Metrics *Registry
+	// Labels, when set, are appended (key, value alternating) to every
+	// metric name recorded through these hooks via Labeled — how a
+	// multi-tenant host splits one pipeline's counters and stage
+	// histograms per tenant without threading names everywhere.
+	Labels []string
+}
+
+// metricName applies the hooks' label set to a metric name.
+func (h Hooks) metricName(name string) string {
+	if len(h.Labels) == 0 {
+		return name
+	}
+	return Labeled(name, h.Labels...)
 }
 
 // Enabled reports whether any sink is attached.
@@ -58,7 +71,7 @@ func (h Hooks) StartStage(name string) *Span {
 	if h.Metrics == nil {
 		return sp
 	}
-	hist := h.Metrics.Histogram(StageHist(name))
+	hist := h.Metrics.Histogram(h.metricName(StageHist(name)))
 	if sp == nil {
 		sp = &Span{name: name, start: time.Now()}
 	}
@@ -77,10 +90,16 @@ func (h Hooks) Under(sp *Span) Hooks {
 
 // Count adds delta to the named counter; a no-op without a registry.
 func (h Hooks) Count(name string, delta uint64) {
-	h.Metrics.Counter(name).Add(delta)
+	if h.Metrics == nil {
+		return
+	}
+	h.Metrics.Counter(h.metricName(name)).Add(delta)
 }
 
 // SetGauge sets the named gauge; a no-op without a registry.
 func (h Hooks) SetGauge(name string, v float64) {
-	h.Metrics.Gauge(name).Set(v)
+	if h.Metrics == nil {
+		return
+	}
+	h.Metrics.Gauge(h.metricName(name)).Set(v)
 }

@@ -15,10 +15,11 @@ import (
 // a fresh one per Discover call or stream session, then export with
 // WriteJSON or Summary.
 type Tracer struct {
-	mu    sync.Mutex
-	epoch time.Time
-	roots []*Span
-	mem   atomic.Bool
+	mu      sync.Mutex
+	epoch   time.Time
+	roots   []*Span
+	traceID string // lazily assigned W3C trace-id; see TraceID
+	mem     atomic.Bool
 }
 
 // New returns an empty tracer whose trace clock starts now.
@@ -103,8 +104,10 @@ type Span struct {
 	tracer     *Tracer // nil for detached metrics-only spans
 	parent     *Span
 	name       string
+	id         string // lazily assigned W3C span-id; see SpanID
 	start, end time.Time
 	ended      bool
+	remote     bool // attached from another process via AttachRemote
 	track      int
 	attrs      []Attr
 	children   []*Span

@@ -38,6 +38,7 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		return err
 	}
 	now := time.Now()
+	traceID := t.TraceID()
 	var events []traceEvent
 	for _, s := range t.Spans() {
 		s.mu.Lock()
@@ -62,6 +63,20 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		}
 		if s.mem && s.ended {
 			args["alloc_bytes"] = s.allocEnd - s.allocStart
+		}
+		// Chrome trace JSON has no native trace-context fields, so the W3C
+		// identity rides in args where Perfetto's query UI can still slice
+		// on it. Explicit attrs win over the synthesized values.
+		if _, set := args["trace_id"]; !set {
+			args["trace_id"] = traceID
+		}
+		if s.id != "" {
+			if _, set := args["span_id"]; !set {
+				args["span_id"] = s.id
+			}
+		}
+		if s.remote {
+			args["remote"] = true
 		}
 		s.mu.Unlock()
 		ev.Tid = s.effectiveTrack()

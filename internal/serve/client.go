@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"time"
 
 	"fdx"
@@ -36,6 +37,12 @@ type ShardClient struct {
 	Retry retry.Policy
 	// Metrics, when set, counts retried requests (obs.MShardShipRetries).
 	Metrics *fdx.Metrics
+	// Obs, when it carries a tracer or parent span, records one client
+	// span per attempt, injects its identity as a W3C `traceparent`
+	// header, and grafts the server's echoed span (X-Fdx-Trace) back in —
+	// so the caller's trace file shows both sides of the HTTP hop under
+	// one trace id.
+	Obs obs.Hooks
 }
 
 // RemoteError is a non-2xx response decoded from the wire-error envelope.
@@ -81,7 +88,7 @@ func (c *ShardClient) CreateSession(ctx context.Context, id string, attrs []stri
 	if err != nil {
 		return err
 	}
-	return c.call(ctx, http.MethodPost, "/v1/sessions", "application/json", body, nil)
+	return c.call(ctx, "create", http.MethodPost, "/v1/sessions", "application/json", body, nil)
 }
 
 // ShipShard sends one shard snapshot (checkpoint snapshot encoding) at the
@@ -91,7 +98,7 @@ func (c *ShardClient) CreateSession(ctx context.Context, id string, attrs []stri
 func (c *ShardClient) ShipShard(ctx context.Context, id string, seq int, snapshot []byte) (applied bool, err error) {
 	var reply rowsReply
 	path := fmt.Sprintf("/v1/sessions/%s/shards?seq=%d", id, seq)
-	if err := c.call(ctx, http.MethodPost, path, "application/octet-stream", snapshot, &reply); err != nil {
+	if err := c.call(ctx, "ship", http.MethodPost, path, "application/octet-stream", snapshot, &reply); err != nil {
 		return false, err
 	}
 	return reply.Applied, nil
@@ -100,14 +107,14 @@ func (c *ShardClient) ShipShard(ctx context.Context, id string, seq int, snapsho
 // Discover runs discovery on the session's merged state.
 func (c *ShardClient) Discover(ctx context.Context, id string) (*DiscoverResponse, error) {
 	var reply DiscoverResponse
-	if err := c.call(ctx, http.MethodPost, "/v1/sessions/"+id+"/discover", "application/json", nil, &reply); err != nil {
+	if err := c.call(ctx, "discover", http.MethodPost, "/v1/sessions/"+id+"/discover", "application/json", nil, &reply); err != nil {
 		return nil, err
 	}
 	return &reply, nil
 }
 
 // call runs one request under the retry policy.
-func (c *ShardClient) call(ctx context.Context, method, path, contentType string, body []byte, out any) error {
+func (c *ShardClient) call(ctx context.Context, op, method, path, contentType string, body []byte, out any) error {
 	p := c.Retry
 	userNotify := p.Notify
 	p.Notify = func(attempt int, wait time.Duration, err error) {
@@ -118,15 +125,20 @@ func (c *ShardClient) call(ctx context.Context, method, path, contentType string
 			userNotify(attempt, wait, err)
 		}
 	}
-	return p.Do(ctx, func(int) (time.Duration, error) {
-		return c.once(ctx, method, path, contentType, body, out)
+	return p.Do(ctx, func(attempt int) (time.Duration, error) {
+		return c.once(ctx, op, attempt, method, path, contentType, body, out)
 	})
 }
 
 // once performs a single attempt, classifying the outcome for the retry
 // loop: nil on 2xx, a retryable error (with the server's Retry-After, if
 // named) on transport failures and 429/5xx, retry.Permanent otherwise.
-func (c *ShardClient) once(ctx context.Context, method, path, contentType string, body []byte, out any) (time.Duration, error) {
+func (c *ShardClient) once(ctx context.Context, op string, attempt int, method, path, contentType string, body []byte, out any) (time.Duration, error) {
+	sp := c.Obs.Start("serve." + op)
+	defer sp.End()
+	if attempt > 0 {
+		sp.Attr("attempt", attempt+1)
+	}
 	timeout := c.RequestTimeout
 	if timeout <= 0 {
 		timeout = 30 * time.Second
@@ -144,6 +156,9 @@ func (c *ShardClient) once(ctx context.Context, method, path, contentType string
 	if c.Tenant != "" {
 		req.Header.Set("X-Fdx-Tenant", c.Tenant)
 	}
+	if tid := sp.TraceID(); tid != "" {
+		req.Header.Set("traceparent", obs.Traceparent(tid, sp.SpanID()))
+	}
 	hc := c.HTTPClient
 	if hc == nil {
 		hc = http.DefaultClient
@@ -151,9 +166,11 @@ func (c *ShardClient) once(ctx context.Context, method, path, contentType string
 	resp, err := hc.Do(req)
 	if err != nil {
 		// Transport failure: the server may be restarting; retry.
+		sp.Attr("error", err.Error())
 		return 0, fmt.Errorf("serve: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
+	graftEcho(sp, resp.Header.Get(TraceEchoHeader))
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxShardBytes))
 	if err != nil {
 		return 0, fmt.Errorf("serve: reading %s %s response: %w", method, path, err)
@@ -176,4 +193,31 @@ func (c *ShardClient) once(ctx context.Context, method, path, contentType string
 		return time.Duration(envelope.Error.RetryAfterMS) * time.Millisecond, rerr
 	}
 	return 0, retry.Permanent(rerr)
+}
+
+// graftEcho attaches the server's echoed span (X-Fdx-Trace) under the
+// client attempt span, preserving the remote span id and annotations.
+// Best-effort: a missing or malformed echo changes nothing.
+func graftEcho(sp *obs.Span, echo string) {
+	if sp == nil || echo == "" {
+		return
+	}
+	var wt WireTrace
+	if err := json.Unmarshal([]byte(echo), &wt); err != nil || wt.Name == "" {
+		return
+	}
+	keys := make([]string, 0, len(wt.Attrs))
+	for k := range wt.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	attrs := make([]obs.Attr, 0, len(keys)+1)
+	for _, k := range keys {
+		attrs = append(attrs, obs.Attr{Key: k, Value: wt.Attrs[k]})
+	}
+	if wt.TraceID != "" {
+		attrs = append(attrs, obs.Attr{Key: "trace_id", Value: wt.TraceID})
+	}
+	sp.AttachRemote(wt.Name, wt.SpanID, time.UnixMicro(wt.StartUnixUS),
+		time.Duration(wt.DurUS)*time.Microsecond, attrs...)
 }

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"fdx/internal/obs"
+)
+
+// Cross-process tracing: fdxd cannot append spans to the caller's in-memory
+// trace, and Chrome trace JSON has no wire format for context propagation —
+// so the link is made twice. Inbound, the middleware parses the W3C
+// `traceparent` header to adopt the caller's trace-id. Outbound, it echoes
+// the server span (identity, timing, request annotations) as JSON in the
+// X-Fdx-Trace response header, which ShardClient grafts into the caller's
+// tracer via Span.AttachRemote. The result: one `fdx stream -trace` file
+// holds supervisor, shard worker, and fdxd server spans under one trace-id.
+
+// TraceEchoHeader carries the server span back to the client as JSON
+// (a WireTrace).
+const TraceEchoHeader = "X-Fdx-Trace"
+
+// WireTrace is the X-Fdx-Trace payload: enough to reconstruct the server
+// span inside the caller's trace.
+type WireTrace struct {
+	Name        string         `json:"name"`
+	TraceID     string         `json:"trace_id"`
+	SpanID      string         `json:"span_id"`
+	ParentID    string         `json:"parent_span_id,omitempty"`
+	StartUnixUS int64          `json:"start_unix_us"`
+	DurUS       int64          `json:"dur_us"`
+	Attrs       map[string]any `json:"attrs,omitempty"`
+}
+
+// reqScope is the per-request observability state: trace identity plus the
+// structured-log fields handlers annotate as they learn them (session id
+// at routing, seq after body decode).
+type reqScope struct {
+	name    string
+	traceID string
+	spanID  string
+	parent  string
+	start   time.Time
+
+	mu    sync.Mutex
+	attrs []obs.Attr
+}
+
+type reqScopeKey struct{}
+
+// annotate attaches a key/value to the request's log line and trace echo.
+// Safe to call with any request, including ones outside route().
+func annotate(r *http.Request, key string, value any) {
+	if sc, ok := r.Context().Value(reqScopeKey{}).(*reqScope); ok {
+		sc.mu.Lock()
+		sc.attrs = append(sc.attrs, obs.Attr{Key: key, Value: value})
+		sc.mu.Unlock()
+	}
+}
+
+func (sc *reqScope) snapshot() []obs.Attr {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return append([]obs.Attr(nil), sc.attrs...)
+}
+
+// wire renders the span echo for the response header.
+func (sc *reqScope) wire(now time.Time) string {
+	wt := WireTrace{
+		Name:        sc.name,
+		TraceID:     sc.traceID,
+		SpanID:      sc.spanID,
+		ParentID:    sc.parent,
+		StartUnixUS: sc.start.UnixMicro(),
+		DurUS:       now.Sub(sc.start).Microseconds(),
+	}
+	if attrs := sc.snapshot(); len(attrs) > 0 {
+		wt.Attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			wt.Attrs[a.Key] = a.Value
+		}
+	}
+	b, err := json.Marshal(wt)
+	if err != nil {
+		return ""
+	}
+	return string(b)
+}
+
+// echoWriter wraps the ResponseWriter to capture the status code and to
+// emit the trace echo at WriteHeader time — the last moment a header can
+// still be set, with the request's handling all but complete.
+type echoWriter struct {
+	http.ResponseWriter
+	scope  *reqScope
+	status int
+}
+
+func (ew *echoWriter) WriteHeader(status int) {
+	if ew.status == 0 {
+		ew.status = status
+		//fdx:lint-ignore detsource span timing for telemetry echo; never feeds FD scores
+		if echo := ew.scope.wire(time.Now()); echo != "" {
+			ew.Header().Set(TraceEchoHeader, echo)
+		}
+	}
+	ew.ResponseWriter.WriteHeader(status)
+}
+
+func (ew *echoWriter) Write(b []byte) (int, error) {
+	if ew.status == 0 {
+		ew.WriteHeader(http.StatusOK)
+	}
+	return ew.ResponseWriter.Write(b)
+}
+
+// beginScope builds the request scope, adopting the caller's trace-id from
+// a valid traceparent header and minting a fresh one otherwise.
+func beginScope(name string, r *http.Request, start time.Time) *reqScope {
+	sc := &reqScope{name: "fdxd." + name, spanID: obs.NewSpanID(), start: start}
+	if tid, parent, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		sc.traceID, sc.parent = tid, parent
+	} else {
+		sc.traceID = obs.NewTraceID()
+	}
+	return sc
+}
+
+// logRequest emits the request-scoped structured line: every request gets
+// one at Info with trace/span ids, tenant, and whatever the handler
+// annotated (session, seq); requests over the slow threshold additionally
+// get a Warn, so `grep slow_request` works on an incident box.
+func (sv *Server) logRequest(r *http.Request, sc *reqScope, status int, dur time.Duration) {
+	attrs := []slog.Attr{
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		slog.Duration("dur", dur),
+		slog.String("tenant", tenantOf(r)),
+		slog.String("trace_id", sc.traceID),
+		slog.String("span_id", sc.spanID),
+	}
+	for _, a := range sc.snapshot() {
+		attrs = append(attrs, slog.Any(a.Key, a.Value))
+	}
+	sv.cfg.Log.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+	if sv.cfg.SlowRequest > 0 && dur >= sv.cfg.SlowRequest {
+		attrs = append(attrs, slog.Duration("threshold", sv.cfg.SlowRequest))
+		sv.cfg.Log.LogAttrs(r.Context(), slog.LevelWarn, "slow_request", attrs...)
+	}
+}

@@ -11,7 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -52,8 +52,13 @@ type Config struct {
 	// Metrics receives service counters and histograms; nil creates a
 	// private registry (exposed at /metrics either way).
 	Metrics *fdx.Metrics
-	// Log receives operational lines; nil discards them.
-	Log *log.Logger
+	// Log receives request-scoped structured lines (trace/span ids,
+	// tenant, session, seq) and operational events; nil discards them.
+	Log *slog.Logger
+	// SlowRequest is the slow-request log threshold: requests at or over
+	// it are re-logged at Warn as "slow_request". Default 1s; negative
+	// disables.
+	SlowRequest time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -76,7 +81,10 @@ func (c Config) withDefaults() Config {
 		c.Metrics = fdx.NewMetrics()
 	}
 	if c.Log == nil {
-		c.Log = log.New(io.Discard, "", 0)
+		c.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.SlowRequest == 0 {
+		c.SlowRequest = time.Second
 	}
 	return c
 }
@@ -127,12 +135,12 @@ func (sv *Server) Metrics() *fdx.Metrics { return sv.cfg.Metrics }
 // Handler returns the fdxd route table.
 func (sv *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sessions", sv.route(sv.handleCreate))
-	mux.HandleFunc("GET /v1/sessions/{id}", sv.route(sv.handleGet))
-	mux.HandleFunc("DELETE /v1/sessions/{id}", sv.route(sv.handleDelete))
-	mux.HandleFunc("POST /v1/sessions/{id}/rows", sv.route(sv.handleRows))
-	mux.HandleFunc("POST /v1/sessions/{id}/shards", sv.route(sv.handleShards))
-	mux.HandleFunc("POST /v1/sessions/{id}/discover", sv.route(sv.handleDiscover))
+	mux.HandleFunc("POST /v1/sessions", sv.route("create", sv.handleCreate))
+	mux.HandleFunc("GET /v1/sessions/{id}", sv.route("get", sv.handleGet))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", sv.route("delete", sv.handleDelete))
+	mux.HandleFunc("POST /v1/sessions/{id}/rows", sv.route("rows", sv.handleRows))
+	mux.HandleFunc("POST /v1/sessions/{id}/shards", sv.route("shards", sv.handleShards))
+	mux.HandleFunc("POST /v1/sessions/{id}/discover", sv.route("discover", sv.handleDiscover))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		if sv.draining.Load() {
 			w.WriteHeader(http.StatusServiceUnavailable)
@@ -163,12 +171,22 @@ func (sv *Server) HTTPServer(addr string) *http.Server {
 }
 
 // route wraps a handler with the service envelope: drain shedding, the
-// in-flight ledger, the per-request deadline, panic recovery, and JSON
-// error rendering.
-func (sv *Server) route(h func(w http.ResponseWriter, r *http.Request) *httpError) http.HandlerFunc {
+// in-flight ledger, the per-request deadline, panic recovery, JSON error
+// rendering — and the observability scope, which adopts the caller's W3C
+// traceparent, echoes the server span in X-Fdx-Trace, and emits one
+// structured log line per request (see middleware.go).
+func (sv *Server) route(name string, h func(w http.ResponseWriter, r *http.Request) *httpError) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		//fdx:lint-ignore detsource request timing for logs and trace echo; never feeds FD scores
+		start := time.Now()
+		scope := beginScope(name, r, start)
+		r = r.WithContext(context.WithValue(r.Context(), reqScopeKey{}, scope))
+		ew := &echoWriter{ResponseWriter: w, scope: scope}
+		if id := r.PathValue("id"); id != "" {
+			annotate(r, "session", id)
+		}
 		if sv.draining.Load() {
-			sv.shed(w, serveError(http.StatusServiceUnavailable, CodeDraining,
+			sv.shed(ew, serveError(http.StatusServiceUnavailable, CodeDraining,
 				"server is draining").withRetry(sv.cfg.DrainTimeout))
 			return
 		}
@@ -179,13 +197,20 @@ func (sv *Server) route(h func(w http.ResponseWriter, r *http.Request) *httpErro
 		r = r.WithContext(ctx)
 		defer func() {
 			if p := recover(); p != nil {
-				sv.cfg.Log.Printf("fdxd: panic in %s %s: %v", r.Method, r.URL.Path, p)
-				sv.writeError(w, serveError(http.StatusInternalServerError, CodeInternal,
+				sv.cfg.Log.Error("panic", "method", r.Method, "path", r.URL.Path,
+					"trace_id", scope.traceID, "panic", fmt.Sprint(p))
+				sv.writeError(ew, serveError(http.StatusInternalServerError, CodeInternal,
 					fmt.Sprintf("recovered: %v", p)))
 			}
+			status := ew.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			//fdx:lint-ignore detsource request timing for logs and trace echo; never feeds FD scores
+			sv.logRequest(r, scope, status, time.Since(start))
 		}()
-		if herr := h(w, r); herr != nil {
-			sv.writeError(w, herr)
+		if herr := h(ew, r); herr != nil {
+			sv.writeError(ew, herr)
 		}
 	}
 }
@@ -289,7 +314,7 @@ func (sv *Server) handleCreate(w http.ResponseWriter, r *http.Request) *httpErro
 	}
 	sv.cfg.Metrics.Gauge(obs.Labeled(obs.MServeSessions, "tenant", tenant)).
 		Set(float64(sv.store.tenantSessions()[tenant]))
-	sv.cfg.Log.Printf("fdxd: session %s created (tenant %s, %d attributes)", s.id, tenant, len(s.names))
+	sv.cfg.Log.Info("session_created", "session", s.id, "tenant", tenant, "attributes", len(s.names))
 	writeJSON(w, status, replyFor(s))
 	return nil
 }
@@ -342,6 +367,7 @@ func (sv *Server) handleRows(w http.ResponseWriter, r *http.Request) *httpError 
 	if req.Seq < 1 {
 		return serveError(http.StatusBadRequest, CodeBadInput, "seq must be >= 1")
 	}
+	annotate(r, "seq", req.Seq)
 	if ok, retry := sv.tenants.TakeRows(tenant, len(req.Rows)); !ok {
 		sv.cfg.Metrics.Counter(obs.Labeled(obs.MServeShed, "tenant", tenant)).Inc()
 		return serveError(http.StatusTooManyRequests, CodeRateLimited,
@@ -362,7 +388,7 @@ func (sv *Server) handleRows(w http.ResponseWriter, r *http.Request) *httpError 
 		sv.cfg.Metrics.Counter(obs.Labeled(obs.MServeRows, "tenant", tenant)).Add(uint64(len(req.Rows)))
 		sv.cfg.Metrics.Counter(obs.Labeled(obs.MServeBatches, "tenant", tenant)).Inc()
 		//fdx:lint-ignore detsource ingest latency metric; never feeds FD scores
-		sv.cfg.Metrics.Histogram(obs.Labeled(obs.MServeIngestSeconds, "tenant", tenant)).
+		sv.cfg.Metrics.HistogramBuckets(obs.Labeled(obs.MServeIngestSeconds, "tenant", tenant), obs.ServeBuckets).
 			Observe(time.Since(t0).Seconds())
 	}
 	rows, batches := s.stats()
@@ -391,6 +417,7 @@ func (sv *Server) handleShards(w http.ResponseWriter, r *http.Request) *httpErro
 	if err != nil || seq < 1 {
 		return serveError(http.StatusBadRequest, CodeBadInput, "seq query parameter must be an integer >= 1")
 	}
+	annotate(r, "seq", seq)
 	snap, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxShardBytes))
 	if err != nil {
 		return serveError(http.StatusBadRequest, CodeBadInput, "reading shard snapshot: "+err.Error())
@@ -470,7 +497,7 @@ func (sv *Server) handleDiscover(w http.ResponseWriter, r *http.Request) *httpEr
 	}
 	sv.cfg.Metrics.Counter(obs.Labeled(obs.MServeDiscovers, "tenant", tenant)).Inc()
 	//fdx:lint-ignore detsource discover latency metric; never feeds FD scores
-	sv.cfg.Metrics.Histogram(obs.Labeled(obs.MServeDiscoverSeconds, "tenant", tenant)).
+	sv.cfg.Metrics.HistogramBuckets(obs.Labeled(obs.MServeDiscoverSeconds, "tenant", tenant), obs.ServeBuckets).
 		Observe(time.Since(t0).Seconds())
 	res := out.res
 	reply := DiscoverResponse{
@@ -497,7 +524,7 @@ func (sv *Server) Drain() error {
 	if !sv.draining.CompareAndSwap(false, true) {
 		return nil
 	}
-	sv.cfg.Log.Printf("fdxd: draining (timeout %s)", sv.cfg.DrainTimeout)
+	sv.cfg.Log.Info("draining", "timeout", sv.cfg.DrainTimeout)
 	//fdx:lint-ignore detsource drain duration metric; never feeds FD scores
 	t0 := time.Now()
 	done := make(chan struct{})
@@ -530,6 +557,6 @@ func (sv *Server) Drain() error {
 	if timedOut {
 		return fmt.Errorf("serve: drain deadline (%s) passed with requests still in flight; sessions checkpointed anyway", sv.cfg.DrainTimeout)
 	}
-	sv.cfg.Log.Printf("fdxd: drain complete in %s", time.Since(t0).Round(time.Millisecond))
+	sv.cfg.Log.Info("drain_complete", "dur", time.Since(t0).Round(time.Millisecond))
 	return nil
 }

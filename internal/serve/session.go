@@ -38,8 +38,11 @@ type SessionOptions struct {
 
 // options maps the wire options onto fdx.Options, attaching the server's
 // metrics registry so WAL and checkpoint counters flow into /metrics.
-func (o SessionOptions) options(m *fdx.Metrics) fdx.Options {
+// MetricLabels splits every pipeline series — including the per-stage
+// fdx_stage_*_seconds histograms — by the owning tenant.
+func (o SessionOptions) options(m *fdx.Metrics, tenant string) fdx.Options {
 	return fdx.Options{
+		MetricLabels:       []string{"tenant", tenant},
 		Lambda:             o.Lambda,
 		Threshold:          o.Threshold,
 		RelFraction:        o.RelFraction,
@@ -269,7 +272,7 @@ func (st *sessionStore) create(id, tenant string, names []string, wopts SessionO
 		tenant: tenant,
 		names:  append([]string(nil), names...),
 		wopts:  wopts,
-		opts:   wopts.options(st.registry),
+		opts:   wopts.options(st.registry, tenant),
 		path:   filepath.Join(st.dir, id+checkpointSuffix),
 	}
 	s.acc = fdx.NewAccumulator(s.names, s.opts)
@@ -374,7 +377,7 @@ func (st *sessionStore) restore() error {
 			tenant: m.Tenant,
 			names:  m.Attributes,
 			wopts:  m.Options,
-			opts:   m.Options.options(st.registry),
+			opts:   m.Options.options(st.registry, m.Tenant),
 			path:   filepath.Join(st.dir, m.ID+checkpointSuffix),
 		}
 		acc, err := fdx.LoadCheckpoint(s.path, s.opts)
