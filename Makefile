@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-tests lint-baseline lint-report test-race test-faults test-crash test-serve test-shard fuzz bench bench-obs bench-flight bench-kernels bench-kernels-short bench-serve bench-serve-short bench-shard-short experiments fast-experiments fmt loc
+.PHONY: all build test vet lint lint-tests lint-baseline lint-report test-race test-faults test-crash test-serve test-shard fuzz bench bench-obs bench-flight bench-kernels bench-kernels-short bench-kernels-wide experiments fast-experiments bench-serve bench-serve-short bench-shard-short fmt loc
 
 all: build vet lint test
 
@@ -106,12 +106,19 @@ bench:
 # committed baseline (speedup ratios with 10% slack; allocs exactly), then
 # refreshes BENCH_kernels.json.
 bench-kernels:
-	$(GO) run ./cmd/fdxbench -kernels BENCH_kernels.json -compare BENCH_kernels.json
+	$(GO) run ./cmd/fdxbench -kernels BENCH_kernels.json -wide -compare BENCH_kernels.json
 
 # CI smoke variant: reduced sizes and repetitions, gated against the
 # committed baseline without touching it.
 bench-kernels-short:
 	$(GO) run ./cmd/fdxbench -kernels /tmp/BENCH_kernels_ci.json -short -compare BENCH_kernels.json
+
+# Wide-schema smoke: the screened block solver at p=256 (short mode keeps
+# the dense reference solve affordable), gated against the committed
+# baseline without touching it. The full wide sweep (p up to 1024) runs
+# via `make bench-kernels`.
+bench-kernels-wide:
+	$(GO) run ./cmd/fdxbench -kernels /tmp/BENCH_kernels_wide_ci.json -short -wide -compare BENCH_kernels.json
 
 # Service benchmark: multi-tenant ingest throughput over HTTP, discover
 # latency quantiles, and the shed rate under deliberate overload

@@ -35,8 +35,12 @@ type kernelsReport struct {
 	Short  bool          `json:"short"`
 	Matmul []matmulBench `json:"matmul"`
 	Glasso []glassoBench `json:"glasso"`
-	Absorb absorbBench   `json:"absorb"`
-	Allocs allocsBench   `json:"allocs"`
+	// Wide measures the covariance-screened block solver on planted
+	// block-structured matrices at widths the dense solver cannot touch
+	// economically (-wide; empty when the section did not run).
+	Wide   []wideBench `json:"wide,omitempty"`
+	Absorb absorbBench `json:"absorb"`
+	Allocs allocsBench `json:"allocs"`
 }
 
 type matmulBench struct {
@@ -65,6 +69,36 @@ type glassoBench struct {
 	SpeedupWorkers float64 `json:"speedup_workers"`
 }
 
+// wideBench measures one wide-schema size on a planted block-structured
+// covariance (SPD blocks of 64, cross-block entries at most λ in
+// magnitude): the historical dense path (NoScreen), the screened
+// block-diagonal solve at Workers=1, and the screened solve with the
+// block fan-out at Workers=8. All three run a pinned sweep budget so the
+// ratios compare identical arithmetic.
+type wideBench struct {
+	P      int     `json:"p"`
+	Lambda float64 `json:"lambda"`
+	// Blocks and ScreenedRatio describe what the screening pass found:
+	// the connected-component count and the fraction of precision
+	// entries proved zero without arithmetic (1 − Σ|block|²/p²).
+	Blocks        int     `json:"blocks"`
+	ScreenedRatio float64 `json:"screened_ratio"`
+	Sweeps        int     `json:"sweeps"`
+	DenseMillis   float64 `json:"dense_ms"`
+	// ScreenedMillis is the screened solve at Workers=1 — the screening
+	// win alone, no parallelism.
+	ScreenedMillis float64 `json:"screened_ms"`
+	// ParallelMillis is the screened solve at Workers=8.
+	ParallelMillis float64 `json:"parallel_ms"`
+	// SpeedupVsDense is dense vs screened at Workers=1, both measured in
+	// this run — machine-portable, gated against the baseline.
+	SpeedupVsDense float64 `json:"speedup_vs_dense"`
+	// SpeedupWorkers is screened Workers=1 vs Workers=8 wall clock. On a
+	// multi-core run this must clear the absolute floor regardless of
+	// what machine recorded the baseline (see compareKernels).
+	SpeedupWorkers float64 `json:"speedup_workers"`
+}
+
 type absorbBench struct {
 	Rows       int     `json:"rows"`
 	Attributes int     `json:"attributes"`
@@ -84,12 +118,18 @@ type allocsBench struct {
 	// solve divided by the extra sweeps), isolating the sweep loop from
 	// per-solve setup.
 	GlassoSweepPerOp float64 `json:"glasso_sweep_per_op"`
+	// ScreenPerOp is allocations per covariance-screening pass into a
+	// retained Partition (glasso.ScreenInto, scratch warm).
+	ScreenPerOp float64 `json:"screen_per_op"`
+	// ScatterPerOp is allocations per block scatter into a caller-owned
+	// dense matrix (linalg.ScatterSym).
+	ScatterPerOp float64 `json:"scatter_per_op"`
 }
 
 // runKernelBench measures the kernel layer, writes the JSON report to
 // outPath, and — when basePath is non-empty — gates against the baseline
 // report, returning non-zero on a regression.
-func runKernelBench(outPath, basePath string, short bool) int {
+func runKernelBench(outPath, basePath string, short, wide bool) int {
 	// Load the baseline up front: outPath and basePath may be the same
 	// file ("gate against the last committed run, then refresh it"), so
 	// the baseline must be read before the report is written.
@@ -122,6 +162,15 @@ func runKernelBench(outPath, basePath string, short bool) int {
 	}
 	for _, p := range ps {
 		rep.Glasso = append(rep.Glasso, benchGlasso(p, glassoReps))
+	}
+	if wide {
+		wps := []int{256, 512, 1024}
+		if short {
+			wps = []int{256}
+		}
+		for _, p := range wps {
+			rep.Wide = append(rep.Wide, benchWide(p, glassoReps))
+		}
 	}
 	rep.Absorb = benchAbsorb(short)
 	rep.Allocs = benchAllocs()
@@ -258,6 +307,96 @@ func benchGlasso(p, reps int) glassoBench {
 	}
 }
 
+// plantedCovariance builds a deterministic covariance of order p with
+// known block structure: SPD diagonal blocks of blockSize (Gaussian
+// GᵀG/b plus a diagonal shift large enough to dominate the cross-block
+// noise), and cross-block entries uniform in (−λ/2, λ/2) — real sub-
+// threshold noise the screening pass must prove irrelevant, not exact
+// zeros it could shortcut on.
+func plantedCovariance(p, blockSize int, lambda float64) *linalg.Dense {
+	rng := rand.New(rand.NewSource(int64(p)*104729 + 17))
+	s := linalg.NewDense(p, p)
+	for lo := 0; lo < p; lo += blockSize {
+		hi := lo + blockSize
+		if hi > p {
+			hi = p
+		}
+		b := hi - lo
+		g := linalg.NewDense(b, b)
+		for i := 0; i < b; i++ {
+			for j := 0; j < b; j++ {
+				g.Set(i, j, rng.NormFloat64())
+			}
+		}
+		blk := linalg.MulTo(linalg.NewDense(b, b), g.Transpose(), g)
+		blk.Scale(1 / float64(b))
+		for i := 0; i < b; i++ {
+			for j := 0; j < b; j++ {
+				s.Set(lo+i, lo+j, blk.At(i, j))
+			}
+			// The shift keeps the full matrix SPD: the cross-block noise
+			// has spectral norm ≈ 2·(λ/2/√3)·√p ≈ 3.7 at p=1024, λ=0.2.
+			s.Add(lo+i, lo+i, 4.5)
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := i + 1; j < p; j++ {
+			if i/blockSize != j/blockSize {
+				v := (rng.Float64() - 0.5) * lambda
+				s.Set(i, j, v)
+				s.Set(j, i, v)
+			}
+		}
+	}
+	s.Symmetrize()
+	return s
+}
+
+func benchWide(p, reps int) wideBench {
+	const (
+		lambda    = 0.2
+		blockSize = 64
+	)
+	s := plantedCovariance(p, blockSize, lambda)
+	// A pinned sweep budget with an unreachable tolerance makes every
+	// variant run identical arithmetic (3 outer sweeps), so the ratios
+	// measure per-sweep cost, not convergence luck. Converged=false is
+	// expected and not an error.
+	opts := glasso.Options{Lambda: lambda, MaxIter: 3, Tol: 1e-300}
+
+	out := wideBench{P: p, Lambda: lambda}
+	run := func(noScreen bool, workers int) func() {
+		return func() {
+			o := opts
+			o.NoScreen = noScreen
+			o.Workers = workers
+			br, err := glasso.SolveBlocks(s, o)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fdxbench: wide glasso:", err)
+				os.Exit(1)
+			}
+			if !noScreen {
+				out.Blocks = br.Part.NumBlocks()
+				out.ScreenedRatio = br.Part.ScreenedRatio()
+				out.Sweeps = br.Iterations()
+			}
+		}
+	}
+	// Warm every variant before timing (heap growth, workspace pools).
+	run(true, 1)()
+	run(false, 1)()
+	run(false, 8)()
+	dense := bestOf(reps, run(true, 1))
+	screened := bestOf(reps, run(false, 1))
+	par8 := bestOf(reps, run(false, 8))
+	out.DenseMillis = float64(dense.Microseconds()) / 1e3
+	out.ScreenedMillis = float64(screened.Microseconds()) / 1e3
+	out.ParallelMillis = float64(par8.Microseconds()) / 1e3
+	out.SpeedupVsDense = dense.Seconds() / screened.Seconds()
+	out.SpeedupWorkers = screened.Seconds() / par8.Seconds()
+	return out
+}
+
 func benchAbsorb(short bool) absorbBench {
 	rows, batchRows := 100_000, 1024
 	if short {
@@ -347,10 +486,29 @@ func benchAllocs() allocsBench {
 	if perSweep < 0 {
 		perSweep = 0
 	}
+
+	// Screening pass into a retained Partition: after the first call
+	// sizes the scratch, re-screening the same width allocates nothing.
+	sw := plantedCovariance(256, 64, 0.2)
+	part := glasso.Screen(sw, 0.2)
+	screenAllocs := testing.AllocsPerRun(10, func() { glasso.ScreenInto(part, sw, 0.2) })
+
+	// Block scatter into a caller-owned dense matrix.
+	idx := make([]int, 64)
+	for i := range idx {
+		idx[i] = i * 4
+	}
+	sub := linalg.NewDense(64, 64)
+	linalg.GatherSym(sub, sw, idx)
+	dst := linalg.NewDense(256, 256)
+	scatterAllocs := testing.AllocsPerRun(10, func() { linalg.ScatterSym(dst, sub, idx) })
+
 	return allocsBench{
 		MulToPerOp:       mulAllocs,
 		AxpyDotPerOp:     vecAllocs,
 		GlassoSweepPerOp: perSweep,
+		ScreenPerOp:      screenAllocs,
+		ScatterPerOp:     scatterAllocs,
 	}
 }
 
@@ -377,9 +535,13 @@ const compareRatioSlack = 0.9
 const compareMinMillis = 1.0
 
 // minParallelSpeedup is the absolute workers1-vs-workers8 floor a
-// multi-core run must clear at its largest reliably-timed glasso size.
-// Deliberately modest: the gate exists to catch the fan-out silently
-// serializing, not to demand linear scaling.
+// multi-core run must clear at its largest reliably-timed wide-glasso
+// size — the screened block fan-out is the only remaining parallel path
+// in the solver, so that is where serialization would show. Deliberately
+// modest: the gate exists to catch the fan-out silently serializing, not
+// to demand linear scaling. It applies whenever the CURRENT run is
+// multi-core, regardless of what machine recorded the baseline, so a
+// parallel regression cannot hide behind a single-core baseline.
 const minParallelSpeedup = 1.05
 
 // multiCore reports whether a run had real parallelism available.
@@ -449,16 +611,55 @@ func compareKernels(cur, base *kernelsReport) []string {
 			}
 		}
 	}
+	// Wide section: the screening win (dense vs screened at Workers=1) is
+	// a same-run ratio gated like every other speedup; the block fan-out
+	// additionally owes an absolute speedup on any multi-core current run
+	// — baseline or not — at the largest reliably-timed size. (The dense
+	// glasso sizes above are single connected components after screening,
+	// so their workers ratio legitimately sits at 1.0; the wide sizes are
+	// where worker scaling is load-bearing.)
+	for _, bw := range base.Wide {
+		if bw.DenseMillis < compareMinMillis {
+			continue
+		}
+		for _, cw := range cur.Wide {
+			if cw.P != bw.P {
+				continue
+			}
+			if cw.SpeedupVsDense < bw.SpeedupVsDense*compareRatioSlack {
+				failures = append(failures, fmt.Sprintf(
+					"wide p=%d: screened-vs-dense speedup %.2fx fell more than 10%% below baseline %.2fx",
+					cw.P, cw.SpeedupVsDense, bw.SpeedupVsDense))
+			}
+		}
+	}
+	if multiCore(cur) && multiCore(base) {
+		for _, bw := range base.Wide {
+			if bw.ScreenedMillis < compareMinMillis {
+				continue
+			}
+			for _, cw := range cur.Wide {
+				if cw.P != bw.P {
+					continue
+				}
+				if cw.SpeedupWorkers < bw.SpeedupWorkers*compareRatioSlack {
+					failures = append(failures, fmt.Sprintf(
+						"wide p=%d: parallel speedup %.2fx fell more than 10%% below baseline %.2fx",
+						cw.P, cw.SpeedupWorkers, bw.SpeedupWorkers))
+				}
+			}
+		}
+	}
 	if multiCore(cur) {
-		var largest *glassoBench
-		for i := range cur.Glasso {
-			if cur.Glasso[i].Workers1Millis >= compareMinMillis {
-				largest = &cur.Glasso[i]
+		var largest *wideBench
+		for i := range cur.Wide {
+			if cur.Wide[i].ScreenedMillis >= compareMinMillis {
+				largest = &cur.Wide[i]
 			}
 		}
 		if largest != nil && largest.SpeedupWorkers < minParallelSpeedup {
 			failures = append(failures, fmt.Sprintf(
-				"glasso p=%d: parallel speedup %.2fx on a %d-core run, want >= %.2fx",
+				"wide p=%d: parallel speedup %.2fx on a %d-core run, want >= %.2fx",
 				largest.P, largest.SpeedupWorkers, cur.GoMaxProcs, minParallelSpeedup))
 		}
 	}
@@ -470,6 +671,8 @@ func compareKernels(cur, base *kernelsReport) []string {
 		{"mul_to_per_op", cur.Allocs.MulToPerOp, base.Allocs.MulToPerOp},
 		{"axpy_dot_per_op", cur.Allocs.AxpyDotPerOp, base.Allocs.AxpyDotPerOp},
 		{"glasso_sweep_per_op", cur.Allocs.GlassoSweepPerOp, base.Allocs.GlassoSweepPerOp},
+		{"screen_per_op", cur.Allocs.ScreenPerOp, base.Allocs.ScreenPerOp},
+		{"scatter_per_op", cur.Allocs.ScatterPerOp, base.Allocs.ScatterPerOp},
 	} {
 		if g.cur > g.old {
 			failures = append(failures, fmt.Sprintf(

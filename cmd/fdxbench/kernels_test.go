@@ -18,7 +18,11 @@ func gateReport() *kernelsReport {
 			{P: 16, SeedMillis: 0.2, SpeedupVsSeed: 0.7},
 			{P: 64, SeedMillis: 4, SpeedupVsSeed: 2.1},
 		},
-		Allocs: allocsBench{MulToPerOp: 0, AxpyDotPerOp: 0, GlassoSweepPerOp: 0},
+		Wide: []wideBench{
+			{P: 256, DenseMillis: 0.4, ScreenedMillis: 0.1, SpeedupVsDense: 4, SpeedupWorkers: 1.0},
+			{P: 1024, DenseMillis: 40, ScreenedMillis: 2.5, SpeedupVsDense: 16, SpeedupWorkers: 2.0},
+		},
+		Allocs: allocsBench{},
 	}
 }
 
@@ -115,19 +119,63 @@ func TestCompareKernelsParallelGateOnMultiCore(t *testing.T) {
 	base.Glasso[1].SpeedupWorkers = 3.0
 	base.Glasso[1].Workers1Millis = 9
 	cur.Glasso[1].Workers1Millis = 9
+	base.Wide[1].SpeedupWorkers = 3.0
 
 	// Inside slack and above the absolute floor: clean.
 	cur.Glasso[1].SpeedupWorkers = 2.8
+	cur.Wide[1].SpeedupWorkers = 2.8
 	if failures := compareKernels(cur, base); len(failures) != 0 {
 		t.Fatalf("multi-core gate failed inside slack: %v", failures)
 	}
-	// Fan-out silently serialized: both the relative and absolute gates fire.
+	// Fan-out silently serialized: the glasso and wide relative gates and
+	// the wide absolute floor all fire.
 	cur.Glasso[1].SpeedupWorkers = 1.0
+	cur.Wide[1].SpeedupWorkers = 1.0
 	failures := compareKernels(cur, base)
-	if len(failures) != 2 ||
-		!strings.Contains(failures[0], "below baseline") ||
-		!strings.Contains(failures[1], "want >= 1.05") {
+	if len(failures) != 3 ||
+		!strings.Contains(failures[0], "glasso p=64") || !strings.Contains(failures[0], "below baseline") ||
+		!strings.Contains(failures[1], "wide p=1024") || !strings.Contains(failures[1], "below baseline") ||
+		!strings.Contains(failures[2], "want >= 1.05") {
 		t.Fatalf("want relative + absolute parallel failures, got %v", failures)
+	}
+}
+
+// TestCompareKernelsAbsoluteGateIgnoresBaselineCores pins the fix for
+// parallel regressions hiding behind a single-core baseline: a
+// multi-core current run owes the absolute wide-section speedup floor
+// even when the committed baseline was recorded on one CPU (where every
+// relative workers gate is rightly disarmed).
+func TestCompareKernelsAbsoluteGateIgnoresBaselineCores(t *testing.T) {
+	base := gateReport()
+	cur := gateReport()
+	base.GoMaxProcs, base.NumCPU = 1, 1
+	cur.GoMaxProcs, cur.NumCPU = 8, 8
+	base.Wide[1].SpeedupWorkers = 1.0 // recorded serialized — legitimately
+	cur.Wide[1].SpeedupWorkers = 1.0  // but an 8-core run may not match it
+	failures := compareKernels(cur, base)
+	if len(failures) != 1 || !strings.Contains(failures[0], "want >= 1.05") {
+		t.Fatalf("want exactly the absolute wide parallel failure, got %v", failures)
+	}
+	cur.Wide[1].SpeedupWorkers = 1.4
+	if failures := compareKernels(cur, base); len(failures) != 0 {
+		t.Fatalf("absolute gate fired above the floor: %v", failures)
+	}
+}
+
+func TestCompareKernelsFlagsScreeningRegression(t *testing.T) {
+	base := gateReport()
+	cur := gateReport()
+	// Screening win collapsed at a reliably-timed size.
+	cur.Wide[1].SpeedupVsDense = 2
+	failures := compareKernels(cur, base)
+	if len(failures) != 1 || !strings.Contains(failures[0], "wide p=1024") {
+		t.Fatalf("want exactly the wide screening failure, got %v", failures)
+	}
+	// The sub-millisecond wide size must not gate.
+	cur = gateReport()
+	cur.Wide[0].SpeedupVsDense = 0.5
+	if failures := compareKernels(cur, base); len(failures) != 0 {
+		t.Fatalf("gate judged a sub-millisecond wide size: %v", failures)
 	}
 }
 

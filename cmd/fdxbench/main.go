@@ -33,6 +33,7 @@ func main() {
 		kernels = flag.String("kernels", "", "run the numeric-kernel benchmark and write its JSON report to this path")
 		compare = flag.String("compare", "", "with -kernels: baseline report to gate against (>10% speedup-ratio regression or any alloc increase exits non-zero)")
 		short   = flag.Bool("short", false, "with -kernels: reduced sizes and repetitions for a CI smoke pass")
+		wide    = flag.Bool("wide", false, "with -kernels: include the wide-schema screened-glasso section (p up to 1024)")
 		shards  = flag.Bool("shards", false, "with -stream: include the shard-merge scaling section")
 	)
 	flag.Parse()
@@ -43,7 +44,7 @@ func main() {
 		os.Exit(runServeBench(*srv, *short))
 	}
 	if *kernels != "" {
-		os.Exit(runKernelBench(*kernels, *compare, *short))
+		os.Exit(runKernelBench(*kernels, *compare, *short, *wide))
 	}
 	cfg := experiments.Config{Seed: *seed, Fast: *fast, Timeout: *timeout}
 	if *verbose {

@@ -1,6 +1,7 @@
 package fdx_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -109,6 +110,109 @@ func TestAccumulatorDeterministicAcrossWorkerCounts(t *testing.T) {
 	for _, workers := range []int{4, 8} {
 		assertIdentical(t, base, run(workers))
 	}
+}
+
+// groupedRelation builds a wide relation of g independent attribute
+// pairs, each with a planted FD a_i -> b_i and value spaces disjoint
+// across groups: between-group pair-equality correlations are near zero,
+// so a screened discovery at a moderate λ splits the schema into one
+// block per group.
+func groupedRelation(rng *rand.Rand, groups, rows int, noise float64) *fdx.Relation {
+	attrs := make([]string, 0, 2*groups)
+	for g := 0; g < groups; g++ {
+		attrs = append(attrs, fmt.Sprintf("a%d", g), fmt.Sprintf("b%d", g))
+	}
+	rel := fdx.NewRelation("grouped", attrs...)
+	row := make([]string, 2*groups)
+	for i := 0; i < rows; i++ {
+		for g := 0; g < groups; g++ {
+			v := rng.Intn(6)
+			row[2*g] = fmt.Sprintf("a%d_%d", g, v)
+			b := v
+			if rng.Float64() < noise {
+				b = rng.Intn(6)
+			}
+			row[2*g+1] = fmt.Sprintf("b%d_%d", g, b)
+		}
+		rel.AppendRow(append([]string(nil), row...))
+	}
+	return rel
+}
+
+// TestDiscoverWideScreenedDeterministic runs discovery on a wide
+// block-structured relation where the covariance screening pass
+// genuinely splits the solve, and demands element-wise identical FDs and
+// bit-identical B across worker counts and across the float32 compact
+// store — the end-to-end version of the blocked solver's determinism
+// contract.
+func TestDiscoverWideScreenedDeterministic(t *testing.T) {
+	rel := groupedRelation(rand.New(rand.NewSource(31)), 6, 300, 0.02)
+	run := func(opts fdx.Options) *fdx.Result {
+		t.Helper()
+		res, err := fdx.Discover(rel, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(fdx.Options{Seed: 7, Lambda: 0.3, Workers: 1})
+	if base.Diagnostics.GlassoBlocks < 2 {
+		t.Fatalf("GlassoBlocks = %d: screening found nothing, the blocked path is not exercised",
+			base.Diagnostics.GlassoBlocks)
+	}
+	if len(base.FDs) == 0 {
+		t.Fatal("no FDs discovered on a relation with planted dependencies")
+	}
+	for _, workers := range []int{4, 8} {
+		assertIdentical(t, base, run(fdx.Options{Seed: 7, Lambda: 0.3, Workers: workers}))
+	}
+	for _, workers := range []int{1, 8} {
+		compact := run(fdx.Options{Seed: 7, Lambda: 0.3, Workers: workers, CompactTransform: true})
+		assertIdentical(t, base, compact)
+		if compact.Diagnostics.GlassoBlocks != base.Diagnostics.GlassoBlocks {
+			t.Fatalf("compact store changed the screening partition: %d vs %d blocks",
+				compact.Diagnostics.GlassoBlocks, base.Diagnostics.GlassoBlocks)
+		}
+	}
+}
+
+// TestDiscoverDeterministicCompactTransform checks the float32 backing
+// store's headline contract on the standard test relation: identical FDs
+// and bit-identical B versus the float64 store, at multiple worker
+// counts.
+func TestDiscoverDeterministicCompactTransform(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		base, _ := discoverTwice(t, fdx.Options{Seed: 7, Workers: workers})
+		compact, again := discoverTwice(t, fdx.Options{Seed: 7, Workers: workers, CompactTransform: true})
+		assertIdentical(t, compact, again)
+		assertIdentical(t, base, compact)
+	}
+}
+
+// TestAccumulatorDeterministicCompactTransform is the streaming variant:
+// batched absorption through the float32 store accumulates bit-identical
+// statistics, so discovery matches the float64 store exactly.
+func TestAccumulatorDeterministicCompactTransform(t *testing.T) {
+	rel := noisyAddressRelation(rand.New(rand.NewSource(11)), 400, 0.03)
+	run := func(compact bool) *fdx.Result {
+		acc := fdx.NewAccumulator(rel.AttrNames(), fdx.Options{Seed: 7, Workers: 4, CompactTransform: compact})
+		const batch = 100
+		for lo := 0; lo < rel.NumRows(); lo += batch {
+			hi := lo + batch
+			if hi > rel.NumRows() {
+				hi = rel.NumRows()
+			}
+			if err := acc.Add(rel.Slice(lo, hi)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := acc.Discover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	assertIdentical(t, run(false), run(true))
 }
 
 // TestDiscoverDeterministicWithTelemetry checks that attaching a tracer and

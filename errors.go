@@ -77,8 +77,13 @@ type Diagnostics struct {
 	GlassoSweeps int
 	// GlassoConverged reports whether that solve met its tolerance within
 	// its iteration budget. False means the estimate is the best iterate
-	// after the full fallback ladder still failed to converge.
+	// after the full fallback ladder still failed to converge. For a
+	// screened (block-diagonal) solve every block must converge.
 	GlassoConverged bool
+	// GlassoBlocks is the number of connected components the covariance
+	// screening pass split the accepted solve into (1 = screening found
+	// nothing and the solve ran dense).
+	GlassoBlocks int
 	// Fallbacks lists the regularization fallbacks applied, in order.
 	Fallbacks []Fallback
 	// SanitizedColumns names the attributes whose covariance statistics

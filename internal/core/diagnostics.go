@@ -31,8 +31,14 @@ type Diagnostics struct {
 	GlassoSweeps int
 	// GlassoConverged reports whether that solve met its tolerance; false
 	// means the estimates come from the best iterate after exhausting the
-	// iteration budget on every rung of the fallback ladder.
+	// iteration budget on every rung of the fallback ladder. For a
+	// screened (block-diagonal) solve, worst case wins: every block must
+	// converge.
 	GlassoConverged bool
+	// GlassoBlocks is the number of connected components the covariance
+	// screening pass split the accepted solve into (1 = screening found
+	// nothing and the solve ran dense).
+	GlassoBlocks int
 	// Fallbacks lists the regularization fallbacks applied, in order.
 	Fallbacks []Fallback
 	// SanitizedColumns lists attribute indices whose covariance entries

@@ -68,9 +68,9 @@ type Options struct {
 	// a degraded result with Diagnostics.GlassoConverged == false.
 	RequireConvergence bool
 	// Workers sets the number of goroutines used by the numeric stages:
-	// the Graphical Lasso per-column updates and regularization paths,
-	// and the accumulator's per-stratum moment accumulation (0 or 1 =
-	// serial). Results are bit-for-bit identical at any worker count;
+	// the Graphical Lasso screened-block fan-out and regularization
+	// paths, and the accumulator's per-stratum moment accumulation (0 or
+	// 1 = serial). Results are bit-for-bit identical at any worker count;
 	// see internal/par for the chunking contract that guarantees it. The
 	// pair transform's fan-out is configured separately via
 	// Transform.Workers.
@@ -182,13 +182,25 @@ func DiscoverContext(ctx context.Context, rel *dataset.Relation, opts Options) (
 	if k == 0 {
 		return &Model{Theta: linalg.NewDense(0, 0), B: linalg.NewDense(0, 0), Diagnostics: Diagnostics{GlassoConverged: true}, Trace: run}, nil
 	}
-	dt, err := TransformContext(ctx, rel, opts.Transform)
-	if err != nil {
-		return nil, err
-	}
-	m, err := DiscoverFromSamplesContext(ctx, dt, rel.AttrNames(), opts)
-	if err != nil {
-		return nil, err
+	var m *Model
+	if opts.Transform.Compact {
+		dt, err := TransformContext32(ctx, rel, opts.Transform)
+		if err != nil {
+			return nil, err
+		}
+		m, err = DiscoverFromSamples32Context(ctx, dt, rel.AttrNames(), opts)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		dt, err := TransformContext(ctx, rel, opts.Transform)
+		if err != nil {
+			return nil, err
+		}
+		m, err = DiscoverFromSamplesContext(ctx, dt, rel.AttrNames(), opts)
+		if err != nil {
+			return nil, err
+		}
 	}
 	run.End()
 	m.Trace = run
@@ -218,6 +230,30 @@ func DiscoverFromSamplesContext(ctx context.Context, dt *linalg.Dense, names []s
 	} else {
 		// One stratum per attribute-sorted block of the transform.
 		s = stats.StratifiedCovariance(dt, k)
+	}
+	csp.Attr("dim", k)
+	csp.End()
+	return DiscoverFromCovarianceContext(ctx, s, names, opts)
+}
+
+// DiscoverFromSamples32Context is DiscoverFromSamplesContext over the
+// compact float32 sample store (TransformOptions.Compact). The covariance
+// accumulates in float64 from the widened samples, so the model is
+// bit-identical to the float64 path's.
+func DiscoverFromSamples32Context(ctx context.Context, dt *linalg.Dense32, names []string, opts Options) (*Model, error) {
+	opts.defaults()
+	k := len(names)
+	if c := dt.Cols(); c != k {
+		return nil, fdxerr.BadInput("core: sample matrix has %d columns, want %d", c, k)
+	}
+
+	csp := opts.Obs.StartStage("covariance")
+	var s *linalg.Dense
+	if opts.PooledCovariance {
+		s = stats.Covariance32(dt)
+	} else {
+		// One stratum per attribute-sorted block of the transform.
+		s = stats.StratifiedCovariance32(dt, k)
 	}
 	csp.Attr("dim", k)
 	csp.End()
@@ -280,12 +316,24 @@ func DiscoverFromCovarianceContext(ctx context.Context, s *linalg.Dense, names [
 	fsp := opts.Obs.StartStage("fit")
 	lopts := opts
 	lopts.Obs = opts.Obs.Under(fsp)
-	theta, perm, bP, err := fitLadder(ctx, s, &diag, lopts)
+	fit, err := fitLadder(ctx, s, &diag, lopts)
 	fsp.Attr("sweeps", diag.GlassoSweeps)
 	fsp.Attr("fallbacks", len(diag.Fallbacks))
 	fsp.End()
 	if err != nil {
 		return nil, err
+	}
+	theta := fit.br.DensePrecision()
+	perm := fit.globalPerm()
+
+	// The per-block factorization is exact only under the adaptive
+	// threshold rule with a positive floor (cross-block coefficients are
+	// exact zeros, which a positive floor can never admit); a non-positive
+	// floor or the global random-order search needs the dense assembly.
+	dense := opts.OrderCandidates > 0 || opts.Threshold <= 0
+	var bP *linalg.Dense
+	if dense {
+		bP = fit.denseBP()
 	}
 
 	// Sparsest-permutation search: try extra random global orders and keep
@@ -315,14 +363,36 @@ func DiscoverFromCovarianceContext(ctx context.Context, s *linalg.Dense, names [
 	gsp := opts.Obs.StartStage("generate")
 	// Map back to original attribute coordinates.
 	b := linalg.NewDense(k, k)
-	//fdx:lint-ignore ctxflow O(k²) index remap of a finished result; bounded glue with no kernel work
-	for i := 0; i < k; i++ {
-		for j := 0; j < k; j++ {
-			b.Set(perm[i], perm[j], bP.At(i, j))
+	var fds []FD
+	if dense {
+		//fdx:lint-ignore ctxflow O(k²) index remap of a finished result; bounded glue with no kernel work
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				b.Set(perm[i], perm[j], bP.At(i, j))
+			}
 		}
+		fds = GenerateFDs(bP, perm, opts.Threshold, opts.RelFraction)
+	} else {
+		// Blocked path: remap and generate per block, never touching the
+		// off-block entries (exact zeros by the screening theorem, and b
+		// starts zeroed). Identical output to the dense path: a positive
+		// floor never admits a zero coefficient, so cross-block entries
+		// can neither enter an FD nor raise a per-column relative max.
+		off := 0
+		//fdx:lint-ignore ctxflow O(Σ|block|²) index remap of a finished result; bounded glue with no kernel work
+		for c, bPc := range fit.bPs {
+			n := len(fit.br.Part.Block(c))
+			bperm := perm[off : off+n]
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					b.Set(bperm[i], bperm[j], bPc.At(i, j))
+				}
+			}
+			fds = append(fds, GenerateFDs(bPc, bperm, opts.Threshold, opts.RelFraction)...)
+			off += n
+		}
+		SortFDs(fds)
 	}
-
-	fds := GenerateFDs(bP, perm, opts.Threshold, opts.RelFraction)
 	gsp.Attr("fds", len(fds))
 	gsp.End()
 	opts.Obs.Count(obs.MFDsGenerated, uint64(len(fds)))
@@ -345,14 +415,57 @@ func DiscoverFromCovarianceContext(ctx context.Context, s *linalg.Dense, names [
 // for conditioning without changing the sparsity structure sought.
 var fallbackEpsilons = []float64{1e-8, 1e-6, 1e-4, 1e-2}
 
+// blockFit is the screened fit the ladder accepted: the blocked glasso
+// result plus one fill-reducing order and autoregression matrix per
+// block. Nothing here is densified; the dense assemblies (Model.Theta,
+// the OrderCandidates search input) are built on demand by the caller.
+type blockFit struct {
+	br    *glasso.BlockedResult
+	perms []linalg.Permutation // per-block orders, position → local index
+	bPs   []*linalg.Dense      // per-block autoregression, local permuted coords
+}
+
+// globalPerm concatenates the per-block orders into one global attribute
+// order: blocks in partition order (ascending smallest member), each
+// internally in its fill-reducing order. For a block-diagonal precision
+// estimate the within-block relative order is all that matters to the
+// factorization and the FDs — cross-block coefficients are exact zeros
+// under any interleaving.
+func (f *blockFit) globalPerm() linalg.Permutation {
+	perm := make(linalg.Permutation, 0, f.br.Part.K())
+	for c, p := range f.perms {
+		verts := f.br.Part.Block(c)
+		for _, local := range p {
+			perm = append(perm, verts[local])
+		}
+	}
+	return perm
+}
+
+// denseBP assembles the block-diagonal autoregression matrix in the
+// coordinates of globalPerm (exact zeros off-block).
+func (f *blockFit) denseBP() *linalg.Dense {
+	k := f.br.Part.K()
+	out := linalg.NewDense(k, k)
+	off := 0
+	for c, bPc := range f.bPs {
+		n := len(f.br.Part.Block(c))
+		for i := 0; i < n; i++ {
+			copy(out.Row(off + i)[off:off+n], bPc.Row(i))
+		}
+		off += n
+	}
+	return out
+}
+
 // fitLadder estimates the precision matrix and factorizes it, walking the
 // regularization fallback ladder on failure. It returns the accepted
-// precision estimate, the global order used, and the autoregression matrix
-// in permuted coordinates, recording every fallback in diag.
-func fitLadder(ctx context.Context, s *linalg.Dense, diag *Diagnostics, opts Options) (*linalg.Dense, linalg.Permutation, *linalg.Dense, error) {
+// blocked fit — per-block precision, order, and autoregression matrices —
+// recording every fallback in diag.
+func fitLadder(ctx context.Context, s *linalg.Dense, diag *Diagnostics, opts Options) (*blockFit, error) {
 	var (
 		lastErr error
-		best    *glasso.Result // best-effort non-converged estimate, most regularized
+		best    *glasso.BlockedResult // best-effort non-converged estimate, most regularized
 	)
 	// escalate records the fallback about to be taken after a failure at
 	// rung i (a no-op on the final rung, where there is nothing to escalate
@@ -365,7 +478,7 @@ func fitLadder(ctx context.Context, s *linalg.Dense, diag *Diagnostics, opts Opt
 	}
 	for rung := 0; rung <= len(fallbackEpsilons); rung++ {
 		if cerr := ctx.Err(); cerr != nil {
-			return nil, nil, nil, fdxerr.Cancelled(cerr)
+			return nil, fdxerr.Cancelled(cerr)
 		}
 		trial := s
 		eps := 0.0
@@ -378,52 +491,82 @@ func fitLadder(ctx context.Context, s *linalg.Dense, diag *Diagnostics, opts Opt
 		rsp.Attr("epsilon", eps)
 		ropts := opts
 		ropts.Obs = opts.Obs.Under(rsp)
-		res, err := glasso.SolveContext(ctx, trial, glasso.Options{Lambda: opts.Lambda, Workers: opts.Workers, Obs: ropts.Obs})
+		res, err := glasso.SolveBlocksContext(ctx, trial, glasso.Options{Lambda: opts.Lambda, Workers: opts.Workers, Obs: ropts.Obs})
 		if err != nil {
 			rsp.End()
 			if errors.Is(err, fdxerr.ErrCancelled) {
-				return nil, nil, nil, err
+				return nil, err
 			}
 			lastErr = fmt.Errorf("core: graphical lasso: %w", err)
 			escalate(rung, "glasso", err.Error())
 			continue
 		}
-		if !res.Converged {
+		if !res.Converged() {
 			rsp.End()
 			best = res
-			lastErr = fmt.Errorf("core: graphical lasso exhausted %d sweeps: %w", res.Iterations, fdxerr.ErrNotConverged)
-			escalate(rung, "glasso", fmt.Sprintf("not converged after %d sweeps", res.Iterations))
+			lastErr = fmt.Errorf("core: graphical lasso exhausted %d sweeps: %w", res.Iterations(), fdxerr.ErrNotConverged)
+			escalate(rung, "glasso", fmt.Sprintf("not converged after %d sweeps", res.Iterations()))
 			continue
 		}
-		perm, bP, err := orderAndFactorize(ctx, res.Precision, diag, ropts)
+		fit, err := orderAndFactorizeBlocks(ctx, res, diag, ropts)
 		rsp.End()
 		if err != nil {
 			if !errors.Is(err, fdxerr.ErrNonPositivePivot) {
-				return nil, nil, nil, err
+				return nil, err
 			}
 			lastErr = err
 			escalate(rung, "factorize", err.Error())
 			continue
 		}
 		diag.GlassoConverged = true
-		diag.GlassoSweeps = res.Iterations
-		return res.Precision, perm, bP, nil
+		diag.GlassoSweeps = res.Iterations()
+		diag.GlassoBlocks = res.Part.NumBlocks()
+		return fit, nil
 	}
 	// Ladder exhausted. A non-converged estimate is still a usable (if
 	// degraded) structure estimate unless the caller demanded strictness.
 	if best != nil && !opts.RequireConvergence {
-		perm, bP, err := orderAndFactorize(ctx, best.Precision, diag, opts)
+		fit, err := orderAndFactorizeBlocks(ctx, best, diag, opts)
 		if err == nil {
 			diag.GlassoConverged = false
-			diag.GlassoSweeps = best.Iterations
-			return best.Precision, perm, bP, nil
+			diag.GlassoSweeps = best.Iterations()
+			diag.GlassoBlocks = best.Part.NumBlocks()
+			return fit, nil
 		}
 		if !errors.Is(err, fdxerr.ErrNonPositivePivot) {
-			return nil, nil, nil, err
+			return nil, err
 		}
 		lastErr = err
 	}
-	return nil, nil, nil, lastErr
+	return nil, lastErr
+}
+
+// orderAndFactorizeBlocks runs the fill-reducing ordering and UDUᵀ
+// factorization independently on every screened block. Singleton blocks
+// are closed-form (order [0], B = 0). Any block's non-positive pivot
+// fails the whole rung — the ladder's diagonal shrinkage applies to the
+// full matrix, so per-block retries would diverge from the dense path.
+func orderAndFactorizeBlocks(ctx context.Context, br *glasso.BlockedResult, diag *Diagnostics, opts Options) (*blockFit, error) {
+	fit := &blockFit{
+		br:    br,
+		perms: make([]linalg.Permutation, len(br.Blocks)),
+		bPs:   make([]*linalg.Dense, len(br.Blocks)),
+	}
+	for c, blk := range br.Blocks {
+		if len(br.Part.Block(c)) == 1 {
+			// 1×1: θ = [t], t > 0 by construction; U = [1], B = I − U = [0].
+			fit.perms[c] = linalg.Permutation{0}
+			fit.bPs[c] = linalg.NewDense(1, 1)
+			continue
+		}
+		perm, bP, err := orderAndFactorize(ctx, blk.Precision, diag, opts)
+		if err != nil {
+			return nil, err
+		}
+		fit.perms[c] = perm
+		fit.bPs[c] = bP
+	}
+	return fit, nil
 }
 
 // orderAndFactorize computes the fill-reducing order for theta and

@@ -213,7 +213,10 @@ func (a *Accumulator) Add(rel *dataset.Relation) error {
 // streaming steady state allocates only each batch's delta.
 var dtPool = sync.Pool{New: func() any { return &dtBuf{} }}
 
-type dtBuf struct{ data []float64 }
+type dtBuf struct {
+	data   []float64
+	data32 []float32
+}
 
 func getDT(rows, cols int) (*dtBuf, *linalg.Dense) {
 	db := dtPool.Get().(*dtBuf)
@@ -222,6 +225,17 @@ func getDT(rows, cols int) (*dtBuf, *linalg.Dense) {
 	}
 	db.data = db.data[:rows*cols]
 	return db, linalg.NewDenseData(rows, cols, db.data)
+}
+
+// getDT32 is getDT for the compact float32 sample store
+// (TransformOptions.Compact): same pooling, half the bytes per cell.
+func getDT32(rows, cols int) (*dtBuf, *linalg.Dense32) {
+	db := dtPool.Get().(*dtBuf)
+	if cap(db.data32) < rows*cols {
+		db.data32 = make([]float32, rows*cols)
+	}
+	db.data32 = db.data32[:rows*cols]
+	return db, linalg.NewDense32Data(rows, cols, db.data32)
 }
 
 // Absorb is Add returning the batch's statistics delta, so durable callers
@@ -290,9 +304,24 @@ func (a *Accumulator) AbsorbAt(rel *dataset.Relation, global int) (*BatchDelta, 
 	topts.Obs = h
 	topts.Seed = a.opts.Seed + int64(global)
 	sn, _ := transformDims(rel, &topts)
-	db, dt := getDT(sn*k, k)
-	if err := transformInto(context.Background(), rel, topts, dt); err != nil {
-		return nil, err
+	// The compact store halves the transform buffer; the accumulated
+	// moments below stay float64 either way and are bit-identical (the
+	// samples are exact 0/1 in both stores).
+	var (
+		db   *dtBuf
+		dt   *linalg.Dense
+		dt32 *linalg.Dense32
+	)
+	if topts.Compact {
+		db, dt32 = getDT32(sn*k, k)
+		if err := transformInto[float32](context.Background(), rel, topts, dt32); err != nil {
+			return nil, err
+		}
+	} else {
+		db, dt = getDT(sn*k, k)
+		if err := transformInto[float64](context.Background(), rel, topts, dt); err != nil {
+			return nil, err
+		}
 	}
 	d := &BatchDelta{
 		Seq:    a.batches + 1,
@@ -317,7 +346,11 @@ func (a *Accumulator) AbsorbAt(rel *dataset.Relation, global int) (*BatchDelta, 
 			csp.Attr("stratum", s)
 			sums := make([]float64, k)
 			out := linalg.NewDense(k, k)
-			accumulateStratum(dt, s, sn, sums, out)
+			if dt32 != nil {
+				accumulateStratum32(dt32, s, sn, sums, out)
+			} else {
+				accumulateStratum(dt, s, sn, sums, out)
+			}
 			d.Sums[s] = sums
 			d.Outer[s] = out
 			csp.End()
@@ -359,6 +392,39 @@ func accumulateStratum(dt *linalg.Dense, s, sn int, sums []float64, out *linalg.
 			}
 			sums[p] += vp
 			linalg.Axpy(vp, row[p:], out.Row(p)[p:])
+		}
+	}
+	for p := 0; p < k; p++ {
+		for q := p + 1; q < k; q++ {
+			out.Set(q, p, out.At(p, q))
+		}
+	}
+}
+
+// accumulateStratum32 is accumulateStratum over the compact float32
+// sample store: every element widens to float64 before the fused Axpy32
+// update, so on the 0/1 transform samples the accumulated moments are
+// bit-identical to the float64 path's.
+// Panics if out is not k×k or dt's rows cannot cover the stratum.
+// (fdx:numeric-kernel: the exact-zero test is a sparsity fast path over the
+// mostly-zero pair-transform samples.)
+func accumulateStratum32(dt *linalg.Dense32, s, sn int, sums []float64, out *linalg.Dense) {
+	k := len(sums)
+	if r, c := out.Dims(); r != k || c != k {
+		panic("core: accumulateStratum32 outer product is not k×k")
+	}
+	if rows, cols := dt.Dims(); cols != k || (s+1)*sn > rows {
+		panic("core: accumulateStratum32 stratum exceeds transform rows")
+	}
+	for i := 0; i < sn; i++ {
+		row := dt.Row(s*sn + i)
+		for p := 0; p < k; p++ {
+			vp := float64(row[p])
+			if vp == 0 {
+				continue
+			}
+			sums[p] += vp
+			linalg.Axpy32(vp, row[p:], out.Row(p)[p:])
 		}
 	}
 	for p := 0; p < k; p++ {

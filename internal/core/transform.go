@@ -39,6 +39,14 @@ type TransformOptions struct {
 	// (0 = GOMAXPROCS, 1 = sequential). Each attribute's sorted block is
 	// independent, so the output is identical at any worker count.
 	Workers int
+	// Compact stores the transformed sample block in float32, halving the
+	// memory footprint and traffic of the n·k × k sample matrix — the
+	// lever that matters on wide schemas, where the sample block dwarfs
+	// every other allocation. The transform emits only 0/1 indicator
+	// cells, which float32 represents exactly, and every consumer widens
+	// to float64 before accumulating (covariance sums and solves stay
+	// float64), so results are bit-identical to the float64 store.
+	Compact bool
 	// Obs carries the optional telemetry sinks; inherited from the
 	// pipeline options by core.Options.defaults. Never part of the
 	// checkpoint fingerprint.
@@ -79,7 +87,24 @@ func TransformContext(ctx context.Context, rel *dataset.Relation, opts Transform
 		return linalg.NewDense(0, k), nil
 	}
 	out := linalg.NewDense(n*k, k)
-	if err := transformInto(ctx, rel, opts, out); err != nil {
+	if err := transformInto[float64](ctx, rel, opts, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TransformContext32 is TransformContext with the float32 backing store of
+// TransformOptions.Compact: same sample block, half the memory. The 0/1
+// indicator cells are exact in float32, so a float64 widening of the
+// result is bit-identical to TransformContext's output.
+func TransformContext32(ctx context.Context, rel *dataset.Relation, opts TransformOptions) (*linalg.Dense32, error) {
+	opts.defaults()
+	n, k := transformDims(rel, &opts)
+	if n == 0 || k == 0 {
+		return linalg.NewDense32(0, k), nil
+	}
+	out := linalg.NewDense32(n*k, k)
+	if err := transformInto[float32](ctx, rel, opts, out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -110,8 +135,11 @@ type colCtx struct {
 // transformInto is the core of the pair transform, writing the sample
 // block into the caller's preallocated out matrix (shape per
 // transformDims; every cell is written, so recycled buffers need no
-// zeroing). opts must have defaults applied.
-func transformInto(ctx context.Context, rel *dataset.Relation, opts TransformOptions, out *linalg.Dense) error {
+// zeroing). opts must have defaults applied. It is generic over the
+// element type so the float64 and Compact float32 backing stores share
+// one implementation — the emitted cells are the exact integers 0 and 1
+// in either type, which is what makes the compact store lossless.
+func transformInto[F float32 | float64](ctx context.Context, rel *dataset.Relation, opts TransformOptions, out interface{ Row(int) []F }) error {
 	n := rel.NumRows()
 	k := rel.NumCols()
 	rng := rand.New(rand.NewSource(opts.Seed))

@@ -17,7 +17,6 @@ import (
 	"fdx/internal/fdxerr"
 	"fdx/internal/linalg"
 	"fdx/internal/obs"
-	"fdx/internal/par"
 )
 
 // Options configures the Graphical Lasso solver.
@@ -34,16 +33,24 @@ type Options struct {
 	InnerMaxIter int
 	// InnerTol is the lasso convergence threshold (default 1e-6).
 	InnerTol float64
-	// Workers is the number of goroutines for the per-column linear
-	// algebra of the sweep and the regularization-path fan-out in Path
-	// (0 or 1 = serial). Results are bit-for-bit identical at any worker
-	// count: chunk boundaries and reduction orders depend only on the
-	// problem size (see internal/par).
+	// Workers is the number of goroutines for the screened-block fan-out
+	// in Solve/SolveBlocks and the regularization-path fan-out in Path
+	// (0 or 1 = serial). Blocks are independent problems over disjoint
+	// state, so results are bit-for-bit identical at any worker count.
+	// The per-column sweep itself is always serial: profiling showed the
+	// column fan-out losing to one core at every p (sub-microsecond tasks
+	// under channel dispatch), so worker routing at block granularity is
+	// the only parallel path — more workers is never slower.
 	Workers int
+	// NoScreen disables the covariance-thresholding screening pass and
+	// solves the whole matrix as one dense block. Screening is exact
+	// (see screen.go), so this is a reference/debug escape hatch, not an
+	// accuracy knob.
+	NoScreen bool
 	// Obs carries the optional telemetry sinks: a "glasso" stage span
-	// wrapping the solve, one "glasso-sweep" span per outer sweep, and —
-	// on the parallel path only — one "glasso.column" span per column
-	// update.
+	// wrapping the solve, one "glasso.block" span per screened block
+	// with one "glasso-sweep" span per outer sweep beneath it, and the
+	// fdx_glasso_blocks / fdx_glasso_screened_ratio gauges.
 	Obs obs.Hooks
 }
 
@@ -73,11 +80,17 @@ type Result struct {
 	// Iterations is the number of outer sweeps performed.
 	Iterations int
 	// Converged reports whether the solver met its tolerance within
-	// MaxIter sweeps. A false value is not an error: the estimates are the
-	// best available iterate, but callers that need a trustworthy Θ should
-	// check (FDX surfaces it in Result.Diagnostics and lets its fallback
-	// ladder retry with more shrinkage).
+	// MaxIter sweeps; for a screened solve it is the AND across blocks
+	// (worst case wins). A false value is not an error: the estimates are
+	// the best available iterate, but callers that need a trustworthy Θ
+	// should check (FDX surfaces it in its diagnostics and lets its
+	// fallback ladder retry with more shrinkage).
 	Converged bool
+	// Diagnostics lists per-block outcomes when the solve was assembled
+	// from screened blocks (one entry per connected component; a single
+	// entry when screening found one component). Iterations above is the
+	// worst-case block sweep count.
+	Diagnostics []BlockDiag
 }
 
 // Solve runs the Graphical Lasso on the symmetric covariance estimate s.
@@ -86,63 +99,28 @@ func Solve(s *linalg.Dense, opts Options) (*Result, error) {
 }
 
 // SolveContext is Solve with cancellation: the context is checked once per
-// outer sweep and a wrapped ctx.Err() is returned promptly on expiry.
-func SolveContext(ctx context.Context, s *linalg.Dense, opts Options) (res *Result, err error) {
-	opts.defaults()
-	sp := opts.Obs.StartStage("glasso")
-	defer func() {
-		if res != nil {
-			sp.Attr("sweeps", res.Iterations)
-			sp.Attr("converged", res.Converged)
-		}
-		sp.End()
-	}()
-	opts.Obs = opts.Obs.Under(sp)
-	k, cols := s.Dims()
-	if k != cols {
-		return nil, fdxerr.BadInput("glasso: covariance must be square, got %dx%d", k, cols)
+// outer sweep and a wrapped ctx.Err() is returned promptly on expiry. The
+// solve always routes through the covariance-thresholding screen in
+// blocks.go — exact Witten/Mazumder block screening — so the returned
+// dense Result is the block-diagonal assembly (exact zeros off-block)
+// whenever the thresholded graph disconnects, and bit-identical to the
+// historical dense solver whenever it does not.
+func SolveContext(ctx context.Context, s *linalg.Dense, opts Options) (*Result, error) {
+	br, err := SolveBlocksContext(ctx, s, opts)
+	if err != nil {
+		return nil, err
 	}
-	if !s.IsSymmetric(1e-8) {
-		return nil, fdxerr.BadInput("glasso: covariance must be symmetric")
-	}
-	if k == 0 {
-		return &Result{Covariance: linalg.NewDense(0, 0), Precision: linalg.NewDense(0, 0), Converged: true}, nil
-	}
-	if k == 1 {
-		w := s.At(0, 0) + opts.Lambda
-		if w <= 0 {
-			return nil, fdxerr.BadInput("glasso: non-positive variance %g", w)
-		}
-		return &Result{
-			Covariance: linalg.NewDenseData(1, 1, []float64{w}),
-			Precision:  linalg.NewDenseData(1, 1, []float64{1 / w}),
-			Iterations: 0,
-			Converged:  true,
-		}, nil
-	}
-
-	// W = S + λI is the initial covariance estimate.
-	w := s.Clone()
-	w.Symmetrize()
-	//fdx:lint-ignore ctxflow O(k) diagonal shift before the cancellable solve; bounded glue
-	for i := 0; i < k; i++ {
-		w.Add(i, i, opts.Lambda)
-	}
-	return solveFrom(ctx, s, w, opts)
+	return br.Dense(), nil
 }
 
 // solveFrom runs the block coordinate descent starting from the covariance
 // estimate w (consumed and returned inside the Result). Scratch comes from
-// the workspace pool and every sweep runs allocation-free; with
-// opts.Workers > 1 the per-column extract and w12 = W11·β phases fan out
-// across a fixed worker pool (see workspace.go for the determinism
-// contract).
+// the workspace pool and every sweep runs serially and allocation-free;
+// parallelism lives one level up, across screened blocks (see blocks.go).
 func solveFrom(ctx context.Context, s, w *linalg.Dense, opts Options) (*Result, error) {
 	opts.defaults()
 	k, _ := s.Dims()
 
-	pool := par.New(opts.Workers)
-	defer pool.Close()
 	ws := getWorkspace(k)
 	defer putWorkspace(ws)
 	ws.s, ws.w = s, w
@@ -156,12 +134,7 @@ func solveFrom(ctx context.Context, s, w *linalg.Dense, opts Options) (*Result, 
 		ssp := opts.Obs.Start("glasso-sweep")
 		faults.Sleep(faults.SlowStage)
 		iters = sweep + 1
-		var delta float64
-		if pool != nil {
-			delta = ws.runSweepObserved(pool, opts)
-		} else {
-			delta = ws.runSweep(nil, opts.Lambda, opts.InnerMaxIter, opts.InnerTol)
-		}
+		delta := ws.runSweep(opts.Lambda, opts.InnerMaxIter, opts.InnerTol)
 		ssp.End()
 		opts.Obs.Count(obs.MGlassoSweeps, 1)
 		// Fault injection: pretend the tolerance was never met, exhausting
@@ -177,21 +150,6 @@ func solveFrom(ctx context.Context, s, w *linalg.Dense, opts Options) (*Result, 
 		return nil, err
 	}
 	return &Result{Covariance: w, Precision: theta, Iterations: iters, Converged: converged}, nil
-}
-
-// runSweepObserved is runSweep column by column with a "glasso.column"
-// span around each column update. It only runs on the parallel path, so
-// the tracing cost never burdens the serial zero-allocation sweep.
-func (ws *workspace) runSweepObserved(pool *par.Pool, opts Options) float64 {
-	k := ws.k
-	delta := 0.0
-	for j := 0; j < k; j++ {
-		csp := opts.Obs.Start("glasso.column")
-		delta += ws.runColumn(pool, j, opts.Lambda, opts.InnerMaxIter, opts.InnerTol)
-		csp.Attr("col", j)
-		csp.End()
-	}
-	return delta
 }
 
 // precisionFrom recovers Θ from the final W and per-column lasso

@@ -99,9 +99,9 @@ func TestSweepZeroAllocSteadyState(t *testing.T) {
 	ws := getWorkspace(k)
 	defer putWorkspace(ws)
 	ws.s, ws.w = s, w
-	ws.runSweep(nil, 0.1, 200, 1e-6) // warm up
+	ws.runSweep(0.1, 200, 1e-6) // warm up
 	allocs := testing.AllocsPerRun(10, func() {
-		ws.runSweep(nil, 0.1, 200, 1e-6)
+		ws.runSweep(0.1, 200, 1e-6)
 	})
 	if allocs > 0 {
 		t.Errorf("glasso sweep steady state allocates %.1f times per op, want 0", allocs)

@@ -62,7 +62,7 @@ func Path(s *linalg.Dense, lambdas []float64, opts Options) ([]PathResult, error
 			o := opts
 			o.Lambda = rest[i].lambda
 			// Parallelism is spent on the penalty fan-out here; the
-			// column-level fan-out inside each solve stays serial so the
+			// block-level fan-out inside each solve stays serial so the
 			// two levels do not multiply.
 			o.Workers = 1
 			res, err := solveWarm(s, anchor.Covariance, o)

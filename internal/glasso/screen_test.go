@@ -1,0 +1,315 @@
+package glasso
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fdx/internal/linalg"
+)
+
+// edgeMatrix builds a k×k symmetric matrix with unit diagonal and the
+// given off-diagonal entries set to weight on both triangles.
+func edgeMatrix(k int, weight float64, edges [][2]int) *linalg.Dense {
+	s := linalg.NewDense(k, k)
+	for i := 0; i < k; i++ {
+		s.Set(i, i, 1)
+	}
+	for _, e := range edges {
+		s.Set(e[0], e[1], weight)
+		s.Set(e[1], e[0], weight)
+	}
+	return s
+}
+
+// checkPartition validates the structural invariants every Partition must
+// satisfy: blocks are disjoint, cover all k vertices, each block is
+// sorted ascending, comp agrees with block membership, and components are
+// numbered in ascending order of their smallest member.
+func checkPartition(t *testing.T, p *Partition, k int) {
+	t.Helper()
+	if p.K() != k {
+		t.Fatalf("K() = %d, want %d", p.K(), k)
+	}
+	seen := make([]bool, k)
+	prevSmallest := -1
+	for c := 0; c < p.NumBlocks(); c++ {
+		blk := p.Block(c)
+		if len(blk) == 0 {
+			t.Fatalf("block %d is empty", c)
+		}
+		if blk[0] <= prevSmallest {
+			t.Fatalf("block %d smallest member %d not ascending after %d", c, blk[0], prevSmallest)
+		}
+		prevSmallest = blk[0]
+		for i, v := range blk {
+			if i > 0 && v <= blk[i-1] {
+				t.Fatalf("block %d not sorted ascending: %v", c, blk)
+			}
+			if seen[v] {
+				t.Fatalf("vertex %d appears in two blocks", v)
+			}
+			seen[v] = true
+			if p.Comp(v) != c {
+				t.Fatalf("Comp(%d) = %d, want %d", v, p.Comp(v), c)
+			}
+		}
+	}
+	for v := 0; v < k; v++ {
+		if !seen[v] {
+			t.Fatalf("vertex %d not covered by any block", v)
+		}
+	}
+}
+
+// referencePartition computes the connected components of the thresholded
+// graph by BFS — the obviously-correct oracle the union-find kernel is
+// judged against.
+func referencePartition(s *linalg.Dense, lambda float64) [][]int {
+	k, _ := s.Dims()
+	comp := make([]int, k)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var blocks [][]int
+	for v := 0; v < k; v++ {
+		if comp[v] >= 0 {
+			continue
+		}
+		id := len(blocks)
+		queue := []int{v}
+		comp[v] = id
+		var members []int
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			members = append(members, x)
+			for j := 0; j < k; j++ {
+				if j == x || comp[j] >= 0 {
+					continue
+				}
+				if math.Abs(s.At(x, j)) > lambda || math.Abs(s.At(j, x)) > lambda {
+					comp[j] = id
+					queue = append(queue, j)
+				}
+			}
+		}
+		// BFS emits members out of order; the canonical form is ascending.
+		for i := 1; i < len(members); i++ {
+			for j := i; j > 0 && members[j] < members[j-1]; j-- {
+				members[j], members[j-1] = members[j-1], members[j]
+			}
+		}
+		blocks = append(blocks, members)
+	}
+	return blocks
+}
+
+func assertPartitionEquals(t *testing.T, p *Partition, want [][]int) {
+	t.Helper()
+	if p.NumBlocks() != len(want) {
+		t.Fatalf("NumBlocks = %d, want %d", p.NumBlocks(), len(want))
+	}
+	for c := range want {
+		got := p.Block(c)
+		if len(got) != len(want[c]) {
+			t.Fatalf("block %d = %v, want %v", c, got, want[c])
+		}
+		for i := range got {
+			if got[i] != want[c][i] {
+				t.Fatalf("block %d = %v, want %v", c, got, want[c])
+			}
+		}
+	}
+}
+
+func TestScreenRing(t *testing.T) {
+	// A ring is the adversarial case for rank heuristics: every union
+	// joins two existing chains until the last edge closes the loop.
+	k := 8
+	var edges [][2]int
+	for v := 0; v < k; v++ {
+		edges = append(edges, [2]int{v, (v + 1) % k})
+	}
+	p := Screen(edgeMatrix(k, 0.5, edges), 0.2)
+	checkPartition(t, p, k)
+	if p.NumBlocks() != 1 {
+		t.Fatalf("ring split into %d blocks", p.NumBlocks())
+	}
+	if p.ScreenedRatio() != 0 {
+		t.Errorf("single giant component: ScreenedRatio = %v, want 0", p.ScreenedRatio())
+	}
+}
+
+func TestScreenStar(t *testing.T) {
+	// A star joins everything through one hub — maximal fan-in on a
+	// single root.
+	k := 9
+	var edges [][2]int
+	for v := 1; v < k; v++ {
+		edges = append(edges, [2]int{0, v})
+	}
+	p := Screen(edgeMatrix(k, 0.5, edges), 0.2)
+	checkPartition(t, p, k)
+	if p.NumBlocks() != 1 {
+		t.Fatalf("star split into %d blocks", p.NumBlocks())
+	}
+}
+
+func TestScreenIsolatedSingletons(t *testing.T) {
+	// One real pair amid isolated vertices: components must come out in
+	// ascending order of smallest member with the singletons intact.
+	p := Screen(edgeMatrix(6, 0.5, [][2]int{{1, 4}}), 0.2)
+	checkPartition(t, p, 6)
+	assertPartitionEquals(t, p, [][]int{{0}, {1, 4}, {2}, {3}, {5}})
+}
+
+func TestScreenAllSingletons(t *testing.T) {
+	// λ above every off-diagonal magnitude: k singletons, the maximally
+	// screened outcome.
+	k := 7
+	rng := rand.New(rand.NewSource(3))
+	s := spdCovariance(rng, k)
+	p := Screen(s, 1e6)
+	checkPartition(t, p, k)
+	if p.NumBlocks() != k {
+		t.Fatalf("NumBlocks = %d, want %d singletons", p.NumBlocks(), k)
+	}
+	want := 1 - 1/float64(k)
+	if math.Abs(p.ScreenedRatio()-want) > 1e-15 {
+		t.Errorf("ScreenedRatio = %v, want %v", p.ScreenedRatio(), want)
+	}
+}
+
+func TestScreenBoundaryEntryIsExcluded(t *testing.T) {
+	// |S_ij| == λ exactly: the soft-threshold maps it to zero, so it must
+	// NOT create an edge; strictly above must.
+	const lambda = 0.25
+	at := edgeMatrix(2, lambda, [][2]int{{0, 1}})
+	if p := Screen(at, lambda); p.NumBlocks() != 2 {
+		t.Fatalf("|S|==λ created an edge: %d blocks, want 2", p.NumBlocks())
+	}
+	above := edgeMatrix(2, lambda+1e-15, [][2]int{{0, 1}})
+	if p := Screen(above, lambda); p.NumBlocks() != 1 {
+		t.Fatalf("|S|>λ screened out: %d blocks, want 1", p.NumBlocks())
+	}
+	// Negative entries count by magnitude.
+	neg := edgeMatrix(2, -lambda-1e-15, [][2]int{{0, 1}})
+	if p := Screen(neg, lambda); p.NumBlocks() != 1 {
+		t.Fatalf("negative |S|>λ screened out: %d blocks, want 1", p.NumBlocks())
+	}
+}
+
+func TestScreenLambdaZero(t *testing.T) {
+	// λ=0: any nonzero off-diagonal connects; exact zeros do not (the
+	// threshold is strict even at zero).
+	s := edgeMatrix(4, 0.01, [][2]int{{0, 2}})
+	p := Screen(s, 0)
+	checkPartition(t, p, 4)
+	assertPartitionEquals(t, p, [][]int{{0, 2}, {1}, {3}})
+}
+
+func TestScreenZeroAndOneVertex(t *testing.T) {
+	if p := Screen(linalg.NewDense(0, 0), 0.1); p.NumBlocks() != 0 || p.ScreenedRatio() != 0 {
+		t.Fatalf("k=0: NumBlocks=%d ratio=%v", p.NumBlocks(), p.ScreenedRatio())
+	}
+	if p := Screen(linalg.NewDenseData(1, 1, []float64{2}), 0.1); p.NumBlocks() != 1 {
+		t.Fatalf("k=1: NumBlocks=%d, want 1", p.NumBlocks())
+	}
+}
+
+func TestScreenMatchesReferenceBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(40)
+		s := linalg.NewDense(k, k)
+		for i := 0; i < k; i++ {
+			s.Set(i, i, 1)
+			for j := i + 1; j < k; j++ {
+				// Sparse signal: most entries far below λ, some above.
+				v := 0.0
+				if rng.Float64() < 0.08 {
+					v = 0.3 + rng.Float64()
+				} else {
+					v = rng.Float64() * 0.1
+				}
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				s.Set(i, j, v)
+				s.Set(j, i, v)
+			}
+		}
+		p := Screen(s, 0.2)
+		checkPartition(t, p, k)
+		assertPartitionEquals(t, p, referencePartition(s, 0.2))
+	}
+}
+
+// TestScreenIntoReuseZeroAlloc is the runtime half of the zero-allocation
+// contract on the screening kernels: once the partition's scratch is
+// sized, rescreening allocates nothing.
+func TestScreenIntoReuseZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := spdCovariance(rng, 48)
+	p := Screen(s, 0.1)
+	if allocs := testing.AllocsPerRun(20, func() { ScreenInto(p, s, 0.1) }); allocs != 0 {
+		t.Errorf("ScreenInto (warm): %v allocs/op, want 0", allocs)
+	}
+	// Shrinking reuses the scratch too.
+	small := spdCovariance(rng, 12)
+	ScreenInto(p, small, 0.1)
+	if allocs := testing.AllocsPerRun(20, func() { ScreenInto(p, small, 0.1) }); allocs != 0 {
+		t.Errorf("ScreenInto (shrunk): %v allocs/op, want 0", allocs)
+	}
+	checkPartition(t, p, 12)
+}
+
+// FuzzScreen checks two invariants on arbitrary symmetric inputs: the
+// partition always satisfies its structural contract and matches the BFS
+// oracle, and symmetric perturbations too small to move any entry across
+// the λ threshold leave the partition identical — screening is stable
+// under sub-tolerance noise.
+func FuzzScreen(f *testing.F) {
+	f.Add(int64(1), uint8(8), 0.2)
+	f.Add(int64(42), uint8(1), 0.0)
+	f.Add(int64(7), uint8(30), 0.5)
+	f.Fuzz(func(t *testing.T, seed int64, kRaw uint8, lambda float64) {
+		if math.IsNaN(lambda) || math.IsInf(lambda, 0) || lambda < 0 || lambda > 10 {
+			t.Skip()
+		}
+		k := int(kRaw%32) + 1
+		rng := rand.New(rand.NewSource(seed))
+		s := linalg.NewDense(k, k)
+		const margin = 1e-3
+		for i := 0; i < k; i++ {
+			s.Set(i, i, 1+rng.Float64())
+			for j := i + 1; j < k; j++ {
+				v := (rng.Float64()*2 - 1) * 2 * (lambda + 0.1)
+				// Keep every magnitude at least margin away from λ so the
+				// perturbation below cannot flip an edge.
+				if math.Abs(math.Abs(v)-lambda) < margin {
+					v = lambda + margin*2
+				}
+				s.Set(i, j, v)
+				s.Set(j, i, v)
+			}
+		}
+		p := Screen(s, lambda)
+		checkPartition(t, p, k)
+		want := referencePartition(s, lambda)
+		assertPartitionEquals(t, p, want)
+
+		// Symmetric perturbation far below the margin: same partition.
+		pert := s.Clone()
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				d := (rng.Float64()*2 - 1) * margin / 4
+				pert.Set(i, j, pert.At(i, j)+d)
+				pert.Set(j, i, pert.At(i, j))
+			}
+		}
+		p2 := Screen(pert, lambda)
+		assertPartitionEquals(t, p2, want)
+	})
+}

@@ -4,23 +4,17 @@ import (
 	"sync"
 
 	"fdx/internal/linalg"
-	"fdx/internal/par"
 )
-
-// colChunk is the number of rows per parallel task in the per-column
-// extract and update phases of the sweep. It is a constant — never a
-// function of the worker count — so chunk boundaries, and therefore the
-// fold order of the per-chunk delta partials, are identical at any
-// parallelism. That invariant is what keeps the solver bit-for-bit
-// deterministic across Options.Workers settings.
-const colChunk = 32
 
 // workspace holds every scratch buffer of one Graphical Lasso solve.
 // Instances are recycled through wsPool, so the steady state of repeated
-// solves at a fixed dimension allocates nothing inside the sweep. The
-// chunk closures are built once per dimension change and reused for every
-// column of every sweep; per-column state reaches them through the j
-// field (published to workers by the channel send inside par.For).
+// solves at a fixed dimension allocates nothing inside the sweep.
+//
+// The sweep is deliberately serial: per-column tasks are sub-microsecond
+// at realistic block sizes and the old chunked fan-out lost to one core
+// at every measured p (dispatch overhead dominated). Parallelism lives
+// one level up, across independent screened blocks (blocks.go), where
+// task granularity is whole solves and scaling is real.
 type workspace struct {
 	k int
 
@@ -32,14 +26,8 @@ type workspace struct {
 	betasData []float64   // backing array for betas
 	betas     [][]float64 // per-column warm-started coefficients, entry j unused
 
-	partials []float64 // per-chunk delta partials, folded in chunk order
-
-	// Per-column state read by the chunk closures.
+	// Solve inputs, published per solve by solveFrom.
 	s, w *linalg.Dense
-	j    int
-
-	extractFn func(lo, hi int)
-	updateFn  func(lo, hi int)
 }
 
 var wsPool = sync.Pool{New: func() any { return &workspace{} }}
@@ -73,16 +61,27 @@ func (ws *workspace) resize(k int) {
 	for j := range ws.betas {
 		ws.betas[j] = ws.betasData[j*k : (j+1)*k]
 	}
-	ws.partials = make([]float64, (k-1+colChunk-1)/colChunk)
-	ws.extractFn = ws.extractChunk
-	ws.updateFn = ws.updateChunk
 }
 
-// extractChunk fills rows [lo, hi) of W11 and s12 for the active column
-// j: row ai of W11 is row a = ai (+1 past j) of W with column j dropped.
-func (ws *workspace) extractChunk(lo, hi int) {
-	j := ws.j
-	for ai := lo; ai < hi; ai++ {
+// runSweep performs one full block-coordinate-descent sweep over the k
+// columns of W, returning the total absolute change. The sweep allocates
+// nothing: all scratch lives in the workspace.
+func (ws *workspace) runSweep(lambda float64, innerMaxIter int, innerTol float64) float64 {
+	delta := 0.0
+	for j := 0; j < ws.k; j++ {
+		delta += ws.runColumn(j, lambda, innerMaxIter, innerTol)
+	}
+	return delta
+}
+
+// runColumn performs the block update for column j: extract W11 and s12,
+// solve the lasso subproblem warm-started from the previous sweep, write
+// w12 = W11·β back into W, and return the column's absolute change.
+func (ws *workspace) runColumn(j int, lambda float64, innerMaxIter int, innerTol float64) float64 {
+	k := ws.k
+	// Extract W11 (W with row/column j dropped) and s12 = S[−j, j]:
+	// row ai of W11 is row a = ai (+1 past j) of W with column j dropped.
+	for ai := 0; ai < k-1; ai++ {
 		a := ai
 		if ai >= j {
 			a = ai + 1
@@ -93,17 +92,17 @@ func (ws *workspace) extractChunk(lo, hi int) {
 		copy(drow[:j], wrow[:j])
 		copy(drow[j:], wrow[j+1:])
 	}
-}
-
-// updateChunk computes rows [lo, hi) of w12 = W11·β, writes them back
-// into row/column j of W, and records the chunk's absolute-change partial
-// in partials[lo/colChunk]. Each W element is owned by exactly one chunk
-// and each chunk's reduction runs serially, so the caller's in-order fold
-// of partials reproduces the serial delta bit-for-bit.
-func (ws *workspace) updateChunk(lo, hi int) {
-	j := ws.j
-	d := 0.0
-	for ai := lo; ai < hi; ai++ {
+	// Warm start from this column's previous solution.
+	copy(ws.beta[:j], ws.betas[j][:j])
+	copy(ws.beta[j:], ws.betas[j][j+1:])
+	lassoCD(ws.w11, ws.s12, lambda, ws.beta, innerMaxIter, innerTol, ws.grad)
+	copy(ws.betas[j][:j], ws.beta[:j])
+	copy(ws.betas[j][j+1:], ws.beta[j:])
+	// Write back w12 = W11·β into row/column j of W, accumulating the
+	// absolute change in the fixed ascending order the old chunked fold
+	// reproduced.
+	delta := 0.0
+	for ai := 0; ai < k-1; ai++ {
 		v := linalg.Dot(ws.w11.Row(ai), ws.beta)
 		a := ai
 		if ai >= j {
@@ -113,44 +112,9 @@ func (ws *workspace) updateChunk(lo, hi int) {
 		if diff < 0 {
 			diff = -diff
 		}
-		d += diff
+		delta += diff
 		ws.w.Set(a, j, v)
 		ws.w.Set(j, a, v)
-	}
-	ws.partials[lo/colChunk] = d
-}
-
-// runSweep performs one full block-coordinate-descent sweep over the k
-// columns of W, returning the total absolute change. The per-column
-// extract and update phases fan out across the pool (nil = serial); the
-// inner lasso remains serial, as coordinate descent is order-dependent.
-// The sweep allocates nothing: all scratch lives in the workspace.
-func (ws *workspace) runSweep(pool *par.Pool, lambda float64, innerMaxIter int, innerTol float64) float64 {
-	delta := 0.0
-	for j := 0; j < ws.k; j++ {
-		delta += ws.runColumn(pool, j, lambda, innerMaxIter, innerTol)
-	}
-	return delta
-}
-
-// runColumn performs the block update for column j: extract W11 and s12,
-// solve the lasso subproblem warm-started from the previous sweep, write
-// w12 = W11·β back into W, and return the column's absolute change.
-func (ws *workspace) runColumn(pool *par.Pool, j int, lambda float64, innerMaxIter int, innerTol float64) float64 {
-	k := ws.k
-	ws.j = j
-	pool.For(k-1, colChunk, ws.extractFn)
-	// Warm start from this column's previous solution.
-	copy(ws.beta[:j], ws.betas[j][:j])
-	copy(ws.beta[j:], ws.betas[j][j+1:])
-	lassoCD(ws.w11, ws.s12, lambda, ws.beta, innerMaxIter, innerTol, ws.grad)
-	copy(ws.betas[j][:j], ws.beta[:j])
-	copy(ws.betas[j][j+1:], ws.beta[j:])
-	pool.For(k-1, colChunk, ws.updateFn)
-	// Fold the per-chunk partials in fixed chunk order.
-	delta := 0.0
-	for c := 0; c*colChunk < k-1; c++ {
-		delta += ws.partials[c]
 	}
 	return delta
 }

@@ -1,0 +1,76 @@
+package linalg
+
+// Dense32 is a row-major float32 matrix — the compact backing store for
+// the pair-transform's sample block (core.TransformOptions.Compact). The
+// transform emits only 0/1 indicator cells, which float32 represents
+// exactly, so the compact store halves memory traffic during covariance
+// accumulation without changing a single bit of any accumulated
+// statistic: every arithmetic consumer widens to float64 first (see
+// Axpy32) and all accumulation stays in float64.
+type Dense32 struct {
+	rows, cols int
+	data       []float32
+}
+
+// NewDense32 returns a zeroed rows×cols float32 matrix.
+func NewDense32(rows, cols int) *Dense32 {
+	return &Dense32{rows: rows, cols: cols, data: make([]float32, rows*cols)}
+}
+
+// NewDense32Data wraps an existing backing slice without copying.
+// Panics if len(data) is not rows·cols.
+func NewDense32Data(rows, cols int, data []float32) *Dense32 {
+	if len(data) != rows*cols {
+		panic("linalg: NewDense32Data backing slice length disagrees with dimensions")
+	}
+	return &Dense32{rows: rows, cols: cols, data: data}
+}
+
+// Dims returns the matrix dimensions.
+func (m *Dense32) Dims() (rows, cols int) { return m.rows, m.cols }
+
+// Rows returns the number of rows.
+func (m *Dense32) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense32) Cols() int { return m.cols }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Dense32) Row(i int) []float32 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Data returns the backing slice (row-major, aliased).
+func (m *Dense32) Data() []float32 { return m.data }
+
+// At returns element (i, j).
+func (m *Dense32) At(i, j int) float64 { return float64(m.data[i*m.cols+j]) }
+
+// Set assigns element (i, j).
+func (m *Dense32) Set(i, j int, v float64) { m.data[i*m.cols+j] = float32(v) }
+
+// Axpy32 computes y += alpha·x with a float32 source and float64
+// accumulation: each x element is widened to float64 before the multiply,
+// so for inputs float32 represents exactly (the 0/1 pair-transform
+// samples) the result is bit-identical to Axpy on the float64
+// representation of the same values. Panics if the slices differ in
+// length.
+// (fdx:numeric-kernel: widening float32→float64 is exact for every
+// float32 value; no rounding happens before the float64 accumulate.)
+//
+// fdx:zero-alloc — verified statically by the hotalloc analyzer and at
+// runtime by the AllocsPerRun gate in gather_test.go.
+func Axpy32(alpha float64, x []float32, y []float64) {
+	if len(x) != len(y) {
+		panic("linalg: Axpy32 length mismatch")
+	}
+	n := len(x)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += alpha * float64(x[i])
+		y[i+1] += alpha * float64(x[i+1])
+		y[i+2] += alpha * float64(x[i+2])
+		y[i+3] += alpha * float64(x[i+3])
+	}
+	for ; i < n; i++ {
+		y[i] += alpha * float64(x[i])
+	}
+}

@@ -13,6 +13,14 @@ const (
 	MTransformPairs = "fdx_transform_pairs_total"
 	// MGlassoSweeps counts graphical-lasso coordinate-descent sweeps.
 	MGlassoSweeps = "fdx_glasso_sweeps_total"
+	// MGlassoBlocks gauges the connected-component count the covariance
+	// screening pass found for the latest glasso solve (1 = screening
+	// disconnected nothing and the solve ran dense).
+	MGlassoBlocks = "fdx_glasso_blocks"
+	// MGlassoScreenedRatio gauges the fraction of precision entries the
+	// latest screening pass proved zero without arithmetic
+	// (1 − Σ|block|²/k²; 0 means a single giant component).
+	MGlassoScreenedRatio = "fdx_glasso_screened_ratio"
 	// MFallbacks counts regularization-ladder escalations.
 	MFallbacks = "fdx_fallback_escalations_total"
 	// MSanitizedColumns counts NaN/Inf covariance columns sanitized.

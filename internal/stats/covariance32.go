@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"runtime"
+
+	"fdx/internal/linalg"
+	"fdx/internal/par"
+)
+
+// float32-backed variants of the moment routines, consuming the compact
+// sample store of core.TransformOptions.Compact. Only the storage is
+// narrow: every element is widened to float64 before any arithmetic and
+// all accumulation runs in float64, so on the 0/1 pair-transform samples
+// (exact in float32) these produce results bit-identical to their
+// float64 twins — the covariance handed to the solver does not know
+// which store it came from.
+
+// accumulateMoments32 is accumulateMoments over a float32 sample block:
+// one pass over the rows, adding each row to the float64 column sums
+// (when sums is non-nil) and each row's outer product to the upper
+// triangle of s via fused widening Axpy32 updates.
+// Panics if s is not k×k (or sums not length k) for data's column count k.
+// (fdx:numeric-kernel: the exact-zero test is a sparsity fast path over the
+// mostly-zero pair-transform samples — a zero multiplier contributes
+// nothing to the accumulation.)
+func accumulateMoments32(data *linalg.Dense32, sums []float64, s *linalg.Dense) {
+	n, k := data.Dims()
+	if r, c := s.Dims(); r != k || c != k || (sums != nil && len(sums) != k) {
+		panic("stats: accumulateMoments32 operand shapes disagree")
+	}
+	for i := 0; i < n; i++ {
+		row := data.Row(i)
+		if sums != nil {
+			linalg.Axpy32(1, row, sums)
+		}
+		for a := 0; a < k; a++ {
+			va := float64(row[a])
+			if va == 0 {
+				continue
+			}
+			linalg.Axpy32(va, row[a:], s.Row(a)[a:])
+		}
+	}
+}
+
+// Covariance32 is Covariance over a float32 sample block, normalizing by
+// n with the same centering correction and diagonal clamp. The returned
+// matrix is float64.
+func Covariance32(data *linalg.Dense32) *linalg.Dense {
+	n, k := data.Dims()
+	s := linalg.NewDense(k, k)
+	if n == 0 {
+		return s
+	}
+	vb := getVec(k)
+	sums := vb.data
+	accumulateMoments32(data, sums, s)
+	inv := 1 / float64(n)
+	for a := 0; a < k; a++ {
+		mua := sums[a] * inv
+		for b := a; b < k; b++ {
+			v := s.At(a, b)*inv - mua*(sums[b]*inv)
+			if b == a && v < 0 {
+				v = 0
+			}
+			s.Set(a, b, v)
+			s.Set(b, a, v)
+		}
+	}
+	vecPool.Put(vb)
+	return s
+}
+
+// StratifiedCovariance32 is StratifiedCovariance over a float32 sample
+// block: contiguous equal-size row blocks, per-stratum covariance,
+// averaged in fixed ascending order. Falls back to Covariance32 when the
+// rows do not split evenly.
+func StratifiedCovariance32(data *linalg.Dense32, strata int) *linalg.Dense {
+	n, k := data.Dims()
+	if strata <= 1 || n == 0 || n%strata != 0 {
+		return Covariance32(data)
+	}
+	block := n / strata
+	acc := linalg.NewDense(k, k)
+	covs := make([]*linalg.Dense, strata)
+	//fdx:lint-ignore detsource worker count only; per-stratum results merge in fixed ascending order
+	workers := runtime.GOMAXPROCS(0)
+	if workers > strata {
+		workers = strata
+	}
+	pool := par.New(workers)
+	pool.For(strata, 1, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			sub := linalg.NewDense32Data(block, k, data.Data()[s*block*k:(s+1)*block*k])
+			covs[s] = Covariance32(sub)
+		}
+	})
+	pool.Close()
+	for _, cov := range covs {
+		linalg.Axpy(1, cov.Data(), acc.Data())
+	}
+	acc.Scale(1 / float64(strata))
+	return acc
+}

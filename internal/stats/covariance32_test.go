@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdx/internal/linalg"
+)
+
+// indicatorSamples builds matching float32/float64 copies of a random 0/1
+// sample block — the pair-transform output the compact store carries.
+func indicatorSamples(rng *rand.Rand, n, k int) (*linalg.Dense32, *linalg.Dense) {
+	d32 := linalg.NewDense32(n, k)
+	d64 := linalg.NewDense(n, k)
+	for i := 0; i < n; i++ {
+		r32, r64 := d32.Row(i), d64.Row(i)
+		for j := 0; j < k; j++ {
+			v := float64(rng.Intn(2))
+			r32[j] = float32(v)
+			r64[j] = v
+		}
+	}
+	return d32, d64
+}
+
+func assertDenseBitIdentical(t *testing.T, name string, want, got *linalg.Dense) {
+	t.Helper()
+	wr, wc := want.Dims()
+	gr, gc := got.Dims()
+	if wr != gr || wc != gc {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", name, wr, wc, gr, gc)
+	}
+	for i, v := range want.Data() {
+		if v != got.Data()[i] {
+			t.Fatalf("%s: element %d differs bit-for-bit: %v vs %v", name, i, v, got.Data()[i])
+		}
+	}
+}
+
+// TestCovariance32BitIdentical pins the compact store's contract: on 0/1
+// indicator samples (exact in float32, widened to float64 before any
+// arithmetic) the covariance is bit-for-bit the float64 path's.
+func TestCovariance32BitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, dims := range [][2]int{{1, 1}, {7, 3}, {64, 9}, {200, 17}} {
+		d32, d64 := indicatorSamples(rng, dims[0], dims[1])
+		assertDenseBitIdentical(t, "covariance", Covariance(d64), Covariance32(d32))
+	}
+}
+
+func TestStratifiedCovariance32BitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	d32, d64 := indicatorSamples(rng, 120, 11)
+	for _, strata := range []int{1, 2, 4, 7} { // 7 does not divide 120: exercises the uneven-split fallback
+		want := StratifiedCovariance(d64, strata)
+		got := StratifiedCovariance32(d32, strata)
+		assertDenseBitIdentical(t, "stratified covariance", want, got)
+	}
+}
+
+func TestCovariance32EmptyInput(t *testing.T) {
+	cov := Covariance32(linalg.NewDense32(0, 4))
+	if r, c := cov.Dims(); r != 4 || c != 4 {
+		t.Fatalf("empty input: dims %dx%d", r, c)
+	}
+	for _, v := range cov.Data() {
+		if v != 0 {
+			t.Fatal("empty input produced nonzero covariance")
+		}
+	}
+}
